@@ -1,0 +1,67 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+namespace dfs::bench {
+
+core::ExperimentConfig PoolConfig(PoolMode mode) {
+  core::ExperimentConfig config;
+  config.row_scale = 0.35;
+  config.sampler.min_search_seconds = 0.04;
+  config.sampler.max_search_seconds = 0.50;
+  switch (mode) {
+    case PoolMode::kDefaultParameters:
+      config.num_scenarios = 36;
+      config.use_hpo = false;
+      config.seed = 2021;
+      break;
+    case PoolMode::kHpo:
+      config.num_scenarios = 36;
+      config.use_hpo = true;
+      config.seed = 2021;  // same scenario stream as the default pool
+      break;
+    case PoolMode::kUtility:
+      config.num_scenarios = 10;
+      config.use_hpo = true;
+      config.utility_mode = true;
+      config.seed = 957;
+      break;
+  }
+  core::ApplyEnvironmentOverrides(config);
+  return config;
+}
+
+std::string BenchResultsDir() {
+  const char* env = std::getenv("DFS_BENCH_DIR");
+  std::string dir = env != nullptr ? env : "bench_results";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+StatusOr<core::ExperimentPool> GetPool(PoolMode mode) {
+  const core::ExperimentConfig config = PoolConfig(mode);
+  const char* name = mode == PoolMode::kDefaultParameters ? "default"
+                     : mode == PoolMode::kHpo             ? "hpo"
+                                                          : "utility";
+  const std::string cache_path = BenchResultsDir() + "/pool_" + name + "_" +
+                                 std::to_string(config.Hash()) + ".csv";
+  std::fprintf(stderr, "[pool:%s] %d scenarios (cache: %s)\n", name,
+               config.num_scenarios, cache_path.c_str());
+  return core::ExperimentPool::RunOrLoad(config, cache_path,
+                                         /*verbose=*/true);
+}
+
+void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s — Neutatz et al., SIGMOD 2021\n",
+              paper_ref.c_str());
+  std::printf("(synthetic stand-in datasets, scaled budgets; compare shapes,\n");
+  std::printf(" not absolute values — see DESIGN.md / EXPERIMENTS.md)\n");
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace dfs::bench

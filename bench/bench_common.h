@@ -1,0 +1,36 @@
+#ifndef DFS_BENCH_BENCH_COMMON_H_
+#define DFS_BENCH_BENCH_COMMON_H_
+
+#include <string>
+
+#include "core/experiment.h"
+
+namespace dfs::bench {
+
+/// Which of the three benchmark versions of Section 6.1 a pool realizes.
+enum class PoolMode {
+  kDefaultParameters,  // 1500-scenario analogue
+  kHpo,                // 3318-scenario analogue (the paper's main pool)
+  kUtility,            // 957-scenario analogue (Eq. 2 utility mode)
+};
+
+/// Canonical configuration for a pool mode, after DFS_* env overrides.
+/// Defaults are sized for a single-core run of a few minutes per pool;
+/// DFS_SCENARIOS / DFS_TIME_SCALE / DFS_DATA_SCALE scale the study up.
+core::ExperimentConfig PoolConfig(PoolMode mode);
+
+/// Runs (or loads from bench_results/) the pool for `mode`. All table
+/// harnesses share these caches, so the expensive pools are computed once
+/// per configuration.
+StatusOr<core::ExperimentPool> GetPool(PoolMode mode);
+
+/// Directory for cached pools and emitted CSVs ("bench_results", overridable
+/// via DFS_BENCH_DIR). Created on demand.
+std::string BenchResultsDir();
+
+/// Prints the standard reproduction banner for a bench binary.
+void PrintHeader(const std::string& title, const std::string& paper_ref);
+
+}  // namespace dfs::bench
+
+#endif  // DFS_BENCH_BENCH_COMMON_H_

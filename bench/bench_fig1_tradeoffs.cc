@@ -1,0 +1,95 @@
+// Figure 1: accuracy trade-off with three nonfunctional metrics (equal
+// opportunity, feature-set size, safety) for LR, NB, and DT on COMPAS.
+// Each "dot" is a random feature subset; the harness prints the dot series
+// and a correlation summary so the trade-off clouds can be compared to the
+// paper's charts.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/scenario.h"
+#include "data/benchmark_suite.h"
+#include "metrics/classification.h"
+#include "metrics/fairness.h"
+#include "metrics/robustness.h"
+#include "ml/classifier.h"
+#include "util/math_util.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace dfs::bench {
+namespace {
+
+int SubsetsPerModel() {
+  if (const char* env = std::getenv("DFS_SCENARIOS")) {
+    const int value = std::atoi(env);
+    if (value > 0) return value;
+  }
+  return 40;
+}
+
+int Run() {
+  PrintHeader("Figure 1 — accuracy trade-offs on COMPAS", "Figure 1");
+  auto dataset_or = data::GenerateBenchmarkDataset(/*COMPAS=*/6, 2021);
+  if (!dataset_or.ok()) return 1;
+  Rng split_rng(1);
+  auto split_or = data::StratifiedSplit(*dataset_or, 3, 1, 1, split_rng);
+  if (!split_or.ok()) return 1;
+  const data::DataSplit& split = *split_or;
+  const int total_features = split.train.num_features();
+
+  const ml::ModelKind models[] = {ml::ModelKind::kLogisticRegression,
+                                  ml::ModelKind::kNaiveBayes,
+                                  ml::ModelKind::kDecisionTree};
+  const int num_subsets = SubsetsPerModel();
+  Rng rng(7);
+  metrics::RobustnessOptions robustness;
+  robustness.max_attacked_rows = 16;
+  robustness.attack.max_queries = 120;
+
+  for (ml::ModelKind model_kind : models) {
+    TablePrinter table({"subset", "|F'|", "F1", "EO", "safety"});
+    std::vector<double> f1s, eos, sizes, safeties;
+    for (int s = 0; s < num_subsets; ++s) {
+      // Random subset: size uniform in [1, total], members uniform.
+      const int size = rng.UniformInt(1, total_features);
+      const std::vector<int> features =
+          rng.SampleWithoutReplacement(total_features, size);
+      auto model = ml::CreateClassifier(model_kind, ml::Hyperparameters());
+      const auto x_train = split.train.ToMatrix(features);
+      if (!model->Fit(x_train, split.train.labels()).ok()) continue;
+      const auto x_test = split.test.ToMatrix(features);
+      const auto predictions = model->PredictBatch(x_test);
+      const double f1 = metrics::F1Score(split.test.labels(), predictions);
+      const double eo = metrics::EqualOpportunity(
+          split.test.labels(), predictions, split.test.groups());
+      const double safety = metrics::EmpiricalRobustness(
+          *model, x_test, split.test.labels(), rng, robustness);
+      f1s.push_back(f1);
+      eos.push_back(eo);
+      sizes.push_back(static_cast<double>(size) / total_features);
+      safeties.push_back(safety);
+      table.AddRow({std::to_string(s), std::to_string(size),
+                    FormatDouble(f1, 3), FormatDouble(eo, 3),
+                    FormatDouble(safety, 3)});
+    }
+    std::printf("--- %s ---\n", ml::ModelKindToString(model_kind));
+    table.Print(std::cout);
+    // Figure-1 reading: different subsets realize very different trade-off
+    // points; safety correlates negatively with subset size.
+    std::printf("spread: F1 [%.2f, %.2f]  EO [%.2f, %.2f]  safety [%.2f, %.2f]\n",
+                Quantile(f1s, 0.0), Quantile(f1s, 1.0), Quantile(eos, 0.0),
+                Quantile(eos, 1.0), Quantile(safeties, 0.0),
+                Quantile(safeties, 1.0));
+    std::printf("corr(size, safety) = %+.2f   corr(size, F1) = %+.2f\n\n",
+                PearsonCorrelation(sizes, safeties),
+                PearsonCorrelation(sizes, f1s));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dfs::bench
+
+int main() { return dfs::bench::Run(); }

@@ -1,0 +1,149 @@
+// Micro-benchmarks (google-benchmark): per-component costs that explain the
+// macro results — ranking computation (why MCFS times out on large data),
+// model training (why LR affords more evaluations than DT), TPE proposal
+// overhead, and two DESIGN.md ablations (evaluation cache, TPE gamma).
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine.h"
+#include "core/scenario.h"
+#include "data/benchmark_suite.h"
+#include "fs/rankings/ranking.h"
+#include "fs/registry.h"
+#include "fs/search/tpe.h"
+#include "ml/classifier.h"
+
+namespace dfs {
+namespace {
+
+const data::Dataset& TelcoDataset() {
+  static const data::Dataset& dataset = *new data::Dataset([] {
+    auto d = data::GenerateBenchmarkDataset(/*Telco=*/5, 3, 0.5);
+    DFS_CHECK(d.ok());
+    return std::move(d).value();
+  }());
+  return dataset;
+}
+
+// ---- Rankings -------------------------------------------------------
+
+void BM_Ranking(benchmark::State& state) {
+  const auto kind = static_cast<fs::RankerKind>(state.range(0));
+  const auto ranker = fs::CreateRanker(kind);
+  state.SetLabel(ranker->name());
+  for (auto _ : state) {
+    Rng rng(7);
+    auto scores = ranker->Rank(TelcoDataset(), rng);
+    benchmark::DoNotOptimize(scores);
+  }
+}
+BENCHMARK(BM_Ranking)
+    ->DenseRange(0, 6)  // all RankerKind values
+    ->Unit(benchmark::kMillisecond);
+
+// ---- Model training -------------------------------------------------
+
+void BM_ModelFit(benchmark::State& state) {
+  const auto kind = static_cast<ml::ModelKind>(state.range(0));
+  state.SetLabel(ml::ModelKindToString(kind));
+  const auto& dataset = TelcoDataset();
+  const auto x = dataset.ToMatrix(dataset.AllFeatures());
+  for (auto _ : state) {
+    auto model = ml::CreateClassifier(kind, ml::Hyperparameters());
+    const Status status = model->Fit(x, dataset.labels());
+    benchmark::DoNotOptimize(status);
+  }
+}
+BENCHMARK(BM_ModelFit)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+// ---- TPE proposal cost ----------------------------------------------
+
+void BM_TpeBinaryPropose(benchmark::State& state) {
+  const int history = static_cast<int>(state.range(0));
+  fs::TpeBinaryOptimizer optimizer(64, 32, fs::TpeOptions(), 5);
+  Rng rng(6);
+  for (int i = 0; i < history; ++i) {
+    auto mask = optimizer.Propose();
+    optimizer.Record(mask, rng.Uniform());
+  }
+  for (auto _ : state) {
+    auto mask = optimizer.Propose();
+    benchmark::DoNotOptimize(mask);
+  }
+}
+BENCHMARK(BM_TpeBinaryPropose)->Arg(16)->Arg(128)->Arg(512);
+
+// ---- Ablation: evaluation cache (DESIGN.md) --------------------------
+
+core::MlScenario MicroScenario() {
+  Rng rng(11);
+  auto scenario = core::MakeScenario(TelcoDataset(),
+                                     ml::ModelKind::kLogisticRegression,
+                                     constraints::ConstraintSet(), rng);
+  DFS_CHECK(scenario.ok());
+  return std::move(scenario).value();
+}
+
+void BM_EngineEvalCache(benchmark::State& state) {
+  const bool cache = state.range(0) != 0;
+  state.SetLabel(cache ? "cache on" : "cache off");
+  core::MlScenario scenario = MicroScenario();
+  scenario.constraint_set.min_f1 = 0.99;  // never succeed, keep evaluating
+  scenario.constraint_set.max_search_seconds = 3600;
+  core::EngineOptions options;
+  options.enable_eval_cache = cache;
+
+  // SFS revisits many overlapping masks through its floating evaluation
+  // pattern; emulate by cycling a fixed set of masks.
+  core::DfsEngine engine(scenario, options);
+  class WarmupStrategy : public fs::FeatureSelectionStrategy {
+   public:
+    std::string name() const override { return "warmup"; }
+    fs::StrategyInfo info() const override { return {}; }
+    void Run(fs::EvalContext&) override {}
+  } warmup;
+  engine.Run(warmup);  // arms the deadline/state
+  std::vector<fs::FeatureMask> masks;
+  for (int f = 0; f < 8; ++f) {
+    masks.push_back(fs::IndicesToMask(TelcoDataset().num_features(), {f}));
+  }
+  int i = 0;
+  for (auto _ : state) {
+    auto outcome = engine.Evaluate(masks[i++ % masks.size()]);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_EngineEvalCache)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+// ---- Ablation: TPE gamma quantile (DESIGN.md) ------------------------
+
+void BM_TpeGammaConvergence(benchmark::State& state) {
+  const double gamma = state.range(0) / 100.0;
+  state.SetLabel("gamma=" + std::to_string(gamma));
+  // Counter metric: evaluations needed to reach the optimum k on a
+  // deterministic objective; reported as a custom counter.
+  double total_evals = 0.0;
+  int runs = 0;
+  for (auto _ : state) {
+    fs::TpeOptions options;
+    options.gamma = gamma;
+    fs::TpeIntegerOptimizer optimizer(1, 100, options,
+                                      42 + static_cast<uint64_t>(runs));
+    int evals = 0;
+    for (; evals < 200; ++evals) {
+      const int k = optimizer.Propose();
+      if (k == 30) break;
+      optimizer.Record(k, std::abs(k - 30.0));
+    }
+    total_evals += evals;
+    ++runs;
+    benchmark::DoNotOptimize(evals);
+  }
+  state.counters["evals_to_opt"] = total_evals / std::max(1, runs);
+}
+BENCHMARK(BM_TpeGammaConvergence)->Arg(10)->Arg(25)->Arg(50);
+
+}  // namespace
+}  // namespace dfs
+
+BENCHMARK_MAIN();

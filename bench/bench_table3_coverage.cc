@@ -1,0 +1,84 @@
+// Table 3: fraction of Fastest cases and coverage per strategy, under
+// default model parameters and under hyperparameter optimization, plus the
+// DFS Optimizer and Oracle rows.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/analysis.h"
+#include "core/optimizer.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace dfs::bench {
+namespace {
+
+int Run() {
+  PrintHeader("Table 3 — Fastest fraction and coverage per strategy",
+              "Table 3");
+  auto default_pool = GetPool(PoolMode::kDefaultParameters);
+  if (!default_pool.ok()) {
+    std::fprintf(stderr, "%s\n", default_pool.status().ToString().c_str());
+    return 1;
+  }
+  auto hpo_pool = GetPool(PoolMode::kHpo);
+  if (!hpo_pool.ok()) {
+    std::fprintf(stderr, "%s\n", hpo_pool.status().ToString().c_str());
+    return 1;
+  }
+
+  TablePrinter table({"Strategy", "Fastest (default)", "Coverage (default)",
+                      "Fastest (HPO)", "Coverage (HPO)"});
+  auto row = [&](fs::StrategyId id) {
+    const core::MeanStd fastest_default =
+        core::FastestStats(default_pool->records(), id);
+    const core::MeanStd coverage_default =
+        core::CoverageStats(default_pool->records(), id);
+    const core::MeanStd fastest_hpo =
+        core::FastestStats(hpo_pool->records(), id);
+    const core::MeanStd coverage_hpo =
+        core::CoverageStats(hpo_pool->records(), id);
+    table.AddRow({fs::StrategyIdToString(id),
+                  FormatMeanStd(fastest_default.mean, fastest_default.stddev),
+                  FormatMeanStd(coverage_default.mean,
+                                coverage_default.stddev),
+                  FormatMeanStd(fastest_hpo.mean, fastest_hpo.stddev),
+                  FormatMeanStd(coverage_hpo.mean, coverage_hpo.stddev)});
+  };
+
+  row(fs::StrategyId::kOriginalFeatureSet);
+  table.AddSeparator();
+  for (fs::StrategyId id : fs::AllStrategies()) row(id);
+  table.AddSeparator();
+
+  // DFS Optimizer: leave-one-dataset-out on the HPO pool (Section 6.6).
+  core::OptimizerOptions optimizer_options;
+  auto lodo = core::EvaluateOptimizerLodo(*hpo_pool, optimizer_options);
+  if (lodo.ok()) {
+    table.AddRow({"DFS Optimizer", "-", "-",
+                  FormatMeanStd(lodo->fastest_mean, lodo->fastest_stddev),
+                  FormatMeanStd(lodo->coverage_mean, lodo->coverage_stddev)});
+  } else {
+    std::fprintf(stderr, "optimizer LODO skipped: %s\n",
+                 lodo.status().ToString().c_str());
+  }
+  // Oracle: picks the fastest successful strategy per scenario, hence 1.0
+  // on every satisfiable scenario by construction.
+  table.AddRow({"Oracle", "1.00 ± 0.00", "1.00 ± 0.00", "1.00 ± 0.00",
+                "1.00 ± 0.00"});
+  table.Print(std::cout);
+
+  int satisfiable = 0;
+  for (const auto& record : hpo_pool->records()) {
+    satisfiable += record.Satisfiable() ? 1 : 0;
+  }
+  std::printf("\n(HPO pool: %zu scenarios, %d satisfiable)\n",
+              hpo_pool->records().size(), satisfiable);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dfs::bench
+
+int main() { return dfs::bench::Run(); }

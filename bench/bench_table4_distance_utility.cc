@@ -1,0 +1,71 @@
+// Table 4: (a) mean Eq.(1) distance to the constraints on validation and
+// test for the *unsuccessful* cases of each strategy (failure analysis,
+// Section 6.3), and (b) the mean normalized F1 score on the utility-driven
+// benchmark where F1 is maximized subject to the constraints (Eq. 2).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/analysis.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace dfs::bench {
+namespace {
+
+int Run() {
+  PrintHeader(
+      "Table 4 — distance to constraints (failures) and utility benchmark",
+      "Table 4");
+  auto hpo_pool = GetPool(PoolMode::kHpo);
+  if (!hpo_pool.ok()) return 1;
+  auto utility_pool = GetPool(PoolMode::kUtility);
+  if (!utility_pool.ok()) return 1;
+
+  TablePrinter table({"Strategy", "Distance (validation)", "Distance (test)",
+                      "Failed cases", "Mean Normalized F1"});
+  for (fs::StrategyId id : fs::AllStrategiesWithBaseline()) {
+    const core::FailureDistances distances =
+        core::FailureDistanceStats(hpo_pool->records(), id);
+    const core::MeanStd normalized_f1 =
+        core::NormalizedF1Stats(utility_pool->records(), id);
+    table.AddRow({fs::StrategyIdToString(id),
+                  distances.failed_cases > 0
+                      ? FormatMeanStd(distances.validation.mean,
+                                      distances.validation.stddev)
+                      : "-",
+                  distances.failed_cases > 0
+                      ? FormatMeanStd(distances.test.mean,
+                                      distances.test.stddev)
+                      : "-",
+                  std::to_string(distances.failed_cases),
+                  FormatMeanStd(normalized_f1.mean, normalized_f1.stddev)});
+    if (id == fs::StrategyId::kOriginalFeatureSet) table.AddSeparator();
+  }
+  table.Print(std::cout);
+
+  // Section 6.3 failure analysis: how often do strategies *finish* their
+  // search space in failed cases (vs running out of time)?
+  std::printf("\nFailed cases that exhausted the search space (not the clock):\n");
+  for (fs::StrategyId id :
+       {fs::StrategyId::kSfs, fs::StrategyId::kTpeChi2,
+        fs::StrategyId::kExhaustive}) {
+    int failed = 0, exhausted = 0;
+    for (const auto& record : hpo_pool->records()) {
+      if (!record.Satisfiable()) continue;
+      const auto* outcome = record.OutcomeOf(id);
+      if (outcome == nullptr || outcome->success) continue;
+      ++failed;
+      exhausted += outcome->search_exhausted ? 1 : 0;
+    }
+    std::printf("  %-14s %d/%d\n", fs::StrategyIdToString(id).c_str(),
+                exhausted, failed);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dfs::bench
+
+int main() { return dfs::bench::Run(); }

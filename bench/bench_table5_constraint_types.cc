@@ -1,0 +1,73 @@
+// Table 5: coverage per strategy conditioned on which optional constraint
+// was part of the scenario (Min EO / Max Feature Set Size / Min Safety /
+// Min Privacy). Min accuracy and max search time are always present.
+
+#include <cstdio>
+#include <functional>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/analysis.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace dfs::bench {
+namespace {
+
+int Run() {
+  PrintHeader("Table 5 — coverage if a constraint was specified", "Table 5");
+  auto pool = GetPool(PoolMode::kHpo);
+  if (!pool.ok()) return 1;
+  const auto& records = pool->records();
+
+  using Filter = std::function<bool(const core::ScenarioRecord&)>;
+  const std::vector<std::pair<std::string, Filter>> conditions = {
+      {"Min EO",
+       [](const core::ScenarioRecord& r) {
+         return r.constraint_set.min_equal_opportunity.has_value();
+       }},
+      {"Max Feature Set Size",
+       [](const core::ScenarioRecord& r) {
+         return r.constraint_set.max_feature_fraction.has_value();
+       }},
+      {"Min Safety",
+       [](const core::ScenarioRecord& r) {
+         return r.constraint_set.min_safety.has_value();
+       }},
+      {"Min Privacy",
+       [](const core::ScenarioRecord& r) {
+         return r.constraint_set.privacy_epsilon.has_value();
+       }},
+  };
+
+  // Scenario counts per condition (satisfiable only).
+  std::printf("satisfiable scenarios per condition:");
+  for (const auto& [name, filter] : conditions) {
+    int count = 0;
+    for (const auto& record : records) {
+      if (record.Satisfiable() && filter(record)) ++count;
+    }
+    std::printf("  %s: %d", name.c_str(), count);
+  }
+  std::printf("\n\n");
+
+  std::vector<std::string> header = {"Strategy"};
+  for (const auto& [name, unused] : conditions) header.push_back(name);
+  TablePrinter table(header);
+  for (fs::StrategyId id : fs::AllStrategiesWithBaseline()) {
+    std::vector<std::string> row = {fs::StrategyIdToString(id)};
+    for (const auto& [unused, filter] : conditions) {
+      row.push_back(
+          FormatDouble(core::FilteredCoverage(records, id, filter), 2));
+    }
+    table.AddRow(std::move(row));
+    if (id == fs::StrategyId::kOriginalFeatureSet) table.AddSeparator();
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dfs::bench
+
+int main() { return dfs::bench::Run(); }

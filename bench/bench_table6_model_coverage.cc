@@ -1,0 +1,56 @@
+// Table 6: model-dependent coverage — how each strategy's coverage varies
+// with the classification model (LR / NB / DT).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/analysis.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace dfs::bench {
+namespace {
+
+int Run() {
+  PrintHeader("Table 6 — model-dependent coverage", "Table 6");
+  auto pool = GetPool(PoolMode::kHpo);
+  if (!pool.ok()) return 1;
+  const auto& records = pool->records();
+
+  const std::vector<ml::ModelKind> models = {
+      ml::ModelKind::kLogisticRegression, ml::ModelKind::kNaiveBayes,
+      ml::ModelKind::kDecisionTree};
+
+  std::printf("satisfiable scenarios per model:");
+  for (ml::ModelKind model : models) {
+    int count = 0;
+    for (const auto& record : records) {
+      if (record.Satisfiable() && record.model == model) ++count;
+    }
+    std::printf("  %s: %d", ml::ModelKindToString(model), count);
+  }
+  std::printf("\n\n");
+
+  TablePrinter table({"Strategy", "LR", "NB", "DT"});
+  for (fs::StrategyId id : fs::AllStrategiesWithBaseline()) {
+    std::vector<std::string> row = {fs::StrategyIdToString(id)};
+    for (ml::ModelKind model : models) {
+      row.push_back(FormatDouble(
+          core::FilteredCoverage(records, id,
+                                 [model](const core::ScenarioRecord& r) {
+                                   return r.model == model;
+                                 }),
+          2));
+    }
+    table.AddRow(std::move(row));
+    if (id == fs::StrategyId::kOriginalFeatureSet) table.AddSeparator();
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dfs::bench
+
+int main() { return dfs::bench::Run(); }

@@ -1,0 +1,72 @@
+// Table 9: meta-learning accuracy across strategies — precision, recall and
+// F1 of the per-strategy success predictors inside the DFS Optimizer under
+// leave-one-dataset-out cross-validation. `--landmark-sweep` additionally
+// ablates the landmarking sample size (DESIGN.md ablation).
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/optimizer.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace dfs::bench {
+namespace {
+
+int Run(bool landmark_sweep) {
+  PrintHeader("Table 9 — meta-learning accuracy across strategies",
+              "Table 9");
+  auto pool = GetPool(PoolMode::kHpo);
+  if (!pool.ok()) return 1;
+
+  core::OptimizerOptions options;
+  auto lodo = core::EvaluateOptimizerLodo(*pool, options);
+  if (!lodo.ok()) {
+    std::fprintf(stderr, "%s\n", lodo.status().ToString().c_str());
+    return 1;
+  }
+
+  TablePrinter table({"Strategy", "Precision", "Recall", "F1 score"});
+  for (fs::StrategyId id : fs::AllStrategies()) {
+    auto it = lodo->per_strategy.find(id);
+    if (it == lodo->per_strategy.end()) continue;
+    const auto& scores = it->second;
+    table.AddRow({fs::StrategyIdToString(id),
+                  FormatMeanStd(scores.precision_mean,
+                                scores.precision_stddev),
+                  FormatMeanStd(scores.recall_mean, scores.recall_stddev),
+                  FormatMeanStd(scores.f1_mean, scores.f1_stddev)});
+  }
+  table.Print(std::cout);
+  std::printf("\nOptimizer (argmax over these models): coverage %s, fastest %s\n",
+              FormatMeanStd(lodo->coverage_mean, lodo->coverage_stddev).c_str(),
+              FormatMeanStd(lodo->fastest_mean, lodo->fastest_stddev).c_str());
+
+  if (landmark_sweep) {
+    std::printf("\nAblation — landmarking sample size vs optimizer coverage:\n");
+    for (int sample_size : {25, 50, 100, 200}) {
+      core::OptimizerOptions swept = options;
+      swept.landmark_sample_size = sample_size;
+      auto swept_lodo = core::EvaluateOptimizerLodo(*pool, swept);
+      if (!swept_lodo.ok()) continue;
+      std::printf("  landmark=%-4d coverage %s\n", sample_size,
+                  FormatMeanStd(swept_lodo->coverage_mean,
+                                swept_lodo->coverage_stddev)
+                      .c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dfs::bench
+
+int main(int argc, char** argv) {
+  bool landmark_sweep = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--landmark-sweep") == 0) landmark_sweep = true;
+  }
+  return dfs::bench::Run(landmark_sweep);
+}

@@ -1,0 +1,74 @@
+// Extensions beyond the paper's core study (its Section-7 future work):
+//
+//  1. TimeSlicedPortfolio — dynamic strategy switching on ONE budget: the
+//     engine interleaves several FS strategies in growing time slices,
+//     warm-started through the shared evaluation cache.
+//  2. SelectModelAndFeatures — "declarative AutoML": the model class itself
+//     becomes part of the search, so the user declares only constraints.
+
+#include <cstdio>
+
+#include "core/dfs.h"
+#include "core/engine.h"
+#include "data/benchmark_suite.h"
+#include "fs/portfolio.h"
+
+namespace {
+
+int Run() {
+  auto dataset_or = dfs::data::GenerateBenchmarkDataset(/*Students=*/7, 41);
+  if (!dataset_or.ok()) return 1;
+  const dfs::data::Dataset& students = *dataset_or;
+  std::printf("Students stand-in: %d rows, %d features\n\n",
+              students.num_rows(), students.num_features());
+
+  const auto constraints = dfs::constraints::ConstraintSetBuilder()
+                               .MinF1(0.7)
+                               .MaxFeatureFraction(0.5)
+                               .MaxSearchSeconds(6.0)
+                               .Build()
+                               .value();
+
+  // --- 1. Dynamic strategy switching on a single engine ---------------
+  {
+    dfs::Rng rng(43);
+    auto scenario_or = dfs::core::MakeScenario(
+        students, dfs::ml::ModelKind::kLogisticRegression, constraints, rng);
+    if (!scenario_or.ok()) return 1;
+    dfs::core::DfsEngine engine(*scenario_or, dfs::core::EngineOptions());
+    dfs::fs::TimeSlicedPortfolio portfolio(
+        {dfs::fs::StrategyId::kTpeFcbf, dfs::fs::StrategyId::kSffs,
+         dfs::fs::StrategyId::kTpeMask},
+        /*seed=*/45);
+    const dfs::core::RunResult result = engine.Run(portfolio);
+    std::printf("[portfolio] %s -> success=%s in %.2fs, |F'|=%d, "
+                "evaluations=%d (cache hits %d)\n",
+                portfolio.name().c_str(), result.success ? "yes" : "no",
+                result.search_seconds, dfs::fs::CountSelected(result.selected),
+                result.evaluations, result.cache_hits);
+  }
+
+  // --- 2. Declarative AutoML: model + features from constraints -------
+  {
+    dfs::core::DeclarativeFeatureSelection dfs(students, 47);
+    dfs.SetConstraints(constraints).UseHpo(true);
+    auto result = dfs.SelectModelAndFeatures(
+        {dfs::ml::ModelKind::kNaiveBayes, dfs::ml::ModelKind::kDecisionTree,
+         dfs::ml::ModelKind::kLogisticRegression},
+        dfs::fs::StrategyId::kSffs);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("[automl]    chose model=%s via %s -> success=%s, "
+                "test F1=%.3f with %zu features\n",
+                result->model.c_str(), result->strategy.c_str(),
+                result->success ? "yes" : "no", result->test_values.f1,
+                result->features.size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

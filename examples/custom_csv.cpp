@@ -1,0 +1,90 @@
+// Bring-your-own-data: the full pipeline from a CSV (mixed numeric and
+// categorical attributes, missing values) through the standard
+// preprocessing of Section 6.1 (mean imputation, min-max scaling, one-hot
+// encoding) into a declarative feature-selection run.
+
+#include <cstdio>
+
+#include "core/dfs.h"
+#include "data/preprocess.h"
+#include "data/raw_dataset.h"
+#include "util/csv.h"
+
+namespace {
+
+// A small loan dataset a user might hand in. In practice you would call
+// dfs::ReadCsvFile("loans.csv") instead.
+constexpr const char* kCsv =
+    "age,income,city,defaulted,gender\n"
+    "25,48000,berlin,0,0\n"
+    "38,,hamburg,0,1\n"
+    "52,61000,berlin,0,0\n"
+    "23,12000,,1,1\n"
+    "61,87000,munich,0,0\n"
+    "33,23000,hamburg,1,1\n"
+    "45,52000,berlin,0,0\n"
+    "29,19000,munich,1,1\n"
+    "57,75000,berlin,0,0\n"
+    "41,31000,hamburg,1,0\n"
+    "36,45000,munich,0,1\n"
+    "27,16000,berlin,1,1\n"
+    "49,58000,hamburg,0,0\n"
+    "31,21000,munich,1,0\n"
+    "55,69000,berlin,0,1\n"
+    "26,15000,hamburg,1,0\n"
+    "44,49500,munich,0,1\n"
+    "30,18500,berlin,1,0\n"
+    "53,64000,hamburg,0,1\n"
+    "28,17500,munich,1,0\n"
+    "47,55000,berlin,0,1\n"
+    "32,22500,hamburg,1,0\n"
+    "59,78000,munich,0,1\n"
+    "24,13500,berlin,1,0\n";
+
+int Run() {
+  // 1. Parse CSV and identify target/sensitive columns.
+  auto table_or = dfs::ParseCsv(kCsv);
+  if (!table_or.ok()) return 1;
+  auto raw_or = dfs::data::RawDatasetFromCsv(*table_or, /*target=*/"defaulted",
+                                             /*sensitive=*/"gender", "loans");
+  if (!raw_or.ok()) {
+    std::fprintf(stderr, "%s\n", raw_or.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("raw: %d rows, %d attributes (sensitive: %s)\n",
+              raw_or->num_rows(), raw_or->num_attributes(),
+              raw_or->sensitive_attribute_name.c_str());
+
+  // 2. Standard preprocessing: imputation + scaling + one-hot encoding.
+  auto dataset_or = dfs::data::Preprocess(*raw_or);
+  if (!dataset_or.ok()) {
+    std::fprintf(stderr, "%s\n", dataset_or.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("encoded features (%d):\n", dataset_or->num_features());
+  for (const auto& name : dataset_or->feature_names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+
+  // 3. Declare and search.
+  dfs::core::DeclarativeFeatureSelection dfs(*dataset_or, 3);
+  dfs.SetModel(dfs::ml::ModelKind::kDecisionTree)
+      .SetConstraints(dfs::constraints::ConstraintSetBuilder()
+                          .MinF1(0.6)
+                          .MaxFeatureFraction(0.6)
+                          .MaxSearchSeconds(5.0)
+                          .Build()
+                          .value());
+  auto result = dfs.Select(dfs::fs::StrategyId::kExhaustive);
+  if (!result.ok()) return 1;
+  std::printf("\nsuccess=%s, selected:\n", result->success ? "yes" : "no");
+  for (const auto& name : result->feature_names) {
+    std::printf("  - %s\n", name.c_str());
+  }
+  std::printf("test F1 = %.3f\n", result->test_values.f1);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

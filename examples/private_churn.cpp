@@ -1,0 +1,56 @@
+// Differential privacy scenario on Telco Customer Churn: declaring a
+// privacy epsilon makes the engine train the epsilon-DP variant of the
+// model (Section 3, Min Privacy), so any subset it returns is private by
+// construction. This example sweeps epsilon to show the privacy/utility
+// trade-off and how feature selection softens it.
+
+#include <cstdio>
+
+#include "core/dfs.h"
+#include "data/benchmark_suite.h"
+
+namespace {
+
+int Run() {
+  auto dataset_or = dfs::data::GenerateBenchmarkDataset(/*Telco=*/5, 13);
+  if (!dataset_or.ok()) return 1;
+  const dfs::data::Dataset& telco = *dataset_or;
+  std::printf("Telco stand-in: %d rows, %d features\n\n", telco.num_rows(),
+              telco.num_features());
+  std::printf("%-10s %-9s %-9s %-12s %s\n", "epsilon", "success",
+              "test F1", "|selected|", "note");
+
+  for (double epsilon : {100.0, 10.0, 2.0, 0.5, 0.05}) {
+    dfs::core::DeclarativeFeatureSelection dfs(telco, 23);
+    dfs.SetModel(dfs::ml::ModelKind::kLogisticRegression)
+        // 0.72 is well above the trivial predict-all-positive baseline, so the
+        // private model must actually carry signal to satisfy it.
+        .SetConstraints(dfs::constraints::ConstraintSetBuilder()
+                            .MinF1(0.72)
+                            .PrivacyEpsilon(epsilon)
+                            .MaxSearchSeconds(6.0)
+                            .Build()
+                            .value());
+    // Forward selection: the paper finds it best for privacy constraints
+    // because private models prefer few features (less noise per weight).
+    auto result = dfs.Select(dfs::fs::StrategyId::kSfs);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-10.2f %-9s %-9.3f %-12zu %s\n", epsilon,
+                result->success ? "yes" : "no", result->test_values.f1,
+                result->features.size(),
+                epsilon < 0.1 ? "(noise may dominate)" : "");
+  }
+
+  std::printf(
+      "\nSmaller epsilon = stronger privacy = noisier model; feature\n"
+      "selection counters it by concentrating the privacy budget on a\n"
+      "small informative subset.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,60 @@
+// Adversarial-safety scenario on German Credit with a strategy portfolio:
+// run several FS strategies in parallel and take the first satisfying
+// answer (Section 6.5 — "running 5 strategies in parallel leads to 94%
+// coverage or 52% fastest answers").
+//
+// The safety metric attacks the trained model with the black-box
+// HopSkipJump evasion attack and requires the F1 drop to stay small.
+
+#include <cstdio>
+
+#include "core/dfs.h"
+#include "data/benchmark_suite.h"
+
+namespace {
+
+int Run() {
+  auto dataset_or = dfs::data::GenerateBenchmarkDataset(/*German=*/12, 29);
+  if (!dataset_or.ok()) return 1;
+  const dfs::data::Dataset& credit = *dataset_or;
+  std::printf("German Credit stand-in: %d rows, %d features\n\n",
+              credit.num_rows(), credit.num_features());
+
+  dfs::core::DeclarativeFeatureSelection dfs(credit, 31);
+  dfs.SetModel(dfs::ml::ModelKind::kDecisionTree)
+      .SetConstraints(dfs::constraints::ConstraintSetBuilder()
+                          .MinF1(0.55)
+                          .MinSafety(0.85)
+                          .MaxFeatureFraction(0.4)
+                          .MaxSearchSeconds(12.0)
+                          .Build()
+                          .value());
+
+  // The paper's best 5-strategy portfolio (Table 8, coverage objective).
+  const std::vector<dfs::fs::StrategyId> portfolio = {
+      dfs::fs::StrategyId::kTpeFcbf, dfs::fs::StrategyId::kSffs,
+      dfs::fs::StrategyId::kTpeMask, dfs::fs::StrategyId::kTpeMim,
+      dfs::fs::StrategyId::kSimulatedAnnealing,
+  };
+  auto result = dfs.SelectParallel(portfolio, /*num_threads=*/2);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("winner: %s (%.2fs), success=%s\n", result->strategy.c_str(),
+              result->search_seconds, result->success ? "yes" : "no");
+  std::printf("selected %zu/%d features\n", result->features.size(),
+              credit.num_features());
+  std::printf("test: F1=%.3f safety=%.3f\n", result->test_values.f1,
+              result->test_values.safety);
+  std::printf(
+      "\nFewer features = smaller attack surface: the paper observes a\n"
+      "strong negative correlation between feature count and empirical\n"
+      "robustness, which is why size-reducing strategies win here.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

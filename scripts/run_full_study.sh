@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Runs the complete reproduction at a chosen scale.
+#
+#   scripts/run_full_study.sh            # default scaled-down study
+#   DFS_SCENARIOS=200 DFS_TIME_SCALE=4 scripts/run_full_study.sh
+#
+# Larger DFS_SCENARIOS / DFS_TIME_SCALE move the study toward the paper's
+# original 3318-scenario, hours-long-budget setting. Pools are cached in
+# bench_results/ keyed by configuration, so re-runs are incremental.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/bench_*; do
+  [ -x "$b" ] && [ -f "$b" ] && "$b"
+done

@@ -1,0 +1,70 @@
+#include "constraints/constraint.h"
+
+namespace dfs::constraints {
+
+const char* ConstraintKindToString(ConstraintKind kind) {
+  switch (kind) {
+    case ConstraintKind::kMaxSearchTime:
+      return "Max Search Time";
+    case ConstraintKind::kMaxFeatureSetSize:
+      return "Max Feature Set Size";
+    case ConstraintKind::kMaxTrainingTime:
+      return "Max Training Time";
+    case ConstraintKind::kMaxInferenceTime:
+      return "Max Inference Time";
+    case ConstraintKind::kMinAccuracy:
+      return "Min Accuracy";
+    case ConstraintKind::kMinEqualOpportunity:
+      return "Min Equal Opportunity";
+    case ConstraintKind::kMinPrivacy:
+      return "Min Privacy";
+    case ConstraintKind::kMinSafety:
+      return "Min Safety";
+  }
+  return "?";
+}
+
+ConstraintTaxonomy TaxonomyOf(ConstraintKind kind) {
+  ConstraintTaxonomy t;
+  t.kind = kind;
+  switch (kind) {
+    case ConstraintKind::kMaxSearchTime:
+      break;  // evaluation-independent, no inputs
+    case ConstraintKind::kMaxFeatureSetSize:
+      t.needs_features = true;
+      t.feature_dependence = FeatureSizeCorrelation::kNegative;
+      break;
+    case ConstraintKind::kMaxTrainingTime:
+    case ConstraintKind::kMaxInferenceTime:
+      t.evaluation_dependent = true;
+      t.feature_dependence = FeatureSizeCorrelation::kNegative;
+      break;
+    case ConstraintKind::kMinAccuracy:
+      t.evaluation_dependent = true;
+      t.feature_dependence = FeatureSizeCorrelation::kPositive;
+      t.needs_target = true;
+      t.needs_predictions = true;
+      break;
+    case ConstraintKind::kMinEqualOpportunity:
+      t.evaluation_dependent = true;
+      t.feature_dependence = FeatureSizeCorrelation::kNegative;
+      t.needs_features = true;
+      t.needs_target = true;
+      t.needs_predictions = true;
+      break;
+    case ConstraintKind::kMinPrivacy:
+      t.feature_dependence = FeatureSizeCorrelation::kNegative;
+      break;
+    case ConstraintKind::kMinSafety:
+      t.evaluation_dependent = true;
+      t.feature_dependence = FeatureSizeCorrelation::kNegative;
+      t.needs_features = true;
+      t.needs_target = true;
+      t.needs_model = true;
+      t.needs_predictions = true;
+      break;
+  }
+  return t;
+}
+
+}  // namespace dfs::constraints

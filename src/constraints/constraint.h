@@ -1,0 +1,50 @@
+#ifndef DFS_CONSTRAINTS_CONSTRAINT_H_
+#define DFS_CONSTRAINTS_CONSTRAINT_H_
+
+#include <string>
+
+namespace dfs::constraints {
+
+/// The ML-application constraint types of Section 3. Max-Training-Time and
+/// Max-Inference-Time are part of the taxonomy (Table 1) but, as in the
+/// paper, are evaluated through the simpler Max-Feature-Set-Size proxy.
+enum class ConstraintKind {
+  kMaxSearchTime,
+  kMaxFeatureSetSize,
+  kMaxTrainingTime,
+  kMaxInferenceTime,
+  kMinAccuracy,
+  kMinEqualOpportunity,
+  kMinPrivacy,
+  kMinSafety,
+};
+
+const char* ConstraintKindToString(ConstraintKind kind);
+
+/// Correlation of a constraint's satisfiability with the number of selected
+/// features (the "#Feature Dependence" column of Table 1).
+enum class FeatureSizeCorrelation {
+  kNone,      ///< independent of the selected feature count
+  kNegative,  ///< easier with fewer features (size, EO, privacy, safety)
+  kPositive,  ///< easier with more features (accuracy)
+};
+
+/// One row of the constraint taxonomy (Table 1): whether checking the
+/// constraint requires a trained-model evaluation, how it correlates with
+/// feature-set size, and which inputs its metric needs.
+struct ConstraintTaxonomy {
+  ConstraintKind kind;
+  bool evaluation_dependent = false;
+  FeatureSizeCorrelation feature_dependence = FeatureSizeCorrelation::kNone;
+  bool needs_features = false;
+  bool needs_target = false;
+  bool needs_model = false;
+  bool needs_predictions = false;
+};
+
+/// Taxonomy row for `kind`, exactly as printed in Table 1.
+ConstraintTaxonomy TaxonomyOf(ConstraintKind kind);
+
+}  // namespace dfs::constraints
+
+#endif  // DFS_CONSTRAINTS_CONSTRAINT_H_

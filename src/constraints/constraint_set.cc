@@ -1,0 +1,192 @@
+#include "constraints/constraint_set.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace dfs::constraints {
+
+std::vector<ConstraintKind> ConstraintSet::ActiveKinds() const {
+  std::vector<ConstraintKind> kinds = {ConstraintKind::kMinAccuracy,
+                                       ConstraintKind::kMaxSearchTime};
+  if (max_feature_fraction.has_value()) {
+    kinds.push_back(ConstraintKind::kMaxFeatureSetSize);
+  }
+  if (min_equal_opportunity.has_value()) {
+    kinds.push_back(ConstraintKind::kMinEqualOpportunity);
+  }
+  if (min_safety.has_value()) kinds.push_back(ConstraintKind::kMinSafety);
+  if (privacy_epsilon.has_value()) kinds.push_back(ConstraintKind::kMinPrivacy);
+  return kinds;
+}
+
+int ConstraintSet::NumEvaluationDependent() const {
+  int count = 0;
+  for (ConstraintKind kind : ActiveKinds()) {
+    if (TaxonomyOf(kind).evaluation_dependent) ++count;
+  }
+  return count;
+}
+
+int ConstraintSet::MaxFeatureCount(int total_features) const {
+  if (!max_feature_fraction.has_value()) return total_features;
+  const int count = static_cast<int>(
+      std::floor(*max_feature_fraction * total_features));
+  return std::clamp(count, 1, total_features);
+}
+
+bool ConstraintSet::Satisfied(const MetricValues& values) const {
+  if (values.f1 < min_f1) return false;
+  if (max_feature_fraction.has_value()) {
+    if (values.total_features > 0 && values.selected_features > 0) {
+      // Count-based check: MaxFeatureCount guarantees >= 1 admissible
+      // feature even for tiny fractions.
+      if (values.selected_features > MaxFeatureCount(values.total_features)) {
+        return false;
+      }
+    } else if (values.feature_fraction > *max_feature_fraction + 1e-9) {
+      return false;
+    }
+  }
+  if (min_equal_opportunity.has_value() &&
+      values.equal_opportunity < *min_equal_opportunity) {
+    return false;
+  }
+  if (min_safety.has_value() && values.safety < *min_safety) return false;
+  return true;
+}
+
+double ConstraintSet::Distance(const MetricValues& values) const {
+  auto shortfall = [](double achieved, double threshold) {
+    const double gap = threshold - achieved;
+    return gap > 0.0 ? gap * gap : 0.0;
+  };
+  double distance = shortfall(values.f1, min_f1);
+  if (max_feature_fraction.has_value()) {
+    bool violated;
+    if (values.total_features > 0 && values.selected_features > 0) {
+      violated =
+          values.selected_features > MaxFeatureCount(values.total_features);
+    } else {
+      violated = values.feature_fraction > *max_feature_fraction + 1e-9;
+    }
+    if (violated) {
+      const double gap = values.feature_fraction - *max_feature_fraction;
+      distance += gap * gap;
+    }
+  }
+  if (min_equal_opportunity.has_value()) {
+    distance += shortfall(values.equal_opportunity, *min_equal_opportunity);
+  }
+  if (min_safety.has_value()) {
+    distance += shortfall(values.safety, *min_safety);
+  }
+  return distance;
+}
+
+double ConstraintSet::Objective(const MetricValues& values,
+                                bool maximize_f1_utility) const {
+  const double distance = Distance(values);
+  if (distance > 0.0 || !maximize_f1_utility) return distance;
+  return -values.f1;
+}
+
+std::vector<double> ConstraintSet::PerConstraintShortfalls(
+    const MetricValues& values) const {
+  std::vector<double> shortfalls;
+  shortfalls.push_back(std::max(0.0, min_f1 - values.f1));
+  if (max_feature_fraction.has_value()) {
+    bool violated;
+    if (values.total_features > 0 && values.selected_features > 0) {
+      violated =
+          values.selected_features > MaxFeatureCount(values.total_features);
+    } else {
+      violated = values.feature_fraction > *max_feature_fraction + 1e-9;
+    }
+    shortfalls.push_back(
+        violated ? values.feature_fraction - *max_feature_fraction : 0.0);
+  }
+  if (min_equal_opportunity.has_value()) {
+    shortfalls.push_back(
+        std::max(0.0, *min_equal_opportunity - values.equal_opportunity));
+  }
+  if (min_safety.has_value()) {
+    shortfalls.push_back(std::max(0.0, *min_safety - values.safety));
+  }
+  return shortfalls;
+}
+
+std::string ConstraintSet::ToString() const {
+  std::vector<std::string> parts;
+  parts.push_back("F1>=" + FormatDouble(min_f1, 2));
+  if (min_equal_opportunity.has_value()) {
+    parts.push_back("EO>=" + FormatDouble(*min_equal_opportunity, 2));
+  }
+  if (min_safety.has_value()) {
+    parts.push_back("safety>=" + FormatDouble(*min_safety, 2));
+  }
+  if (max_feature_fraction.has_value()) {
+    parts.push_back("features<=" + FormatDouble(*max_feature_fraction, 2));
+  }
+  if (privacy_epsilon.has_value()) {
+    parts.push_back("eps=" + FormatDouble(*privacy_epsilon, 2));
+  }
+  parts.push_back("time<=" + FormatDouble(max_search_seconds, 2) + "s");
+  return Join(parts, ", ");
+}
+
+ConstraintSetBuilder& ConstraintSetBuilder::MinF1(double threshold) {
+  set_.min_f1 = threshold;
+  return *this;
+}
+ConstraintSetBuilder& ConstraintSetBuilder::MaxSearchSeconds(double seconds) {
+  set_.max_search_seconds = seconds;
+  return *this;
+}
+ConstraintSetBuilder& ConstraintSetBuilder::MaxFeatureFraction(
+    double fraction) {
+  set_.max_feature_fraction = fraction;
+  return *this;
+}
+ConstraintSetBuilder& ConstraintSetBuilder::MinEqualOpportunity(
+    double threshold) {
+  set_.min_equal_opportunity = threshold;
+  return *this;
+}
+ConstraintSetBuilder& ConstraintSetBuilder::MinSafety(double threshold) {
+  set_.min_safety = threshold;
+  return *this;
+}
+ConstraintSetBuilder& ConstraintSetBuilder::PrivacyEpsilon(double epsilon) {
+  set_.privacy_epsilon = epsilon;
+  return *this;
+}
+
+StatusOr<ConstraintSet> ConstraintSetBuilder::Build() const {
+  auto in_unit = [](double v) { return v >= 0.0 && v <= 1.0; };
+  if (!in_unit(set_.min_f1)) {
+    return InvalidArgumentError("min F1 must be in [0, 1]");
+  }
+  if (set_.max_search_seconds <= 0.0) {
+    return InvalidArgumentError("max search time must be positive");
+  }
+  if (set_.max_feature_fraction.has_value() &&
+      (*set_.max_feature_fraction <= 0.0 ||
+       *set_.max_feature_fraction > 1.0)) {
+    return InvalidArgumentError("max feature fraction must be in (0, 1]");
+  }
+  if (set_.min_equal_opportunity.has_value() &&
+      !in_unit(*set_.min_equal_opportunity)) {
+    return InvalidArgumentError("min equal opportunity must be in [0, 1]");
+  }
+  if (set_.min_safety.has_value() && !in_unit(*set_.min_safety)) {
+    return InvalidArgumentError("min safety must be in [0, 1]");
+  }
+  if (set_.privacy_epsilon.has_value() && *set_.privacy_epsilon <= 0.0) {
+    return InvalidArgumentError("privacy epsilon must be positive");
+  }
+  return set_;
+}
+
+}  // namespace dfs::constraints

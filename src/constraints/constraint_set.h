@@ -1,0 +1,95 @@
+#ifndef DFS_CONSTRAINTS_CONSTRAINT_SET_H_
+#define DFS_CONSTRAINTS_CONSTRAINT_SET_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "constraints/constraint.h"
+#include "util/statusor.h"
+
+namespace dfs::constraints {
+
+/// Metric values measured for one feature subset on one data split; the
+/// inputs to constraint checking, Eq. (1) and Eq. (2).
+struct MetricValues {
+  double f1 = 0.0;
+  double equal_opportunity = 1.0;
+  double safety = 1.0;
+  double feature_fraction = 1.0;  ///< |F'| / |F|
+  /// When both are set (> 0), the size constraint is checked on counts via
+  /// MaxFeatureCount, which guarantees at least one feature is admissible
+  /// even for tiny fractions; otherwise the raw fraction is compared.
+  int selected_features = 0;
+  int total_features = 0;
+};
+
+/// A declaratively specified constraint set (the C of an ML scenario,
+/// Section 2.1). Min accuracy and max search time are mandatory; the rest
+/// are optional, mirroring the benchmark's constraint-space template
+/// (Listing 1). Construct via ConstraintSetBuilder.
+struct ConstraintSet {
+  double min_f1 = 0.5;
+  double max_search_seconds = 3600.0;
+  std::optional<double> max_feature_fraction;
+  std::optional<double> min_equal_opportunity;
+  std::optional<double> min_safety;
+  /// ε for differential privacy. Smaller = stronger privacy. When set, the
+  /// engine trains the DP variant of the model, so the constraint is
+  /// satisfied by construction and does not enter the distance (Section 4.3).
+  std::optional<double> privacy_epsilon;
+
+  /// Kinds of all active constraints (mandatory + present optionals).
+  std::vector<ConstraintKind> ActiveKinds() const;
+
+  /// Number of evaluation-dependent active constraints.
+  int NumEvaluationDependent() const;
+
+  /// Largest feature count allowed by max_feature_fraction for a dataset
+  /// with `total_features` columns (at least 1); `total_features` when the
+  /// constraint is absent. Evaluation-independent pruning per Section 3.
+  int MaxFeatureCount(int total_features) const;
+
+  /// True iff `values` violates no constraint (privacy and search time are
+  /// handled by the engine, not here).
+  bool Satisfied(const MetricValues& values) const;
+
+  /// Eq. (1): sum over violated constraints of the squared distance between
+  /// the achieved score and the threshold. 0 iff Satisfied.
+  double Distance(const MetricValues& values) const;
+
+  /// Eq. (2): Distance while > 0; once all constraints hold, the negative
+  /// utility (here: -F1) so that continued minimization maximizes utility.
+  double Objective(const MetricValues& values, bool maximize_f1_utility) const;
+
+  /// One non-negative shortfall per active evaluation-relevant constraint
+  /// (accuracy, then optional size/EO/safety in that order) — the objective
+  /// vector for multi-objective strategies like NSGA-II, which treat "each
+  /// constraint as one objective" (Section 4.2). Sum of squares == Distance.
+  std::vector<double> PerConstraintShortfalls(const MetricValues& values) const;
+
+  /// Human-readable one-liner, e.g. "F1>=0.70, EO>=0.90, time<=0.2s".
+  std::string ToString() const;
+};
+
+/// Fluent builder with validation: thresholds must lie in their documented
+/// ranges (scores in [0, 1], positive times, positive ε).
+class ConstraintSetBuilder {
+ public:
+  ConstraintSetBuilder& MinF1(double threshold);
+  ConstraintSetBuilder& MaxSearchSeconds(double seconds);
+  ConstraintSetBuilder& MaxFeatureFraction(double fraction);
+  ConstraintSetBuilder& MinEqualOpportunity(double threshold);
+  ConstraintSetBuilder& MinSafety(double threshold);
+  ConstraintSetBuilder& PrivacyEpsilon(double epsilon);
+
+  /// Validates and returns the set (InvalidArgument on out-of-range values).
+  StatusOr<ConstraintSet> Build() const;
+
+ private:
+  ConstraintSet set_;
+};
+
+}  // namespace dfs::constraints
+
+#endif  // DFS_CONSTRAINTS_CONSTRAINT_SET_H_

@@ -1,0 +1,222 @@
+#include "core/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/math_util.h"
+
+namespace dfs::core {
+namespace {
+
+constexpr double kDistanceSentinel = 1e17;
+
+// Satisfiable scenarios grouped by dataset name.
+std::map<std::string, std::vector<const ScenarioRecord*>>
+SatisfiableByDataset(const std::vector<ScenarioRecord>& records) {
+  std::map<std::string, std::vector<const ScenarioRecord*>> groups;
+  for (const auto& record : records) {
+    if (record.Satisfiable()) groups[record.dataset_name].push_back(&record);
+  }
+  return groups;
+}
+
+// The strictly fastest successful time on a scenario; negative if none.
+double FastestTime(const ScenarioRecord& record) {
+  double fastest = -1.0;
+  for (const auto& outcome : record.outcomes) {
+    if (!outcome.success) continue;
+    if (fastest < 0.0 || outcome.seconds < fastest) fastest = outcome.seconds;
+  }
+  return fastest;
+}
+
+}  // namespace
+
+MeanStd ComputeMeanStd(const std::vector<double>& values) {
+  MeanStd stats;
+  stats.mean = Mean(values);
+  stats.stddev = SampleStdDev(values);
+  return stats;
+}
+
+std::map<std::string, double> CoverageByDataset(
+    const std::vector<ScenarioRecord>& records, fs::StrategyId id) {
+  std::map<std::string, double> coverage;
+  for (const auto& [dataset, group] : SatisfiableByDataset(records)) {
+    int solved = 0;
+    for (const ScenarioRecord* record : group) {
+      const StrategyOutcome* outcome = record->OutcomeOf(id);
+      if (outcome != nullptr && outcome->success) ++solved;
+    }
+    coverage[dataset] = static_cast<double>(solved) / group.size();
+  }
+  return coverage;
+}
+
+MeanStd CoverageStats(const std::vector<ScenarioRecord>& records,
+                      fs::StrategyId id) {
+  std::vector<double> values;
+  for (const auto& [unused, value] : CoverageByDataset(records, id)) {
+    values.push_back(value);
+  }
+  return ComputeMeanStd(values);
+}
+
+MeanStd FastestStats(const std::vector<ScenarioRecord>& records,
+                     fs::StrategyId id) {
+  std::vector<double> values;
+  for (const auto& [unused, group] : SatisfiableByDataset(records)) {
+    int fastest_count = 0;
+    for (const ScenarioRecord* record : group) {
+      const double fastest = FastestTime(*record);
+      const StrategyOutcome* outcome = record->OutcomeOf(id);
+      if (fastest >= 0.0 && outcome != nullptr && outcome->success &&
+          outcome->seconds <= fastest) {
+        ++fastest_count;
+      }
+    }
+    values.push_back(static_cast<double>(fastest_count) / group.size());
+  }
+  return ComputeMeanStd(values);
+}
+
+double FilteredCoverage(
+    const std::vector<ScenarioRecord>& records, fs::StrategyId id,
+    const std::function<bool(const ScenarioRecord&)>& filter) {
+  int total = 0;
+  int solved = 0;
+  for (const auto& record : records) {
+    if (!record.Satisfiable() || !filter(record)) continue;
+    ++total;
+    const StrategyOutcome* outcome = record.OutcomeOf(id);
+    if (outcome != nullptr && outcome->success) ++solved;
+  }
+  return total > 0 ? static_cast<double>(solved) / total : 0.0;
+}
+
+FailureDistances FailureDistanceStats(
+    const std::vector<ScenarioRecord>& records, fs::StrategyId id) {
+  FailureDistances result;
+  std::vector<double> validation, test;
+  for (const auto& record : records) {
+    if (!record.Satisfiable()) continue;
+    const StrategyOutcome* outcome = record.OutcomeOf(id);
+    if (outcome == nullptr || outcome->success) continue;
+    ++result.failed_cases;
+    if (outcome->distance_validation < kDistanceSentinel) {
+      validation.push_back(outcome->distance_validation);
+    }
+    if (outcome->distance_test < kDistanceSentinel) {
+      test.push_back(outcome->distance_test);
+    }
+  }
+  result.validation = ComputeMeanStd(validation);
+  result.test = ComputeMeanStd(test);
+  return result;
+}
+
+MeanStd NormalizedF1Stats(const std::vector<ScenarioRecord>& records,
+                          fs::StrategyId id) {
+  // normalized mean F1 (Section 6.3): per scenario normalize by the best
+  // strategy's F1, average per dataset, then across datasets.
+  std::map<std::string, std::vector<double>> per_dataset;
+  for (const auto& record : records) {
+    double best = 0.0;
+    for (const auto& outcome : record.outcomes) {
+      best = std::max(best, outcome.test_f1);
+    }
+    if (best <= 0.0) continue;
+    const StrategyOutcome* outcome = record.OutcomeOf(id);
+    if (outcome == nullptr) continue;
+    per_dataset[record.dataset_name].push_back(outcome->test_f1 / best);
+  }
+  std::vector<double> dataset_means;
+  for (const auto& [unused, values] : per_dataset) {
+    dataset_means.push_back(Mean(values));
+  }
+  return ComputeMeanStd(dataset_means);
+}
+
+namespace {
+
+// Generic greedy set construction: at each step add the candidate that
+// maximizes `pooled_metric` of the grown set.
+std::vector<CombinationStep> GreedyCombination(
+    const std::vector<ScenarioRecord>& records,
+    const std::vector<fs::StrategyId>& candidates,
+    const std::function<bool(const ScenarioRecord&,
+                             const std::set<fs::StrategyId>&)>& counts) {
+  auto pooled_stats = [&](const std::set<fs::StrategyId>& chosen) {
+    std::vector<double> values;
+    for (const auto& [unused, group] : SatisfiableByDataset(records)) {
+      int hits = 0;
+      for (const ScenarioRecord* record : group) {
+        if (counts(*record, chosen)) ++hits;
+      }
+      values.push_back(static_cast<double>(hits) / group.size());
+    }
+    return ComputeMeanStd(values);
+  };
+
+  std::vector<CombinationStep> steps;
+  std::set<fs::StrategyId> chosen;
+  std::vector<fs::StrategyId> remaining = candidates;
+  while (!remaining.empty()) {
+    fs::StrategyId best_id = remaining.front();
+    MeanStd best_stats;
+    double best_mean = -1.0;
+    for (fs::StrategyId id : remaining) {
+      std::set<fs::StrategyId> trial = chosen;
+      trial.insert(id);
+      const MeanStd stats = pooled_stats(trial);
+      if (stats.mean > best_mean) {
+        best_mean = stats.mean;
+        best_stats = stats;
+        best_id = id;
+      }
+    }
+    chosen.insert(best_id);
+    remaining.erase(std::find(remaining.begin(), remaining.end(), best_id));
+    steps.push_back({best_id, best_stats});
+    if (best_stats.mean >= 1.0 - 1e-12) break;  // full coverage reached
+  }
+  return steps;
+}
+
+}  // namespace
+
+std::vector<CombinationStep> GreedyCoverageCombination(
+    const std::vector<ScenarioRecord>& records,
+    const std::vector<fs::StrategyId>& candidates) {
+  return GreedyCombination(
+      records, candidates,
+      [](const ScenarioRecord& record, const std::set<fs::StrategyId>& chosen) {
+        for (fs::StrategyId id : chosen) {
+          const StrategyOutcome* outcome = record.OutcomeOf(id);
+          if (outcome != nullptr && outcome->success) return true;
+        }
+        return false;
+      });
+}
+
+std::vector<CombinationStep> GreedyFastestCombination(
+    const std::vector<ScenarioRecord>& records,
+    const std::vector<fs::StrategyId>& candidates) {
+  return GreedyCombination(
+      records, candidates,
+      [](const ScenarioRecord& record, const std::set<fs::StrategyId>& chosen) {
+        const double fastest = FastestTime(record);
+        if (fastest < 0.0) return false;
+        for (fs::StrategyId id : chosen) {
+          const StrategyOutcome* outcome = record.OutcomeOf(id);
+          if (outcome != nullptr && outcome->success &&
+              outcome->seconds <= fastest) {
+            return true;
+          }
+        }
+        return false;
+      });
+}
+
+}  // namespace dfs::core

@@ -1,0 +1,82 @@
+#ifndef DFS_CORE_ANALYSIS_H_
+#define DFS_CORE_ANALYSIS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace dfs::core {
+
+/// mean ± std pair as reported throughout the paper's tables.
+struct MeanStd {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+MeanStd ComputeMeanStd(const std::vector<double>& values);
+
+/// Per-dataset coverage of `id`: among the *satisfiable* scenarios of each
+/// dataset, the fraction this strategy solved. Datasets without satisfiable
+/// scenarios are omitted. (Figure 4's columns.)
+std::map<std::string, double> CoverageByDataset(
+    const std::vector<ScenarioRecord>& records, fs::StrategyId id);
+
+/// Coverage aggregated across datasets: mean ± std of the per-dataset
+/// coverages (the Table-3 "Coverage Fraction" aggregation).
+MeanStd CoverageStats(const std::vector<ScenarioRecord>& records,
+                      fs::StrategyId id);
+
+/// Fastest-fraction: among each dataset's satisfiable scenarios, how often
+/// the strategy delivered the (strictly) fastest successful answer;
+/// aggregated as mean ± std across datasets.
+MeanStd FastestStats(const std::vector<ScenarioRecord>& records,
+                     fs::StrategyId id);
+
+/// Coverage restricted to scenarios matching `filter` (used by the
+/// constraint-type and model breakdowns, Tables 5/6); plain fraction over
+/// all matching satisfiable scenarios.
+double FilteredCoverage(const std::vector<ScenarioRecord>& records,
+                        fs::StrategyId id,
+                        const std::function<bool(const ScenarioRecord&)>& filter);
+
+/// Mean Eq.(1) distances (validation, test) over *failed* cases of `id`
+/// (the Table-4 failure analysis). Distances at the 1e18 sentinel (nothing
+/// evaluated) are skipped.
+struct FailureDistances {
+  MeanStd validation;
+  MeanStd test;
+  int failed_cases = 0;
+};
+FailureDistances FailureDistanceStats(
+    const std::vector<ScenarioRecord>& records, fs::StrategyId id);
+
+/// Mean normalized F1 for the utility benchmark (Table 4, right column):
+/// per scenario, a strategy's test F1 divided by the best strategy's; per
+/// dataset the scenario mean; reported as mean ± std across datasets.
+MeanStd NormalizedF1Stats(const std::vector<ScenarioRecord>& records,
+                          fs::StrategyId id);
+
+/// One greedy step sequence maximizing pooled coverage (Table 8, left):
+/// entry k holds the strategy added at step k and the coverage of the first
+/// k+1 strategies together (mean ± std across datasets).
+struct CombinationStep {
+  fs::StrategyId added;
+  MeanStd achieved;
+};
+std::vector<CombinationStep> GreedyCoverageCombination(
+    const std::vector<ScenarioRecord>& records,
+    const std::vector<fs::StrategyId>& candidates);
+
+/// Greedy combination maximizing the fastest-answer fraction (Table 8,
+/// right): a scenario counts for a set if some member strategy matches the
+/// overall fastest time (embarrassingly parallel execution assumption).
+std::vector<CombinationStep> GreedyFastestCombination(
+    const std::vector<ScenarioRecord>& records,
+    const std::vector<fs::StrategyId>& candidates);
+
+}  // namespace dfs::core
+
+#endif  // DFS_CORE_ANALYSIS_H_

@@ -1,0 +1,260 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "metrics/classification.h"
+#include "metrics/fairness.h"
+#include "ml/dp/dp_classifier.h"
+#include "ml/grid_search.h"
+#include "ml/permutation_importance.h"
+
+namespace dfs::core {
+
+DfsEngine::DfsEngine(MlScenario scenario, const EngineOptions& options)
+    : scenario_(std::move(scenario)), options_(options), rng_(options.seed) {}
+
+int DfsEngine::num_features() const {
+  return scenario_.split.train.num_features();
+}
+
+int DfsEngine::max_feature_count() const {
+  return scenario_.constraint_set.MaxFeatureCount(num_features());
+}
+
+const constraints::ConstraintSet& DfsEngine::constraint_set() const {
+  return scenario_.constraint_set;
+}
+
+const data::Dataset& DfsEngine::train_data() const {
+  return scenario_.split.train;
+}
+
+bool DfsEngine::ShouldStop() const {
+  // In utility mode a satisfying subset does not end the search: the budget
+  // is spent maximizing F1 subject to the constraints (Eq. 2).
+  if (options_.maximize_f1_utility) return deadline_.Expired();
+  return success_found_ || deadline_.Expired();
+}
+
+double DfsEngine::RemainingSeconds() const {
+  return std::max(0.0, deadline_.RemainingSeconds());
+}
+
+Rng& DfsEngine::rng() { return rng_; }
+
+StatusOr<std::unique_ptr<ml::Classifier>> DfsEngine::TrainModel(
+    const std::vector<int>& features) {
+  const auto& split = scenario_.split;
+  const linalg::Matrix train_x = split.train.ToMatrix(features);
+  const auto& train_y = split.train.labels();
+  const bool is_private =
+      scenario_.constraint_set.privacy_epsilon.has_value();
+  const double epsilon =
+      scenario_.constraint_set.privacy_epsilon.value_or(0.0);
+
+  std::vector<ml::Hyperparameters> grid;
+  if (options_.use_hpo) {
+    grid = ml::HyperparameterGrid(scenario_.model);
+  } else {
+    grid.push_back(ml::Hyperparameters());
+  }
+
+  std::unique_ptr<ml::Classifier> best_model;
+  double best_f1 = -1.0;
+  const linalg::Matrix validation_x = split.validation.ToMatrix(features);
+  for (const auto& params : grid) {
+    std::unique_ptr<ml::Classifier> model =
+        is_private
+            ? ml::CreateDpClassifier(scenario_.model, params, epsilon,
+                                     options_.seed ^ fs::MaskHash(
+                                         fs::IndicesToMask(num_features(),
+                                                           features)))
+            : ml::CreateClassifier(scenario_.model, params);
+    DFS_RETURN_IF_ERROR(model->Fit(train_x, train_y));
+    if (grid.size() == 1) return model;
+    const double f1 = metrics::F1Score(
+        split.validation.labels(), model->PredictBatch(validation_x));
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      best_model = std::move(model);
+    }
+  }
+  if (best_model == nullptr) return InternalError("no model trained");
+  return best_model;
+}
+
+constraints::MetricValues DfsEngine::Measure(const ml::Classifier& model,
+                                             const std::vector<int>& features,
+                                             const data::Dataset& split) {
+  constraints::MetricValues values;
+  values.selected_features = static_cast<int>(features.size());
+  values.total_features = num_features();
+  values.feature_fraction =
+      static_cast<double>(features.size()) / std::max(1, num_features());
+
+  const linalg::Matrix x = split.ToMatrix(features);
+  const std::vector<int> predictions = model.PredictBatch(x);
+  values.f1 = metrics::F1Score(split.labels(), predictions);
+  if (scenario_.constraint_set.min_equal_opportunity.has_value()) {
+    values.equal_opportunity =
+        metrics::EqualOpportunity(split.labels(), predictions, split.groups());
+  }
+  if (scenario_.constraint_set.min_safety.has_value()) {
+    values.safety = metrics::EmpiricalRobustness(model, x, split.labels(),
+                                                 rng_, options_.robustness);
+  }
+  return values;
+}
+
+fs::EvalOutcome DfsEngine::Evaluate(const fs::FeatureMask& mask) {
+  fs::EvalOutcome outcome;
+  if (deadline_.Expired()) return outcome;
+  if (static_cast<int>(mask.size()) != num_features()) {
+    DFS_LOG(WARNING) << "mask size mismatch";
+    return outcome;
+  }
+  const std::vector<int> features = fs::MaskToIndices(mask);
+  if (features.empty()) return outcome;
+
+  if (options_.enable_eval_cache) {
+    auto it = cache_.find(mask);
+    if (it != cache_.end()) {
+      ++result_.cache_hits;
+      return it->second;
+    }
+  }
+
+  auto model = TrainModel(features);
+  if (!model.ok()) {
+    DFS_LOG(WARNING) << "training failed: " << model.status().ToString();
+    return outcome;
+  }
+  ++result_.evaluations;
+
+  outcome.evaluated = true;
+  outcome.validation = Measure(**model, features, scenario_.split.validation);
+  outcome.distance = scenario_.constraint_set.Distance(outcome.validation);
+  outcome.objective = scenario_.constraint_set.Objective(
+      outcome.validation, options_.maximize_f1_utility);
+  outcome.satisfied_validation =
+      scenario_.constraint_set.Satisfied(outcome.validation);
+
+  // Figure-2 workflow: only subsets that satisfy validation are confirmed
+  // on test. (Repeated test-set checking is the paper's protocol; the test
+  // metrics are reported, not searched over, except for this gate.)
+  constraints::MetricValues test_values;
+  bool have_test_values = false;
+  if (outcome.satisfied_validation) {
+    test_values = Measure(**model, features, scenario_.split.test);
+    have_test_values = true;
+    outcome.success = scenario_.constraint_set.Satisfied(test_values);
+  }
+
+  // Track the best subset for result reporting / failure analysis.
+  const bool improves = outcome.objective < best_objective_;
+  const bool first_success = outcome.success && !success_found_;
+  // After a success, the recorded subset is only replaced by *better
+  // successful* subsets (relevant in utility mode, where search continues).
+  if (first_success ||
+      (improves && (!success_found_ ||
+                    (options_.maximize_f1_utility && outcome.success)))) {
+    best_objective_ = outcome.objective;
+    result_.selected = mask;
+    result_.validation_values = outcome.validation;
+    result_.best_distance_validation = outcome.distance;
+    if (have_test_values) {
+      result_.test_values = test_values;
+      result_.best_distance_test =
+          scenario_.constraint_set.Distance(test_values);
+      result_.test_f1 = test_values.f1;
+    } else {
+      result_.best_distance_test = 1e18;  // recomputed at end of Run
+      result_.test_f1 = 0.0;
+    }
+  }
+  if (outcome.success && !success_found_) {
+    success_found_ = true;
+    result_.success = true;
+    result_.search_seconds = stopwatch_.ElapsedSeconds();
+  }
+
+  if (options_.record_trace) {
+    TracePoint point;
+    point.seconds = stopwatch_.ElapsedSeconds();
+    point.selected_features = static_cast<int>(features.size());
+    point.objective = outcome.objective;
+    point.distance = outcome.distance;
+    point.satisfied_validation = outcome.satisfied_validation;
+    point.success = outcome.success;
+    result_.trace.push_back(point);
+  }
+  if (options_.enable_eval_cache) cache_.emplace(mask, outcome);
+  return outcome;
+}
+
+StatusOr<std::vector<double>> DfsEngine::FittedImportances(
+    const fs::FeatureMask& mask) {
+  const std::vector<int> features = fs::MaskToIndices(mask);
+  if (features.empty()) return InvalidArgumentError("empty mask");
+  // Default parameters: importances guide the search; HPO-quality fits are
+  // not worth the cost here (matching RFE practice).
+  const bool is_private = scenario_.constraint_set.privacy_epsilon.has_value();
+  std::unique_ptr<ml::Classifier> model =
+      is_private ? ml::CreateDpClassifier(
+                       scenario_.model, ml::Hyperparameters(),
+                       *scenario_.constraint_set.privacy_epsilon,
+                       options_.seed)
+                 : ml::CreateClassifier(scenario_.model,
+                                        ml::Hyperparameters());
+  const linalg::Matrix train_x = scenario_.split.train.ToMatrix(features);
+  DFS_RETURN_IF_ERROR(model->Fit(train_x, scenario_.split.train.labels()));
+  auto native = model->FeatureImportances();
+  if (native.has_value()) return *native;
+  // Fallback: permutation importance on the validation split (the costly
+  // path the paper attributes to NB under RFE).
+  const linalg::Matrix validation_x =
+      scenario_.split.validation.ToMatrix(features);
+  return ml::PermutationImportance(*model, validation_x,
+                                   scenario_.split.validation.labels(),
+                                   /*repeats=*/1, rng_);
+}
+
+RunResult DfsEngine::Run(fs::FeatureSelectionStrategy& strategy) {
+  // Reset per-run state.
+  result_ = RunResult();
+  cache_.clear();
+  success_found_ = false;
+  best_objective_ = 1e18;
+  deadline_ =
+      Deadline::AfterSeconds(scenario_.constraint_set.max_search_seconds);
+  stopwatch_.Restart();
+
+  strategy.Run(*this);
+
+  if (!success_found_) {
+    result_.search_seconds = stopwatch_.ElapsedSeconds();
+    result_.timed_out = deadline_.Expired();
+    result_.search_exhausted = !result_.timed_out;
+    // Failure analysis: measure the best subset on test once (Table 4).
+    if (!result_.selected.empty() &&
+        fs::CountSelected(result_.selected) > 0 &&
+        result_.best_distance_test >= 1e17) {
+      const std::vector<int> features = fs::MaskToIndices(result_.selected);
+      auto model = TrainModel(features);
+      if (model.ok()) {
+        result_.test_values =
+            Measure(**model, features, scenario_.split.test);
+        result_.best_distance_test =
+            scenario_.constraint_set.Distance(result_.test_values);
+        result_.test_f1 = result_.test_values.f1;
+      }
+    }
+  } else if (options_.maximize_f1_utility) {
+    // Utility mode runs to the deadline; the reported time is the full
+    // search time.
+    result_.search_seconds = stopwatch_.ElapsedSeconds();
+  }
+  return result_;
+}
+
+}  // namespace dfs::core

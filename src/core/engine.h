@@ -1,0 +1,133 @@
+#ifndef DFS_CORE_ENGINE_H_
+#define DFS_CORE_ENGINE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/scenario.h"
+#include "fs/eval_context.h"
+#include "fs/strategy.h"
+#include "metrics/robustness.h"
+#include "util/stopwatch.h"
+
+namespace dfs::core {
+
+/// Engine configuration shared across a benchmark run.
+struct EngineOptions {
+  /// Run the Section-6.1 grid search per evaluation (the "Parameter
+  /// Optimization" columns of Table 3); default parameters otherwise.
+  bool use_hpo = false;
+  /// Eq. (2) utility mode: once constraints hold, keep maximizing F1 until
+  /// the budget runs out (the Table-4 utility benchmark).
+  bool maximize_f1_utility = false;
+  /// Memoize evaluations per feature mask (ablated in bench_micro).
+  bool enable_eval_cache = true;
+  /// Adversarial-attack configuration for the safety metric.
+  metrics::RobustnessOptions robustness;
+  /// Seed for evaluation-side randomness (attacks, DP noise, permutation
+  /// importances).
+  uint64_t seed = 42;
+  /// Record one trace point per (uncached) evaluation in RunResult::trace;
+  /// off by default to keep benchmark memory flat.
+  bool record_trace = false;
+};
+
+/// One evaluation in a recorded search trace: when it happened, what was
+/// proposed, and how close it came (used for convergence analysis and by
+/// the CLI's --trace output).
+struct TracePoint {
+  double seconds = 0.0;           ///< since search start
+  int selected_features = 0;
+  double objective = 0.0;         ///< Eq. (2) value
+  double distance = 0.0;          ///< Eq. (1) value
+  bool satisfied_validation = false;
+  bool success = false;
+};
+
+/// Outcome of running one FS strategy on one ML scenario (one cell of the
+/// benchmark).
+struct RunResult {
+  /// s(Z) != empty-set: a subset satisfied all constraints on validation
+  /// and test within the search-time budget.
+  bool success = false;
+  /// The satisfying subset (success) or the best-objective subset seen.
+  fs::FeatureMask selected;
+  constraints::MetricValues validation_values;
+  constraints::MetricValues test_values;
+  /// Wall-clock seconds until success (or until the search ended).
+  double search_seconds = 0.0;
+  bool timed_out = false;
+  /// Eq. (1) distances of the best subset — the Table-4 failure analysis.
+  double best_distance_validation = 1e18;
+  double best_distance_test = 1e18;
+  /// Test F1 of the returned subset (Table 4's utility benchmark).
+  double test_f1 = 0.0;
+  /// The strategy ran out of search space before the deadline (used by the
+  /// failure analysis in Section 6.3).
+  bool search_exhausted = false;
+  int evaluations = 0;
+  int cache_hits = 0;
+  /// Per-evaluation search trace (only when EngineOptions::record_trace).
+  std::vector<TracePoint> trace;
+};
+
+/// The DFS engine: implements the Figure-2 workflow. It owns the wrapper
+/// evaluation (train [+ HPO] -> validate constraints -> confirm on test),
+/// the evaluation cache, the search-time deadline, and success recording;
+/// strategies drive it through the fs::EvalContext interface.
+class DfsEngine : public fs::EvalContext {
+ public:
+  /// The scenario is copied: the engine's lifetime is then independent of
+  /// the caller's (temporaries are safe to pass).
+  DfsEngine(MlScenario scenario, const EngineOptions& options);
+
+  /// Runs `strategy` against the scenario and reports the outcome. Resets
+  /// engine state, so one engine can race several strategies sequentially.
+  RunResult Run(fs::FeatureSelectionStrategy& strategy);
+
+  // --- fs::EvalContext ------------------------------------------------
+  int num_features() const override;
+  int max_feature_count() const override;
+  const constraints::ConstraintSet& constraint_set() const override;
+  const data::Dataset& train_data() const override;
+  bool ShouldStop() const override;
+  double RemainingSeconds() const override;
+  Rng& rng() override;
+  fs::EvalOutcome Evaluate(const fs::FeatureMask& mask) override;
+  StatusOr<std::vector<double>> FittedImportances(
+      const fs::FeatureMask& mask) override;
+
+ private:
+  struct MaskHasher {
+    size_t operator()(const fs::FeatureMask& mask) const {
+      return static_cast<size_t>(fs::MaskHash(mask));
+    }
+  };
+
+  /// Trains the scenario's model (DP variant when the privacy constraint is
+  /// active; grid-searched when HPO is on) on the selected columns.
+  StatusOr<std::unique_ptr<ml::Classifier>> TrainModel(
+      const std::vector<int>& features);
+
+  /// Measures the constraint metrics of `model` on one split.
+  constraints::MetricValues Measure(const ml::Classifier& model,
+                                    const std::vector<int>& features,
+                                    const data::Dataset& split);
+
+  MlScenario scenario_;
+  EngineOptions options_;
+  Rng rng_;
+
+  // Per-Run state.
+  Deadline deadline_ = Deadline::Infinite();
+  Stopwatch stopwatch_;
+  bool success_found_ = false;
+  RunResult result_;
+  double best_objective_ = 1e18;
+  std::unordered_map<fs::FeatureMask, fs::EvalOutcome, MaskHasher> cache_;
+};
+
+}  // namespace dfs::core
+
+#endif  // DFS_CORE_ENGINE_H_

@@ -1,0 +1,102 @@
+#ifndef DFS_CORE_EXPERIMENT_H_
+#define DFS_CORE_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/scenario_sampler.h"
+#include "fs/registry.h"
+#include "util/statusor.h"
+
+namespace dfs::core {
+
+/// Configuration of one benchmark pool (one of the three benchmark versions
+/// of Section 6.1: default parameters, HPO, or utility-driven).
+struct ExperimentConfig {
+  int num_scenarios = 30;
+  bool use_hpo = true;
+  bool utility_mode = false;
+  uint64_t seed = 1234;
+  /// Multiplies the sampled search budgets (and is part of the cache key).
+  double time_scale = 1.0;
+  /// Multiplies dataset instance counts.
+  double row_scale = 1.0;
+  SamplerOptions sampler;
+  metrics::RobustnessOptions robustness;
+  std::vector<fs::StrategyId> strategies;
+
+  ExperimentConfig();
+
+  /// Stable hash over every field that affects results; used to validate
+  /// CSV caches.
+  uint64_t Hash() const;
+};
+
+/// One strategy's outcome on one scenario (one benchmark cell).
+struct StrategyOutcome {
+  fs::StrategyId id = fs::StrategyId::kOriginalFeatureSet;
+  bool success = false;
+  double seconds = 0.0;
+  double distance_validation = 1e18;
+  double distance_test = 1e18;
+  double test_f1 = 0.0;
+  bool timed_out = false;
+  bool search_exhausted = false;
+  int evaluations = 0;
+};
+
+/// One sampled ML scenario with every strategy's outcome.
+struct ScenarioRecord {
+  int scenario_id = 0;
+  int dataset_index = 0;
+  std::string dataset_name;
+  ml::ModelKind model = ml::ModelKind::kLogisticRegression;
+  constraints::ConstraintSet constraint_set;
+  int rows = 0;
+  int features = 0;
+  std::vector<StrategyOutcome> outcomes;
+
+  /// At least one strategy satisfied the scenario — the paper's evaluation
+  /// conditions coverage on satisfiable scenarios.
+  bool Satisfiable() const;
+
+  const StrategyOutcome* OutcomeOf(fs::StrategyId id) const;
+};
+
+/// A full benchmark pool: samples scenarios per Listing 1, races every
+/// configured strategy on each, and supports CSV round-tripping so the
+/// (single-machine-expensive) pool is computed once and shared by all
+/// table/figure harnesses.
+class ExperimentPool {
+ public:
+  /// Runs the pool from scratch. `verbose` prints one progress line per
+  /// scenario to stderr.
+  static StatusOr<ExperimentPool> Run(const ExperimentConfig& config,
+                                      bool verbose);
+
+  /// Loads from `cache_path` when it exists and was produced by an
+  /// identical config; otherwise runs and saves.
+  static StatusOr<ExperimentPool> RunOrLoad(const ExperimentConfig& config,
+                                            const std::string& cache_path,
+                                            bool verbose);
+
+  Status SaveCsv(const std::string& path) const;
+  static StatusOr<ExperimentPool> LoadCsv(const std::string& path,
+                                          const ExperimentConfig& config);
+
+  const ExperimentConfig& config() const { return config_; }
+  const std::vector<ScenarioRecord>& records() const { return records_; }
+
+ private:
+  ExperimentConfig config_;
+  std::vector<ScenarioRecord> records_;
+};
+
+/// Applies the DFS_SCENARIOS / DFS_TIME_SCALE / DFS_DATA_SCALE / DFS_SEED
+/// environment overrides to a config (used by every bench binary).
+void ApplyEnvironmentOverrides(ExperimentConfig& config);
+
+}  // namespace dfs::core
+
+#endif  // DFS_CORE_EXPERIMENT_H_

@@ -1,0 +1,18 @@
+#include "core/scenario.h"
+
+namespace dfs::core {
+
+StatusOr<MlScenario> MakeScenario(const data::Dataset& dataset,
+                                  ml::ModelKind model,
+                                  const constraints::ConstraintSet& constraints,
+                                  Rng& rng) {
+  MlScenario scenario;
+  scenario.dataset_name = dataset.name();
+  DFS_ASSIGN_OR_RETURN(scenario.split,
+                       data::StratifiedSplit(dataset, 3.0, 1.0, 1.0, rng));
+  scenario.model = model;
+  scenario.constraint_set = constraints;
+  return scenario;
+}
+
+}  // namespace dfs::core

@@ -1,0 +1,33 @@
+#ifndef DFS_CORE_SCENARIO_H_
+#define DFS_CORE_SCENARIO_H_
+
+#include <string>
+
+#include "constraints/constraint_set.h"
+#include "data/dataset.h"
+#include "data/split.h"
+#include "ml/classifier.h"
+#include "util/rng.h"
+#include "util/statusor.h"
+
+namespace dfs::core {
+
+/// An ML scenario Z = (φ, D, D_train, D_val, D_test, C) — Section 2.1: the
+/// complete declarative task handed to the DFS system.
+struct MlScenario {
+  std::string dataset_name;
+  data::DataSplit split;
+  ml::ModelKind model = ml::ModelKind::kLogisticRegression;
+  constraints::ConstraintSet constraint_set;
+};
+
+/// Builds a scenario from a preprocessed dataset using the paper's 3:1:1
+/// stratified split.
+StatusOr<MlScenario> MakeScenario(const data::Dataset& dataset,
+                                  ml::ModelKind model,
+                                  const constraints::ConstraintSet& constraints,
+                                  Rng& rng);
+
+}  // namespace dfs::core
+
+#endif  // DFS_CORE_SCENARIO_H_

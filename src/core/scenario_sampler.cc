@@ -1,0 +1,41 @@
+#include "core/scenario_sampler.h"
+
+#include "util/logging.h"
+
+namespace dfs::core {
+
+SampledScenario SampleScenario(int num_datasets, const SamplerOptions& options,
+                               Rng& rng) {
+  DFS_CHECK_GT(num_datasets, 0);
+  SampledScenario scenario;
+  scenario.dataset_index = rng.UniformInt(0, num_datasets - 1);
+
+  const ml::ModelKind models[] = {ml::ModelKind::kLogisticRegression,
+                                  ml::ModelKind::kDecisionTree,
+                                  ml::ModelKind::kNaiveBayes};
+  scenario.model = models[rng.UniformInt(0, 2)];
+
+  constraints::ConstraintSet& set = scenario.constraint_set;
+  // Mandatory: no user cares about sub-coin-flip accuracy (Section 6.1).
+  set.min_f1 = rng.Uniform(0.5, 1.0);
+  set.max_search_seconds =
+      rng.Uniform(options.min_search_seconds, options.max_search_seconds);
+  // Optional constraints, each present with probability 1/2.
+  if (rng.Bernoulli(options.optional_probability)) {
+    set.max_feature_fraction = rng.Uniform(0.0, 1.0);
+  }
+  if (rng.Bernoulli(options.optional_probability)) {
+    // Thresholds below 0.8 are uninteresting: nobody "enforces" fairness
+    // while allowing a 20% TPR gap (Section 6.1).
+    set.min_equal_opportunity = rng.Uniform(0.8, 1.0);
+  }
+  if (rng.Bernoulli(options.optional_probability)) {
+    set.min_safety = rng.Uniform(0.8, 1.0);
+  }
+  if (rng.Bernoulli(options.optional_probability)) {
+    set.privacy_epsilon = rng.LogNormal(0.0, 1.0);
+  }
+  return scenario;
+}
+
+}  // namespace dfs::core

@@ -1,0 +1,39 @@
+#ifndef DFS_CORE_SCENARIO_SAMPLER_H_
+#define DFS_CORE_SCENARIO_SAMPLER_H_
+
+#include "constraints/constraint_set.h"
+#include "ml/classifier.h"
+#include "util/rng.h"
+
+namespace dfs::core {
+
+/// Knobs of the constraint-space template (Listing 1). The paper samples
+/// max search time in [10 s, 3 h]; this library defaults to a scaled-down
+/// window so the full study runs on one machine — the DFS_TIME_SCALE
+/// environment variable (read by the harnesses) stretches it back.
+struct SamplerOptions {
+  double min_search_seconds = 0.04;
+  double max_search_seconds = 0.60;
+  /// Probability that each optional constraint is present (hp.choice with
+  /// two arms in Listing 1).
+  double optional_probability = 0.5;
+};
+
+/// A draw from the ML-scenario space: dataset x model x constraint set.
+struct SampledScenario {
+  int dataset_index = 0;
+  ml::ModelKind model = ml::ModelKind::kLogisticRegression;
+  constraints::ConstraintSet constraint_set;
+};
+
+/// Domain-aware randomized "fuzzing" of the scenario space (Section 6.1,
+/// following the SQLsmith idea): classifier ~ {LR, DT, NB}; min F1 ~
+/// U(0.5, 1); optional max feature fraction ~ U(0, 1); optional min EO and
+/// min safety ~ U(0.8, 1); optional privacy ε ~ LogNormal(0, 1); max search
+/// time ~ U(min, max seconds).
+SampledScenario SampleScenario(int num_datasets, const SamplerOptions& options,
+                               Rng& rng);
+
+}  // namespace dfs::core
+
+#endif  // DFS_CORE_SCENARIO_SAMPLER_H_

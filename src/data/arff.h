@@ -1,0 +1,35 @@
+#ifndef DFS_DATA_ARFF_H_
+#define DFS_DATA_ARFF_H_
+
+#include <string>
+
+#include "data/raw_dataset.h"
+#include "util/statusor.h"
+
+namespace dfs::data {
+
+/// Parses an ARFF document (the native OpenML format of the paper's
+/// datasets) into a RawDataset:
+///
+///   * `@RELATION`, `@ATTRIBUTE`, `@DATA` (case-insensitive), `%` comments;
+///   * NUMERIC / REAL / INTEGER attributes map to numeric columns;
+///   * {a,b,c} nominal and STRING attributes map to categorical columns;
+///   * '?' marks missing values; single/double-quoted values supported;
+///   * sparse-format data rows ({index value, ...}) are rejected with
+///     Unimplemented.
+///
+/// `target_attribute` must be nominal with exactly two values; the first
+/// declared value maps to 0 and the second to 1. `sensitive_attribute`
+/// likewise (first value = majority group 0).
+StatusOr<RawDataset> ParseArff(const std::string& text,
+                               const std::string& target_attribute,
+                               const std::string& sensitive_attribute);
+
+/// Reads and parses an ARFF file.
+StatusOr<RawDataset> ReadArffFile(const std::string& path,
+                                  const std::string& target_attribute,
+                                  const std::string& sensitive_attribute);
+
+}  // namespace dfs::data
+
+#endif  // DFS_DATA_ARFF_H_

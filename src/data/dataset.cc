@@ -1,0 +1,88 @@
+#include "data/dataset.h"
+
+#include <numeric>
+
+namespace dfs::data {
+
+StatusOr<Dataset> Dataset::Create(std::string name,
+                                  std::vector<std::string> feature_names,
+                                  std::vector<std::vector<double>> columns,
+                                  std::vector<int> labels,
+                                  std::vector<int> groups) {
+  if (feature_names.size() != columns.size()) {
+    return InvalidArgumentError("feature_names/columns size mismatch");
+  }
+  if (labels.size() != groups.size()) {
+    return InvalidArgumentError("labels/groups size mismatch");
+  }
+  for (const auto& column : columns) {
+    if (column.size() != labels.size()) {
+      return InvalidArgumentError("column length does not match labels");
+    }
+  }
+  for (int label : labels) {
+    if (label != 0 && label != 1) {
+      return InvalidArgumentError("labels must be binary (0/1)");
+    }
+  }
+  for (int group : groups) {
+    if (group != 0 && group != 1) {
+      return InvalidArgumentError("groups must be binary (0/1)");
+    }
+  }
+  Dataset dataset;
+  dataset.name_ = std::move(name);
+  dataset.feature_names_ = std::move(feature_names);
+  dataset.columns_ = std::move(columns);
+  dataset.labels_ = std::move(labels);
+  dataset.groups_ = std::move(groups);
+  return dataset;
+}
+
+linalg::Matrix Dataset::ToMatrix(
+    const std::vector<int>& feature_indices) const {
+  linalg::Matrix matrix(num_rows(), static_cast<int>(feature_indices.size()));
+  for (size_t j = 0; j < feature_indices.size(); ++j) {
+    const auto& column = Column(feature_indices[j]);
+    for (int r = 0; r < num_rows(); ++r) {
+      matrix(r, static_cast<int>(j)) = column[r];
+    }
+  }
+  return matrix;
+}
+
+std::vector<int> Dataset::AllFeatures() const {
+  std::vector<int> indices(num_features());
+  std::iota(indices.begin(), indices.end(), 0);
+  return indices;
+}
+
+Dataset Dataset::SelectRows(const std::vector<int>& row_indices) const {
+  Dataset subset;
+  subset.name_ = name_;
+  subset.feature_names_ = feature_names_;
+  subset.columns_.resize(columns_.size());
+  for (size_t f = 0; f < columns_.size(); ++f) {
+    subset.columns_[f].reserve(row_indices.size());
+    for (int r : row_indices) {
+      DFS_CHECK(r >= 0 && r < num_rows());
+      subset.columns_[f].push_back(columns_[f][r]);
+    }
+  }
+  subset.labels_.reserve(row_indices.size());
+  subset.groups_.reserve(row_indices.size());
+  for (int r : row_indices) {
+    subset.labels_.push_back(labels_[r]);
+    subset.groups_.push_back(groups_[r]);
+  }
+  return subset;
+}
+
+double Dataset::PositiveRate() const {
+  if (labels_.empty()) return 0.0;
+  double positives = 0.0;
+  for (int label : labels_) positives += label;
+  return positives / static_cast<double>(labels_.size());
+}
+
+}  // namespace dfs::data

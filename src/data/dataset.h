@@ -1,0 +1,78 @@
+#ifndef DFS_DATA_DATASET_H_
+#define DFS_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/statusor.h"
+
+namespace dfs::data {
+
+/// Fully preprocessed dataset: numeric feature columns (min-max scaled to
+/// [0, 1], no missing values), a binary classification target, and a binary
+/// sensitive-group attribute (0 = majority, 1 = minority) used by the
+/// fairness metric. Stored column-major because feature selection operates
+/// on feature columns.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Builds a dataset; all columns must have the same length as labels and
+  /// groups, and feature_names must match the number of columns.
+  static StatusOr<Dataset> Create(std::string name,
+                                  std::vector<std::string> feature_names,
+                                  std::vector<std::vector<double>> columns,
+                                  std::vector<int> labels,
+                                  std::vector<int> groups);
+
+  const std::string& name() const { return name_; }
+  int num_rows() const { return static_cast<int>(labels_.size()); }
+  int num_features() const { return static_cast<int>(columns_.size()); }
+
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+  const std::vector<double>& Column(int feature) const {
+    DFS_CHECK(feature >= 0 && feature < num_features());
+    return columns_[feature];
+  }
+  const std::vector<int>& labels() const { return labels_; }
+  const std::vector<int>& groups() const { return groups_; }
+
+  double Value(int row, int feature) const {
+    return columns_[feature][row];
+  }
+
+  /// Copies the selected feature columns into a row-major matrix (the layout
+  /// the classifiers consume).
+  linalg::Matrix ToMatrix(const std::vector<int>& feature_indices) const;
+
+  /// All feature indices [0, num_features).
+  std::vector<int> AllFeatures() const;
+
+  /// Dataset restricted to the given rows (features unchanged).
+  Dataset SelectRows(const std::vector<int>& row_indices) const;
+
+  /// Fraction of rows with label 1.
+  double PositiveRate() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> feature_names_;
+  std::vector<std::vector<double>> columns_;  // [feature][row]
+  std::vector<int> labels_;                   // 0/1
+  std::vector<int> groups_;                   // 0 = majority, 1 = minority
+};
+
+/// Train/validation/test triple produced by the 3:1:1 stratified split
+/// (Section 6.1).
+struct DataSplit {
+  Dataset train;
+  Dataset validation;
+  Dataset test;
+};
+
+}  // namespace dfs::data
+
+#endif  // DFS_DATA_DATASET_H_

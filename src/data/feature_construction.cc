@@ -1,0 +1,127 @@
+#include "data/feature_construction.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace dfs::data {
+namespace {
+
+// Product column for pair (a, b), min-max rescaled into [0, 1]; empty when
+// the product is constant.
+std::vector<double> ScaledProduct(const Dataset& dataset, int a, int b) {
+  const int n = dataset.num_rows();
+  std::vector<double> product(n);
+  for (int r = 0; r < n; ++r) {
+    product[r] = dataset.Value(r, a) * dataset.Value(r, b);
+  }
+  auto [lo_it, hi_it] = std::minmax_element(product.begin(), product.end());
+  if (*hi_it <= *lo_it) return {};
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+  for (double& v : product) v = (v - lo) / (hi - lo);
+  return product;
+}
+
+StatusOr<Dataset> WithProductColumns(
+    const Dataset& dataset, const std::vector<std::pair<int, int>>& pairs,
+    std::vector<std::vector<double>> product_columns) {
+  std::vector<std::string> names = dataset.feature_names();
+  std::vector<std::vector<double>> columns;
+  columns.reserve(dataset.num_features() + pairs.size());
+  for (int f = 0; f < dataset.num_features(); ++f) {
+    columns.push_back(dataset.Column(f));
+  }
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    names.push_back(dataset.feature_names()[pairs[i].first] + "*" +
+                    dataset.feature_names()[pairs[i].second]);
+    columns.push_back(std::move(product_columns[i]));
+  }
+  return Dataset::Create(dataset.name() + "+products", std::move(names),
+                         std::move(columns), dataset.labels(),
+                         dataset.groups());
+}
+
+}  // namespace
+
+StatusOr<Dataset> ConstructProductFeatures(
+    const Dataset& dataset, const FeatureConstructionOptions& options,
+    ProductFeaturePlan* plan) {
+  const int d = dataset.num_features();
+  const int n = dataset.num_rows();
+  if (n == 0) return InvalidArgumentError("empty dataset");
+
+  const int budget = options.max_constructed > 0
+                         ? options.max_constructed
+                         : std::min(d * (d - 1) / 2, 4 * d);
+
+  std::vector<double> labels(dataset.labels().begin(),
+                             dataset.labels().end());
+  // Parent correlations, reused for the gain criterion.
+  std::vector<double> parent_correlation(d);
+  for (int f = 0; f < d; ++f) {
+    parent_correlation[f] =
+        std::fabs(PearsonCorrelation(dataset.Column(f), labels));
+  }
+
+  struct Candidate {
+    std::pair<int, int> pair;
+    double gain;
+    std::vector<double> column;
+  };
+  std::vector<Candidate> candidates;
+  for (int a = 0; a < d; ++a) {
+    for (int b = a + 1; b < d; ++b) {
+      std::vector<double> column = ScaledProduct(dataset, a, b);
+      if (column.empty()) continue;  // constant product carries nothing
+      // Only keep pairs whose *product* correlates with the label beyond
+      // either parent alone (the multiplicative-signal criterion).
+      const double correlation =
+          std::fabs(PearsonCorrelation(column, labels));
+      const double gain = correlation - std::max(parent_correlation[a],
+                                                 parent_correlation[b]);
+      if (gain >= options.min_gain) {
+        candidates.push_back({{a, b}, gain, std::move(column)});
+      }
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& x, const Candidate& y) {
+                     return x.gain > y.gain;
+                   });
+  if (static_cast<int>(candidates.size()) > budget) {
+    candidates.resize(budget);
+  }
+
+  std::vector<std::pair<int, int>> pairs;
+  std::vector<std::vector<double>> columns;
+  for (auto& candidate : candidates) {
+    pairs.push_back(candidate.pair);
+    columns.push_back(std::move(candidate.column));
+  }
+  if (plan != nullptr) plan->pairs = pairs;
+  return WithProductColumns(dataset, pairs, std::move(columns));
+}
+
+StatusOr<Dataset> ApplyProductFeatures(const Dataset& dataset,
+                                       const ProductFeaturePlan& plan) {
+  if (dataset.num_rows() == 0) return InvalidArgumentError("empty dataset");
+  std::vector<std::vector<double>> columns;
+  for (const auto& [a, b] : plan.pairs) {
+    if (a < 0 || b < 0 || a >= dataset.num_features() ||
+        b >= dataset.num_features()) {
+      return InvalidArgumentError("plan pair out of range");
+    }
+    std::vector<double> column = ScaledProduct(dataset, a, b);
+    if (column.empty()) {
+      // Constant on this split: keep schema alignment with an all-zero
+      // column.
+      column.assign(dataset.num_rows(), 0.0);
+    }
+    columns.push_back(std::move(column));
+  }
+  return WithProductColumns(dataset, plan.pairs, std::move(columns));
+}
+
+}  // namespace dfs::data

@@ -1,0 +1,46 @@
+#ifndef DFS_DATA_FEATURE_CONSTRUCTION_H_
+#define DFS_DATA_FEATURE_CONSTRUCTION_H_
+
+#include "data/dataset.h"
+#include "util/rng.h"
+#include "util/statusor.h"
+
+namespace dfs::data {
+
+/// Options for pairwise feature construction.
+struct FeatureConstructionOptions {
+  /// Upper bound on generated features. <= 0 means min(d*(d-1)/2, 4*d).
+  int max_constructed = 0;
+  /// Candidate pairs are ranked by |corr(x_i * x_j, y)| minus the best
+  /// single-parent correlation — only pairs whose *product* carries signal
+  /// beyond their parents are kept, and only if the margin exceeds this.
+  double min_gain = 0.01;
+};
+
+/// The fitted construction: which feature pairs were selected. Apply it to
+/// other splits of the same feature space so train/validation/test share
+/// one augmented schema.
+struct ProductFeaturePlan {
+  std::vector<std::pair<int, int>> pairs;
+};
+
+/// Feature construction (the paper's Section-7 future-work item): augments
+/// a dataset with products of feature pairs, which expose multiplicative
+/// (XOR-like) relationships that selection alone cannot uncover. Generated
+/// columns are named "a*b" and min-max scaled like everything else; the
+/// result feeds directly into the normal DFS flow, where feature selection
+/// prunes unhelpful constructions again. When `plan` is non-null the chosen
+/// pairs are recorded for ApplyProductFeatures.
+StatusOr<Dataset> ConstructProductFeatures(
+    const Dataset& dataset, const FeatureConstructionOptions& options = {},
+    ProductFeaturePlan* plan = nullptr);
+
+/// Applies a fitted plan to another split of the same feature space (the
+/// pair selection was fitted elsewhere; only the product columns are
+/// recomputed and rescaled here).
+StatusOr<Dataset> ApplyProductFeatures(const Dataset& dataset,
+                                       const ProductFeaturePlan& plan);
+
+}  // namespace dfs::data
+
+#endif  // DFS_DATA_FEATURE_CONSTRUCTION_H_

@@ -1,0 +1,116 @@
+#include "data/preprocess.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace dfs::data {
+namespace {
+
+// Mean-imputes NaNs, then min-max scales into [0, 1]. Constant columns
+// become all-zero.
+std::vector<double> ImputeAndScale(const std::vector<double>& values) {
+  double sum = 0.0;
+  int present = 0;
+  for (double v : values) {
+    if (!std::isnan(v)) {
+      sum += v;
+      ++present;
+    }
+  }
+  const double mean = present > 0 ? sum / present : 0.0;
+  std::vector<double> imputed(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    imputed[i] = std::isnan(values[i]) ? mean : values[i];
+  }
+  auto [min_it, max_it] = std::minmax_element(imputed.begin(), imputed.end());
+  const double lo = *min_it;
+  const double hi = *max_it;
+  if (hi > lo) {
+    for (double& v : imputed) v = (v - lo) / (hi - lo);
+  } else {
+    std::fill(imputed.begin(), imputed.end(), 0.0);
+  }
+  return imputed;
+}
+
+bool IsConstant(const std::vector<double>& values) {
+  for (double v : values) {
+    if (v != values.front()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<Dataset> Preprocess(const RawDataset& raw,
+                             const PreprocessOptions& options) {
+  if (raw.num_rows() == 0) return InvalidArgumentError("empty dataset");
+  if (static_cast<int>(raw.sensitive.size()) != raw.num_rows()) {
+    return InvalidArgumentError("sensitive attribute length mismatch");
+  }
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> columns;
+
+  for (const auto& column : raw.columns) {
+    if (column.size() != raw.num_rows()) {
+      return InvalidArgumentError("column '" + column.name +
+                                  "' length mismatch");
+    }
+    if (column.type == ColumnType::kNumeric) {
+      std::vector<double> encoded = ImputeAndScale(column.numeric_values);
+      if (options.drop_constant_columns && IsConstant(encoded)) continue;
+      names.push_back(column.name);
+      columns.push_back(std::move(encoded));
+    } else {
+      // One-hot encode. std::map keeps category order deterministic.
+      std::map<std::string, int> counts;
+      for (const auto& value : column.categorical_values) {
+        counts[value] += 1;
+      }
+      std::vector<std::string> kept;
+      bool has_other = false;
+      for (const auto& [value, count] : counts) {
+        if (value.empty() && options.missing_category) {
+          kept.push_back(value);
+        } else if (count >= options.min_category_count) {
+          kept.push_back(value);
+        } else {
+          has_other = true;
+        }
+      }
+      for (const auto& value : kept) {
+        std::vector<double> indicator(raw.num_rows(), 0.0);
+        for (int r = 0; r < raw.num_rows(); ++r) {
+          if (column.categorical_values[r] == value) indicator[r] = 1.0;
+        }
+        if (options.drop_constant_columns && IsConstant(indicator)) continue;
+        names.push_back(column.name + "=" +
+                        (value.empty() ? "<missing>" : value));
+        columns.push_back(std::move(indicator));
+      }
+      if (has_other) {
+        std::vector<double> indicator(raw.num_rows(), 0.0);
+        for (int r = 0; r < raw.num_rows(); ++r) {
+          const auto& value = column.categorical_values[r];
+          if (counts[value] < options.min_category_count &&
+              !(value.empty() && options.missing_category)) {
+            indicator[r] = 1.0;
+          }
+        }
+        if (!(options.drop_constant_columns && IsConstant(indicator))) {
+          names.push_back(column.name + "=<other>");
+          columns.push_back(std::move(indicator));
+        }
+      }
+    }
+  }
+
+  if (columns.empty()) {
+    return InvalidArgumentError("no usable feature columns after encoding");
+  }
+  return Dataset::Create(raw.name, std::move(names), std::move(columns),
+                         raw.target, raw.sensitive);
+}
+
+}  // namespace dfs::data

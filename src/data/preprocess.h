@@ -1,0 +1,31 @@
+#ifndef DFS_DATA_PREPROCESS_H_
+#define DFS_DATA_PREPROCESS_H_
+
+#include "data/dataset.h"
+#include "data/raw_dataset.h"
+#include "util/statusor.h"
+
+namespace dfs::data {
+
+/// Options for the standard preprocessing pipeline from Section 6.1 of the
+/// paper: mean-value imputation + min-max scaling for numeric attributes and
+/// one-hot encoding for categorical attributes. The pipeline is deliberately
+/// interpretability-preserving (no hashing / PCA), mirroring the paper.
+struct PreprocessOptions {
+  /// Categorical values seen at most this many times are merged into a
+  /// single "<other>" indicator to bound one-hot width. 0 disables merging.
+  int min_category_count = 1;
+  /// Treat missing categorical values as their own "<missing>" category.
+  bool missing_category = true;
+  /// Drop constant columns (no information; keeps χ²/variance well-defined).
+  bool drop_constant_columns = true;
+};
+
+/// Runs the standard pipeline and returns the encoded Dataset. Feature names
+/// are "<column>" for numeric and "<column>=<value>" for one-hot indicators.
+StatusOr<Dataset> Preprocess(const RawDataset& raw,
+                             const PreprocessOptions& options = {});
+
+}  // namespace dfs::data
+
+#endif  // DFS_DATA_PREPROCESS_H_

@@ -1,0 +1,92 @@
+#include "data/raw_dataset.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace dfs::data {
+namespace {
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+StatusOr<std::vector<int>> ParseBinaryColumn(const CsvTable& table,
+                                             int column_index,
+                                             const std::string& what) {
+  std::vector<int> values;
+  values.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    const std::string cell = Strip(row[column_index]);
+    if (cell == "0") {
+      values.push_back(0);
+    } else if (cell == "1") {
+      values.push_back(1);
+    } else {
+      return InvalidArgumentError(what + " column must be binary 0/1, got '" +
+                                  cell + "'");
+    }
+  }
+  return values;
+}
+
+}  // namespace
+
+StatusOr<RawDataset> RawDatasetFromCsv(const CsvTable& table,
+                                       const std::string& target_column,
+                                       const std::string& sensitive_column,
+                                       const std::string& name) {
+  const int target_index = table.ColumnIndex(target_column);
+  if (target_index < 0) {
+    return InvalidArgumentError("target column not found: " + target_column);
+  }
+  const int sensitive_index = table.ColumnIndex(sensitive_column);
+  if (sensitive_index < 0) {
+    return InvalidArgumentError("sensitive column not found: " +
+                                sensitive_column);
+  }
+
+  RawDataset dataset;
+  dataset.name = name;
+  dataset.sensitive_attribute_name = sensitive_column;
+  DFS_ASSIGN_OR_RETURN(dataset.target,
+                       ParseBinaryColumn(table, target_index, "target"));
+  DFS_ASSIGN_OR_RETURN(dataset.sensitive,
+                       ParseBinaryColumn(table, sensitive_index, "sensitive"));
+
+  for (int c = 0; c < table.num_columns(); ++c) {
+    if (c == target_index || c == sensitive_index) continue;
+    // Decide type: numeric if every non-empty cell parses as a number.
+    bool numeric = true;
+    for (const auto& row : table.rows) {
+      const std::string cell = Strip(row[c]);
+      double unused;
+      if (!cell.empty() && !ParseDouble(cell, &unused)) {
+        numeric = false;
+        break;
+      }
+    }
+    RawColumn column;
+    column.name = table.header[c];
+    column.type = numeric ? ColumnType::kNumeric : ColumnType::kCategorical;
+    for (const auto& row : table.rows) {
+      const std::string cell = Strip(row[c]);
+      if (numeric) {
+        double value = std::nan("");
+        if (!cell.empty()) ParseDouble(cell, &value);
+        column.numeric_values.push_back(value);
+      } else {
+        column.categorical_values.push_back(cell);
+      }
+    }
+    dataset.columns.push_back(std::move(column));
+  }
+  return dataset;
+}
+
+}  // namespace dfs::data

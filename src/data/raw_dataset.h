@@ -1,0 +1,54 @@
+#ifndef DFS_DATA_RAW_DATASET_H_
+#define DFS_DATA_RAW_DATASET_H_
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/statusor.h"
+
+namespace dfs::data {
+
+enum class ColumnType { kNumeric, kCategorical };
+
+/// One column of an unprocessed dataset. Numeric columns use NaN for missing
+/// values; categorical columns use the empty string.
+struct RawColumn {
+  std::string name;
+  ColumnType type = ColumnType::kNumeric;
+  std::vector<double> numeric_values;           // used when kNumeric
+  std::vector<std::string> categorical_values;  // used when kCategorical
+
+  int size() const {
+    return type == ColumnType::kNumeric
+               ? static_cast<int>(numeric_values.size())
+               : static_cast<int>(categorical_values.size());
+  }
+};
+
+/// Unprocessed dataset as a user would hand it in: mixed numeric/categorical
+/// attributes with missing values, a binary target, and a binary sensitive
+/// attribute. `Preprocess` (preprocess.h) turns this into a `Dataset`.
+struct RawDataset {
+  std::string name;
+  std::vector<RawColumn> columns;
+  std::vector<int> target;     // 0/1
+  std::vector<int> sensitive;  // 0 = majority, 1 = minority
+  std::string sensitive_attribute_name;
+
+  int num_rows() const { return static_cast<int>(target.size()); }
+  int num_attributes() const { return static_cast<int>(columns.size()); }
+};
+
+/// Loads a RawDataset from a CSV table. `target_column` must contain only
+/// "0"/"1"; `sensitive_column` likewise. Columns where every non-empty cell
+/// parses as a number are treated as numeric, all others as categorical.
+StatusOr<RawDataset> RawDatasetFromCsv(const CsvTable& table,
+                                       const std::string& target_column,
+                                       const std::string& sensitive_column,
+                                       const std::string& name);
+
+}  // namespace dfs::data
+
+#endif  // DFS_DATA_RAW_DATASET_H_

@@ -1,0 +1,94 @@
+#include "data/split.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dfs::data {
+namespace {
+
+// Shuffled row indices of each class.
+std::vector<std::vector<int>> RowsByClass(const std::vector<int>& labels,
+                                          Rng& rng) {
+  std::vector<std::vector<int>> by_class(2);
+  for (int r = 0; r < static_cast<int>(labels.size()); ++r) {
+    by_class[labels[r]].push_back(r);
+  }
+  rng.Shuffle(by_class[0]);
+  rng.Shuffle(by_class[1]);
+  return by_class;
+}
+
+}  // namespace
+
+StatusOr<DataSplit> StratifiedSplit(const Dataset& dataset, double train,
+                                    double validation, double test, Rng& rng) {
+  if (train <= 0 || validation <= 0 || test <= 0) {
+    return InvalidArgumentError("split proportions must be positive");
+  }
+  const double total = train + validation + test;
+  auto by_class = RowsByClass(dataset.labels(), rng);
+  if (by_class[0].size() < 3 || by_class[1].size() < 3) {
+    return FailedPreconditionError(
+        "need at least 3 rows of each class to split");
+  }
+
+  std::vector<int> train_rows, validation_rows, test_rows;
+  for (const auto& rows : by_class) {
+    const int n = static_cast<int>(rows.size());
+    int n_train = static_cast<int>(std::round(n * train / total));
+    int n_validation = static_cast<int>(std::round(n * validation / total));
+    // Guarantee at least one row of this class per part.
+    n_train = std::clamp(n_train, 1, n - 2);
+    n_validation = std::clamp(n_validation, 1, n - n_train - 1);
+    for (int i = 0; i < n; ++i) {
+      if (i < n_train) {
+        train_rows.push_back(rows[i]);
+      } else if (i < n_train + n_validation) {
+        validation_rows.push_back(rows[i]);
+      } else {
+        test_rows.push_back(rows[i]);
+      }
+    }
+  }
+  std::sort(train_rows.begin(), train_rows.end());
+  std::sort(validation_rows.begin(), validation_rows.end());
+  std::sort(test_rows.begin(), test_rows.end());
+
+  DataSplit split;
+  split.train = dataset.SelectRows(train_rows);
+  split.validation = dataset.SelectRows(validation_rows);
+  split.test = dataset.SelectRows(test_rows);
+  return split;
+}
+
+Dataset StratifiedSample(const Dataset& dataset, int sample_size, Rng& rng) {
+  if (sample_size >= dataset.num_rows()) return dataset;
+  auto by_class = RowsByClass(dataset.labels(), rng);
+  const double fraction =
+      static_cast<double>(sample_size) / dataset.num_rows();
+  std::vector<int> selected;
+  for (const auto& rows : by_class) {
+    if (rows.empty()) continue;
+    int take = std::max(1, static_cast<int>(std::round(rows.size() * fraction)));
+    take = std::min<int>(take, static_cast<int>(rows.size()));
+    selected.insert(selected.end(), rows.begin(), rows.begin() + take);
+  }
+  std::sort(selected.begin(), selected.end());
+  return dataset.SelectRows(selected);
+}
+
+std::vector<std::vector<int>> StratifiedFolds(const std::vector<int>& labels,
+                                              int num_folds, Rng& rng) {
+  DFS_CHECK_GT(num_folds, 1);
+  auto by_class = RowsByClass(labels, rng);
+  std::vector<std::vector<int>> folds(num_folds);
+  for (const auto& rows : by_class) {
+    for (size_t i = 0; i < rows.size(); ++i) {
+      folds[i % num_folds].push_back(rows[i]);
+    }
+  }
+  for (auto& fold : folds) std::sort(fold.begin(), fold.end());
+  return folds;
+}
+
+}  // namespace dfs::data

@@ -1,0 +1,29 @@
+#ifndef DFS_DATA_SPLIT_H_
+#define DFS_DATA_SPLIT_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+#include "util/statusor.h"
+
+namespace dfs::data {
+
+/// Class-stratified shuffled split into train/validation/test with the given
+/// proportions (the paper uses 3:1:1). Proportions are normalized; every
+/// part receives at least one row of each class when possible.
+StatusOr<DataSplit> StratifiedSplit(const Dataset& dataset, double train,
+                                    double validation, double test, Rng& rng);
+
+/// Class-stratified subsample of (at most) `sample_size` rows, preserving
+/// the label distribution; used by subsampling-based landmarking
+/// (Section 5.2).
+Dataset StratifiedSample(const Dataset& dataset, int sample_size, Rng& rng);
+
+/// Row indices per fold for class-stratified k-fold cross-validation.
+std::vector<std::vector<int>> StratifiedFolds(const std::vector<int>& labels,
+                                              int num_folds, Rng& rng);
+
+}  // namespace dfs::data
+
+#endif  // DFS_DATA_SPLIT_H_

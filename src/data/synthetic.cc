@@ -1,0 +1,167 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/preprocess.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace dfs::data {
+
+int SyntheticSpec::EncodedFeatureCount() const {
+  // sensitive indicator + numeric groups + one-hot categorical columns.
+  return 1 + informative_numeric + redundant_numeric + noise_numeric +
+         proxy_features + categorical_attributes * categorical_cardinality;
+}
+
+RawDataset GenerateRaw(const SyntheticSpec& spec, uint64_t seed,
+                       double row_scale) {
+  Rng rng(seed ^ 0xD1B54A32D192ED03ULL);
+  const int n = std::max(60, static_cast<int>(spec.rows * row_scale));
+
+  RawDataset raw;
+  raw.name = spec.name;
+  raw.sensitive_attribute_name = spec.sensitive_attribute;
+  raw.target.resize(n);
+  raw.sensitive.resize(n);
+
+  // Latent informative factors and their label weights.
+  const int k = std::max(1, spec.informative_numeric);
+  std::vector<std::vector<double>> latents(k, std::vector<double>(n));
+  std::vector<double> weights(k);
+  for (int j = 0; j < k; ++j) {
+    // Alternate sign, decaying magnitude: a few features carry most signal
+    // ("few critical features" when informative_numeric is small).
+    weights[j] = (j % 2 == 0 ? 1.0 : -1.0) * (1.0 + 1.0 / (1.0 + j));
+  }
+  double weight_norm = 0.0;
+  for (double w : weights) weight_norm += w * w;
+  weight_norm = std::sqrt(weight_norm);
+
+  for (int r = 0; r < n; ++r) {
+    raw.sensitive[r] = rng.Bernoulli(spec.minority_fraction) ? 1 : 0;
+    double logit = 0.0;
+    for (int j = 0; j < k; ++j) {
+      latents[j][r] = rng.Normal();
+      logit += weights[j] * latents[j][r];
+    }
+    logit = spec.class_sep * logit / weight_norm;
+    // Group bias: the minority group's positive rate is depressed, which
+    // creates the TPR gap the EO metric measures.
+    logit += spec.group_bias * (raw.sensitive[r] == 1 ? -1.0 : 1.0) * 0.5;
+    int label = rng.Bernoulli(Sigmoid(logit)) ? 1 : 0;
+    if (rng.Bernoulli(spec.label_noise)) label = 1 - label;
+    raw.target[r] = label;
+  }
+
+  auto add_numeric = [&](const std::string& name,
+                         std::vector<double> values) {
+    RawColumn column;
+    column.name = name;
+    column.type = ColumnType::kNumeric;
+    // Missing-value injection (mean imputation handles these downstream).
+    for (double& v : values) {
+      if (rng.Bernoulli(spec.missing_fraction)) v = std::nan("");
+    }
+    column.numeric_values = std::move(values);
+    raw.columns.push_back(std::move(column));
+  };
+
+  // Sensitive attribute itself is an (unmasked) feature column — removing it
+  // is necessary but not sufficient for fairness because of the proxies.
+  {
+    RawColumn column;
+    column.name = spec.sensitive_attribute;
+    column.type = ColumnType::kNumeric;
+    column.numeric_values.resize(n);
+    for (int r = 0; r < n; ++r) {
+      column.numeric_values[r] = raw.sensitive[r];
+    }
+    raw.columns.push_back(std::move(column));
+  }
+
+  // Informative features: latent + noise.
+  for (int j = 0; j < spec.informative_numeric; ++j) {
+    std::vector<double> values(n);
+    for (int r = 0; r < n; ++r) {
+      values[r] = latents[j][r] + spec.feature_noise * rng.Normal();
+    }
+    add_numeric("num_inf_" + std::to_string(j), std::move(values));
+  }
+
+  // Redundant features: combinations of two informative latents.
+  for (int j = 0; j < spec.redundant_numeric; ++j) {
+    const int a = j % k;
+    const int b = (j + 1) % k;
+    const double alpha = rng.Uniform(0.3, 0.7);
+    std::vector<double> values(n);
+    for (int r = 0; r < n; ++r) {
+      values[r] = alpha * latents[a][r] + (1.0 - alpha) * latents[b][r] +
+                  0.1 * rng.Normal();
+    }
+    add_numeric("num_red_" + std::to_string(j), std::move(values));
+  }
+
+  // Proxy (biased) features: noisy copies of the sensitive attribute, like
+  // ZIP code standing in for race (Selbst 2017).
+  for (int j = 0; j < spec.proxy_features; ++j) {
+    const double proxy_noise = 0.25 + 0.15 * j;  // increasingly weak proxies
+    std::vector<double> values(n);
+    for (int r = 0; r < n; ++r) {
+      values[r] = raw.sensitive[r] + proxy_noise * rng.Normal();
+    }
+    add_numeric("num_proxy_" + std::to_string(j), std::move(values));
+  }
+
+  // Pure-noise features.
+  for (int j = 0; j < spec.noise_numeric; ++j) {
+    std::vector<double> values(n);
+    for (int r = 0; r < n; ++r) values[r] = rng.Normal();
+    add_numeric("num_noise_" + std::to_string(j), std::move(values));
+  }
+
+  // Categorical attributes: quantile-binned informative latents (carry
+  // signal; expand under one-hot encoding).
+  for (int j = 0; j < spec.categorical_attributes; ++j) {
+    const int source = j % k;
+    const int cardinality = std::max(2, spec.categorical_cardinality);
+    RawColumn column;
+    column.name = "cat_" + std::to_string(j);
+    column.type = ColumnType::kCategorical;
+    column.categorical_values.resize(n);
+    for (int r = 0; r < n; ++r) {
+      if (rng.Bernoulli(spec.missing_fraction)) {
+        column.categorical_values[r] = "";
+        continue;
+      }
+      // Map the standard-normal latent through its CDF into equal bins.
+      double cdf = 0.5 * std::erfc(-latents[source][r] / std::sqrt(2.0));
+      int bin = std::min(static_cast<int>(cdf * cardinality), cardinality - 1);
+      column.categorical_values[r] = "v" + std::to_string(bin);
+    }
+    raw.columns.push_back(std::move(column));
+  }
+
+  // Guarantee both classes and both groups are present (tiny datasets could
+  // otherwise degenerate).
+  bool has_positive = false, has_negative = false;
+  bool has_minority = false, has_majority = false;
+  for (int r = 0; r < n; ++r) {
+    (raw.target[r] == 1 ? has_positive : has_negative) = true;
+    (raw.sensitive[r] == 1 ? has_minority : has_majority) = true;
+  }
+  if (!has_positive) raw.target[0] = 1;
+  if (!has_negative) raw.target[n - 1] = 0;
+  if (!has_minority) raw.sensitive[0] = 1;
+  if (!has_majority) raw.sensitive[n - 1] = 0;
+
+  return raw;
+}
+
+StatusOr<Dataset> GenerateDataset(const SyntheticSpec& spec, uint64_t seed,
+                                  double row_scale) {
+  return Preprocess(GenerateRaw(spec, seed, row_scale));
+}
+
+}  // namespace dfs::data

@@ -1,0 +1,67 @@
+#ifndef DFS_DATA_SYNTHETIC_H_
+#define DFS_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/raw_dataset.h"
+#include "util/statusor.h"
+
+namespace dfs::data {
+
+/// Generative specification for one synthetic benchmark dataset. The
+/// generator produces a binary classification task with a binary sensitive
+/// attribute and four structurally distinct feature groups:
+///
+///  * informative  — carry the label signal (latent factors + noise),
+///  * redundant    — linear combinations of informative features,
+///  * proxy        — correlate with the *sensitive attribute* (the "biased
+///                   features" the fairness constraint must prune; they leak
+///                   some label signal because the label itself is biased),
+///  * noise        — pure noise.
+///
+/// Categorical attributes are binned informative latents so that one-hot
+/// encoding expands them into many columns, as in the paper's datasets.
+struct SyntheticSpec {
+  std::string name;
+  std::string sensitive_attribute;  // e.g. "Gender", "Race"
+
+  int rows = 500;
+
+  int informative_numeric = 5;
+  int redundant_numeric = 3;
+  int noise_numeric = 5;
+  int proxy_features = 2;
+  int categorical_attributes = 2;
+  int categorical_cardinality = 4;
+
+  double class_sep = 2.0;         // scale of the label logit
+  double feature_noise = 0.4;     // noise added to informative features
+  double label_noise = 0.05;      // label flip probability
+  double group_bias = 0.8;        // sensitive-group shift of the label logit
+  double minority_fraction = 0.3;
+  double missing_fraction = 0.02;
+
+  // Documentation of the paper dataset this spec stands in for (Table 2).
+  int paper_instances = 0;
+  int paper_features = 0;
+
+  /// Number of encoded feature columns this spec produces (sensitive
+  /// indicator + numeric groups + one-hot categorical columns).
+  int EncodedFeatureCount() const;
+};
+
+/// Generates the raw (pre-encoding) dataset for a spec. Deterministic in
+/// (spec, seed). `row_scale` multiplies spec.rows (min 60 rows).
+RawDataset GenerateRaw(const SyntheticSpec& spec, uint64_t seed,
+                       double row_scale = 1.0);
+
+/// GenerateRaw + standard preprocessing.
+StatusOr<Dataset> GenerateDataset(const SyntheticSpec& spec, uint64_t seed,
+                                  double row_scale = 1.0);
+
+}  // namespace dfs::data
+
+#endif  // DFS_DATA_SYNTHETIC_H_

@@ -1,0 +1,88 @@
+#ifndef DFS_FS_EVOLUTIONARY_H_
+#define DFS_FS_EVOLUTIONARY_H_
+
+#include <string>
+
+#include "fs/strategy.h"
+
+namespace dfs::fs {
+
+/// Options for BPSO(NR).
+struct BinaryPsoOptions {
+  int swarm_size = 20;
+  double inertia = 0.7;
+  double cognitive = 1.5;  ///< pull toward the particle's own best
+  double social = 1.5;     ///< pull toward the swarm's best
+  double max_velocity = 4.0;
+};
+
+/// BPSO(NR) — binary particle swarm optimization over the feature-decision
+/// vector (Kennedy & Eberhart; applied to FS by Xue et al. 2012, cited in
+/// Section 4.1). An *extension* beyond the paper's 16 benchmarked
+/// strategies, from the same single-objective randomized-NR taxonomy leaf
+/// as SA(NR)/TPE(NR). Velocities evolve continuously; positions are
+/// re-sampled through a sigmoid of the velocity.
+class BinaryPsoStrategy : public FeatureSelectionStrategy {
+ public:
+  explicit BinaryPsoStrategy(uint64_t seed,
+                             const BinaryPsoOptions& options = {})
+      : seed_(seed), options_(options) {}
+
+  std::string name() const override { return "BPSO(NR)"; }
+
+  StrategyInfo info() const override {
+    StrategyInfo info;
+    info.objectives = StrategyInfo::Objectives::kSingle;
+    info.search = StrategyInfo::Search::kRandomized;
+    info.uses_ranking = false;
+    return info;
+  }
+
+  void Run(EvalContext& context) override;
+
+ private:
+  uint64_t seed_;
+  BinaryPsoOptions options_;
+};
+
+/// Options for GA(NR).
+struct GeneticAlgorithmOptions {
+  int population_size = 24;
+  double crossover_probability = 0.9;
+  /// Per-bit mutation probability; <= 0 means 1 / num_features.
+  double mutation_probability = -1.0;
+  int tournament_size = 3;
+  int elites = 2;
+};
+
+/// GA(NR) — single-objective genetic algorithm over feature masks, the
+/// classic evolutionary-computation baseline of the Xue et al. survey.
+/// Extension beyond the benchmarked 16 (NSGA-II covers the multi-objective
+/// branch there); useful as an ablation of NSGA-II's multi-objective
+/// machinery.
+class GeneticAlgorithmStrategy : public FeatureSelectionStrategy {
+ public:
+  explicit GeneticAlgorithmStrategy(
+      uint64_t seed, const GeneticAlgorithmOptions& options = {})
+      : seed_(seed), options_(options) {}
+
+  std::string name() const override { return "GA(NR)"; }
+
+  StrategyInfo info() const override {
+    StrategyInfo info;
+    info.objectives = StrategyInfo::Objectives::kSingle;
+    info.search = StrategyInfo::Search::kRandomized;
+    info.uses_ranking = false;
+    return info;
+  }
+
+  void Run(EvalContext& context) override;
+
+ private:
+  uint64_t seed_;
+  GeneticAlgorithmOptions options_;
+};
+
+}  // namespace dfs::fs
+
+#endif  // DFS_FS_EVOLUTIONARY_H_

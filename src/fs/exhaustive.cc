@@ -1,0 +1,36 @@
+#include "fs/exhaustive.h"
+
+#include <vector>
+
+namespace dfs::fs {
+namespace {
+
+// Advances `combination` (ascending indices into [0, n)) to the next
+// lexicographic k-combination; false when exhausted.
+bool NextCombination(std::vector<int>& combination, int n) {
+  const int k = static_cast<int>(combination.size());
+  for (int i = k - 1; i >= 0; --i) {
+    if (combination[i] < n - (k - i)) {
+      ++combination[i];
+      for (int j = i + 1; j < k; ++j) combination[j] = combination[j - 1] + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void ExhaustiveSearch::Run(EvalContext& context) {
+  const int n = context.num_features();
+  const int max_count = context.max_feature_count();
+  for (int size = 1; size <= max_count && !context.ShouldStop(); ++size) {
+    std::vector<int> combination(size);
+    for (int i = 0; i < size; ++i) combination[i] = i;
+    do {
+      context.Evaluate(IndicesToMask(n, combination));
+    } while (!context.ShouldStop() && NextCombination(combination, n));
+  }
+}
+
+}  // namespace dfs::fs

@@ -1,0 +1,32 @@
+#ifndef DFS_FS_EXHAUSTIVE_H_
+#define DFS_FS_EXHAUSTIVE_H_
+
+#include <string>
+
+#include "fs/strategy.h"
+
+namespace dfs::fs {
+
+/// ES(NR): exhaustive enumeration of feature subsets, smallest sizes first
+/// (subsets over the evaluation-independent max-feature-count bound are
+/// never generated). Size-ascending order makes ES surprisingly effective
+/// under tight budgets on datasets with few critical features, matching the
+/// paper's observation — but it is intractable on wide datasets.
+class ExhaustiveSearch : public FeatureSelectionStrategy {
+ public:
+  std::string name() const override { return "ES(NR)"; }
+
+  StrategyInfo info() const override {
+    StrategyInfo info;
+    info.objectives = StrategyInfo::Objectives::kSingle;
+    info.search = StrategyInfo::Search::kExhaustive;
+    info.uses_ranking = false;
+    return info;
+  }
+
+  void Run(EvalContext& context) override;
+};
+
+}  // namespace dfs::fs
+
+#endif  // DFS_FS_EXHAUSTIVE_H_

@@ -1,0 +1,56 @@
+#include "fs/feature_subset.h"
+
+#include "util/logging.h"
+
+namespace dfs::fs {
+
+std::vector<int> MaskToIndices(const FeatureMask& mask) {
+  std::vector<int> indices;
+  for (size_t f = 0; f < mask.size(); ++f) {
+    if (mask[f]) indices.push_back(static_cast<int>(f));
+  }
+  return indices;
+}
+
+FeatureMask IndicesToMask(int num_features, const std::vector<int>& indices) {
+  FeatureMask mask(num_features, 0);
+  for (int f : indices) {
+    DFS_CHECK(f >= 0 && f < num_features) << "feature index out of range";
+    mask[f] = 1;
+  }
+  return mask;
+}
+
+FeatureMask FullMask(int num_features) {
+  return FeatureMask(num_features, 1);
+}
+
+int CountSelected(const FeatureMask& mask) {
+  int count = 0;
+  for (char bit : mask) count += bit ? 1 : 0;
+  return count;
+}
+
+uint64_t MaskHash(const FeatureMask& mask) {
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (char bit : mask) {
+    hash ^= static_cast<uint64_t>(bit ? 1 : 0) + 0x9E3779B9ULL;
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+std::string MaskToString(const FeatureMask& mask) {
+  std::string out = "{";
+  bool first = true;
+  for (size_t f = 0; f < mask.size(); ++f) {
+    if (!mask[f]) continue;
+    if (!first) out += ",";
+    out += std::to_string(f);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace dfs::fs

@@ -1,0 +1,34 @@
+#ifndef DFS_FS_FEATURE_SUBSET_H_
+#define DFS_FS_FEATURE_SUBSET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dfs::fs {
+
+/// Selection mask over a dataset's feature columns; mask[f] != 0 selects
+/// feature f. char (not bool) keeps element addresses usable.
+using FeatureMask = std::vector<char>;
+
+/// Indices of selected features, ascending.
+std::vector<int> MaskToIndices(const FeatureMask& mask);
+
+/// Mask of length `num_features` selecting exactly `indices`.
+FeatureMask IndicesToMask(int num_features, const std::vector<int>& indices);
+
+/// All-ones mask of length `num_features`.
+FeatureMask FullMask(int num_features);
+
+/// Number of selected features.
+int CountSelected(const FeatureMask& mask);
+
+/// FNV-1a hash (used by the evaluation cache).
+uint64_t MaskHash(const FeatureMask& mask);
+
+/// Compact "{1,4,7}" rendering for logs.
+std::string MaskToString(const FeatureMask& mask);
+
+}  // namespace dfs::fs
+
+#endif  // DFS_FS_FEATURE_SUBSET_H_

@@ -1,0 +1,75 @@
+#include "fs/rankings/information.h"
+
+#include <algorithm>
+
+#include "util/math_util.h"
+
+namespace dfs::fs {
+namespace {
+
+std::vector<std::vector<int>> DiscretizeAll(const data::Dataset& train,
+                                            int num_bins) {
+  std::vector<std::vector<int>> binned(train.num_features());
+  for (int f = 0; f < train.num_features(); ++f) {
+    binned[f] = EqualWidthBins(train.Column(f), num_bins);
+  }
+  return binned;
+}
+
+}  // namespace
+
+StatusOr<std::vector<double>> MutualInformationRanker::Rank(
+    const data::Dataset& train, Rng& rng) const {
+  (void)rng;
+  if (train.num_rows() == 0) return InvalidArgumentError("empty dataset");
+  const auto binned = DiscretizeAll(train, num_bins_);
+  std::vector<double> scores(train.num_features());
+  for (int f = 0; f < train.num_features(); ++f) {
+    scores[f] = DiscreteMutualInformation(binned[f], train.labels());
+  }
+  return scores;
+}
+
+StatusOr<std::vector<double>> FcbfRanker::Rank(const data::Dataset& train,
+                                               Rng& rng) const {
+  (void)rng;
+  if (train.num_rows() == 0) return InvalidArgumentError("empty dataset");
+  const int d = train.num_features();
+  const auto binned = DiscretizeAll(train, num_bins_);
+
+  // SU(f, y) for every feature.
+  std::vector<double> su_label(d);
+  for (int f = 0; f < d; ++f) {
+    su_label[f] = SymmetricalUncertainty(binned[f], train.labels());
+  }
+
+  // Redundancy elimination: walk features by descending SU(f, y); drop f if
+  // an already-kept predominant feature g has SU(f, g) >= SU(f, y).
+  const std::vector<int> order = ArgsortDescending(su_label);
+  std::vector<int> kept;
+  std::vector<char> redundant(d, 0);
+  for (int f : order) {
+    bool is_redundant = false;
+    for (int g : kept) {
+      if (SymmetricalUncertainty(binned[f], binned[g]) >= su_label[f]) {
+        is_redundant = true;
+        break;
+      }
+    }
+    if (is_redundant) {
+      redundant[f] = 1;
+    } else {
+      kept.push_back(f);
+    }
+  }
+
+  // Encode: predominant features sort above every redundant one (offset by
+  // 1.0 + SU; SU itself is in [0, 1]).
+  std::vector<double> scores(d);
+  for (int f = 0; f < d; ++f) {
+    scores[f] = redundant[f] ? su_label[f] : 1.0 + su_label[f];
+  }
+  return scores;
+}
+
+}  // namespace dfs::fs

@@ -1,0 +1,45 @@
+#ifndef DFS_FS_RANKINGS_INFORMATION_H_
+#define DFS_FS_RANKINGS_INFORMATION_H_
+
+#include <string>
+#include <vector>
+
+#include "fs/rankings/ranking.h"
+
+namespace dfs::fs {
+
+/// MIM (Lewis 1992): mutual information between each (discretized) feature
+/// and the label; no redundancy handling — features are ranked as if
+/// independent.
+class MutualInformationRanker : public FeatureRanker {
+ public:
+  explicit MutualInformationRanker(int num_bins = 10) : num_bins_(num_bins) {}
+
+  std::string name() const override { return "MIM"; }
+  StatusOr<std::vector<double>> Rank(const data::Dataset& train,
+                                     Rng& rng) const override;
+
+ private:
+  int num_bins_;
+};
+
+/// FCBF (Yu & Liu 2003): symmetrical uncertainty to the label, followed by
+/// the fast redundancy elimination pass — a feature is redundant if some
+/// stronger already-kept feature predicts it better than the label does.
+/// Scores encode the result so that top-k ordering first walks the kept
+/// (predominant) features in SU order, then the redundant ones.
+class FcbfRanker : public FeatureRanker {
+ public:
+  explicit FcbfRanker(int num_bins = 10) : num_bins_(num_bins) {}
+
+  std::string name() const override { return "FCBF"; }
+  StatusOr<std::vector<double>> Rank(const data::Dataset& train,
+                                     Rng& rng) const override;
+
+ private:
+  int num_bins_;
+};
+
+}  // namespace dfs::fs
+
+#endif  // DFS_FS_RANKINGS_INFORMATION_H_

@@ -1,0 +1,66 @@
+#include "fs/rankings/mcfs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/eigen.h"
+#include "linalg/knn.h"
+#include "linalg/lasso.h"
+
+namespace dfs::fs {
+
+StatusOr<std::vector<double>> McfsRanker::Rank(const data::Dataset& train,
+                                               Rng& rng) const {
+  const int d = train.num_features();
+  const int n = train.num_rows();
+  if (n < 4) return InvalidArgumentError("need at least 4 rows");
+
+  // Row subsample (dense eigendecomposition is O(m^3)).
+  const int m = std::min(max_rows_, n);
+  std::vector<int> rows = rng.SampleWithoutReplacement(n, m);
+  std::sort(rows.begin(), rows.end());
+  linalg::Matrix points(m, d);
+  for (int i = 0; i < m; ++i) {
+    for (int f = 0; f < d; ++f) points(i, f) = train.Value(rows[i], f);
+  }
+
+  // Normalized Laplacian L = I - D^{-1/2} W D^{-1/2}.
+  const linalg::Matrix adjacency =
+      linalg::HeatKernelKnnGraph(points, num_neighbors_);
+  std::vector<double> inv_sqrt_degree(m, 0.0);
+  for (int i = 0; i < m; ++i) {
+    double degree = 0.0;
+    for (int j = 0; j < m; ++j) degree += adjacency(i, j);
+    inv_sqrt_degree[i] = degree > 1e-12 ? 1.0 / std::sqrt(degree) : 0.0;
+  }
+  linalg::Matrix laplacian(m, m);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      const double normalized =
+          adjacency(i, j) * inv_sqrt_degree[i] * inv_sqrt_degree[j];
+      laplacian(i, j) = (i == j ? 1.0 : 0.0) - normalized;
+    }
+  }
+
+  DFS_ASSIGN_OR_RETURN(auto eigen, linalg::JacobiEigenSymmetric(laplacian));
+
+  // Bottom non-trivial eigenvectors form the spectral embedding; skip the
+  // first (near-zero eigenvalue, constant on connected components).
+  const int num_embeddings =
+      std::min(num_clusters_, std::max(1, m - 1));
+  std::vector<double> scores(d, 0.0);
+  for (int k = 0; k < num_embeddings; ++k) {
+    std::vector<double> embedding = eigen.vectors.Column(k + 1);
+    // Lasso: which features reconstruct this manifold coordinate?
+    linalg::LassoOptions options;
+    options.l1_penalty = l1_penalty_;
+    const std::vector<double> coefficients =
+        linalg::LassoCoordinateDescent(points, embedding, options);
+    for (int f = 0; f < d; ++f) {
+      scores[f] = std::max(scores[f], std::fabs(coefficients[f]));
+    }
+  }
+  return scores;
+}
+
+}  // namespace dfs::fs

@@ -1,0 +1,39 @@
+#ifndef DFS_FS_RANKINGS_MCFS_H_
+#define DFS_FS_RANKINGS_MCFS_H_
+
+#include <string>
+#include <vector>
+
+#include "fs/rankings/ranking.h"
+
+namespace dfs::fs {
+
+/// MCFS — multi-cluster feature selection (Cai, Zhang & He 2010), the
+/// sparse-learning representative. Unsupervised: (1) build a heat-kernel
+/// k-NN graph over a row subsample, (2) take the bottom eigenvectors of the
+/// normalized Laplacian as a spectral embedding (Ng, Jordan & Weiss 2002),
+/// (3) lasso-regress each embedding dimension onto the features, (4) score
+/// each feature by its largest absolute coefficient. Deliberately the most
+/// expensive ranking here (dense eigendecomposition), mirroring the paper's
+/// finding that MCFS's spectral embedding dominates its runtime.
+class McfsRanker : public FeatureRanker {
+ public:
+  McfsRanker(int num_clusters = 5, int num_neighbors = 5,
+             int max_rows = 120, double l1_penalty = 0.01)
+      : num_clusters_(num_clusters), num_neighbors_(num_neighbors),
+        max_rows_(max_rows), l1_penalty_(l1_penalty) {}
+
+  std::string name() const override { return "MCFS"; }
+  StatusOr<std::vector<double>> Rank(const data::Dataset& train,
+                                     Rng& rng) const override;
+
+ private:
+  int num_clusters_;
+  int num_neighbors_;
+  int max_rows_;
+  double l1_penalty_;
+};
+
+}  // namespace dfs::fs
+
+#endif  // DFS_FS_RANKINGS_MCFS_H_

@@ -1,0 +1,68 @@
+#include "fs/rankings/mrmr.h"
+
+#include <algorithm>
+
+#include "util/math_util.h"
+
+namespace dfs::fs {
+
+StatusOr<std::vector<double>> MrmrRanker::Rank(const data::Dataset& train,
+                                               Rng& rng) const {
+  (void)rng;
+  const int d = train.num_features();
+  if (train.num_rows() == 0) return InvalidArgumentError("empty dataset");
+
+  std::vector<std::vector<int>> binned(d);
+  std::vector<double> relevance(d);
+  for (int f = 0; f < d; ++f) {
+    binned[f] = EqualWidthBins(train.Column(f), num_bins_);
+    relevance[f] = DiscreteMutualInformation(binned[f], train.labels());
+  }
+
+  // Greedy mRMR over the most relevant `max_evaluated_` features; the tail
+  // is ordered by plain relevance (it would rank last anyway).
+  const std::vector<int> by_relevance = ArgsortDescending(relevance);
+  const int evaluated = std::min(d, max_evaluated_);
+
+  std::vector<int> order;
+  std::vector<char> selected(d, 0);
+  std::vector<double> redundancy_sum(d, 0.0);
+  for (int step = 0; step < evaluated; ++step) {
+    int best = -1;
+    double best_score = -1e300;
+    for (int i = 0; i < evaluated; ++i) {
+      const int f = by_relevance[i];
+      if (selected[f]) continue;
+      const double redundancy =
+          order.empty() ? 0.0 : redundancy_sum[f] / order.size();
+      const double score = relevance[f] - redundancy;
+      if (score > best_score) {
+        best_score = score;
+        best = f;
+      }
+    }
+    if (best < 0) break;
+    selected[best] = 1;
+    order.push_back(best);
+    // Incremental redundancy update against the newly selected feature.
+    for (int i = 0; i < evaluated; ++i) {
+      const int f = by_relevance[i];
+      if (!selected[f]) {
+        redundancy_sum[f] += DiscreteMutualInformation(binned[f],
+                                                       binned[best]);
+      }
+    }
+  }
+  for (int i = evaluated; i < d; ++i) order.push_back(by_relevance[i]);
+
+  // Encode the ordering as descending scores; break remaining ties by
+  // relevance so the encoding is a total order.
+  std::vector<double> scores(d, 0.0);
+  for (size_t position = 0; position < order.size(); ++position) {
+    scores[order[position]] =
+        static_cast<double>(d - position) + relevance[order[position]] * 1e-6;
+  }
+  return scores;
+}
+
+}  // namespace dfs::fs

@@ -1,0 +1,33 @@
+#include "fs/rankings/ranking.h"
+
+#include "fs/rankings/information.h"
+#include "fs/rankings/mcfs.h"
+#include "fs/rankings/mrmr.h"
+#include "fs/rankings/relieff.h"
+#include "fs/rankings/statistical.h"
+
+namespace dfs::fs {
+
+std::unique_ptr<FeatureRanker> CreateRanker(RankerKind kind) {
+  switch (kind) {
+    case RankerKind::kReliefF:
+      return std::make_unique<ReliefFRanker>();
+    case RankerKind::kFisher:
+      return std::make_unique<FisherRanker>();
+    case RankerKind::kMutualInformation:
+      return std::make_unique<MutualInformationRanker>();
+    case RankerKind::kFcbf:
+      return std::make_unique<FcbfRanker>();
+    case RankerKind::kMcfs:
+      return std::make_unique<McfsRanker>();
+    case RankerKind::kVariance:
+      return std::make_unique<VarianceRanker>();
+    case RankerKind::kChiSquared:
+      return std::make_unique<ChiSquaredRanker>();
+    case RankerKind::kMrmr:
+      return std::make_unique<MrmrRanker>();
+  }
+  return nullptr;
+}
+
+}  // namespace dfs::fs

@@ -1,0 +1,47 @@
+#ifndef DFS_FS_RANKINGS_RANKING_H_
+#define DFS_FS_RANKINGS_RANKING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+#include "util/statusor.h"
+
+namespace dfs::fs {
+
+/// A feature-ranking function: scores every feature on the training split
+/// (higher = more valuable). Top-k strategies compute the ranking once and
+/// search only over k (Section 4.2).
+class FeatureRanker {
+ public:
+  virtual ~FeatureRanker() = default;
+
+  /// Short family name as used in strategy names, e.g. "FCBF".
+  virtual std::string name() const = 0;
+
+  /// One score per feature column of `train`.
+  virtual StatusOr<std::vector<double>> Rank(const data::Dataset& train,
+                                             Rng& rng) const = 0;
+};
+
+/// Ranker families from Figure 3's ranking taxonomy: similarity-based
+/// (ReliefF, Fisher), information-theoretical (MIM, FCBF, and the mRMR
+/// extension), sparse-learning (MCFS), statistical (Variance, Chi2).
+enum class RankerKind {
+  kReliefF,
+  kFisher,
+  kMutualInformation,
+  kFcbf,
+  kMcfs,
+  kVariance,
+  kChiSquared,
+  kMrmr,  // extension beyond the paper's seven benchmarked rankings
+};
+
+std::unique_ptr<FeatureRanker> CreateRanker(RankerKind kind);
+
+}  // namespace dfs::fs
+
+#endif  // DFS_FS_RANKINGS_RANKING_H_

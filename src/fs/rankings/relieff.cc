@@ -1,0 +1,70 @@
+#include "fs/rankings/relieff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/knn.h"
+
+namespace dfs::fs {
+
+StatusOr<std::vector<double>> ReliefFRanker::Rank(const data::Dataset& train,
+                                                  Rng& rng) const {
+  const int n = train.num_rows();
+  const int d = train.num_features();
+  if (n < 2) return InvalidArgumentError("need at least 2 rows");
+
+  // Row-major copies per class for neighbor search.
+  std::vector<int> class_rows[2];
+  for (int r = 0; r < n; ++r) class_rows[train.labels()[r]].push_back(r);
+  if (class_rows[0].empty() || class_rows[1].empty()) {
+    return FailedPreconditionError("ReliefF needs both classes present");
+  }
+  linalg::Matrix by_class[2];
+  for (int k = 0; k < 2; ++k) {
+    by_class[k] = linalg::Matrix(static_cast<int>(class_rows[k].size()), d);
+    for (size_t i = 0; i < class_rows[k].size(); ++i) {
+      for (int f = 0; f < d; ++f) {
+        by_class[k](static_cast<int>(i), f) =
+            train.Value(class_rows[k][i], f);
+      }
+    }
+  }
+
+  const int num_samples = std::min(max_samples_, n);
+  const std::vector<int> sampled = rng.SampleWithoutReplacement(n, num_samples);
+
+  std::vector<double> weights(d, 0.0);
+  std::vector<double> row(d);
+  for (int r : sampled) {
+    const int label = train.labels()[r];
+    for (int f = 0; f < d; ++f) row[f] = train.Value(r, f);
+
+    for (int cls = 0; cls < 2; ++cls) {
+      // Exclude the instance itself from its own class's neighbor list.
+      int exclude = -1;
+      if (cls == label) {
+        for (size_t i = 0; i < class_rows[cls].size(); ++i) {
+          if (class_rows[cls][i] == r) {
+            exclude = static_cast<int>(i);
+            break;
+          }
+        }
+      }
+      const std::vector<int> neighbors = linalg::KNearestRows(
+          by_class[cls], row, num_neighbors_, exclude);
+      if (neighbors.empty()) continue;
+      const double sign = cls == label ? -1.0 : 1.0;  // hits lower, misses raise
+      const double scale =
+          sign / (static_cast<double>(neighbors.size()) * num_samples);
+      for (int neighbor : neighbors) {
+        for (int f = 0; f < d; ++f) {
+          // Features are min-max scaled, so |difference| is already in [0,1].
+          weights[f] += scale * std::fabs(row[f] - by_class[cls](neighbor, f));
+        }
+      }
+    }
+  }
+  return weights;
+}
+
+}  // namespace dfs::fs

@@ -1,0 +1,31 @@
+#ifndef DFS_FS_RANKINGS_RELIEFF_H_
+#define DFS_FS_RANKINGS_RELIEFF_H_
+
+#include <string>
+#include <vector>
+
+#include "fs/rankings/ranking.h"
+
+namespace dfs::fs {
+
+/// ReliefF (Robnik-Šikonja & Kononenko 2003): for sampled instances, find
+/// the k nearest hits (same class) and misses (other class); features whose
+/// values differ more on misses than on hits get higher weight. k defaults
+/// to 10 per the benchmark configuration (Section 6.2, Urbanowicz et al.).
+class ReliefFRanker : public FeatureRanker {
+ public:
+  explicit ReliefFRanker(int num_neighbors = 10, int max_samples = 100)
+      : num_neighbors_(num_neighbors), max_samples_(max_samples) {}
+
+  std::string name() const override { return "ReliefF"; }
+  StatusOr<std::vector<double>> Rank(const data::Dataset& train,
+                                     Rng& rng) const override;
+
+ private:
+  int num_neighbors_;
+  int max_samples_;
+};
+
+}  // namespace dfs::fs
+
+#endif  // DFS_FS_RANKINGS_RELIEFF_H_

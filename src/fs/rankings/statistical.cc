@@ -1,0 +1,88 @@
+#include "fs/rankings/statistical.h"
+
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace dfs::fs {
+
+StatusOr<std::vector<double>> VarianceRanker::Rank(const data::Dataset& train,
+                                                   Rng& rng) const {
+  (void)rng;
+  std::vector<double> scores(train.num_features());
+  for (int f = 0; f < train.num_features(); ++f) {
+    scores[f] = Variance(train.Column(f));
+  }
+  return scores;
+}
+
+StatusOr<std::vector<double>> ChiSquaredRanker::Rank(
+    const data::Dataset& train, Rng& rng) const {
+  (void)rng;
+  const int n = train.num_rows();
+  if (n == 0) return InvalidArgumentError("empty dataset");
+  const auto& labels = train.labels();
+  double class_count[2] = {0.0, 0.0};
+  for (int y : labels) class_count[y] += 1.0;
+
+  std::vector<double> scores(train.num_features(), 0.0);
+  for (int f = 0; f < train.num_features(); ++f) {
+    const auto& column = train.Column(f);
+    double observed[2] = {0.0, 0.0};
+    double total = 0.0;
+    for (int r = 0; r < n; ++r) {
+      // Features are min-max scaled to [0, 1], i.e. non-negative, which the
+      // chi2 mass interpretation requires.
+      observed[labels[r]] += column[r];
+      total += column[r];
+    }
+    if (total <= 0.0) continue;
+    double chi2 = 0.0;
+    for (int k = 0; k < 2; ++k) {
+      const double expected = total * class_count[k] / n;
+      if (expected > 0.0) {
+        const double delta = observed[k] - expected;
+        chi2 += delta * delta / expected;
+      }
+    }
+    scores[f] = chi2;
+  }
+  return scores;
+}
+
+StatusOr<std::vector<double>> FisherRanker::Rank(const data::Dataset& train,
+                                                 Rng& rng) const {
+  (void)rng;
+  const int n = train.num_rows();
+  if (n == 0) return InvalidArgumentError("empty dataset");
+  const auto& labels = train.labels();
+  double class_count[2] = {0.0, 0.0};
+  for (int y : labels) class_count[y] += 1.0;
+
+  std::vector<double> scores(train.num_features(), 0.0);
+  for (int f = 0; f < train.num_features(); ++f) {
+    const auto& column = train.Column(f);
+    const double overall_mean = Mean(column);
+    double class_mean[2] = {0.0, 0.0};
+    for (int r = 0; r < n; ++r) class_mean[labels[r]] += column[r];
+    for (int k = 0; k < 2; ++k) {
+      class_mean[k] /= std::max(class_count[k], 1e-9);
+    }
+    double class_variance[2] = {0.0, 0.0};
+    for (int r = 0; r < n; ++r) {
+      const double delta = column[r] - class_mean[labels[r]];
+      class_variance[labels[r]] += delta * delta;
+    }
+    double between = 0.0;
+    double within = 0.0;
+    for (int k = 0; k < 2; ++k) {
+      const double mean_delta = class_mean[k] - overall_mean;
+      between += class_count[k] * mean_delta * mean_delta;
+      within += class_variance[k];
+    }
+    scores[f] = between / std::max(within, 1e-9);
+  }
+  return scores;
+}
+
+}  // namespace dfs::fs

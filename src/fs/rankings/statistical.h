@@ -1,0 +1,41 @@
+#ifndef DFS_FS_RANKINGS_STATISTICAL_H_
+#define DFS_FS_RANKINGS_STATISTICAL_H_
+
+#include <string>
+#include <vector>
+
+#include "fs/rankings/ranking.h"
+
+namespace dfs::fs {
+
+/// Variance ranking (Li et al. 2017): low-variance features carry little
+/// information to separate the classes.
+class VarianceRanker : public FeatureRanker {
+ public:
+  std::string name() const override { return "Variance"; }
+  StatusOr<std::vector<double>> Rank(const data::Dataset& train,
+                                     Rng& rng) const override;
+};
+
+/// χ² ranking (Liu & Setiono 1995), scikit-learn style on non-negative
+/// features: tests each feature's independence from the class label via
+/// observed-vs-expected per-class feature mass.
+class ChiSquaredRanker : public FeatureRanker {
+ public:
+  std::string name() const override { return "Chi2"; }
+  StatusOr<std::vector<double>> Rank(const data::Dataset& train,
+                                     Rng& rng) const override;
+};
+
+/// Fisher score (Duda, Hart & Stork): between-class separation over
+/// within-class spread, per feature.
+class FisherRanker : public FeatureRanker {
+ public:
+  std::string name() const override { return "Fisher"; }
+  StatusOr<std::vector<double>> Rank(const data::Dataset& train,
+                                     Rng& rng) const override;
+};
+
+}  // namespace dfs::fs
+
+#endif  // DFS_FS_RANKINGS_STATISTICAL_H_

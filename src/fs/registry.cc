@@ -1,0 +1,177 @@
+#include "fs/registry.h"
+
+#include "fs/evolutionary.h"
+#include "fs/exhaustive.h"
+#include "fs/nsga2.h"
+#include "fs/rfe.h"
+#include "fs/sequential.h"
+#include "fs/simulated_annealing.h"
+#include "fs/top_k.h"
+#include "fs/tpe_mask.h"
+
+namespace dfs::fs {
+namespace {
+
+/// Baseline "strategy": evaluate the original (full) feature set once.
+class OriginalFeatureSetStrategy : public FeatureSelectionStrategy {
+ public:
+  std::string name() const override { return "Original Feature Set"; }
+
+  StrategyInfo info() const override {
+    StrategyInfo info;
+    info.objectives = StrategyInfo::Objectives::kSingle;
+    info.search = StrategyInfo::Search::kExhaustive;  // trivially so
+    info.uses_ranking = false;
+    return info;
+  }
+
+  void Run(EvalContext& context) override {
+    context.Evaluate(FullMask(context.num_features()));
+  }
+};
+
+}  // namespace
+
+const std::vector<StrategyId>& AllStrategies() {
+  static const auto& ids = *new std::vector<StrategyId>{
+      StrategyId::kSbs,       StrategyId::kSbfs,
+      StrategyId::kRfe,       StrategyId::kTpeMcfs,
+      StrategyId::kTpeReliefF, StrategyId::kTpeVariance,
+      StrategyId::kTpeMask,   StrategyId::kNsga2,
+      StrategyId::kTpeMim,    StrategyId::kSimulatedAnnealing,
+      StrategyId::kExhaustive, StrategyId::kTpeFisher,
+      StrategyId::kTpeChi2,   StrategyId::kSfs,
+      StrategyId::kSffs,      StrategyId::kTpeFcbf,
+  };
+  return ids;
+}
+
+const std::vector<StrategyId>& AllStrategiesWithBaseline() {
+  static const auto& ids = *new std::vector<StrategyId>([] {
+    std::vector<StrategyId> all = {StrategyId::kOriginalFeatureSet};
+    for (StrategyId id : AllStrategies()) all.push_back(id);
+    return all;
+  }());
+  return ids;
+}
+
+const std::vector<StrategyId>& ExtensionStrategies() {
+  static const auto& ids = *new std::vector<StrategyId>{
+      StrategyId::kBinaryPso,
+      StrategyId::kGeneticAlgorithm,
+      StrategyId::kTpeMrmr,
+  };
+  return ids;
+}
+
+std::string StrategyIdToString(StrategyId id) {
+  switch (id) {
+    case StrategyId::kOriginalFeatureSet:
+      return "Original Feature Set";
+    case StrategyId::kSbs:
+      return "SBS(NR)";
+    case StrategyId::kSbfs:
+      return "SBFS(NR)";
+    case StrategyId::kRfe:
+      return "RFE(Model)";
+    case StrategyId::kTpeMcfs:
+      return "TPE(MCFS)";
+    case StrategyId::kTpeReliefF:
+      return "TPE(ReliefF)";
+    case StrategyId::kTpeVariance:
+      return "TPE(Variance)";
+    case StrategyId::kTpeMask:
+      return "TPE(NR)";
+    case StrategyId::kNsga2:
+      return "NSGA-II(NR)";
+    case StrategyId::kTpeMim:
+      return "TPE(MIM)";
+    case StrategyId::kSimulatedAnnealing:
+      return "SA(NR)";
+    case StrategyId::kExhaustive:
+      return "ES(NR)";
+    case StrategyId::kTpeFisher:
+      return "TPE(Fisher)";
+    case StrategyId::kTpeChi2:
+      return "TPE(Chi2)";
+    case StrategyId::kSfs:
+      return "SFS(NR)";
+    case StrategyId::kSffs:
+      return "SFFS(NR)";
+    case StrategyId::kTpeFcbf:
+      return "TPE(FCBF)";
+    case StrategyId::kBinaryPso:
+      return "BPSO(NR)";
+    case StrategyId::kGeneticAlgorithm:
+      return "GA(NR)";
+    case StrategyId::kTpeMrmr:
+      return "TPE(mRMR)";
+  }
+  return "?";
+}
+
+StatusOr<StrategyId> StrategyIdFromString(const std::string& name) {
+  for (StrategyId id : AllStrategiesWithBaseline()) {
+    if (StrategyIdToString(id) == name) return id;
+  }
+  for (StrategyId id : ExtensionStrategies()) {
+    if (StrategyIdToString(id) == name) return id;
+  }
+  return NotFoundError("unknown strategy: " + name);
+}
+
+std::unique_ptr<FeatureSelectionStrategy> CreateStrategy(StrategyId id,
+                                                         uint64_t seed) {
+  switch (id) {
+    case StrategyId::kOriginalFeatureSet:
+      return std::make_unique<OriginalFeatureSetStrategy>();
+    case StrategyId::kSbs:
+      return std::make_unique<SequentialSelection>(
+          SequentialSelection::Direction::kBackward, /*floating=*/false);
+    case StrategyId::kSbfs:
+      return std::make_unique<SequentialSelection>(
+          SequentialSelection::Direction::kBackward, /*floating=*/true);
+    case StrategyId::kRfe:
+      return std::make_unique<RecursiveFeatureElimination>();
+    case StrategyId::kTpeMcfs:
+      return std::make_unique<TopKRankingStrategy>(RankerKind::kMcfs, seed);
+    case StrategyId::kTpeReliefF:
+      return std::make_unique<TopKRankingStrategy>(RankerKind::kReliefF, seed);
+    case StrategyId::kTpeVariance:
+      return std::make_unique<TopKRankingStrategy>(RankerKind::kVariance,
+                                                   seed);
+    case StrategyId::kTpeMask:
+      return std::make_unique<TpeMaskStrategy>(seed);
+    case StrategyId::kNsga2:
+      return std::make_unique<Nsga2Strategy>(seed);
+    case StrategyId::kTpeMim:
+      return std::make_unique<TopKRankingStrategy>(
+          RankerKind::kMutualInformation, seed);
+    case StrategyId::kSimulatedAnnealing:
+      return std::make_unique<SimulatedAnnealingStrategy>(seed);
+    case StrategyId::kExhaustive:
+      return std::make_unique<ExhaustiveSearch>();
+    case StrategyId::kTpeFisher:
+      return std::make_unique<TopKRankingStrategy>(RankerKind::kFisher, seed);
+    case StrategyId::kTpeChi2:
+      return std::make_unique<TopKRankingStrategy>(RankerKind::kChiSquared,
+                                                   seed);
+    case StrategyId::kSfs:
+      return std::make_unique<SequentialSelection>(
+          SequentialSelection::Direction::kForward, /*floating=*/false);
+    case StrategyId::kSffs:
+      return std::make_unique<SequentialSelection>(
+          SequentialSelection::Direction::kForward, /*floating=*/true);
+    case StrategyId::kTpeFcbf:
+      return std::make_unique<TopKRankingStrategy>(RankerKind::kFcbf, seed);
+    case StrategyId::kBinaryPso:
+      return std::make_unique<BinaryPsoStrategy>(seed);
+    case StrategyId::kGeneticAlgorithm:
+      return std::make_unique<GeneticAlgorithmStrategy>(seed);
+    case StrategyId::kTpeMrmr:
+      return std::make_unique<TopKRankingStrategy>(RankerKind::kMrmr, seed);
+  }
+  return nullptr;
+}
+
+}  // namespace dfs::fs

@@ -1,0 +1,64 @@
+#ifndef DFS_FS_REGISTRY_H_
+#define DFS_FS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/strategy.h"
+#include "util/statusor.h"
+
+namespace dfs::fs {
+
+/// Identifier of every strategy in the benchmark (Section 4.2), plus the
+/// Original-Feature-Set baseline reported in the paper's tables. Enumerator
+/// order matches the row order of Table 3.
+enum class StrategyId {
+  kOriginalFeatureSet,  // baseline: evaluate the full set once
+  kSbs,
+  kSbfs,
+  kRfe,
+  kTpeMcfs,
+  kTpeReliefF,
+  kTpeVariance,
+  kTpeMask,     // TPE(NR)
+  kNsga2,
+  kTpeMim,
+  kSimulatedAnnealing,
+  kExhaustive,
+  kTpeFisher,
+  kTpeChi2,
+  kSfs,
+  kSffs,
+  kTpeFcbf,
+  // --- extensions beyond the paper's benchmark (not in AllStrategies) ---
+  kBinaryPso,         // BPSO(NR): binary particle swarm (Xue et al. 2012)
+  kGeneticAlgorithm,  // GA(NR): single-objective genetic algorithm
+  kTpeMrmr,           // TPE(mRMR): minimum-redundancy-maximum-relevance
+};
+
+/// The 16 benchmarked strategies, in Table-3 row order (baseline excluded).
+const std::vector<StrategyId>& AllStrategies();
+
+/// The 16 strategies plus the Original-Feature-Set baseline (first).
+const std::vector<StrategyId>& AllStrategiesWithBaseline();
+
+/// Extension strategies implemented beyond the paper's benchmark (BPSO,
+/// GA, TPE(mRMR)). Kept out of AllStrategies so the reproduced tables stay
+/// faithful; usable anywhere a StrategyId is accepted.
+const std::vector<StrategyId>& ExtensionStrategies();
+
+/// Paper-style display name, e.g. "SFFS(NR)".
+std::string StrategyIdToString(StrategyId id);
+
+/// Inverse of StrategyIdToString (NotFound on unknown names).
+StatusOr<StrategyId> StrategyIdFromString(const std::string& name);
+
+/// Instantiates a strategy. `seed` drives all of the strategy's own
+/// randomness (proposals, restarts); deterministic given (id, seed).
+std::unique_ptr<FeatureSelectionStrategy> CreateStrategy(StrategyId id,
+                                                         uint64_t seed);
+
+}  // namespace dfs::fs
+
+#endif  // DFS_FS_REGISTRY_H_

@@ -1,0 +1,34 @@
+#include "fs/rfe.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dfs::fs {
+
+void RecursiveFeatureElimination::Run(EvalContext& context) {
+  const int n = context.num_features();
+  FeatureMask current = FullMask(n);
+  context.Evaluate(current);
+
+  while (!context.ShouldStop() && CountSelected(current) > 1) {
+    auto importances = context.FittedImportances(current);
+    if (!importances.ok()) {
+      DFS_LOG(WARNING) << "RFE importance failure: "
+                       << importances.status().ToString();
+      return;
+    }
+    const std::vector<int> selected = MaskToIndices(current);
+    DFS_CHECK_EQ(selected.size(), importances.value().size());
+    int weakest = 0;
+    for (size_t i = 1; i < selected.size(); ++i) {
+      if (importances.value()[i] < importances.value()[weakest]) {
+        weakest = static_cast<int>(i);
+      }
+    }
+    current[selected[weakest]] = 0;
+    context.Evaluate(current);
+  }
+}
+
+}  // namespace dfs::fs

@@ -1,0 +1,33 @@
+#ifndef DFS_FS_RFE_H_
+#define DFS_FS_RFE_H_
+
+#include <string>
+
+#include "fs/strategy.h"
+
+namespace dfs::fs {
+
+/// RFE(Model): recursive feature elimination (Guyon et al. 2002). Backward
+/// selection, but instead of wrapper-evaluating every removal candidate, it
+/// drops the feature the fitted model deems least important (|w| for linear
+/// models, impurity decrease for trees, permutation importance when the
+/// model exposes nothing — the NB case the paper calls out as expensive).
+class RecursiveFeatureElimination : public FeatureSelectionStrategy {
+ public:
+  std::string name() const override { return "RFE(Model)"; }
+
+  StrategyInfo info() const override {
+    StrategyInfo info;
+    info.objectives = StrategyInfo::Objectives::kSingle;
+    info.search = StrategyInfo::Search::kSequential;
+    info.uses_ranking = true;
+    info.ranking = "model importance";
+    return info;
+  }
+
+  void Run(EvalContext& context) override;
+};
+
+}  // namespace dfs::fs
+
+#endif  // DFS_FS_RFE_H_

@@ -1,0 +1,142 @@
+#include "fs/sequential.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dfs::fs {
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+std::string SequentialSelection::name() const {
+  if (direction_ == Direction::kForward) {
+    return floating_ ? "SFFS(NR)" : "SFS(NR)";
+  }
+  return floating_ ? "SBFS(NR)" : "SBS(NR)";
+}
+
+StrategyInfo SequentialSelection::info() const {
+  StrategyInfo info;
+  info.objectives = StrategyInfo::Objectives::kSingle;
+  info.search = StrategyInfo::Search::kSequential;
+  info.uses_ranking = false;
+  return info;
+}
+
+void SequentialSelection::Run(EvalContext& context) {
+  if (direction_ == Direction::kForward) {
+    RunForward(context);
+  } else {
+    RunBackward(context);
+  }
+}
+
+void SequentialSelection::RunForward(EvalContext& context) {
+  const int n = context.num_features();
+  const int max_count = context.max_feature_count();
+  FeatureMask current(n, 0);
+  double current_objective = kInfinity;
+  // best_at_size[k]: best objective seen for a subset of size k (floating
+  // uses it to decide whether a removal "improves"; Pudil et al. 1994).
+  std::vector<double> best_at_size(n + 1, kInfinity);
+
+  while (!context.ShouldStop() && CountSelected(current) < max_count) {
+    // Forward step: try adding each unselected feature.
+    int best_feature = -1;
+    double best_objective = kInfinity;
+    for (int f = 0; f < n && !context.ShouldStop(); ++f) {
+      if (current[f]) continue;
+      current[f] = 1;
+      const EvalOutcome outcome = context.Evaluate(current);
+      current[f] = 0;
+      if (outcome.evaluated && outcome.objective < best_objective) {
+        best_objective = outcome.objective;
+        best_feature = f;
+      }
+    }
+    if (best_feature < 0) break;  // nothing evaluable (deadline mid-sweep)
+    current[best_feature] = 1;
+    current_objective = best_objective;
+    int size = CountSelected(current);
+    best_at_size[size] = std::min(best_at_size[size], current_objective);
+
+    // Floating step: remove features while that beats the best subset of
+    // the smaller size.
+    while (floating_ && size > 2 && !context.ShouldStop()) {
+      int removal = -1;
+      double removal_objective = kInfinity;
+      for (int f = 0; f < n && !context.ShouldStop(); ++f) {
+        if (!current[f] || f == best_feature) continue;
+        current[f] = 0;
+        const EvalOutcome outcome = context.Evaluate(current);
+        current[f] = 1;
+        if (outcome.evaluated && outcome.objective < removal_objective) {
+          removal_objective = outcome.objective;
+          removal = f;
+        }
+      }
+      if (removal < 0 || removal_objective >= best_at_size[size - 1]) break;
+      current[removal] = 0;
+      current_objective = removal_objective;
+      --size;
+      best_at_size[size] = std::min(best_at_size[size], current_objective);
+    }
+  }
+}
+
+void SequentialSelection::RunBackward(EvalContext& context) {
+  const int n = context.num_features();
+  FeatureMask current = FullMask(n);
+  EvalOutcome full = context.Evaluate(current);
+  double current_objective = full.evaluated ? full.objective : kInfinity;
+  std::vector<double> best_at_size(n + 1, kInfinity);
+  if (full.evaluated) best_at_size[n] = full.objective;
+
+  while (!context.ShouldStop() && CountSelected(current) > 1) {
+    // Backward step: try removing each selected feature.
+    int best_feature = -1;
+    double best_objective = kInfinity;
+    for (int f = 0; f < n && !context.ShouldStop(); ++f) {
+      if (!current[f]) continue;
+      current[f] = 0;
+      const EvalOutcome outcome = context.Evaluate(current);
+      current[f] = 1;
+      if (outcome.evaluated && outcome.objective < best_objective) {
+        best_objective = outcome.objective;
+        best_feature = f;
+      }
+    }
+    if (best_feature < 0) break;
+    current[best_feature] = 0;
+    current_objective = best_objective;
+    int size = CountSelected(current);
+    best_at_size[size] = std::min(best_at_size[size], current_objective);
+
+    // Floating step: re-add previously removed features while that beats
+    // the best subset of the larger size.
+    while (floating_ && size < n - 1 && !context.ShouldStop()) {
+      int addition = -1;
+      double addition_objective = kInfinity;
+      for (int f = 0; f < n && !context.ShouldStop(); ++f) {
+        if (current[f] || f == best_feature) continue;
+        current[f] = 1;
+        const EvalOutcome outcome = context.Evaluate(current);
+        current[f] = 0;
+        if (outcome.evaluated && outcome.objective < addition_objective) {
+          addition_objective = outcome.objective;
+          addition = f;
+        }
+      }
+      if (addition < 0 || addition_objective >= best_at_size[size + 1]) break;
+      current[addition] = 1;
+      current_objective = addition_objective;
+      ++size;
+      best_at_size[size] = std::min(best_at_size[size], current_objective);
+    }
+  }
+  (void)current_objective;
+}
+
+}  // namespace dfs::fs

@@ -1,0 +1,45 @@
+#ifndef DFS_FS_SEQUENTIAL_H_
+#define DFS_FS_SEQUENTIAL_H_
+
+#include <string>
+
+#include "fs/strategy.h"
+
+namespace dfs::fs {
+
+/// The sequential-selection family (Aha & Bankert 1996; Pudil et al. 1994):
+///
+///  * SFS(NR)  — forward: greedily add the feature that most improves the
+///               Eq. (2) objective.
+///  * SBS(NR)  — backward: start from the full set and greedily remove.
+///  * SFFS(NR) — forward with floating: after each addition, keep removing
+///               features while that improves on the best subset seen at
+///               the smaller size.
+///  * SBFS(NR) — backward with floating: after each removal, try re-adding
+///               previously removed features.
+///
+/// All four are single-objective, no-ranking wrapper searches; forward
+/// variants respect the evaluation-independent max-feature-count bound by
+/// stopping growth at that size.
+class SequentialSelection : public FeatureSelectionStrategy {
+ public:
+  enum class Direction { kForward, kBackward };
+
+  SequentialSelection(Direction direction, bool floating)
+      : direction_(direction), floating_(floating) {}
+
+  std::string name() const override;
+  StrategyInfo info() const override;
+  void Run(EvalContext& context) override;
+
+ private:
+  void RunForward(EvalContext& context);
+  void RunBackward(EvalContext& context);
+
+  Direction direction_;
+  bool floating_;
+};
+
+}  // namespace dfs::fs
+
+#endif  // DFS_FS_SEQUENTIAL_H_

@@ -1,0 +1,40 @@
+#ifndef DFS_FS_STRATEGY_H_
+#define DFS_FS_STRATEGY_H_
+
+#include <string>
+
+#include "fs/eval_context.h"
+
+namespace dfs::fs {
+
+/// Position of a strategy in the DFS taxonomy (Figure 3).
+struct StrategyInfo {
+  enum class Objectives { kSingle, kMulti };
+  enum class Search { kExhaustive, kSequential, kRandomized };
+
+  Objectives objectives = Objectives::kSingle;
+  Search search = Search::kSequential;
+  bool uses_ranking = false;
+  /// Ranking family for ranking-based strategies ("" = NR).
+  std::string ranking = "";
+};
+
+/// A feature-selection strategy: a search procedure over feature masks that
+/// drives EvalContext::Evaluate until the context reports ShouldStop() (a
+/// satisfying subset was found or the search-time budget expired) or the
+/// strategy exhausts its own search space.
+class FeatureSelectionStrategy {
+ public:
+  virtual ~FeatureSelectionStrategy() = default;
+
+  /// Paper-style display name, e.g. "SFFS(NR)" or "TPE(FCBF)".
+  virtual std::string name() const = 0;
+
+  virtual StrategyInfo info() const = 0;
+
+  virtual void Run(EvalContext& context) = 0;
+};
+
+}  // namespace dfs::fs
+
+#endif  // DFS_FS_STRATEGY_H_

@@ -1,0 +1,36 @@
+#ifndef DFS_FS_TOP_K_H_
+#define DFS_FS_TOP_K_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/rankings/ranking.h"
+#include "fs/search/tpe.h"
+#include "fs/strategy.h"
+
+namespace dfs::fs {
+
+/// TPE(<ranking>): computes a feature ranking once (Section 4.2: "we compute
+/// each ranking only once in the first round of HPO"), then runs the
+/// tree-structured Parzen estimator over the single hyperparameter k and
+/// wrapper-evaluates the top-k features of the ranking.
+class TopKRankingStrategy : public FeatureSelectionStrategy {
+ public:
+  TopKRankingStrategy(RankerKind kind, uint64_t seed,
+                      const TpeOptions& tpe_options = {});
+
+  std::string name() const override;
+  StrategyInfo info() const override;
+  void Run(EvalContext& context) override;
+
+ private:
+  RankerKind kind_;
+  std::unique_ptr<FeatureRanker> ranker_;
+  uint64_t seed_;
+  TpeOptions tpe_options_;
+};
+
+}  // namespace dfs::fs
+
+#endif  // DFS_FS_TOP_K_H_

@@ -1,0 +1,16 @@
+#include "fs/tpe_mask.h"
+
+namespace dfs::fs {
+
+void TpeMaskStrategy::Run(EvalContext& context) {
+  TpeBinaryOptimizer optimizer(context.num_features(),
+                               context.max_feature_count(), options_, seed_);
+  while (!context.ShouldStop()) {
+    const FeatureMask mask = optimizer.Propose();
+    const EvalOutcome outcome = context.Evaluate(mask);
+    if (!outcome.evaluated) break;
+    optimizer.Record(mask, outcome.objective);
+  }
+}
+
+}  // namespace dfs::fs

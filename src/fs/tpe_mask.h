@@ -1,0 +1,40 @@
+#ifndef DFS_FS_TPE_MASK_H_
+#define DFS_FS_TPE_MASK_H_
+
+#include <string>
+
+#include "fs/search/tpe.h"
+#include "fs/strategy.h"
+
+namespace dfs::fs {
+
+/// TPE(NR): ranking-free randomized search — every feature's inclusion is a
+/// binary decision variable and TPE models the good/bad densities per
+/// dimension (Section 4.2). Because it is not bound to any ranking it can
+/// prune specific (e.g. biased) features that accuracy-oriented rankings
+/// keep, which is why it wins on high EO thresholds (Section 6.4).
+class TpeMaskStrategy : public FeatureSelectionStrategy {
+ public:
+  explicit TpeMaskStrategy(uint64_t seed, const TpeOptions& options = {})
+      : seed_(seed), options_(options) {}
+
+  std::string name() const override { return "TPE(NR)"; }
+
+  StrategyInfo info() const override {
+    StrategyInfo info;
+    info.objectives = StrategyInfo::Objectives::kSingle;
+    info.search = StrategyInfo::Search::kRandomized;
+    info.uses_ranking = false;
+    return info;
+  }
+
+  void Run(EvalContext& context) override;
+
+ private:
+  uint64_t seed_;
+  TpeOptions options_;
+};
+
+}  // namespace dfs::fs
+
+#endif  // DFS_FS_TPE_MASK_H_

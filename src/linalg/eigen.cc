@@ -1,0 +1,90 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dfs::linalg {
+
+StatusOr<EigenDecomposition> JacobiEigenSymmetric(const Matrix& a,
+                                                  int max_sweeps,
+                                                  double tolerance) {
+  if (a.rows() != a.cols()) {
+    return InvalidArgumentError("matrix must be square");
+  }
+  const int n = a.rows();
+  for (int r = 0; r < n; ++r) {
+    for (int c = r + 1; c < n; ++c) {
+      if (std::fabs(a(r, c) - a(c, r)) > 1e-8) {
+        return InvalidArgumentError("matrix must be symmetric");
+      }
+    }
+  }
+
+  Matrix work = a;
+  Matrix vectors = Matrix::Identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off_diagonal = 0.0;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        off_diagonal += work(p, q) * work(p, q);
+      }
+    }
+    if (off_diagonal < tolerance) break;
+
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        double apq = work(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        double app = work(p, p);
+        double aqq = work(q, q);
+        double theta = (aqq - app) / (2.0 * apq);
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+
+        for (int k = 0; k < n; ++k) {
+          double wkp = work(k, p);
+          double wkq = work(k, q);
+          work(k, p) = c * wkp - s * wkq;
+          work(k, q) = s * wkp + c * wkq;
+        }
+        for (int k = 0; k < n; ++k) {
+          double wpk = work(p, k);
+          double wqk = work(q, k);
+          work(p, k) = c * wpk - s * wqk;
+          work(q, k) = s * wpk + c * wqk;
+        }
+        for (int k = 0; k < n; ++k) {
+          double vkp = vectors(k, p);
+          double vkq = vectors(k, q);
+          vectors(k, p) = c * vkp - s * vkq;
+          vectors(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by ascending eigenvalue.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> diagonal(n);
+  for (int i = 0; i < n; ++i) diagonal[i] = work(i, i);
+  std::sort(order.begin(), order.end(),
+            [&](int x, int y) { return diagonal[x] < diagonal[y]; });
+
+  EigenDecomposition result;
+  result.values.resize(n);
+  result.vectors = Matrix(n, n);
+  for (int i = 0; i < n; ++i) {
+    result.values[i] = diagonal[order[i]];
+    for (int r = 0; r < n; ++r) {
+      result.vectors(r, i) = vectors(r, order[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace dfs::linalg

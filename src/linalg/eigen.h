@@ -1,0 +1,28 @@
+#ifndef DFS_LINALG_EIGEN_H_
+#define DFS_LINALG_EIGEN_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/statusor.h"
+
+namespace dfs::linalg {
+
+/// Result of a symmetric eigendecomposition: A = V diag(values) V^T with
+/// eigenvalues sorted ascending; eigenvectors are the columns of V.
+struct EigenDecomposition {
+  std::vector<double> values;
+  Matrix vectors;
+};
+
+/// Cyclic Jacobi eigensolver for symmetric matrices. Intended for the small
+/// dense matrices this project produces (graph Laplacians of a <= few
+/// hundred point subsample in MCFS). Returns InvalidArgument for non-square
+/// or non-symmetric input (tolerance 1e-8).
+StatusOr<EigenDecomposition> JacobiEigenSymmetric(const Matrix& a,
+                                                  int max_sweeps = 100,
+                                                  double tolerance = 1e-20);
+
+}  // namespace dfs::linalg
+
+#endif  // DFS_LINALG_EIGEN_H_

@@ -1,0 +1,63 @@
+#include "linalg/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dfs::linalg {
+
+std::vector<int> KNearestRows(const Matrix& points,
+                              const std::vector<double>& query, int k,
+                              int exclude_row) {
+  const int n = points.rows();
+  std::vector<std::pair<double, int>> distances;
+  distances.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    if (i == exclude_row) continue;
+    double d = 0.0;
+    for (int c = 0; c < points.cols(); ++c) {
+      double diff = points(i, c) - query[c];
+      d += diff * diff;
+    }
+    distances.emplace_back(d, i);
+  }
+  k = std::min<int>(k, static_cast<int>(distances.size()));
+  std::partial_sort(distances.begin(), distances.begin() + k,
+                    distances.end());
+  std::vector<int> neighbors(k);
+  for (int i = 0; i < k; ++i) neighbors[i] = distances[i].second;
+  return neighbors;
+}
+
+Matrix HeatKernelKnnGraph(const Matrix& points, int k) {
+  const int n = points.rows();
+  Matrix adjacency(n, n);
+  if (n == 0) return adjacency;
+
+  // Estimate sigma from mean nearest-neighbor distance.
+  double sigma_sum = 0.0;
+  std::vector<std::vector<int>> neighbor_lists(n);
+  for (int i = 0; i < n; ++i) {
+    neighbor_lists[i] = KNearestRows(points, points.Row(i), k, i);
+    if (!neighbor_lists[i].empty()) {
+      double d = std::sqrt(
+          SquaredDistance(points.Row(i), points.Row(neighbor_lists[i][0])));
+      sigma_sum += d;
+    }
+  }
+  double sigma = sigma_sum / std::max(1, n);
+  if (sigma <= 1e-12) sigma = 1.0;
+  const double denom = 2.0 * sigma * sigma;
+
+  for (int i = 0; i < n; ++i) {
+    for (int j : neighbor_lists[i]) {
+      double w = std::exp(-SquaredDistance(points.Row(i), points.Row(j)) /
+                          denom);
+      adjacency(i, j) = std::max(adjacency(i, j), w);
+      adjacency(j, i) = adjacency(i, j);  // symmetrize
+    }
+  }
+  return adjacency;
+}
+
+}  // namespace dfs::linalg

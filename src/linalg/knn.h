@@ -1,0 +1,24 @@
+#ifndef DFS_LINALG_KNN_H_
+#define DFS_LINALG_KNN_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dfs::linalg {
+
+/// Indices of the k nearest rows of `points` to `query` by Euclidean
+/// distance, optionally excluding one row (set exclude_row = -1 to disable).
+/// Brute force; the library only calls this on subsamples.
+std::vector<int> KNearestRows(const Matrix& points,
+                              const std::vector<double>& query, int k,
+                              int exclude_row);
+
+/// Symmetric k-NN adjacency with heat-kernel weights
+/// w_ij = exp(-||x_i - x_j||^2 / (2 sigma^2)), where sigma is the mean
+/// nearest-neighbor distance. Used for the MCFS spectral embedding.
+Matrix HeatKernelKnnGraph(const Matrix& points, int k);
+
+}  // namespace dfs::linalg
+
+#endif  // DFS_LINALG_KNN_H_

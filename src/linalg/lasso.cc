@@ -1,0 +1,57 @@
+#include "linalg/lasso.h"
+
+#include <cmath>
+
+namespace dfs::linalg {
+namespace {
+
+double SoftThreshold(double value, double threshold) {
+  if (value > threshold) return value - threshold;
+  if (value < -threshold) return value + threshold;
+  return 0.0;
+}
+
+}  // namespace
+
+std::vector<double> LassoCoordinateDescent(const Matrix& x,
+                                           const std::vector<double>& y,
+                                           const LassoOptions& options) {
+  const int n = x.rows();
+  const int p = x.cols();
+  DFS_CHECK_EQ(static_cast<int>(y.size()), n);
+  std::vector<double> w(p, 0.0);
+  if (n == 0 || p == 0) return w;
+
+  // Precompute column squared norms (the coordinate-wise Lipschitz terms).
+  std::vector<double> col_sq(p, 0.0);
+  for (int j = 0; j < p; ++j) {
+    for (int i = 0; i < n; ++i) col_sq[j] += x(i, j) * x(i, j);
+  }
+
+  // Residual r = y - Xw; starts at y because w = 0.
+  std::vector<double> residual = y;
+  const double n_double = static_cast<double>(n);
+
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    double max_change = 0.0;
+    for (int j = 0; j < p; ++j) {
+      if (col_sq[j] <= 1e-12) continue;  // constant-zero column
+      // rho = (1/n) x_j . (r + w_j x_j)
+      double rho = 0.0;
+      for (int i = 0; i < n; ++i) rho += x(i, j) * residual[i];
+      rho = rho / n_double + w[j] * col_sq[j] / n_double;
+      double new_w = SoftThreshold(rho, options.l1_penalty) /
+                     (col_sq[j] / n_double);
+      double delta = new_w - w[j];
+      if (delta != 0.0) {
+        for (int i = 0; i < n; ++i) residual[i] -= delta * x(i, j);
+        w[j] = new_w;
+        max_change = std::max(max_change, std::fabs(delta));
+      }
+    }
+    if (max_change < options.tolerance) break;
+  }
+  return w;
+}
+
+}  // namespace dfs::linalg

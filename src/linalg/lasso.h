@@ -1,0 +1,28 @@
+#ifndef DFS_LINALG_LASSO_H_
+#define DFS_LINALG_LASSO_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dfs::linalg {
+
+/// Options for the coordinate-descent lasso solver.
+struct LassoOptions {
+  double l1_penalty = 0.01;   ///< lambda; larger -> sparser coefficients.
+  int max_iterations = 200;   ///< full coordinate sweeps.
+  double tolerance = 1e-6;    ///< max coefficient change for convergence.
+};
+
+/// L1-regularized least squares min_w 0.5/n ||y - Xw||^2 + lambda ||w||_1
+/// solved by cyclic coordinate descent with soft-thresholding. No intercept:
+/// callers are expected to center/scale inputs as needed. Used by the MCFS
+/// ranking (Cai et al. 2010) to regress spectral-embedding dimensions onto
+/// features.
+std::vector<double> LassoCoordinateDescent(const Matrix& x,
+                                           const std::vector<double>& y,
+                                           const LassoOptions& options = {});
+
+}  // namespace dfs::linalg
+
+#endif  // DFS_LINALG_LASSO_H_

@@ -1,0 +1,83 @@
+#ifndef DFS_LINALG_MATRIX_H_
+#define DFS_LINALG_MATRIX_H_
+
+#include <initializer_list>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace dfs::linalg {
+
+/// Dense row-major matrix of doubles. Small and deliberately simple: the
+/// library's numeric needs (spectral embedding, lasso, classifier math) stay
+/// within a few hundred rows/columns.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, fill) {
+    DFS_CHECK_GE(rows, 0);
+    DFS_CHECK_GE(cols, 0);
+  }
+
+  /// Builds from nested initializer lists; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> values);
+
+  static Matrix Identity(int n);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& operator()(int r, int c) {
+    DFS_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double operator()(int r, int c) const {
+    DFS_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  /// Copies row `r` out.
+  std::vector<double> Row(int r) const;
+
+  /// Copies column `c` out.
+  std::vector<double> Column(int c) const;
+
+  Matrix Transpose() const;
+
+  /// Matrix product; requires cols() == other.rows().
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Matrix-vector product; requires cols() == v.size().
+  std::vector<double> MultiplyVector(const std::vector<double>& v) const;
+
+  /// Frobenius-norm of (this - other); requires equal shapes.
+  double FrobeniusDistance(const Matrix& other) const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+/// Dot product; requires equal sizes.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean norm.
+double Norm2(const std::vector<double>& a);
+
+/// Squared Euclidean distance between two equal-length vectors.
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+/// a + s * b, elementwise; requires equal sizes.
+std::vector<double> Axpy(const std::vector<double>& a, double s,
+                         const std::vector<double>& b);
+
+/// Scales a vector in place.
+void ScaleInPlace(std::vector<double>& v, double s);
+
+}  // namespace dfs::linalg
+
+#endif  // DFS_LINALG_MATRIX_H_

@@ -1,0 +1,66 @@
+#include "metrics/classification.h"
+
+#include "util/logging.h"
+
+namespace dfs::metrics {
+
+ConfusionMatrix ComputeConfusion(const std::vector<int>& y_true,
+                                 const std::vector<int>& y_pred) {
+  DFS_CHECK_EQ(y_true.size(), y_pred.size());
+  ConfusionMatrix confusion;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    if (y_true[i] == 1) {
+      (y_pred[i] == 1 ? confusion.true_positives : confusion.false_negatives)++;
+    } else {
+      (y_pred[i] == 1 ? confusion.false_positives : confusion.true_negatives)++;
+    }
+  }
+  return confusion;
+}
+
+double Precision(const ConfusionMatrix& confusion) {
+  const int denominator = confusion.true_positives + confusion.false_positives;
+  return denominator > 0
+             ? static_cast<double>(confusion.true_positives) / denominator
+             : 0.0;
+}
+
+double Recall(const ConfusionMatrix& confusion) {
+  const int denominator = confusion.true_positives + confusion.false_negatives;
+  return denominator > 0
+             ? static_cast<double>(confusion.true_positives) / denominator
+             : 0.0;
+}
+
+double F1Score(const ConfusionMatrix& confusion) {
+  const double precision = Precision(confusion);
+  const double recall = Recall(confusion);
+  return precision + recall > 0.0
+             ? 2.0 * precision * recall / (precision + recall)
+             : 0.0;
+}
+
+double F1Score(const std::vector<int>& y_true,
+               const std::vector<int>& y_pred) {
+  return F1Score(ComputeConfusion(y_true, y_pred));
+}
+
+double Accuracy(const ConfusionMatrix& confusion) {
+  const int total = confusion.total();
+  return total > 0 ? static_cast<double>(confusion.true_positives +
+                                         confusion.true_negatives) /
+                         total
+                   : 0.0;
+}
+
+double Accuracy(const std::vector<int>& y_true,
+                const std::vector<int>& y_pred) {
+  return Accuracy(ComputeConfusion(y_true, y_pred));
+}
+
+double TruePositiveRate(const std::vector<int>& y_true,
+                        const std::vector<int>& y_pred) {
+  return Recall(ComputeConfusion(y_true, y_pred));
+}
+
+}  // namespace dfs::metrics

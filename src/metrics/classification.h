@@ -1,0 +1,48 @@
+#ifndef DFS_METRICS_CLASSIFICATION_H_
+#define DFS_METRICS_CLASSIFICATION_H_
+
+#include <vector>
+
+namespace dfs::metrics {
+
+/// Binary-classification confusion counts (positive class = 1).
+struct ConfusionMatrix {
+  int true_positives = 0;
+  int false_positives = 0;
+  int true_negatives = 0;
+  int false_negatives = 0;
+
+  int total() const {
+    return true_positives + false_positives + true_negatives +
+           false_negatives;
+  }
+};
+
+/// Tallies a confusion matrix; inputs must be equal-length 0/1 vectors.
+ConfusionMatrix ComputeConfusion(const std::vector<int>& y_true,
+                                 const std::vector<int>& y_pred);
+
+/// Precision TP / (TP + FP); 0 when undefined.
+double Precision(const ConfusionMatrix& confusion);
+
+/// Recall TP / (TP + FN); 0 when undefined.
+double Recall(const ConfusionMatrix& confusion);
+
+/// F1 = 2PR / (P + R); 0 when undefined. The paper's primary accuracy
+/// measure ("we use the F1 score ... because it is robust against class
+/// imbalance").
+double F1Score(const ConfusionMatrix& confusion);
+double F1Score(const std::vector<int>& y_true, const std::vector<int>& y_pred);
+
+/// Plain accuracy.
+double Accuracy(const ConfusionMatrix& confusion);
+double Accuracy(const std::vector<int>& y_true,
+                const std::vector<int>& y_pred);
+
+/// True-positive rate (= recall); 0 when the class has no positives.
+double TruePositiveRate(const std::vector<int>& y_true,
+                        const std::vector<int>& y_pred);
+
+}  // namespace dfs::metrics
+
+#endif  // DFS_METRICS_CLASSIFICATION_H_

@@ -1,0 +1,122 @@
+#include "metrics/hop_skip_jump.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace dfs::metrics {
+namespace {
+
+double Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  return std::sqrt(linalg::SquaredDistance(a, b));
+}
+
+}  // namespace
+
+std::optional<std::vector<double>> HopSkipJumpAttack::Attack(
+    const ml::Classifier& model, const std::vector<double>& row,
+    Rng& rng) const {
+  last_query_count_ = 0;
+  const int d = static_cast<int>(row.size());
+  if (d == 0) return std::nullopt;
+
+  int queries_left = options_.max_queries;
+  auto query = [&](const std::vector<double>& point) -> int {
+    --queries_left;
+    ++last_query_count_;
+    return model.Predict(point);
+  };
+
+  const int original_class = query(row);
+
+  // Phase 1: find any point of the other class inside the unit box.
+  std::vector<double> adversarial;
+  for (int trial = 0; trial < options_.init_trials && queries_left > 0;
+       ++trial) {
+    std::vector<double> candidate(d);
+    for (int c = 0; c < d; ++c) candidate[c] = rng.Uniform();
+    if (query(candidate) != original_class) {
+      adversarial = std::move(candidate);
+      break;
+    }
+  }
+  if (adversarial.empty()) return std::nullopt;
+
+  // Phase 2/3 helper: bisect between `row` (inside) and an adversarial
+  // point, returning the closest adversarial point on the segment.
+  auto project_to_boundary = [&](std::vector<double> outside) {
+    std::vector<double> inside = row;
+    for (int step = 0;
+         step < options_.boundary_search_steps && queries_left > 0; ++step) {
+      std::vector<double> midpoint(d);
+      for (int c = 0; c < d; ++c) {
+        midpoint[c] = 0.5 * (inside[c] + outside[c]);
+      }
+      if (query(midpoint) != original_class) {
+        outside = std::move(midpoint);
+      } else {
+        inside = std::move(midpoint);
+      }
+    }
+    return outside;
+  };
+
+  adversarial = project_to_boundary(std::move(adversarial));
+
+  // Phase 3: gradient-direction estimation + geometric step, as in
+  // HopSkipJump. phi(u) = +1 if stepping to `adversarial + delta u` stays
+  // adversarial.
+  for (int iteration = 0;
+       iteration < options_.iterations && queries_left > 0; ++iteration) {
+    const double current_distance = Distance(adversarial, row);
+    const double delta =
+        std::max(1e-3, 0.1 * current_distance / std::sqrt(iteration + 1.0));
+
+    std::vector<double> direction(d, 0.0);
+    for (int s = 0; s < options_.gradient_samples && queries_left > 0; ++s) {
+      std::vector<double> u(d);
+      double norm = 0.0;
+      for (int c = 0; c < d; ++c) {
+        u[c] = rng.Normal();
+        norm += u[c] * u[c];
+      }
+      norm = std::sqrt(std::max(norm, 1e-12));
+      std::vector<double> probe(d);
+      for (int c = 0; c < d; ++c) {
+        probe[c] = Clamp(adversarial[c] + delta * u[c] / norm, 0.0, 1.0);
+      }
+      const double phi = query(probe) != original_class ? 1.0 : -1.0;
+      for (int c = 0; c < d; ++c) direction[c] += phi * u[c] / norm;
+    }
+    double direction_norm = linalg::Norm2(direction);
+    if (direction_norm < 1e-12) break;
+    for (int c = 0; c < d; ++c) direction[c] /= direction_norm;
+
+    // Geometric step search: start with xi = distance / sqrt(t), halve until
+    // the step stays adversarial.
+    double step = current_distance / std::sqrt(iteration + 1.0);
+    bool moved = false;
+    while (step > 1e-4 && queries_left > 0) {
+      std::vector<double> candidate(d);
+      for (int c = 0; c < d; ++c) {
+        candidate[c] = Clamp(adversarial[c] + step * direction[c], 0.0, 1.0);
+      }
+      if (query(candidate) != original_class) {
+        adversarial = std::move(candidate);
+        moved = true;
+        break;
+      }
+      step *= 0.5;
+    }
+    if (!moved) break;
+    adversarial = project_to_boundary(std::move(adversarial));
+  }
+
+  if (Distance(adversarial, row) <= options_.max_l2_distance) {
+    return adversarial;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dfs::metrics

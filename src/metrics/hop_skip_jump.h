@@ -1,0 +1,53 @@
+#ifndef DFS_METRICS_HOP_SKIP_JUMP_H_
+#define DFS_METRICS_HOP_SKIP_JUMP_H_
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "ml/classifier.h"
+#include "util/rng.h"
+
+namespace dfs::metrics {
+
+/// Configuration of the decision-based evasion attack.
+struct HopSkipJumpOptions {
+  int max_queries = 250;        ///< hard budget of model queries per point
+  int boundary_search_steps = 8;   ///< bisection steps per projection
+  int gradient_samples = 12;    ///< Monte-Carlo directions per iteration
+  int iterations = 3;           ///< gradient-estimation + step rounds
+  int init_trials = 12;         ///< random restarts to find a starting point
+  double max_l2_distance = 0.75;   ///< success radius (features are in [0,1])
+};
+
+/// From-scratch HopSkipJump-style black-box evasion attack (Chen, Jordan &
+/// Wainwright 2020): only the model's hard decisions are observed. Phases:
+/// (1) find any misclassified starting point (random probes in the unit
+/// box), (2) bisect toward the original to land on the decision boundary,
+/// (3) iterate Monte-Carlo gradient-direction estimation with geometric step
+/// search, re-projecting onto the boundary. The attack succeeds if a
+/// misclassified point within `max_l2_distance` of the original is found
+/// inside the query budget.
+class HopSkipJumpAttack {
+ public:
+  explicit HopSkipJumpAttack(const HopSkipJumpOptions& options = {})
+      : options_(options) {}
+
+  /// Attacks one row. Returns the adversarial example, or nullopt if none
+  /// was found within budget/radius. `model` must be fitted on the same
+  /// feature space as `row`.
+  std::optional<std::vector<double>> Attack(const ml::Classifier& model,
+                                            const std::vector<double>& row,
+                                            Rng& rng) const;
+
+  /// Model queries consumed by the most recent Attack call.
+  int last_query_count() const { return last_query_count_; }
+
+ private:
+  HopSkipJumpOptions options_;
+  mutable int last_query_count_ = 0;
+};
+
+}  // namespace dfs::metrics
+
+#endif  // DFS_METRICS_HOP_SKIP_JUMP_H_

@@ -1,0 +1,41 @@
+#include "metrics/robustness.h"
+
+#include <algorithm>
+
+#include "metrics/classification.h"
+#include "util/math_util.h"
+
+namespace dfs::metrics {
+
+double EmpiricalRobustness(const ml::Classifier& model,
+                           const linalg::Matrix& test_x,
+                           const std::vector<int>& test_y, Rng& rng,
+                           const RobustnessOptions& options) {
+  const int n = test_x.rows();
+  DFS_CHECK_EQ(static_cast<int>(test_y.size()), n);
+  if (n == 0) return 1.0;
+
+  std::vector<int> original_predictions(n);
+  for (int r = 0; r < n; ++r) {
+    original_predictions[r] = model.Predict(test_x.Row(r));
+  }
+  const double original_f1 = F1Score(test_y, original_predictions);
+
+  // Attack a subsample; un-attacked rows keep their original predictions
+  // but the F1 comparison stays on the full set, so the measured drop is a
+  // conservative (lower) bound on the attack's effect.
+  std::vector<int> rows =
+      rng.SampleWithoutReplacement(n, std::min(n, options.max_attacked_rows));
+  HopSkipJumpAttack attack(options.attack);
+  std::vector<int> attacked_predictions = original_predictions;
+  for (int r : rows) {
+    auto adversarial = attack.Attack(model, test_x.Row(r), rng);
+    if (adversarial.has_value()) {
+      attacked_predictions[r] = model.Predict(*adversarial);
+    }
+  }
+  const double attacked_f1 = F1Score(test_y, attacked_predictions);
+  return Clamp(1.0 - (original_f1 - attacked_f1), 0.0, 1.0);
+}
+
+}  // namespace dfs::metrics

@@ -1,0 +1,36 @@
+#ifndef DFS_METRICS_ROBUSTNESS_H_
+#define DFS_METRICS_ROBUSTNESS_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "metrics/hop_skip_jump.h"
+#include "ml/classifier.h"
+#include "util/rng.h"
+
+namespace dfs::metrics {
+
+/// Configuration of the empirical-robustness measurement.
+struct RobustnessOptions {
+  /// Test rows actually attacked (subsampled for tractability); the
+  /// remaining rows keep their original predictions.
+  int max_attacked_rows = 24;
+  HopSkipJumpOptions attack;
+};
+
+/// Empirical robustness per Section 3 of the paper: attack (a subsample of)
+/// the test set with HopSkipJump, then compare F1 before and after,
+///
+///   Safety = 1 - (F1(Test_original) - F1(Test_attacked)),
+///
+/// clamped into [0, 1]. 1 means the attack changed nothing. (The paper's
+/// formula omits the parentheses; the cited ART implementation computes the
+/// accuracy *drop*, which is what we reproduce.)
+double EmpiricalRobustness(const ml::Classifier& model,
+                           const linalg::Matrix& test_x,
+                           const std::vector<int>& test_y, Rng& rng,
+                           const RobustnessOptions& options = {});
+
+}  // namespace dfs::metrics
+
+#endif  // DFS_METRICS_ROBUSTNESS_H_

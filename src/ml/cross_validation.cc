@@ -1,0 +1,62 @@
+#include "ml/cross_validation.h"
+
+#include <algorithm>
+
+#include "data/split.h"
+#include "metrics/classification.h"
+
+namespace dfs::ml {
+
+StatusOr<double> CrossValidatedF1(const Classifier& prototype,
+                                  const linalg::Matrix& x,
+                                  const std::vector<int>& y, int num_folds,
+                                  Rng& rng) {
+  const int n = x.rows();
+  if (n != static_cast<int>(y.size())) {
+    return InvalidArgumentError("labels size mismatch");
+  }
+  if (num_folds < 2) return InvalidArgumentError("need at least 2 folds");
+  if (n < num_folds) return InvalidArgumentError("fewer rows than folds");
+
+  const auto folds = data::StratifiedFolds(y, num_folds, rng);
+  double total_f1 = 0.0;
+  int scored_folds = 0;
+  for (int f = 0; f < num_folds; ++f) {
+    std::vector<char> in_test(n, 0);
+    for (int r : folds[f]) in_test[r] = 1;
+
+    std::vector<int> train_rows, test_rows;
+    for (int r = 0; r < n; ++r) {
+      (in_test[r] ? test_rows : train_rows).push_back(r);
+    }
+    if (train_rows.empty() || test_rows.empty()) continue;
+
+    // Skip folds whose training part has a single class.
+    bool has0 = false, has1 = false;
+    for (int r : train_rows) (y[r] == 1 ? has1 : has0) = true;
+    if (!has0 || !has1) continue;
+
+    linalg::Matrix train_x(static_cast<int>(train_rows.size()), x.cols());
+    std::vector<int> train_y(train_rows.size());
+    for (size_t i = 0; i < train_rows.size(); ++i) {
+      for (int c = 0; c < x.cols(); ++c) {
+        train_x(static_cast<int>(i), c) = x(train_rows[i], c);
+      }
+      train_y[i] = y[train_rows[i]];
+    }
+    auto model = prototype.Clone();
+    DFS_RETURN_IF_ERROR(model->Fit(train_x, train_y));
+
+    std::vector<int> y_true(test_rows.size()), y_pred(test_rows.size());
+    for (size_t i = 0; i < test_rows.size(); ++i) {
+      y_true[i] = y[test_rows[i]];
+      y_pred[i] = model->Predict(x.Row(test_rows[i]));
+    }
+    total_f1 += metrics::F1Score(y_true, y_pred);
+    ++scored_folds;
+  }
+  if (scored_folds == 0) return 0.0;
+  return total_f1 / scored_folds;
+}
+
+}  // namespace dfs::ml

@@ -1,0 +1,23 @@
+#ifndef DFS_ML_CROSS_VALIDATION_H_
+#define DFS_ML_CROSS_VALIDATION_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "ml/classifier.h"
+#include "util/rng.h"
+#include "util/statusor.h"
+
+namespace dfs::ml {
+
+/// Mean F1 over class-stratified k-fold cross-validation of `prototype`
+/// (cloned per fold) on (x, y). Used by subsampling-based landmarking in the
+/// DFS Optimizer. Folds with a single class score 0.
+StatusOr<double> CrossValidatedF1(const Classifier& prototype,
+                                  const linalg::Matrix& x,
+                                  const std::vector<int>& y, int num_folds,
+                                  Rng& rng);
+
+}  // namespace dfs::ml
+
+#endif  // DFS_ML_CROSS_VALIDATION_H_

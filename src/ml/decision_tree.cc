@@ -1,0 +1,209 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace dfs::ml {
+namespace {
+
+double GiniFromCounts(double positives, double total) {
+  if (total <= 0.0) return 0.0;
+  const double p = positives / total;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+Status DecisionTree::Fit(const linalg::Matrix& x, const std::vector<int>& y) {
+  const int n = x.rows();
+  if (n == 0) return InvalidArgumentError("empty training set");
+  if (static_cast<int>(y.size()) != n) {
+    return InvalidArgumentError("labels size mismatch");
+  }
+  if (params_.dt_max_depth < 1) {
+    return InvalidArgumentError("dt_max_depth must be >= 1");
+  }
+  nodes_.clear();
+  importances_.assign(x.cols(), 0.0);
+  std::vector<int> rows(n);
+  for (int r = 0; r < n; ++r) rows[r] = r;
+  BuildNode(x, y, rows, 0);
+  double total_importance = 0.0;
+  for (double imp : importances_) total_importance += imp;
+  if (total_importance > 0.0) {
+    for (double& imp : importances_) imp /= total_importance;
+  }
+  fitted_ = true;
+  return OkStatus();
+}
+
+int DecisionTree::BuildNode(const linalg::Matrix& x, const std::vector<int>& y,
+                            std::vector<int>& rows, int depth) {
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  double positives = 0.0;
+  for (int r : rows) positives += y[r];
+  const double total = static_cast<double>(rows.size());
+  nodes_[node_index].positive_probability =
+      total > 0 ? positives / total : 0.5;
+
+  const double node_gini = GiniFromCounts(positives, total);
+  const bool can_split =
+      depth < params_.dt_max_depth &&
+      static_cast<int>(rows.size()) >= params_.dt_min_samples_split &&
+      node_gini > 0.0;
+  if (!can_split) return node_index;
+
+  // Find the best (feature, threshold) over quantile candidates.
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_gain = 1e-12;
+  std::vector<double> values(rows.size());
+  for (int feature = 0; feature < x.cols(); ++feature) {
+    for (size_t i = 0; i < rows.size(); ++i) values[i] = x(rows[i], feature);
+    std::vector<double> sorted_values = values;
+    std::sort(sorted_values.begin(), sorted_values.end());
+    if (sorted_values.front() == sorted_values.back()) continue;
+
+    // Candidate thresholds: midpoints at (up to) kMaxThresholdCandidates
+    // quantile positions.
+    std::vector<double> candidates;
+    const int num_candidates =
+        std::min<int>(kMaxThresholdCandidates,
+                      static_cast<int>(sorted_values.size()) - 1);
+    for (int q = 1; q <= num_candidates; ++q) {
+      const size_t pos = static_cast<size_t>(
+          q * (sorted_values.size() - 1) / (num_candidates + 1));
+      const double threshold =
+          0.5 * (sorted_values[pos] + sorted_values[pos + 1]);
+      if (candidates.empty() || threshold != candidates.back()) {
+        candidates.push_back(threshold);
+      }
+    }
+    for (double threshold : candidates) {
+      double left_total = 0.0, left_positives = 0.0;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (values[i] <= threshold) {
+          left_total += 1.0;
+          left_positives += y[rows[i]];
+        }
+      }
+      const double right_total = total - left_total;
+      if (left_total < 1.0 || right_total < 1.0) continue;
+      const double right_positives = positives - left_positives;
+      const double weighted_child_gini =
+          (left_total / total) * GiniFromCounts(left_positives, left_total) +
+          (right_total / total) * GiniFromCounts(right_positives, right_total);
+      const double gain = node_gini - weighted_child_gini;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = feature;
+        best_threshold = threshold;
+      }
+    }
+  }
+  if (best_feature < 0) return node_index;
+
+  std::vector<int> left_rows, right_rows;
+  for (int r : rows) {
+    (x(r, best_feature) <= best_threshold ? left_rows : right_rows)
+        .push_back(r);
+  }
+  rows.clear();
+  rows.shrink_to_fit();
+
+  importances_[best_feature] += best_gain * total;
+  const int left = BuildNode(x, y, left_rows, depth + 1);
+  const int right = BuildNode(x, y, right_rows, depth + 1);
+  nodes_[node_index].feature = best_feature;
+  nodes_[node_index].threshold = best_threshold;
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+double DecisionTree::PredictProba(const std::vector<double>& row) const {
+  DFS_CHECK(fitted_) << "PredictProba before Fit";
+  int node = 0;
+  while (nodes_[node].feature >= 0) {
+    DFS_CHECK_LT(static_cast<size_t>(nodes_[node].feature), row.size());
+    node = row[nodes_[node].feature] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].positive_probability;
+}
+
+std::optional<std::vector<double>> DecisionTree::FeatureImportances() const {
+  if (!fitted_) return std::nullopt;
+  return importances_;
+}
+
+std::string DecisionTree::Serialize() const {
+  DFS_CHECK(fitted_) << "Serialize before Fit";
+  std::ostringstream out;
+  out << "tree v1\n";
+  out << params_.dt_max_depth << " " << params_.dt_min_samples_split << "\n";
+  out << nodes_.size() << "\n";
+  char buffer[128];
+  for (const Node& node : nodes_) {
+    // %.17g round-trips doubles exactly.
+    std::snprintf(buffer, sizeof(buffer), "%d %.17g %d %d %.17g\n",
+                  node.feature, node.threshold, node.left, node.right,
+                  node.positive_probability);
+    out << buffer;
+  }
+  out << importances_.size();
+  for (double imp : importances_) {
+    std::snprintf(buffer, sizeof(buffer), " %.17g", imp);
+    out << buffer;
+  }
+  out << "\n";
+  return out.str();
+}
+
+StatusOr<DecisionTree> DecisionTree::Deserialize(const std::string& text) {
+  std::istringstream in(text);
+  std::string magic, version;
+  in >> magic >> version;
+  if (magic != "tree" || version != "v1") {
+    return InvalidArgumentError("not a serialized tree");
+  }
+  Hyperparameters params;
+  size_t num_nodes = 0;
+  in >> params.dt_max_depth >> params.dt_min_samples_split >> num_nodes;
+  if (!in || num_nodes == 0 || num_nodes > 1u << 24) {
+    return InvalidArgumentError("corrupt tree header");
+  }
+  DecisionTree tree(params);
+  tree.nodes_.resize(num_nodes);
+  for (Node& node : tree.nodes_) {
+    in >> node.feature >> node.threshold >> node.left >> node.right >>
+        node.positive_probability;
+    if (!in) return InvalidArgumentError("corrupt tree node");
+    const int n = static_cast<int>(num_nodes);
+    if (node.feature >= 0 && (node.left < 0 || node.left >= n ||
+                              node.right < 0 || node.right >= n)) {
+      return InvalidArgumentError("tree child index out of range");
+    }
+  }
+  size_t num_importances = 0;
+  in >> num_importances;
+  if (!in || num_importances > 1u << 24) {
+    return InvalidArgumentError("corrupt importances header");
+  }
+  tree.importances_.resize(num_importances);
+  for (double& imp : tree.importances_) {
+    in >> imp;
+    if (!in) return InvalidArgumentError("corrupt importances");
+  }
+  tree.fitted_ = true;
+  return tree;
+}
+
+}  // namespace dfs::ml

@@ -1,0 +1,30 @@
+#include "ml/dp/dp_classifier.h"
+
+#include "ml/dp/dp_decision_tree.h"
+#include "ml/dp/dp_logistic_regression.h"
+#include "ml/dp/dp_naive_bayes.h"
+
+namespace dfs::ml {
+
+std::unique_ptr<Classifier> CreateDpClassifier(ModelKind kind,
+                                               const Hyperparameters& params,
+                                               double epsilon, uint64_t seed) {
+  switch (kind) {
+    case ModelKind::kLogisticRegression:
+      return std::make_unique<DpLogisticRegression>(params, epsilon, seed);
+    case ModelKind::kNaiveBayes:
+      return std::make_unique<DpGaussianNaiveBayes>(params, epsilon, seed);
+    case ModelKind::kDecisionTree:
+      return std::make_unique<DpDecisionTree>(params, epsilon, seed);
+    case ModelKind::kLinearSvm: {
+      // No dedicated DP-SVM in the paper; the Chaudhuri output-perturbation
+      // mechanism applies to any regularized linear ERM, so reuse DP-LR.
+      Hyperparameters lr_params = params;
+      lr_params.lr_c = params.svm_c;
+      return std::make_unique<DpLogisticRegression>(lr_params, epsilon, seed);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace dfs::ml

@@ -1,0 +1,23 @@
+#ifndef DFS_ML_DP_DP_CLASSIFIER_H_
+#define DFS_ML_DP_DP_CLASSIFIER_H_
+
+#include <memory>
+
+#include "ml/classifier.h"
+
+namespace dfs::ml {
+
+/// Creates the ε-differentially-private counterpart of `kind`, as required
+/// by the Min-Privacy constraint (Section 3): DP empirical risk minimization
+/// for LR (Chaudhuri et al. 2011), Laplace-perturbed sufficient statistics
+/// for NB (Vaidya et al. 2013), and a noisy-count random tree for DT
+/// (Fletcher & Islam 2017). SVM reuses the LR mechanism on its linear
+/// weights. `seed` determinizes the privacy noise for reproducible
+/// experiments.
+std::unique_ptr<Classifier> CreateDpClassifier(ModelKind kind,
+                                               const Hyperparameters& params,
+                                               double epsilon, uint64_t seed);
+
+}  // namespace dfs::ml
+
+#endif  // DFS_ML_DP_DP_CLASSIFIER_H_

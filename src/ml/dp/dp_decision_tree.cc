@@ -1,0 +1,98 @@
+#include "ml/dp/dp_decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dfs::ml {
+
+int DpDecisionTree::BuildRandomStructure(int depth, int num_features,
+                                         Rng& rng) {
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  if (depth >= params_.dt_max_depth) return node_index;
+  const int feature = rng.UniformInt(0, num_features - 1);
+  const double threshold = rng.Uniform(0.05, 0.95);
+  const int left = BuildRandomStructure(depth + 1, num_features, rng);
+  const int right = BuildRandomStructure(depth + 1, num_features, rng);
+  nodes_[node_index].feature = feature;
+  nodes_[node_index].threshold = threshold;
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+Status DpDecisionTree::Fit(const linalg::Matrix& x, const std::vector<int>& y) {
+  if (epsilon_ <= 0) return InvalidArgumentError("epsilon must be positive");
+  const int n = x.rows();
+  const int d = x.cols();
+  if (n == 0) return InvalidArgumentError("empty training set");
+  if (d == 0) return InvalidArgumentError("no features");
+  if (static_cast<int>(y.size()) != n) {
+    return InvalidArgumentError("labels size mismatch");
+  }
+
+  Rng rng(seed_ ^ 0x1F123BB5159A55E5ULL);
+  nodes_.clear();
+  // Cap depth so the expected leaf population stays meaningful under noise.
+  const int depth_cap = std::max(
+      1, std::min(params_.dt_max_depth,
+                  static_cast<int>(std::log2(std::max(2, n / 8)))));
+  Hyperparameters capped = params_;
+  capped.dt_max_depth = depth_cap;
+  std::swap(capped, params_);
+  BuildRandomStructure(0, d, rng);
+  std::swap(capped, params_);
+
+  // Route training rows to leaves and tally noisy counts. Each record lands
+  // in exactly one leaf, so the per-leaf counters compose in parallel and
+  // the full budget applies per counter pair.
+  std::vector<double> leaf_positive(nodes_.size(), 0.0);
+  std::vector<double> leaf_total(nodes_.size(), 0.0);
+  for (int r = 0; r < n; ++r) {
+    int node = 0;
+    while (nodes_[node].feature >= 0) {
+      node = x(r, nodes_[node].feature) <= nodes_[node].threshold
+                 ? nodes_[node].left
+                 : nodes_[node].right;
+    }
+    leaf_total[node] += 1.0;
+    leaf_positive[node] += y[r];
+  }
+  double global_positive = 0.0;
+  for (int r = 0; r < n; ++r) global_positive += y[r];
+  const double noisy_prior =
+      std::clamp((global_positive + rng.Laplace(2.0 / epsilon_)) /
+                     std::max(1.0, static_cast<double>(n)),
+                 0.01, 0.99);
+
+  const double half_epsilon = epsilon_ / 2.0;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].feature >= 0) continue;  // internal node
+    const double noisy_total =
+        leaf_total[i] + rng.Laplace(1.0 / half_epsilon);
+    const double noisy_positive =
+        leaf_positive[i] + rng.Laplace(1.0 / half_epsilon);
+    if (noisy_total < 3.0) {
+      nodes_[i].positive_probability = noisy_prior;
+    } else {
+      nodes_[i].positive_probability =
+          std::clamp(noisy_positive / noisy_total, 0.0, 1.0);
+    }
+  }
+  fitted_ = true;
+  return OkStatus();
+}
+
+double DpDecisionTree::PredictProba(const std::vector<double>& row) const {
+  DFS_CHECK(fitted_) << "PredictProba before Fit";
+  int node = 0;
+  while (nodes_[node].feature >= 0) {
+    DFS_CHECK_LT(static_cast<size_t>(nodes_[node].feature), row.size());
+    node = row[nodes_[node].feature] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].positive_probability;
+}
+
+}  // namespace dfs::ml

@@ -1,0 +1,52 @@
+#ifndef DFS_ML_DP_DP_DECISION_TREE_H_
+#define DFS_ML_DP_DP_DECISION_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "util/rng.h"
+
+namespace dfs::ml {
+
+/// ε-differentially-private decision tree in the spirit of Fletcher & Islam
+/// (2017): the tree *structure* is data-independent (random split features,
+/// random thresholds in the [0, 1] feature range), so only the leaf class
+/// counts touch the data; these receive Laplace(1/ε) noise. Leaves whose
+/// noisy counts are too small fall back to the noisy global prior.
+class DpDecisionTree : public Classifier {
+ public:
+  DpDecisionTree(const Hyperparameters& params, double epsilon, uint64_t seed)
+      : params_(params), epsilon_(epsilon), seed_(seed) {}
+
+  Status Fit(const linalg::Matrix& x, const std::vector<int>& y) override;
+  double PredictProba(const std::vector<double>& row) const override;
+
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<DpDecisionTree>(params_, epsilon_, seed_);
+  }
+  std::string name() const override { return "DP-DT"; }
+
+  double epsilon() const { return epsilon_; }
+
+ private:
+  struct Node {
+    int feature = -1;  // -1 for leaves
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    double positive_probability = 0.5;
+  };
+
+  int BuildRandomStructure(int depth, int num_features, Rng& rng);
+
+  Hyperparameters params_;
+  double epsilon_;
+  uint64_t seed_;
+  std::vector<Node> nodes_;
+  bool fitted_ = false;
+};
+
+}  // namespace dfs::ml
+
+#endif  // DFS_ML_DP_DP_DECISION_TREE_H_

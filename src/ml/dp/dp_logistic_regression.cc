@@ -1,0 +1,45 @@
+#include "ml/dp/dp_logistic_regression.h"
+
+#include <cmath>
+
+#include "linalg/matrix.h"
+
+namespace dfs::ml {
+
+Status DpLogisticRegression::Fit(const linalg::Matrix& x,
+                                 const std::vector<int>& y) {
+  if (epsilon_ <= 0) return InvalidArgumentError("epsilon must be positive");
+  DFS_RETURN_IF_ERROR(LogisticRegression::Fit(x, y));
+
+  const int d = x.cols();
+  const int n = std::max(1, x.rows());
+  const double lambda = 1.0 / (params_.lr_c * n);
+  // L2 sensitivity of regularized ERM is 2 / (n * lambda); the output
+  // perturbation mechanism samples ||b|| ~ Gamma(d, sensitivity / epsilon).
+  const double scale = 2.0 / (n * lambda * epsilon_);
+
+  Rng rng(seed_ ^ 0x5DEECE66DULL);
+  // Gamma(d, scale) with integer shape = sum of d Exp(scale) draws.
+  double norm = 0.0;
+  for (int i = 0; i < d; ++i) {
+    double u;
+    do {
+      u = rng.Uniform();
+    } while (u <= 1e-300);
+    norm += -scale * std::log(u);
+  }
+  // Uniform direction on the d-sphere.
+  std::vector<double> direction(d);
+  double direction_norm = 0.0;
+  for (int i = 0; i < d; ++i) {
+    direction[i] = rng.Normal();
+    direction_norm += direction[i] * direction[i];
+  }
+  direction_norm = std::sqrt(std::max(direction_norm, 1e-12));
+  for (int i = 0; i < d; ++i) {
+    weights_[i] += norm * direction[i] / direction_norm;
+  }
+  return OkStatus();
+}
+
+}  // namespace dfs::ml

@@ -1,0 +1,37 @@
+#ifndef DFS_ML_DP_DP_LOGISTIC_REGRESSION_H_
+#define DFS_ML_DP_DP_LOGISTIC_REGRESSION_H_
+
+#include <memory>
+
+#include "ml/logistic_regression.h"
+#include "util/rng.h"
+
+namespace dfs::ml {
+
+/// ε-differentially-private logistic regression via output perturbation
+/// (Chaudhuri, Monteleoni & Sarwate 2011): train the L2-regularized model,
+/// then add a noise vector b with ||b|| ~ Gamma(d, 2 / (n λ ε)) and uniform
+/// direction. Smaller ε (stronger privacy) adds more noise.
+class DpLogisticRegression : public LogisticRegression {
+ public:
+  DpLogisticRegression(const Hyperparameters& params, double epsilon,
+                       uint64_t seed)
+      : LogisticRegression(params), epsilon_(epsilon), seed_(seed) {}
+
+  Status Fit(const linalg::Matrix& x, const std::vector<int>& y) override;
+
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<DpLogisticRegression>(params_, epsilon_, seed_);
+  }
+  std::string name() const override { return "DP-LR"; }
+
+  double epsilon() const { return epsilon_; }
+
+ private:
+  double epsilon_;
+  uint64_t seed_;
+};
+
+}  // namespace dfs::ml
+
+#endif  // DFS_ML_DP_DP_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,71 @@
+#include "ml/dp/dp_naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace dfs::ml {
+
+Status DpGaussianNaiveBayes::Fit(const linalg::Matrix& x,
+                                 const std::vector<int>& y) {
+  if (epsilon_ <= 0) return InvalidArgumentError("epsilon must be positive");
+  const int n = x.rows();
+  const int d = x.cols();
+  if (n == 0) return InvalidArgumentError("empty training set");
+  if (static_cast<int>(y.size()) != n) {
+    return InvalidArgumentError("labels size mismatch");
+  }
+
+  Rng rng(seed_ ^ 0xB5297A4D3F84D5B5ULL);
+  // Budget split: counts, sums, sums of squares. Per-feature statistics each
+  // receive epsilon_stat / d (parallel composition does not apply across
+  // features of the same record).
+  const double epsilon_counts = epsilon_ / 3.0;
+  const double epsilon_sums = epsilon_ / 3.0 / std::max(1, d);
+  const double epsilon_squares = epsilon_ / 3.0 / std::max(1, d);
+
+  double count[2] = {0.0, 0.0};
+  std::vector<double> sum[2], sum_squares[2];
+  for (int k = 0; k < 2; ++k) {
+    sum[k].assign(d, 0.0);
+    sum_squares[k].assign(d, 0.0);
+  }
+  for (int r = 0; r < n; ++r) {
+    count[y[r]] += 1.0;
+    for (int c = 0; c < d; ++c) {
+      const double value = Clamp(x(r, c), 0.0, 1.0);
+      sum[y[r]][c] += value;
+      sum_squares[y[r]][c] += value * value;
+    }
+  }
+  // Perturb: sensitivity 1 for each statistic under the [0,1] feature bound.
+  for (int k = 0; k < 2; ++k) {
+    count[k] = std::max(1.0, count[k] + rng.Laplace(1.0 / epsilon_counts));
+    for (int c = 0; c < d; ++c) {
+      sum[k][c] += rng.Laplace(1.0 / epsilon_sums);
+      sum_squares[k][c] += rng.Laplace(1.0 / epsilon_squares);
+    }
+  }
+
+  const double total = count[0] + count[1];
+  for (int k = 0; k < 2; ++k) {
+    log_prior_[k] = SafeLog(count[k] / total);
+    mean_[k].assign(d, 0.0);
+    variance_[k].assign(d, 0.0);
+    for (int c = 0; c < d; ++c) {
+      mean_[k][c] = Clamp(sum[k][c] / count[k], 0.0, 1.0);
+      const double raw_variance =
+          sum_squares[k][c] / count[k] - mean_[k][c] * mean_[k][c];
+      variance_[k][c] = std::max(raw_variance, 1e-4);
+    }
+  }
+  const double smoothing = std::max(params_.nb_var_smoothing, 1e-12);
+  for (int k = 0; k < 2; ++k) {
+    for (int c = 0; c < d; ++c) variance_[k][c] += smoothing;
+  }
+  fitted_ = true;
+  return OkStatus();
+}
+
+}  // namespace dfs::ml

@@ -1,0 +1,39 @@
+#ifndef DFS_ML_DP_DP_NAIVE_BAYES_H_
+#define DFS_ML_DP_DP_NAIVE_BAYES_H_
+
+#include <memory>
+
+#include "ml/naive_bayes.h"
+#include "util/rng.h"
+
+namespace dfs::ml {
+
+/// ε-differentially-private Gaussian naive Bayes following Vaidya et al.
+/// (2013): Laplace noise is added to the sufficient statistics (class
+/// counts, per-feature sums and sums of squares). The privacy budget is
+/// split evenly across the three statistic families; features are assumed
+/// min-max scaled to [0, 1] (true throughout this library), bounding each
+/// statistic's sensitivity by 1.
+class DpGaussianNaiveBayes : public GaussianNaiveBayes {
+ public:
+  DpGaussianNaiveBayes(const Hyperparameters& params, double epsilon,
+                       uint64_t seed)
+      : GaussianNaiveBayes(params), epsilon_(epsilon), seed_(seed) {}
+
+  Status Fit(const linalg::Matrix& x, const std::vector<int>& y) override;
+
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<DpGaussianNaiveBayes>(params_, epsilon_, seed_);
+  }
+  std::string name() const override { return "DP-NB"; }
+
+  double epsilon() const { return epsilon_; }
+
+ private:
+  double epsilon_;
+  uint64_t seed_;
+};
+
+}  // namespace dfs::ml
+
+#endif  // DFS_ML_DP_DP_NAIVE_BAYES_H_

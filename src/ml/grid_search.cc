@@ -1,0 +1,69 @@
+#include "ml/grid_search.h"
+
+#include <cmath>
+
+#include "metrics/classification.h"
+
+namespace dfs::ml {
+
+std::vector<Hyperparameters> HyperparameterGrid(ModelKind kind) {
+  std::vector<Hyperparameters> grid;
+  switch (kind) {
+    case ModelKind::kLogisticRegression:
+      for (int exponent = -2; exponent <= 3; ++exponent) {
+        Hyperparameters params;
+        params.lr_c = std::pow(10.0, exponent);
+        grid.push_back(params);
+      }
+      break;
+    case ModelKind::kNaiveBayes:
+      for (int exponent = -12; exponent <= -6; ++exponent) {
+        Hyperparameters params;
+        params.nb_var_smoothing = std::pow(10.0, exponent);
+        grid.push_back(params);
+      }
+      break;
+    case ModelKind::kDecisionTree:
+      for (int depth = 1; depth <= 7; ++depth) {
+        Hyperparameters params;
+        params.dt_max_depth = depth;
+        grid.push_back(params);
+      }
+      break;
+    case ModelKind::kLinearSvm:
+      for (int exponent = -2; exponent <= 3; ++exponent) {
+        Hyperparameters params;
+        params.svm_c = std::pow(10.0, exponent);
+        grid.push_back(params);
+      }
+      break;
+  }
+  return grid;
+}
+
+StatusOr<GridSearchResult> GridSearch(ModelKind kind,
+                                      const linalg::Matrix& train_x,
+                                      const std::vector<int>& train_y,
+                                      const linalg::Matrix& validation_x,
+                                      const std::vector<int>& validation_y) {
+  GridSearchResult result;
+  result.best_validation_f1 = -1.0;
+  for (const auto& params : HyperparameterGrid(kind)) {
+    auto model = CreateClassifier(kind, params);
+    DFS_RETURN_IF_ERROR(model->Fit(train_x, train_y));
+    const std::vector<int> predictions = model->PredictBatch(validation_x);
+    const double f1 = metrics::F1Score(validation_y, predictions);
+    ++result.evaluated_points;
+    if (f1 > result.best_validation_f1) {
+      result.best_validation_f1 = f1;
+      result.best_params = params;
+      result.best_model = std::move(model);
+    }
+  }
+  if (result.best_model == nullptr) {
+    return InternalError("empty hyperparameter grid");
+  }
+  return result;
+}
+
+}  // namespace dfs::ml

@@ -1,0 +1,40 @@
+#ifndef DFS_ML_GRID_SEARCH_H_
+#define DFS_ML_GRID_SEARCH_H_
+
+#include <memory>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "ml/classifier.h"
+#include "util/statusor.h"
+
+namespace dfs::ml {
+
+/// Hyperparameter grids from Section 6.1:
+///   LR: C in {10^n | n in [-2, 3]}
+///   NB: var_smoothing log-spaced in [1e-12, 1e-6]
+///   DT: max depth in [1, 7]
+///   SVM: C in {10^n | n in [-2, 3]} (for the Table-7 transfer experiment)
+/// Returns one Hyperparameters per grid point for `kind`.
+std::vector<Hyperparameters> HyperparameterGrid(ModelKind kind);
+
+struct GridSearchResult {
+  Hyperparameters best_params;
+  std::unique_ptr<Classifier> best_model;  // fitted on the training data
+  double best_validation_f1 = 0.0;
+  int evaluated_points = 0;
+};
+
+/// Trains `kind` at every grid point on (train_x, train_y), scores F1 on
+/// (validation_x, validation_y), and returns the best configuration with its
+/// fitted model — the "model hyperparameter optimization" stage of the DFS
+/// workflow (Figure 2).
+StatusOr<GridSearchResult> GridSearch(ModelKind kind,
+                                      const linalg::Matrix& train_x,
+                                      const std::vector<int>& train_y,
+                                      const linalg::Matrix& validation_x,
+                                      const std::vector<int>& validation_y);
+
+}  // namespace dfs::ml
+
+#endif  // DFS_ML_GRID_SEARCH_H_

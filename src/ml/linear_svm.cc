@@ -1,0 +1,69 @@
+#include "ml/linear_svm.h"
+
+#include <cmath>
+
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace dfs::ml {
+
+Status LinearSvm::Fit(const linalg::Matrix& x, const std::vector<int>& y) {
+  const int n = x.rows();
+  const int d = x.cols();
+  if (n == 0) return InvalidArgumentError("empty training set");
+  if (static_cast<int>(y.size()) != n) {
+    return InvalidArgumentError("labels size mismatch");
+  }
+  if (params_.svm_c <= 0) return InvalidArgumentError("C must be positive");
+
+  weights_.assign(d, 0.0);
+  intercept_ = 0.0;
+  const double lambda = 1.0 / (params_.svm_c * n);
+  // Deterministic instance ordering via a fixed-seed shuffle per epoch.
+  Rng rng(0xC0FFEEULL + static_cast<uint64_t>(n) * 31 + d);
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+
+  long long t = 0;
+  for (int epoch = 0; epoch < params_.svm_epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (int i : order) {
+      ++t;
+      const double step = 1.0 / (lambda * static_cast<double>(t));
+      const double label = y[i] == 1 ? 1.0 : -1.0;
+      double margin = intercept_;
+      for (int c = 0; c < d; ++c) margin += weights_[c] * x(i, c);
+      // Pegasos update: always shrink, add the hinge subgradient on margin
+      // violations.
+      const double shrink = 1.0 - step * lambda;
+      for (int c = 0; c < d; ++c) weights_[c] *= shrink;
+      if (label * margin < 1.0) {
+        for (int c = 0; c < d; ++c) {
+          weights_[c] += step * label * x(i, c);
+        }
+        intercept_ += step * label * 0.1;  // lightly-learned bias
+      }
+    }
+  }
+  fitted_ = true;
+  return OkStatus();
+}
+
+double LinearSvm::PredictProba(const std::vector<double>& row) const {
+  DFS_CHECK(fitted_) << "PredictProba before Fit";
+  DFS_CHECK_EQ(row.size(), weights_.size());
+  double margin = intercept_;
+  for (size_t c = 0; c < row.size(); ++c) margin += weights_[c] * row[c];
+  return Sigmoid(4.0 * margin);  // squash; scale keeps mid-margins soft
+}
+
+std::optional<std::vector<double>> LinearSvm::FeatureImportances() const {
+  if (!fitted_) return std::nullopt;
+  std::vector<double> importances(weights_.size());
+  for (size_t c = 0; c < weights_.size(); ++c) {
+    importances[c] = std::fabs(weights_[c]);
+  }
+  return importances;
+}
+
+}  // namespace dfs::ml

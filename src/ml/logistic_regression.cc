@@ -1,0 +1,71 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace dfs::ml {
+
+Status LogisticRegression::Fit(const linalg::Matrix& x,
+                               const std::vector<int>& y) {
+  const int n = x.rows();
+  const int d = x.cols();
+  if (n == 0) return InvalidArgumentError("empty training set");
+  if (static_cast<int>(y.size()) != n) {
+    return InvalidArgumentError("labels size mismatch");
+  }
+  if (params_.lr_c <= 0) return InvalidArgumentError("C must be positive");
+
+  weights_.assign(d, 0.0);
+  intercept_ = 0.0;
+  const double lambda = 1.0 / (params_.lr_c * n);
+  const double n_double = static_cast<double>(n);
+
+  // Gradient descent with a decaying step; features in [0,1] keep the
+  // logistic loss Lipschitz constant small, so a fixed base step works.
+  double step = 2.0;
+  std::vector<double> gradient(d, 0.0);
+  for (int iteration = 0; iteration < params_.lr_max_iterations; ++iteration) {
+    std::fill(gradient.begin(), gradient.end(), 0.0);
+    double intercept_gradient = 0.0;
+    for (int r = 0; r < n; ++r) {
+      double margin = intercept_;
+      for (int c = 0; c < d; ++c) margin += weights_[c] * x(r, c);
+      double error = Sigmoid(margin) - y[r];
+      for (int c = 0; c < d; ++c) gradient[c] += error * x(r, c);
+      intercept_gradient += error;
+    }
+    double gradient_norm_sq = intercept_gradient * intercept_gradient;
+    for (int c = 0; c < d; ++c) {
+      gradient[c] = gradient[c] / n_double + lambda * weights_[c];
+      gradient_norm_sq += gradient[c] * gradient[c];
+    }
+    intercept_gradient /= n_double;
+    const double current_step = step / (1.0 + 0.01 * iteration);
+    for (int c = 0; c < d; ++c) weights_[c] -= current_step * gradient[c];
+    intercept_ -= current_step * intercept_gradient;
+    if (gradient_norm_sq < 1e-10) break;
+  }
+  fitted_ = true;
+  return OkStatus();
+}
+
+double LogisticRegression::PredictProba(const std::vector<double>& row) const {
+  DFS_CHECK(fitted_) << "PredictProba before Fit";
+  DFS_CHECK_EQ(row.size(), weights_.size());
+  double margin = intercept_;
+  for (size_t c = 0; c < row.size(); ++c) margin += weights_[c] * row[c];
+  return Sigmoid(margin);
+}
+
+std::optional<std::vector<double>> LogisticRegression::FeatureImportances()
+    const {
+  if (!fitted_) return std::nullopt;
+  std::vector<double> importances(weights_.size());
+  for (size_t c = 0; c < weights_.size(); ++c) {
+    importances[c] = std::fabs(weights_[c]);
+  }
+  return importances;
+}
+
+}  // namespace dfs::ml

@@ -1,0 +1,83 @@
+#include "ml/naive_bayes.h"
+
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace dfs::ml {
+
+Status GaussianNaiveBayes::Fit(const linalg::Matrix& x,
+                               const std::vector<int>& y) {
+  const int n = x.rows();
+  const int d = x.cols();
+  if (n == 0) return InvalidArgumentError("empty training set");
+  if (static_cast<int>(y.size()) != n) {
+    return InvalidArgumentError("labels size mismatch");
+  }
+
+  double count[2] = {0.0, 0.0};
+  for (int r = 0; r < n; ++r) count[y[r]] += 1.0;
+  if (count[0] == 0.0 || count[1] == 0.0) {
+    // Degenerate single-class data: predict the constant class via priors.
+    count[0] = std::max(count[0], 1e-9);
+    count[1] = std::max(count[1], 1e-9);
+  }
+  for (int k = 0; k < 2; ++k) {
+    log_prior_[k] = SafeLog(count[k] / n);
+    mean_[k].assign(d, 0.0);
+    variance_[k].assign(d, 0.0);
+  }
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < d; ++c) mean_[y[r]][c] += x(r, c);
+  }
+  for (int k = 0; k < 2; ++k) {
+    for (int c = 0; c < d; ++c) mean_[k][c] /= std::max(count[k], 1e-9);
+  }
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < d; ++c) {
+      const double delta = x(r, c) - mean_[y[r]][c];
+      variance_[y[r]][c] += delta * delta;
+    }
+  }
+  // Smoothing: fraction of the largest overall feature variance.
+  double max_variance = 0.0;
+  for (int k = 0; k < 2; ++k) {
+    for (int c = 0; c < d; ++c) {
+      variance_[k][c] /= std::max(count[k], 1e-9);
+    }
+  }
+  for (int c = 0; c < d; ++c) {
+    std::vector<double> column = x.Column(c);
+    max_variance = std::max(max_variance, Variance(column));
+  }
+  const double smoothing =
+      std::max(params_.nb_var_smoothing * std::max(max_variance, 1e-9), 1e-12);
+  for (int k = 0; k < 2; ++k) {
+    for (int c = 0; c < d; ++c) variance_[k][c] += smoothing;
+  }
+  fitted_ = true;
+  return OkStatus();
+}
+
+double GaussianNaiveBayes::PredictProba(const std::vector<double>& row) const {
+  DFS_CHECK(fitted_) << "PredictProba before Fit";
+  DFS_CHECK_EQ(row.size(), mean_[0].size());
+  double log_likelihood[2];
+  for (int k = 0; k < 2; ++k) {
+    double total = log_prior_[k];
+    for (size_t c = 0; c < row.size(); ++c) {
+      const double variance = variance_[k][c];
+      const double delta = row[c] - mean_[k][c];
+      total += -0.5 * std::log(2.0 * M_PI * variance) -
+               delta * delta / (2.0 * variance);
+    }
+    log_likelihood[k] = total;
+  }
+  // P(1 | row) via the log-sum-exp trick.
+  const double max_ll = std::max(log_likelihood[0], log_likelihood[1]);
+  const double e0 = std::exp(log_likelihood[0] - max_ll);
+  const double e1 = std::exp(log_likelihood[1] - max_ll);
+  return e1 / (e0 + e1);
+}
+
+}  // namespace dfs::ml

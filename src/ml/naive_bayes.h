@@ -1,0 +1,38 @@
+#ifndef DFS_ML_NAIVE_BAYES_H_
+#define DFS_ML_NAIVE_BAYES_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace dfs::ml {
+
+/// Gaussian naive Bayes with variance smoothing: each feature's per-class
+/// variance gets `var_smoothing * max feature variance` added, matching
+/// scikit-learn's GaussianNB.
+class GaussianNaiveBayes : public Classifier {
+ public:
+  explicit GaussianNaiveBayes(const Hyperparameters& params)
+      : params_(params) {}
+
+  Status Fit(const linalg::Matrix& x, const std::vector<int>& y) override;
+  double PredictProba(const std::vector<double>& row) const override;
+
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<GaussianNaiveBayes>(params_);
+  }
+  std::string name() const override { return "NB"; }
+
+ protected:
+  Hyperparameters params_;
+  // Index 0 = class 0, index 1 = class 1.
+  double log_prior_[2] = {0.0, 0.0};
+  std::vector<double> mean_[2];
+  std::vector<double> variance_[2];
+  bool fitted_ = false;
+};
+
+}  // namespace dfs::ml
+
+#endif  // DFS_ML_NAIVE_BAYES_H_

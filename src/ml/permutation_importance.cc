@@ -1,0 +1,42 @@
+#include "ml/permutation_importance.h"
+
+#include <algorithm>
+
+#include "metrics/classification.h"
+
+namespace dfs::ml {
+
+std::vector<double> PermutationImportance(const Classifier& fitted_model,
+                                          const linalg::Matrix& x,
+                                          const std::vector<int>& y,
+                                          int repeats, Rng& rng) {
+  const int n = x.rows();
+  const int d = x.cols();
+  std::vector<double> importances(d, 0.0);
+  if (n == 0 || d == 0) return importances;
+  repeats = std::max(1, repeats);
+
+  const double baseline = metrics::F1Score(y, fitted_model.PredictBatch(x));
+
+  std::vector<int> permutation(n);
+  for (int r = 0; r < n; ++r) permutation[r] = r;
+
+  for (int feature = 0; feature < d; ++feature) {
+    double total_drop = 0.0;
+    for (int repeat = 0; repeat < repeats; ++repeat) {
+      rng.Shuffle(permutation);
+      std::vector<int> predictions(n);
+      std::vector<double> row;
+      for (int r = 0; r < n; ++r) {
+        row = x.Row(r);
+        row[feature] = x(permutation[r], feature);
+        predictions[r] = fitted_model.Predict(row);
+      }
+      total_drop += baseline - metrics::F1Score(y, predictions);
+    }
+    importances[feature] = std::max(0.0, total_drop / repeats);
+  }
+  return importances;
+}
+
+}  // namespace dfs::ml

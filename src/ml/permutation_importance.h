@@ -1,0 +1,23 @@
+#ifndef DFS_ML_PERMUTATION_IMPORTANCE_H_
+#define DFS_ML_PERMUTATION_IMPORTANCE_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "ml/classifier.h"
+#include "util/rng.h"
+
+namespace dfs::ml {
+
+/// Permutation feature importance (Breiman 2001): the F1 drop on (x, y) when
+/// one column is shuffled, averaged over `repeats`. Used by RFE when the
+/// wrapped model (e.g. NB) exposes no native importances — the paper notes
+/// this is exactly why RFE+NB pays a large runtime overhead.
+std::vector<double> PermutationImportance(const Classifier& fitted_model,
+                                          const linalg::Matrix& x,
+                                          const std::vector<int>& y,
+                                          int repeats, Rng& rng);
+
+}  // namespace dfs::ml
+
+#endif  // DFS_ML_PERMUTATION_IMPORTANCE_H_

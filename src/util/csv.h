@@ -1,0 +1,41 @@
+#ifndef DFS_UTIL_CSV_H_
+#define DFS_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace dfs {
+
+/// Minimal RFC-4180-ish CSV table: a header row plus string cells. Quoted
+/// fields with embedded commas/quotes/newlines are supported. Used to export
+/// experiment results and to load user-provided datasets.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  int num_rows() const { return static_cast<int>(rows.size()); }
+  int num_columns() const { return static_cast<int>(header.size()); }
+
+  /// Index of the column named `name`, or -1.
+  int ColumnIndex(const std::string& name) const;
+};
+
+/// Parses CSV text. Every row must have the same number of fields as the
+/// header.
+StatusOr<CsvTable> ParseCsv(const std::string& text);
+
+/// Reads and parses a CSV file.
+StatusOr<CsvTable> ReadCsvFile(const std::string& path);
+
+/// Serializes a table back to CSV text (quoting only when needed).
+std::string WriteCsv(const CsvTable& table);
+
+/// Writes a table to a file.
+Status WriteCsvFile(const CsvTable& table, const std::string& path);
+
+}  // namespace dfs
+
+#endif  // DFS_UTIL_CSV_H_

@@ -1,0 +1,58 @@
+#ifndef DFS_UTIL_FLAGS_H_
+#define DFS_UTIL_FLAGS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dfs {
+
+/// Minimal command-line flag parser for the repository's tools. Flags are
+/// declared with output pointers and defaults; Parse accepts `--name value`
+/// and `--name=value` forms (and bare `--name` for booleans). Unknown flags
+/// are errors; non-flag arguments are collected as positionals.
+class FlagParser {
+ public:
+  explicit FlagParser(std::string program_description);
+
+  // Registration. Pointers must outlive Parse; defaults are whatever the
+  // pointees hold at Parse time.
+  void AddString(const std::string& name, const std::string& help,
+                 std::string* value);
+  void AddDouble(const std::string& name, const std::string& help,
+                 double* value);
+  void AddInt(const std::string& name, const std::string& help, int* value);
+  void AddBool(const std::string& name, const std::string& help,
+               bool* value);
+
+  /// Parses argv (skipping argv[0]). InvalidArgument on unknown flags,
+  /// missing values, or unparsable numbers.
+  Status Parse(int argc, const char* const* argv);
+
+  /// Non-flag arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Formatted usage text listing every flag with its help string.
+  std::string Help() const;
+
+ private:
+  enum class Kind { kString, kDouble, kInt, kBool };
+  struct Flag {
+    std::string name;
+    std::string help;
+    Kind kind;
+    void* target;
+  };
+
+  const Flag* Find(const std::string& name) const;
+  Status Assign(const Flag& flag, const std::string& text);
+
+  std::string program_description_;
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dfs
+
+#endif  // DFS_UTIL_FLAGS_H_

@@ -1,0 +1,61 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace dfs {
+namespace internal_logging {
+namespace {
+
+std::atomic<int> g_min_log_level{[] {
+  const char* env = std::getenv("DFS_LOG_LEVEL");
+  if (env != nullptr) {
+    int level = std::atoi(env);
+    if (level >= 0 && level <= 3) return level;
+  }
+  return 1;  // default: warnings and above
+}()};
+
+const char* SeverityTag(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+int MinLogLevel() { return g_min_log_level.load(std::memory_order_relaxed); }
+
+void SetMinLogLevel(int level) {
+  g_min_log_level.store(level, std::memory_order_relaxed);
+}
+
+LogMessage::LogMessage(const char* file, int line, LogSeverity severity)
+    : severity_(severity) {
+  stream_ << "[" << SeverityTag(severity) << " " << Basename(file) << ":"
+          << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (static_cast<int>(severity_) >= MinLogLevel() ||
+      severity_ == LogSeverity::kFatal) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (severity_ == LogSeverity::kFatal) std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace dfs

@@ -1,0 +1,92 @@
+#ifndef DFS_UTIL_LOGGING_H_
+#define DFS_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dfs {
+namespace internal_logging {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+/// Minimum severity actually emitted; settable via SetMinLogLevel or the
+/// DFS_LOG_LEVEL environment variable (0=INFO .. 3=FATAL).
+int MinLogLevel();
+void SetMinLogLevel(int level);
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// Fatal messages abort the process after emission.
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogSeverity severity);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a streamed expression; used for disabled log levels.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+#define DFS_LOG_INFO                                  \
+  ::dfs::internal_logging::LogMessage(                \
+      __FILE__, __LINE__, ::dfs::internal_logging::LogSeverity::kInfo)
+#define DFS_LOG_WARNING                               \
+  ::dfs::internal_logging::LogMessage(                \
+      __FILE__, __LINE__, ::dfs::internal_logging::LogSeverity::kWarning)
+#define DFS_LOG_ERROR                                 \
+  ::dfs::internal_logging::LogMessage(                \
+      __FILE__, __LINE__, ::dfs::internal_logging::LogSeverity::kError)
+#define DFS_LOG_FATAL                                 \
+  ::dfs::internal_logging::LogMessage(                \
+      __FILE__, __LINE__, ::dfs::internal_logging::LogSeverity::kFatal)
+
+#define DFS_LOG(severity) DFS_LOG_##severity
+
+/// CHECK-style invariant assertion: active in all build modes; streams an
+/// explanatory message and aborts on failure. The `?:`-with-`&` shape (as in
+/// glog) lets callers append `<< details`, which binds inside the third
+/// operand because `?:` has lower precedence than `<<`.
+#define DFS_CHECK(condition)                          \
+  (condition) ? (void)0                               \
+              : ::dfs::internal_logging::Voidify() &  \
+                DFS_LOG_FATAL << "Check failed: " #condition " "
+
+#define DFS_CHECK_EQ(a, b) DFS_CHECK((a) == (b))
+#define DFS_CHECK_NE(a, b) DFS_CHECK((a) != (b))
+#define DFS_CHECK_LT(a, b) DFS_CHECK((a) < (b))
+#define DFS_CHECK_LE(a, b) DFS_CHECK((a) <= (b))
+#define DFS_CHECK_GT(a, b) DFS_CHECK((a) > (b))
+#define DFS_CHECK_GE(a, b) DFS_CHECK((a) >= (b))
+
+namespace internal_logging {
+
+/// Helper that gives the ternary in DFS_CHECK a void-typed right arm.
+struct Voidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace dfs
+
+#endif  // DFS_UTIL_LOGGING_H_

@@ -1,0 +1,182 @@
+#include "util/math_util.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace dfs {
+
+double Sigmoid(double x) {
+  if (x >= 0) {
+    double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+double SafeLog(double x) { return std::log(std::max(x, 1e-300)); }
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double mean = Mean(values);
+  double sum_sq = 0.0;
+  for (double v : values) sum_sq += (v - mean) * (v - mean);
+  return sum_sq / static_cast<double>(values.size());
+}
+
+double SampleStdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double mean = Mean(values);
+  double sum_sq = 0.0;
+  for (double v : values) sum_sq += (v - mean) * (v - mean);
+  return std::sqrt(sum_sq / static_cast<double>(values.size() - 1));
+}
+
+double Quantile(std::vector<double> values, double q) {
+  DFS_CHECK(!values.empty());
+  DFS_CHECK_GE(q, 0.0);
+  DFS_CHECK_LE(q, 1.0);
+  std::sort(values.begin(), values.end());
+  double position = q * static_cast<double>(values.size() - 1);
+  size_t lower = static_cast<size_t>(position);
+  size_t upper = std::min(lower + 1, values.size() - 1);
+  double fraction = position - static_cast<double>(lower);
+  return values[lower] * (1.0 - fraction) + values[upper] * fraction;
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  DFS_CHECK_EQ(x.size(), y.size());
+  if (x.size() < 2) return 0.0;
+  double mx = Mean(x);
+  double my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double dx = x[i] - mx;
+    double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double Clamp(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+double EntropyFromCounts(const std::vector<double>& counts) {
+  double total = std::accumulate(counts.begin(), counts.end(), 0.0);
+  if (total <= 0.0) return 0.0;
+  double entropy = 0.0;
+  for (double c : counts) {
+    if (c <= 0.0) continue;
+    double p = c / total;
+    entropy -= p * std::log(p);
+  }
+  return entropy;
+}
+
+std::vector<int> EqualWidthBins(const std::vector<double>& values,
+                                int num_bins) {
+  DFS_CHECK_GT(num_bins, 0);
+  std::vector<int> bins(values.size(), 0);
+  if (values.empty()) return bins;
+  auto [min_it, max_it] = std::minmax_element(values.begin(), values.end());
+  double lo = *min_it;
+  double hi = *max_it;
+  if (hi <= lo) return bins;  // constant column
+  double width = (hi - lo) / static_cast<double>(num_bins);
+  for (size_t i = 0; i < values.size(); ++i) {
+    int bin = static_cast<int>((values[i] - lo) / width);
+    bins[i] = std::min(bin, num_bins - 1);
+  }
+  return bins;
+}
+
+namespace {
+
+// Joint and marginal counts for two discrete variables.
+struct JointCounts {
+  std::unordered_map<long long, double> joint;
+  std::unordered_map<int, double> mx;
+  std::unordered_map<int, double> my;
+  double n = 0.0;
+};
+
+JointCounts CountJoint(const std::vector<int>& x, const std::vector<int>& y) {
+  JointCounts c;
+  for (size_t i = 0; i < x.size(); ++i) {
+    long long key =
+        (static_cast<long long>(x[i]) << 32) ^ static_cast<unsigned>(y[i]);
+    c.joint[key] += 1.0;
+    c.mx[x[i]] += 1.0;
+    c.my[y[i]] += 1.0;
+  }
+  c.n = static_cast<double>(x.size());
+  return c;
+}
+
+}  // namespace
+
+double DiscreteMutualInformation(const std::vector<int>& x,
+                                 const std::vector<int>& y) {
+  DFS_CHECK_EQ(x.size(), y.size());
+  if (x.empty()) return 0.0;
+  JointCounts c = CountJoint(x, y);
+  double mi = 0.0;
+  for (const auto& [key, count] : c.joint) {
+    int xv = static_cast<int>(key >> 32);
+    int yv = static_cast<int>(key & 0xFFFFFFFFLL);
+    double pxy = count / c.n;
+    double px = c.mx[xv] / c.n;
+    double py = c.my[yv] / c.n;
+    mi += pxy * std::log(pxy / (px * py));
+  }
+  return std::max(mi, 0.0);
+}
+
+double DiscreteEntropy(const std::vector<int>& x) {
+  std::unordered_map<int, double> counts;
+  for (int v : x) counts[v] += 1.0;
+  std::vector<double> values;
+  values.reserve(counts.size());
+  for (const auto& [unused, c] : counts) values.push_back(c);
+  return EntropyFromCounts(values);
+}
+
+double SymmetricalUncertainty(const std::vector<int>& x,
+                              const std::vector<int>& y) {
+  double hx = DiscreteEntropy(x);
+  double hy = DiscreteEntropy(y);
+  if (hx + hy <= 0.0) return 0.0;
+  return 2.0 * DiscreteMutualInformation(x, y) / (hx + hy);
+}
+
+std::vector<int> ArgsortDescending(const std::vector<double>& values) {
+  std::vector<int> indices(values.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  std::stable_sort(indices.begin(), indices.end(),
+                   [&](int a, int b) { return values[a] > values[b]; });
+  return indices;
+}
+
+std::vector<int> ArgsortAscending(const std::vector<double>& values) {
+  std::vector<int> indices(values.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  std::stable_sort(indices.begin(), indices.end(),
+                   [&](int a, int b) { return values[a] < values[b]; });
+  return indices;
+}
+
+}  // namespace dfs

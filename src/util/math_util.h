@@ -1,0 +1,64 @@
+#ifndef DFS_UTIL_MATH_UTIL_H_
+#define DFS_UTIL_MATH_UTIL_H_
+
+#include <cmath>
+#include <vector>
+
+namespace dfs {
+
+/// Numerically stable logistic sigmoid.
+double Sigmoid(double x);
+
+/// log(x) clamped away from -inf (used in entropy computations).
+double SafeLog(double x);
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+/// Population variance (divides by n); 0 for n < 1.
+double Variance(const std::vector<double>& values);
+
+/// Sample standard deviation (divides by n-1); 0 for n < 2.
+double SampleStdDev(const std::vector<double>& values);
+
+/// Linear-interpolated quantile, q in [0, 1]. Sorts a copy.
+double Quantile(std::vector<double> values, double q);
+
+/// Pearson correlation; 0 when either side is constant.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Clamps v into [lo, hi].
+double Clamp(double v, double lo, double hi);
+
+/// Shannon entropy (nats) of a discrete distribution given as counts.
+double EntropyFromCounts(const std::vector<double>& counts);
+
+/// Bins `values` into `num_bins` equal-width bins over [min, max]; constant
+/// columns map everything to bin 0. Returns one bin index per value.
+std::vector<int> EqualWidthBins(const std::vector<double>& values,
+                                int num_bins);
+
+/// Mutual information (nats) between two discrete variables given as
+/// per-sample category indices (must be the same length).
+double DiscreteMutualInformation(const std::vector<int>& x,
+                                 const std::vector<int>& y);
+
+/// Shannon entropy (nats) of a discrete variable given as per-sample
+/// category indices.
+double DiscreteEntropy(const std::vector<int>& x);
+
+/// Symmetrical uncertainty SU(x, y) = 2 * MI / (H(x) + H(y)) in [0, 1];
+/// 0 when either entropy is 0 (FCBF, Yu & Liu 2003).
+double SymmetricalUncertainty(const std::vector<int>& x,
+                              const std::vector<int>& y);
+
+/// Returns indices that sort `values` in descending order (stable).
+std::vector<int> ArgsortDescending(const std::vector<double>& values);
+
+/// Returns indices that sort `values` in ascending order (stable).
+std::vector<int> ArgsortAscending(const std::vector<double>& values);
+
+}  // namespace dfs
+
+#endif  // DFS_UTIL_MATH_UTIL_H_

@@ -1,0 +1,115 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dfs {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // Seed the xoshiro state with splitmix64 per the reference implementation.
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+int Rng::UniformInt(int lo, int hi) {
+  DFS_CHECK_LE(lo, hi);
+  uint64_t range = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  return lo + static_cast<int>(Next() % range);
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 1e-300);
+  double u2 = Uniform();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double angle = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+double Rng::Laplace(double scale) {
+  DFS_CHECK_GT(scale, 0.0);
+  double u = Uniform() - 0.5;
+  double sign = u < 0 ? -1.0 : 1.0;
+  return -scale * sign * std::log(1.0 - 2.0 * std::fabs(u));
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+int Rng::Categorical(const std::vector<double>& weights) {
+  DFS_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    DFS_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  if (total <= 0.0) return UniformInt(0, static_cast<int>(weights.size()) - 1);
+  double target = Uniform() * total;
+  double cumulative = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (target < cumulative) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  DFS_CHECK_GE(n, 0);
+  std::vector<int> indices(n);
+  for (int i = 0; i < n; ++i) indices[i] = i;
+  Shuffle(indices);
+  if (k < n) indices.resize(k);
+  return indices;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xA5A5A5A5DEADBEEFULL); }
+
+}  // namespace dfs

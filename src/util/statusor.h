@@ -1,0 +1,75 @@
+#ifndef DFS_UTIL_STATUSOR_H_
+#define DFS_UTIL_STATUSOR_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace dfs {
+
+/// Union of a Status and a value of type T: either holds a value (and an OK
+/// status) or a non-OK status. Accessing the value of a non-OK StatusOr
+/// aborts, matching the CHECK-failure semantics used throughout the library.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a non-OK status. Passing an OK status is a programming
+  /// error (there would be no value) and aborts.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    DFS_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DFS_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    DFS_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    DFS_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a StatusOr<T> expression); on error returns the status
+/// from the enclosing function, otherwise moves the value into `lhs`.
+#define DFS_ASSIGN_OR_RETURN(lhs, rexpr)                    \
+  DFS_ASSIGN_OR_RETURN_IMPL_(                               \
+      DFS_STATUS_MACRO_CONCAT_(_dfs_statusor, __LINE__), lhs, rexpr)
+
+#define DFS_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define DFS_STATUS_MACRO_CONCAT_(x, y) DFS_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+#define DFS_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                               \
+  if (!statusor.ok()) return statusor.status();          \
+  lhs = std::move(statusor).value()
+
+}  // namespace dfs
+
+#endif  // DFS_UTIL_STATUSOR_H_

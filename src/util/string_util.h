@@ -1,0 +1,34 @@
+#ifndef DFS_UTIL_STRING_UTIL_H_
+#define DFS_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dfs {
+
+/// Splits `text` on `delimiter`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string Strip(std::string_view text);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Formats `value` with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision);
+
+/// Renders "mean ± std" with two decimals, matching the paper's tables.
+std::string FormatMeanStd(double mean, double stddev);
+
+}  // namespace dfs
+
+#endif  // DFS_UTIL_STRING_UTIL_H_

@@ -1,0 +1,75 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dfs {
+namespace {
+
+// Display width in characters, counting UTF-8 multi-byte sequences (e.g. the
+// "±" sign used in mean±std cells) as one column each.
+size_t DisplayWidth(const std::string& s) {
+  size_t width = 0;
+  for (unsigned char c : s) {
+    if ((c & 0xC0) != 0x80) ++width;  // count non-continuation bytes
+  }
+  return width;
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  DFS_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+void TablePrinter::Print(std::ostream& os) const { os << ToString(); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = DisplayWidth(header_[c]);
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], DisplayWidth(row[c]));
+    }
+  }
+  std::ostringstream out;
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " ");
+      out << row[c];
+      for (size_t pad = DisplayWidth(row[c]); pad < widths[c]; ++pad) {
+        out << ' ';
+      }
+      out << " |";
+    }
+    out << '\n';
+  };
+  auto print_rule = [&] {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      out << (c == 0 ? "|" : "") << std::string(widths[c] + 2, '-') << "|";
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  print_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_rule();
+    } else {
+      print_row(row);
+    }
+  }
+  return out.str();
+}
+
+}  // namespace dfs

@@ -1,0 +1,35 @@
+#ifndef DFS_UTIL_TABLE_PRINTER_H_
+#define DFS_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dfs {
+
+/// Renders aligned plain-text tables; used by the experiment harnesses to
+/// print paper-style tables on stdout.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds a row; must have the same number of cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Adds a horizontal separator line at the current position.
+  void AddSeparator();
+
+  /// Renders the table with column alignment and a header rule.
+  void Print(std::ostream& os) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  // Separator rows are encoded as empty vectors.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dfs
+
+#endif  // DFS_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,75 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace dfs {
+
+ThreadPool::ThreadPool(int num_threads) {
+  num_threads = std::max(1, num_threads);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return queue_.empty() && active_tasks_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_available_.wait(lock,
+                           [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_tasks_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --active_tasks_;
+      if (queue_.empty() && active_tasks_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(int count, int num_threads,
+                 const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  if (num_threads <= 1 || count == 1) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(std::min(num_threads, count));
+  for (int i = 0; i < count; ++i) {
+    pool.Schedule([&fn, i] { fn(i); });
+  }
+  pool.Wait();
+}
+
+}  // namespace dfs

@@ -1,0 +1,53 @@
+#ifndef DFS_UTIL_THREAD_POOL_H_
+#define DFS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dfs {
+
+/// Fixed-size worker pool used by the parallel multi-strategy runner
+/// (Section 6.5 of the paper) and by experiment harnesses. Tasks are
+/// void() closures; Wait() blocks until the queue drains and all workers
+/// are idle.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (minimum 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called after the destructor has started.
+  void Schedule(std::function<void()> task);
+
+  /// Blocks until all scheduled tasks have finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_tasks_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Runs `fn(i)` for i in [0, count) across `num_threads` workers and waits.
+/// With num_threads <= 1 runs inline (deterministic order).
+void ParallelFor(int count, int num_threads,
+                 const std::function<void(int)>& fn);
+
+}  // namespace dfs
+
+#endif  // DFS_UTIL_THREAD_POOL_H_

@@ -1,0 +1,187 @@
+#include "constraints/constraint_set.h"
+
+#include <gtest/gtest.h>
+
+namespace dfs::constraints {
+namespace {
+
+ConstraintSet FullSet() {
+  return ConstraintSetBuilder()
+      .MinF1(0.7)
+      .MaxSearchSeconds(10.0)
+      .MaxFeatureFraction(0.5)
+      .MinEqualOpportunity(0.9)
+      .MinSafety(0.85)
+      .PrivacyEpsilon(1.0)
+      .Build()
+      .value();
+}
+
+MetricValues GoodValues() {
+  MetricValues values;
+  values.f1 = 0.8;
+  values.equal_opportunity = 0.95;
+  values.safety = 0.9;
+  values.feature_fraction = 0.3;
+  values.selected_features = 3;
+  values.total_features = 10;
+  return values;
+}
+
+TEST(BuilderTest, ValidSetBuilds) {
+  const ConstraintSet set = FullSet();
+  EXPECT_DOUBLE_EQ(set.min_f1, 0.7);
+  EXPECT_DOUBLE_EQ(set.max_search_seconds, 10.0);
+  EXPECT_DOUBLE_EQ(*set.max_feature_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(*set.min_equal_opportunity, 0.9);
+  EXPECT_DOUBLE_EQ(*set.min_safety, 0.85);
+  EXPECT_DOUBLE_EQ(*set.privacy_epsilon, 1.0);
+}
+
+TEST(BuilderTest, RejectsOutOfRangeValues) {
+  EXPECT_FALSE(ConstraintSetBuilder().MinF1(1.5).Build().ok());
+  EXPECT_FALSE(ConstraintSetBuilder().MinF1(-0.1).Build().ok());
+  EXPECT_FALSE(ConstraintSetBuilder().MaxSearchSeconds(0).Build().ok());
+  EXPECT_FALSE(ConstraintSetBuilder().MaxFeatureFraction(0.0).Build().ok());
+  EXPECT_FALSE(ConstraintSetBuilder().MaxFeatureFraction(1.5).Build().ok());
+  EXPECT_FALSE(ConstraintSetBuilder().MinEqualOpportunity(2.0).Build().ok());
+  EXPECT_FALSE(ConstraintSetBuilder().MinSafety(-1.0).Build().ok());
+  EXPECT_FALSE(ConstraintSetBuilder().PrivacyEpsilon(0.0).Build().ok());
+}
+
+TEST(ConstraintSetTest, ActiveKindsListsMandatoryPlusPresent) {
+  ConstraintSet minimal;
+  EXPECT_EQ(minimal.ActiveKinds().size(), 2u);  // accuracy + search time
+  EXPECT_EQ(FullSet().ActiveKinds().size(), 6u);
+}
+
+TEST(ConstraintSetTest, NumEvaluationDependent) {
+  ConstraintSet minimal;
+  EXPECT_EQ(minimal.NumEvaluationDependent(), 1);  // accuracy only
+  EXPECT_EQ(FullSet().NumEvaluationDependent(), 3);  // accuracy, EO, safety
+}
+
+TEST(ConstraintSetTest, MaxFeatureCountFloorsWithMinimumOne) {
+  const ConstraintSet set = FullSet();  // fraction 0.5
+  EXPECT_EQ(set.MaxFeatureCount(10), 5);
+  EXPECT_EQ(set.MaxFeatureCount(3), 1);  // floor(1.5) = 1
+  ConstraintSet tiny;
+  tiny.max_feature_fraction = 0.01;
+  EXPECT_EQ(tiny.MaxFeatureCount(10), 1);  // clamped up to 1
+  ConstraintSet unconstrained;
+  EXPECT_EQ(unconstrained.MaxFeatureCount(10), 10);
+}
+
+TEST(ConstraintSetTest, SatisfiedAllGood) {
+  EXPECT_TRUE(FullSet().Satisfied(GoodValues()));
+}
+
+TEST(ConstraintSetTest, EachViolationDetected) {
+  const ConstraintSet set = FullSet();
+  MetricValues values = GoodValues();
+  values.f1 = 0.6;
+  EXPECT_FALSE(set.Satisfied(values));
+  values = GoodValues();
+  values.equal_opportunity = 0.85;
+  EXPECT_FALSE(set.Satisfied(values));
+  values = GoodValues();
+  values.safety = 0.5;
+  EXPECT_FALSE(set.Satisfied(values));
+  values = GoodValues();
+  values.selected_features = 8;  // > MaxFeatureCount(10) = 5
+  values.feature_fraction = 0.8;
+  EXPECT_FALSE(set.Satisfied(values));
+}
+
+TEST(ConstraintSetTest, SizeCheckUsesCountsWhenAvailable) {
+  ConstraintSet set;
+  set.max_feature_fraction = 0.1;  // 1.9 features of 19 -> count bound 1
+  MetricValues values = GoodValues();
+  set.min_f1 = 0.0;
+  values.selected_features = 1;
+  values.total_features = 19;
+  values.feature_fraction = 1.0 / 19.0;  // 0.0526 < 0.1 anyway
+  EXPECT_TRUE(set.Satisfied(values));
+  // A single feature must be admissible even for a tiny fraction.
+  set.max_feature_fraction = 0.001;
+  EXPECT_TRUE(set.Satisfied(values));
+  values.selected_features = 2;
+  EXPECT_FALSE(set.Satisfied(values));
+}
+
+TEST(DistanceTest, ZeroWhenSatisfied) {
+  EXPECT_DOUBLE_EQ(FullSet().Distance(GoodValues()), 0.0);
+}
+
+TEST(DistanceTest, SquaredShortfallsSum) {
+  const ConstraintSet set = FullSet();
+  MetricValues values = GoodValues();
+  values.f1 = 0.5;                  // gap 0.2 -> 0.04
+  values.equal_opportunity = 0.8;   // gap 0.1 -> 0.01
+  EXPECT_NEAR(set.Distance(values), 0.05, 1e-12);
+}
+
+TEST(DistanceTest, SizeViolationUsesFractionGap) {
+  ConstraintSet set;
+  set.min_f1 = 0.0;
+  set.max_feature_fraction = 0.5;
+  MetricValues values;
+  values.f1 = 1.0;
+  values.selected_features = 8;
+  values.total_features = 10;
+  values.feature_fraction = 0.8;
+  EXPECT_NEAR(set.Distance(values), 0.09, 1e-12);  // (0.8-0.5)^2
+}
+
+TEST(ObjectiveTest, EqualsDistanceOutsideUtilityMode) {
+  const ConstraintSet set = FullSet();
+  MetricValues values = GoodValues();
+  values.f1 = 0.5;
+  EXPECT_DOUBLE_EQ(set.Objective(values, false), set.Distance(values));
+  EXPECT_DOUBLE_EQ(set.Objective(GoodValues(), false), 0.0);
+}
+
+TEST(ObjectiveTest, UtilityModeSwitchesToNegativeF1) {
+  const ConstraintSet set = FullSet();
+  // Unsatisfied: still the distance.
+  MetricValues bad = GoodValues();
+  bad.f1 = 0.5;
+  EXPECT_GT(set.Objective(bad, true), 0.0);
+  // Satisfied: -F1, so higher F1 is better (Eq. 2).
+  MetricValues good = GoodValues();
+  EXPECT_DOUBLE_EQ(set.Objective(good, true), -0.8);
+  MetricValues better = GoodValues();
+  better.f1 = 0.9;
+  EXPECT_LT(set.Objective(better, true), set.Objective(good, true));
+}
+
+TEST(PerConstraintShortfallsTest, VectorShapeFollowsActiveConstraints) {
+  ConstraintSet minimal;
+  MetricValues values;
+  values.f1 = 0.9;
+  EXPECT_EQ(minimal.PerConstraintShortfalls(values).size(), 1u);
+  EXPECT_EQ(FullSet().PerConstraintShortfalls(values).size(), 4u);
+}
+
+TEST(PerConstraintShortfallsTest, SquaresSumToDistance) {
+  const ConstraintSet set = FullSet();
+  MetricValues values = GoodValues();
+  values.f1 = 0.55;
+  values.safety = 0.7;
+  const auto shortfalls = set.PerConstraintShortfalls(values);
+  double sum_squares = 0.0;
+  for (double s : shortfalls) sum_squares += s * s;
+  EXPECT_NEAR(sum_squares, set.Distance(values), 1e-12);
+}
+
+TEST(ToStringTest, MentionsActiveConstraints) {
+  const std::string text = FullSet().ToString();
+  EXPECT_NE(text.find("F1>=0.70"), std::string::npos);
+  EXPECT_NE(text.find("EO>=0.90"), std::string::npos);
+  EXPECT_NE(text.find("eps=1.00"), std::string::npos);
+  ConstraintSet minimal;
+  EXPECT_EQ(minimal.ToString().find("EO"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dfs::constraints

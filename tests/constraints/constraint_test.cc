@@ -1,0 +1,82 @@
+#include "constraints/constraint.h"
+
+#include <gtest/gtest.h>
+
+namespace dfs::constraints {
+namespace {
+
+// The taxonomy tests pin Table 1 of the paper row by row.
+
+TEST(TaxonomyTest, MaxSearchTimeRow) {
+  const ConstraintTaxonomy t = TaxonomyOf(ConstraintKind::kMaxSearchTime);
+  EXPECT_FALSE(t.evaluation_dependent);
+  EXPECT_EQ(t.feature_dependence, FeatureSizeCorrelation::kNone);
+  EXPECT_FALSE(t.needs_features);
+  EXPECT_FALSE(t.needs_target);
+  EXPECT_FALSE(t.needs_model);
+  EXPECT_FALSE(t.needs_predictions);
+}
+
+TEST(TaxonomyTest, MaxFeatureSetSizeRow) {
+  const ConstraintTaxonomy t = TaxonomyOf(ConstraintKind::kMaxFeatureSetSize);
+  EXPECT_FALSE(t.evaluation_dependent);
+  EXPECT_EQ(t.feature_dependence, FeatureSizeCorrelation::kNegative);
+  EXPECT_TRUE(t.needs_features);
+  EXPECT_FALSE(t.needs_model);
+}
+
+TEST(TaxonomyTest, TrainingAndInferenceTimeRows) {
+  for (ConstraintKind kind : {ConstraintKind::kMaxTrainingTime,
+                              ConstraintKind::kMaxInferenceTime}) {
+    const ConstraintTaxonomy t = TaxonomyOf(kind);
+    EXPECT_TRUE(t.evaluation_dependent);
+    EXPECT_EQ(t.feature_dependence, FeatureSizeCorrelation::kNegative);
+  }
+}
+
+TEST(TaxonomyTest, MinAccuracyRow) {
+  const ConstraintTaxonomy t = TaxonomyOf(ConstraintKind::kMinAccuracy);
+  EXPECT_TRUE(t.evaluation_dependent);
+  EXPECT_EQ(t.feature_dependence, FeatureSizeCorrelation::kPositive);
+  EXPECT_FALSE(t.needs_features);
+  EXPECT_TRUE(t.needs_target);
+  EXPECT_FALSE(t.needs_model);
+  EXPECT_TRUE(t.needs_predictions);
+}
+
+TEST(TaxonomyTest, MinEqualOpportunityRow) {
+  const ConstraintTaxonomy t =
+      TaxonomyOf(ConstraintKind::kMinEqualOpportunity);
+  EXPECT_TRUE(t.evaluation_dependent);
+  EXPECT_EQ(t.feature_dependence, FeatureSizeCorrelation::kNegative);
+  // Needs the features (group membership) on top of accuracy's inputs.
+  EXPECT_TRUE(t.needs_features);
+  EXPECT_TRUE(t.needs_target);
+  EXPECT_FALSE(t.needs_model);
+  EXPECT_TRUE(t.needs_predictions);
+}
+
+TEST(TaxonomyTest, MinPrivacyRow) {
+  const ConstraintTaxonomy t = TaxonomyOf(ConstraintKind::kMinPrivacy);
+  EXPECT_FALSE(t.evaluation_dependent);
+  EXPECT_EQ(t.feature_dependence, FeatureSizeCorrelation::kNegative);
+}
+
+TEST(TaxonomyTest, MinSafetyNeedsEverything) {
+  const ConstraintTaxonomy t = TaxonomyOf(ConstraintKind::kMinSafety);
+  EXPECT_TRUE(t.evaluation_dependent);
+  EXPECT_TRUE(t.needs_features);
+  EXPECT_TRUE(t.needs_target);
+  EXPECT_TRUE(t.needs_model);  // the attack queries the trained model
+  EXPECT_TRUE(t.needs_predictions);
+}
+
+TEST(TaxonomyTest, Names) {
+  EXPECT_STREQ(ConstraintKindToString(ConstraintKind::kMinEqualOpportunity),
+               "Min Equal Opportunity");
+  EXPECT_STREQ(ConstraintKindToString(ConstraintKind::kMaxSearchTime),
+               "Max Search Time");
+}
+
+}  // namespace
+}  // namespace dfs::constraints

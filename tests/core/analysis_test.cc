@@ -1,0 +1,165 @@
+#include "core/analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace dfs::core {
+namespace {
+
+// Hand-built records: 2 datasets ("A", "B"), 3 strategies.
+// Dataset A: 2 satisfiable scenarios; dataset B: 1 satisfiable + 1 that no
+// strategy solves (still counted as unsatisfiable).
+std::vector<ScenarioRecord> MakeRecords() {
+  auto outcome = [](fs::StrategyId id, bool success, double seconds,
+                    double distance = 0.5, double f1 = 0.5) {
+    StrategyOutcome o;
+    o.id = id;
+    o.success = success;
+    o.seconds = seconds;
+    o.distance_validation = success ? 0.0 : distance;
+    o.distance_test = success ? 0.0 : distance + 0.1;
+    o.test_f1 = f1;
+    return o;
+  };
+  const auto sfs = fs::StrategyId::kSfs;
+  const auto chi = fs::StrategyId::kTpeChi2;
+  const auto sa = fs::StrategyId::kSimulatedAnnealing;
+
+  std::vector<ScenarioRecord> records(4);
+  // A#0: sfs fastest (0.1), chi solves slower, sa fails.
+  records[0].scenario_id = 0;
+  records[0].dataset_name = "A";
+  records[0].model = ml::ModelKind::kLogisticRegression;
+  records[0].outcomes = {outcome(sfs, true, 0.1, 0, 0.8),
+                         outcome(chi, true, 0.3, 0, 0.9),
+                         outcome(sa, false, 0.5, 0.4, 0.6)};
+  // A#1: only chi solves. EO constraint active.
+  records[1].scenario_id = 1;
+  records[1].dataset_name = "A";
+  records[1].model = ml::ModelKind::kNaiveBayes;
+  records[1].constraint_set.min_equal_opportunity = 0.9;
+  records[1].outcomes = {outcome(sfs, false, 0.2, 0.6, 0.5),
+                         outcome(chi, true, 0.2, 0, 0.7),
+                         outcome(sa, false, 0.2, 0.8, 0.4)};
+  // B#2: sa fastest, sfs ties chi at slower time.
+  records[2].scenario_id = 2;
+  records[2].dataset_name = "B";
+  records[2].model = ml::ModelKind::kLogisticRegression;
+  records[2].outcomes = {outcome(sfs, true, 0.4, 0, 0.9),
+                         outcome(chi, true, 0.4, 0, 0.85),
+                         outcome(sa, true, 0.1, 0, 0.95)};
+  // B#3: nobody solves -> unsatisfiable, excluded from coverage.
+  records[3].scenario_id = 3;
+  records[3].dataset_name = "B";
+  records[3].model = ml::ModelKind::kDecisionTree;
+  records[3].outcomes = {outcome(sfs, false, 0.2, 0.9, 0.2),
+                         outcome(chi, false, 0.2, 0.9, 0.3),
+                         outcome(sa, false, 0.2, 0.9, 0.1)};
+  return records;
+}
+
+TEST(AnalysisTest, MeanStdBasics) {
+  const MeanStd stats = ComputeMeanStd({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(stats.mean, 2.0);
+  EXPECT_DOUBLE_EQ(stats.stddev, 1.0);
+  EXPECT_DOUBLE_EQ(ComputeMeanStd({}).mean, 0.0);
+}
+
+TEST(AnalysisTest, CoverageByDatasetExcludesUnsatisfiable) {
+  const auto records = MakeRecords();
+  const auto chi_coverage =
+      CoverageByDataset(records, fs::StrategyId::kTpeChi2);
+  ASSERT_EQ(chi_coverage.size(), 2u);
+  EXPECT_DOUBLE_EQ(chi_coverage.at("A"), 1.0);   // 2/2
+  EXPECT_DOUBLE_EQ(chi_coverage.at("B"), 1.0);   // 1/1 satisfiable
+  const auto sfs_coverage = CoverageByDataset(records, fs::StrategyId::kSfs);
+  EXPECT_DOUBLE_EQ(sfs_coverage.at("A"), 0.5);
+}
+
+TEST(AnalysisTest, CoverageStatsAggregatesAcrossDatasets) {
+  const auto records = MakeRecords();
+  const MeanStd sfs = CoverageStats(records, fs::StrategyId::kSfs);
+  EXPECT_DOUBLE_EQ(sfs.mean, 0.75);  // (0.5 + 1.0) / 2
+  const MeanStd chi = CoverageStats(records, fs::StrategyId::kTpeChi2);
+  EXPECT_DOUBLE_EQ(chi.mean, 1.0);
+  EXPECT_DOUBLE_EQ(chi.stddev, 0.0);
+}
+
+TEST(AnalysisTest, FastestStatsCreditsStrictWinners) {
+  const auto records = MakeRecords();
+  // sfs fastest on A#0 only -> A: 1/2, B: 0/1.
+  const MeanStd sfs = FastestStats(records, fs::StrategyId::kSfs);
+  EXPECT_DOUBLE_EQ(sfs.mean, 0.25);
+  // sa fastest on B#2 -> A: 0/2, B: 1/1.
+  const MeanStd sa =
+      FastestStats(records, fs::StrategyId::kSimulatedAnnealing);
+  EXPECT_DOUBLE_EQ(sa.mean, 0.5);
+}
+
+TEST(AnalysisTest, FilteredCoverageByConstraint) {
+  const auto records = MakeRecords();
+  const auto has_eo = [](const ScenarioRecord& record) {
+    return record.constraint_set.min_equal_opportunity.has_value();
+  };
+  EXPECT_DOUBLE_EQ(
+      FilteredCoverage(records, fs::StrategyId::kTpeChi2, has_eo), 1.0);
+  EXPECT_DOUBLE_EQ(FilteredCoverage(records, fs::StrategyId::kSfs, has_eo),
+                   0.0);
+}
+
+TEST(AnalysisTest, FilteredCoverageByModel) {
+  const auto records = MakeRecords();
+  const auto is_lr = [](const ScenarioRecord& record) {
+    return record.model == ml::ModelKind::kLogisticRegression;
+  };
+  EXPECT_DOUBLE_EQ(FilteredCoverage(records, fs::StrategyId::kSfs, is_lr),
+                   1.0);  // A#0 and B#2 both solved by sfs
+}
+
+TEST(AnalysisTest, FailureDistancesOnlyFailedSatisfiableCases) {
+  const auto records = MakeRecords();
+  const FailureDistances sfs =
+      FailureDistanceStats(records, fs::StrategyId::kSfs);
+  EXPECT_EQ(sfs.failed_cases, 1);  // A#1 (B#3 is unsatisfiable)
+  EXPECT_DOUBLE_EQ(sfs.validation.mean, 0.6);
+  EXPECT_DOUBLE_EQ(sfs.test.mean, 0.7);
+  const FailureDistances chi =
+      FailureDistanceStats(records, fs::StrategyId::kTpeChi2);
+  EXPECT_EQ(chi.failed_cases, 0);
+}
+
+TEST(AnalysisTest, NormalizedF1IsOneForAlwaysBest) {
+  // chi has the best F1 on A#1 only; compute by hand for sfs:
+  // A#0: 0.8/0.9, A#1: 0.5/0.7 -> A mean ~0.8016
+  // B#2: 0.9/0.95, B#3: 0.2/0.3 -> B mean ~0.8070
+  const auto records = MakeRecords();
+  const MeanStd sfs = NormalizedF1Stats(records, fs::StrategyId::kSfs);
+  EXPECT_NEAR(sfs.mean, 0.5 * ((0.8 / 0.9 + 0.5 / 0.7) / 2.0 +
+                               (0.9 / 0.95 + 0.2 / 0.3) / 2.0),
+              1e-9);
+}
+
+TEST(AnalysisTest, GreedyCoverageCombinationReachesFullCoverage) {
+  const auto records = MakeRecords();
+  const auto steps = GreedyCoverageCombination(
+      records, {fs::StrategyId::kSfs, fs::StrategyId::kTpeChi2,
+                fs::StrategyId::kSimulatedAnnealing});
+  ASSERT_FALSE(steps.empty());
+  // chi alone already covers every satisfiable scenario here.
+  EXPECT_EQ(steps.front().added, fs::StrategyId::kTpeChi2);
+  EXPECT_DOUBLE_EQ(steps.front().achieved.mean, 1.0);
+  EXPECT_EQ(steps.size(), 1u);  // stops at full coverage
+}
+
+TEST(AnalysisTest, GreedyFastestCombinationAddsComplementaryStrategies) {
+  const auto records = MakeRecords();
+  const auto steps = GreedyFastestCombination(
+      records, {fs::StrategyId::kSfs, fs::StrategyId::kTpeChi2,
+                fs::StrategyId::kSimulatedAnnealing});
+  ASSERT_GE(steps.size(), 2u);
+  // No single strategy is fastest everywhere; the pool must grow.
+  EXPECT_LT(steps.front().achieved.mean, 1.0);
+  EXPECT_GT(steps.back().achieved.mean, steps.front().achieved.mean);
+}
+
+}  // namespace
+}  // namespace dfs::core

@@ -1,0 +1,112 @@
+// End-to-end integration sweeps: the DFS engine's success claims must be
+// *true* — whenever a run reports success, retraining the scenario's model
+// on the returned subset must actually satisfy every declared constraint on
+// the test split. This is the system-level contract of Figure 2.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/scenario.h"
+#include "data/benchmark_suite.h"
+#include "fs/registry.h"
+#include "metrics/classification.h"
+#include "metrics/fairness.h"
+#include "ml/grid_search.h"
+
+namespace dfs::core {
+namespace {
+
+struct IntegrationCase {
+  const char* name;
+  int dataset_index;
+  ml::ModelKind model;
+  double min_f1;
+  double min_eo;          // <= 0 disables
+  double max_fraction;    // <= 0 disables
+  fs::StrategyId strategy;
+};
+
+class EngineIntegrationTest
+    : public ::testing::TestWithParam<IntegrationCase> {};
+
+TEST_P(EngineIntegrationTest, SuccessImpliesConstraintsHoldOnTest) {
+  const IntegrationCase& test_case = GetParam();
+  auto dataset = data::GenerateBenchmarkDataset(test_case.dataset_index, 3,
+                                                /*row_scale=*/0.3);
+  ASSERT_TRUE(dataset.ok());
+
+  constraints::ConstraintSet set;
+  set.min_f1 = test_case.min_f1;
+  set.max_search_seconds = 1.5;
+  if (test_case.min_eo > 0) set.min_equal_opportunity = test_case.min_eo;
+  if (test_case.max_fraction > 0) {
+    set.max_feature_fraction = test_case.max_fraction;
+  }
+
+  Rng rng(31);
+  auto scenario = MakeScenario(*dataset, test_case.model, set, rng);
+  ASSERT_TRUE(scenario.ok());
+  EngineOptions options;
+  options.use_hpo = true;
+  DfsEngine engine(*scenario, options);
+  auto strategy = fs::CreateStrategy(test_case.strategy, 17);
+  const RunResult result = engine.Run(*strategy);
+  if (!result.success) {
+    GTEST_SKIP() << "scenario not satisfied within budget (allowed)";
+  }
+
+  // Independently verify the claim: retrain via the same HPO procedure on
+  // the returned subset and re-measure on test.
+  const std::vector<int> features = fs::MaskToIndices(result.selected);
+  ASSERT_FALSE(features.empty());
+  if (set.max_feature_fraction.has_value()) {
+    EXPECT_LE(static_cast<int>(features.size()),
+              set.MaxFeatureCount(dataset->num_features()));
+  }
+  const auto& split = scenario->split;
+  auto search = ml::GridSearch(test_case.model,
+                               split.train.ToMatrix(features),
+                               split.train.labels(),
+                               split.validation.ToMatrix(features),
+                               split.validation.labels());
+  ASSERT_TRUE(search.ok());
+  const auto predictions =
+      search->best_model->PredictBatch(split.test.ToMatrix(features));
+  const double f1 = metrics::F1Score(split.test.labels(), predictions);
+  EXPECT_GE(f1 + 1e-9, set.min_f1);
+  if (set.min_equal_opportunity.has_value()) {
+    const double eo = metrics::EqualOpportunity(
+        split.test.labels(), predictions, split.test.groups());
+    EXPECT_GE(eo + 1e-9, *set.min_equal_opportunity);
+  }
+  // And the engine's reported test metrics must match our re-measurement.
+  EXPECT_NEAR(result.test_values.f1, f1, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineIntegrationTest,
+    ::testing::Values(
+        IntegrationCase{"CompasLrSffsFair", 6,
+                        ml::ModelKind::kLogisticRegression, 0.6, 0.85, -1,
+                        fs::StrategyId::kSffs},
+        IntegrationCase{"TelcoDtSfsSize", 5, ml::ModelKind::kDecisionTree,
+                        0.55, -1, 0.3, fs::StrategyId::kSfs},
+        IntegrationCase{"GermanNbChi2", 12, ml::ModelKind::kNaiveBayes, 0.55,
+                        -1, -1, fs::StrategyId::kTpeChi2},
+        IntegrationCase{"LiverLrExhaustiveFair", 13,
+                        ml::ModelKind::kLogisticRegression, 0.55, 0.8, 0.5,
+                        fs::StrategyId::kExhaustive},
+        IntegrationCase{"IrishDtSa", 14, ml::ModelKind::kDecisionTree, 0.55,
+                        -1, 0.5, fs::StrategyId::kSimulatedAnnealing},
+        IntegrationCase{"BrazilLrNsga2Fair", 16,
+                        ml::ModelKind::kLogisticRegression, 0.55, 0.8, -1,
+                        fs::StrategyId::kNsga2},
+        IntegrationCase{"TumorNbFcbf", 17, ml::ModelKind::kNaiveBayes, 0.5,
+                        -1, 0.6, fs::StrategyId::kTpeFcbf},
+        IntegrationCase{"AdultLrTpeMaskFair", 2,
+                        ml::ModelKind::kLogisticRegression, 0.6, 0.85, -1,
+                        fs::StrategyId::kTpeMask}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+}  // namespace
+}  // namespace dfs::core

@@ -1,0 +1,121 @@
+#include "core/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/scenario_sampler.h"
+#include "testing/test_util.h"
+
+namespace dfs::core {
+namespace {
+
+TEST(ScenarioTest, MakeScenarioSplits311) {
+  Rng rng(401);
+  auto scenario = MakeScenario(testing::MakeLinearDataset(500, 2, 400),
+                               ml::ModelKind::kNaiveBayes,
+                               constraints::ConstraintSet(), rng);
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_EQ(scenario->dataset_name, "linear");
+  EXPECT_EQ(scenario->model, ml::ModelKind::kNaiveBayes);
+  EXPECT_NEAR(scenario->split.train.num_rows(), 300, 6);
+  EXPECT_NEAR(scenario->split.validation.num_rows(), 100, 6);
+  EXPECT_NEAR(scenario->split.test.num_rows(), 100, 6);
+}
+
+TEST(ScenarioTest, TinyDatasetFailsToSplit) {
+  auto dataset = data::Dataset::Create("t", {"x"}, {{0.1, 0.9}}, {0, 1},
+                                       {0, 0});
+  ASSERT_TRUE(dataset.ok());
+  Rng rng(402);
+  EXPECT_FALSE(MakeScenario(*dataset, ml::ModelKind::kDecisionTree,
+                            constraints::ConstraintSet(), rng)
+                   .ok());
+}
+
+TEST(SamplerTest, MandatoryConstraintsAlwaysPresent) {
+  Rng rng(403);
+  SamplerOptions options;
+  for (int i = 0; i < 200; ++i) {
+    const SampledScenario scenario = SampleScenario(19, options, rng);
+    EXPECT_GE(scenario.constraint_set.min_f1, 0.5);
+    EXPECT_LE(scenario.constraint_set.min_f1, 1.0);
+    EXPECT_GE(scenario.constraint_set.max_search_seconds,
+              options.min_search_seconds);
+    EXPECT_LE(scenario.constraint_set.max_search_seconds,
+              options.max_search_seconds);
+    EXPECT_GE(scenario.dataset_index, 0);
+    EXPECT_LT(scenario.dataset_index, 19);
+  }
+}
+
+TEST(SamplerTest, OptionalConstraintsAppearRoughlyHalfTheTime) {
+  Rng rng(404);
+  SamplerOptions options;
+  int eo = 0, safety = 0, size = 0, privacy = 0;
+  const int trials = 1000;
+  for (int i = 0; i < trials; ++i) {
+    const SampledScenario scenario = SampleScenario(19, options, rng);
+    eo += scenario.constraint_set.min_equal_opportunity.has_value();
+    safety += scenario.constraint_set.min_safety.has_value();
+    size += scenario.constraint_set.max_feature_fraction.has_value();
+    privacy += scenario.constraint_set.privacy_epsilon.has_value();
+  }
+  for (int count : {eo, safety, size, privacy}) {
+    EXPECT_NEAR(count / static_cast<double>(trials), 0.5, 0.06);
+  }
+}
+
+TEST(SamplerTest, OptionalThresholdsInPaperRanges) {
+  Rng rng(405);
+  SamplerOptions options;
+  for (int i = 0; i < 300; ++i) {
+    const SampledScenario scenario = SampleScenario(19, options, rng);
+    if (scenario.constraint_set.min_equal_opportunity) {
+      EXPECT_GE(*scenario.constraint_set.min_equal_opportunity, 0.8);
+      EXPECT_LE(*scenario.constraint_set.min_equal_opportunity, 1.0);
+    }
+    if (scenario.constraint_set.min_safety) {
+      EXPECT_GE(*scenario.constraint_set.min_safety, 0.8);
+    }
+    if (scenario.constraint_set.max_feature_fraction) {
+      EXPECT_GE(*scenario.constraint_set.max_feature_fraction, 0.0);
+      EXPECT_LE(*scenario.constraint_set.max_feature_fraction, 1.0);
+    }
+    if (scenario.constraint_set.privacy_epsilon) {
+      EXPECT_GT(*scenario.constraint_set.privacy_epsilon, 0.0);
+    }
+  }
+}
+
+TEST(SamplerTest, AllModelsAndDatasetsSampled) {
+  Rng rng(406);
+  SamplerOptions options;
+  std::set<ml::ModelKind> models;
+  std::set<int> datasets;
+  for (int i = 0; i < 500; ++i) {
+    const SampledScenario scenario = SampleScenario(19, options, rng);
+    models.insert(scenario.model);
+    datasets.insert(scenario.dataset_index);
+  }
+  EXPECT_EQ(models.size(), 3u);  // LR, DT, NB (SVM is Table-7 only)
+  EXPECT_GT(datasets.size(), 15u);
+}
+
+TEST(SamplerTest, PrivacyEpsilonIsLogNormalShaped) {
+  Rng rng(407);
+  SamplerOptions options;
+  options.optional_probability = 1.0;
+  int below_one = 0, total = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const SampledScenario scenario = SampleScenario(19, options, rng);
+    ASSERT_TRUE(scenario.constraint_set.privacy_epsilon.has_value());
+    below_one += *scenario.constraint_set.privacy_epsilon < 1.0;
+    ++total;
+  }
+  // LogNormal(0, 1): median exactly 1.
+  EXPECT_NEAR(below_one / static_cast<double>(total), 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace dfs::core

@@ -1,0 +1,121 @@
+#include "data/arff.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/preprocess.h"
+
+namespace dfs::data {
+namespace {
+
+constexpr const char* kArff = R"(% A tiny OpenML-style document
+@RELATION credit
+
+@ATTRIBUTE age NUMERIC
+@ATTRIBUTE income REAL
+@ATTRIBUTE 'home city' {berlin, 'new york', hamburg}
+@ATTRIBUTE sex {male, female}
+@ATTRIBUTE class {good, bad}
+
+@DATA
+25, 48000.5, berlin, male, good
+?, 12000, 'new york', female, bad
+51, ?, hamburg, female, good
+% trailing comment
+33, 23000, berlin, male, bad
+)";
+
+TEST(ArffTest, ParsesHeaderAndData) {
+  auto dataset = ParseArff(kArff, "class", "sex");
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  EXPECT_EQ(dataset->name, "credit");
+  EXPECT_EQ(dataset->num_rows(), 4);
+  EXPECT_EQ(dataset->num_attributes(), 3);  // class/sex extracted
+  EXPECT_EQ(dataset->sensitive_attribute_name, "sex");
+}
+
+TEST(ArffTest, BinaryEncodingFollowsDeclarationOrder) {
+  auto dataset = ParseArff(kArff, "class", "sex");
+  ASSERT_TRUE(dataset.ok());
+  // class: good=0, bad=1; sex: male=0, female=1.
+  EXPECT_EQ(dataset->target, (std::vector<int>{0, 1, 0, 1}));
+  EXPECT_EQ(dataset->sensitive, (std::vector<int>{0, 1, 1, 0}));
+}
+
+TEST(ArffTest, NumericMissingBecomesNan) {
+  auto dataset = ParseArff(kArff, "class", "sex");
+  ASSERT_TRUE(dataset.ok());
+  const RawColumn& age = dataset->columns[0];
+  ASSERT_EQ(age.type, ColumnType::kNumeric);
+  EXPECT_DOUBLE_EQ(age.numeric_values[0], 25.0);
+  EXPECT_TRUE(std::isnan(age.numeric_values[1]));
+}
+
+TEST(ArffTest, QuotedNominalValuesSupported) {
+  auto dataset = ParseArff(kArff, "class", "sex");
+  ASSERT_TRUE(dataset.ok());
+  const RawColumn& city = dataset->columns[2];
+  ASSERT_EQ(city.type, ColumnType::kCategorical);
+  EXPECT_EQ(city.name, "home city");
+  EXPECT_EQ(city.categorical_values[1], "new york");
+}
+
+TEST(ArffTest, FeedsDirectlyIntoPreprocess) {
+  auto raw = ParseArff(kArff, "class", "sex");
+  ASSERT_TRUE(raw.ok());
+  auto dataset = Preprocess(*raw);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->num_rows(), 4);
+  EXPECT_GT(dataset->num_features(), 3);  // one-hot expansion of city
+}
+
+TEST(ArffTest, RejectsMissingSections) {
+  EXPECT_FALSE(ParseArff("@relation x\n@attribute a numeric\n", "c", "s")
+                   .ok());  // no @data
+  EXPECT_FALSE(ParseArff("@relation x\n@data\n1\n", "c", "s").ok());
+}
+
+TEST(ArffTest, RejectsUnknownTargetOrWrongArity) {
+  EXPECT_FALSE(ParseArff(kArff, "nonexistent", "sex").ok());
+  // 'home city' has three values: not a valid binary target.
+  EXPECT_FALSE(ParseArff(kArff, "home city", "sex").ok());
+}
+
+TEST(ArffTest, RejectsRaggedRow) {
+  std::string bad = kArff;
+  bad += "1, 2, berlin, male\n";  // one field short
+  EXPECT_FALSE(ParseArff(bad, "class", "sex").ok());
+}
+
+TEST(ArffTest, RejectsSparseData) {
+  const char* sparse =
+      "@relation r\n@attribute a numeric\n@attribute class {x,y}\n"
+      "@data\n{0 1, 1 x}\n";
+  auto result = ParseArff(sparse, "class", "class");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(ArffTest, RejectsValueOutsideNominalDomain) {
+  const char* bad =
+      "@relation r\n@attribute a numeric\n@attribute class {x,y}\n"
+      "@data\n1, z\n";
+  EXPECT_FALSE(ParseArff(bad, "class", "class").ok());
+}
+
+TEST(ArffTest, KeywordsAreCaseInsensitive) {
+  const char* mixed =
+      "@Relation r\n@attribute a NuMeRiC\n@ATTRIBUTE class {x,y}\n"
+      "@Data\n1, x\n2, y\n";
+  auto dataset = ParseArff(mixed, "class", "class");
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  EXPECT_EQ(dataset->num_rows(), 2);
+}
+
+TEST(ArffTest, ReadMissingFileFails) {
+  EXPECT_FALSE(ReadArffFile("/nonexistent/x.arff", "c", "s").ok());
+}
+
+}  // namespace
+}  // namespace dfs::data

@@ -1,0 +1,106 @@
+// Property sweep over all 19 benchmark datasets: every generated dataset
+// must be structurally sound and learnable, and its preprocessing
+// invariants must hold — the benchmark suite is the foundation every
+// experiment harness stands on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/benchmark_suite.h"
+#include "data/split.h"
+#include "metrics/classification.h"
+#include "ml/classifier.h"
+
+namespace dfs::data {
+namespace {
+
+class BenchmarkDatasetTest : public ::testing::TestWithParam<int> {
+ protected:
+  static Dataset Generate() {
+    auto dataset = GenerateBenchmarkDataset(GetParam(), /*seed=*/5,
+                                            /*row_scale=*/0.5);
+    DFS_CHECK(dataset.ok());
+    return std::move(dataset).value();
+  }
+};
+
+TEST_P(BenchmarkDatasetTest, ValuesAreUnitScaledAndFinite) {
+  const Dataset dataset = Generate();
+  for (int f = 0; f < dataset.num_features(); ++f) {
+    for (double v : dataset.Column(f)) {
+      ASSERT_TRUE(std::isfinite(v));
+      ASSERT_GE(v, 0.0);
+      ASSERT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST_P(BenchmarkDatasetTest, BothClassesAndGroupsPresent) {
+  const Dataset dataset = Generate();
+  std::set<int> labels(dataset.labels().begin(), dataset.labels().end());
+  std::set<int> groups(dataset.groups().begin(), dataset.groups().end());
+  EXPECT_EQ(labels.size(), 2u);
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST_P(BenchmarkDatasetTest, NoConstantColumnsSurvivePreprocessing) {
+  const Dataset dataset = Generate();
+  for (int f = 0; f < dataset.num_features(); ++f) {
+    const auto& column = dataset.Column(f);
+    const bool constant =
+        std::all_of(column.begin(), column.end(),
+                    [&](double v) { return v == column.front(); });
+    EXPECT_FALSE(constant) << dataset.feature_names()[f];
+  }
+}
+
+TEST_P(BenchmarkDatasetTest, InformativeSubsetIsLearnable) {
+  // On the wide datasets the *full* feature set is deliberately hard (the
+  // paper's motivation for FS); but the informative block — the subset a
+  // good FS strategy should find — must be clearly learnable.
+  const Dataset dataset = Generate();
+  Rng rng(9);
+  auto split = StratifiedSplit(dataset, 3, 1, 1, rng);
+  ASSERT_TRUE(split.ok());
+  const auto& spec = BenchmarkSpecs()[GetParam()];
+  // Columns: [sensitive, informative..., redundant, proxies, noise, cats].
+  std::vector<int> informative;
+  for (int f = 1; f <= spec.informative_numeric; ++f) informative.push_back(f);
+  auto model = ml::CreateClassifier(ml::ModelKind::kLogisticRegression,
+                                    ml::Hyperparameters());
+  ASSERT_TRUE(model
+                  ->Fit(split->train.ToMatrix(informative),
+                        split->train.labels())
+                  .ok());
+  const double f1 =
+      metrics::F1Score(split->test.labels(),
+                       model->PredictBatch(split->test.ToMatrix(informative)));
+  EXPECT_GT(f1, 0.55) << dataset.name();
+}
+
+TEST_P(BenchmarkDatasetTest, SensitiveAttributeIsFirstFeature) {
+  const Dataset dataset = Generate();
+  const auto& spec = BenchmarkSpecs()[GetParam()];
+  EXPECT_EQ(dataset.feature_names().front(), spec.sensitive_attribute);
+  // The sensitive column mirrors the group labels exactly.
+  for (int r = 0; r < dataset.num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(dataset.Value(r, 0),
+                     static_cast<double>(dataset.groups()[r]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNineteen, BenchmarkDatasetTest, ::testing::Range(0, 19),
+    [](const auto& info) {
+      std::string name = BenchmarkSpecs()[info.param].name;
+      std::string clean;
+      for (char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c))) clean += c;
+      }
+      return clean;
+    });
+
+}  // namespace
+}  // namespace dfs::data

@@ -1,0 +1,59 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace dfs::data {
+namespace {
+
+TEST(DatasetTest, CreateValidatesShapes) {
+  EXPECT_TRUE(Dataset::Create("d", {"a"}, {{0.1, 0.2}}, {0, 1}, {0, 1}).ok());
+  // name/column mismatch
+  EXPECT_FALSE(Dataset::Create("d", {"a", "b"}, {{0.1}}, {0}, {0}).ok());
+  // column length mismatch
+  EXPECT_FALSE(Dataset::Create("d", {"a"}, {{0.1}}, {0, 1}, {0, 1}).ok());
+  // non-binary label
+  EXPECT_FALSE(Dataset::Create("d", {"a"}, {{0.1, 0.2}}, {0, 2}, {0, 0}).ok());
+  // non-binary group
+  EXPECT_FALSE(Dataset::Create("d", {"a"}, {{0.1, 0.2}}, {0, 1}, {0, 3}).ok());
+  // labels/groups mismatch
+  EXPECT_FALSE(Dataset::Create("d", {"a"}, {{0.1, 0.2}}, {0, 1}, {0}).ok());
+}
+
+TEST(DatasetTest, Accessors) {
+  const Dataset dataset = testing::MakeTinyDataset();
+  EXPECT_EQ(dataset.name(), "tiny");
+  EXPECT_EQ(dataset.num_rows(), 8);
+  EXPECT_EQ(dataset.num_features(), 3);
+  EXPECT_DOUBLE_EQ(dataset.Value(1, 0), 0.1);
+  EXPECT_EQ(dataset.feature_names()[2], "f2");
+  EXPECT_EQ(dataset.AllFeatures(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(DatasetTest, ToMatrixSelectsColumns) {
+  const Dataset dataset = testing::MakeTinyDataset();
+  const linalg::Matrix m = dataset.ToMatrix({2, 0});
+  EXPECT_EQ(m.rows(), 8);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.5);   // f2
+  EXPECT_DOUBLE_EQ(m(3, 1), 0.8);   // f0
+}
+
+TEST(DatasetTest, SelectRowsKeepsAlignment) {
+  const Dataset dataset = testing::MakeTinyDataset();
+  const Dataset subset = dataset.SelectRows({0, 3, 5});
+  EXPECT_EQ(subset.num_rows(), 3);
+  EXPECT_EQ(subset.num_features(), 3);
+  EXPECT_EQ(subset.labels(), (std::vector<int>{0, 1, 1}));
+  EXPECT_EQ(subset.groups(), (std::vector<int>{0, 1, 1}));
+  EXPECT_DOUBLE_EQ(subset.Value(1, 0), 0.8);
+}
+
+TEST(DatasetTest, PositiveRate) {
+  const Dataset dataset = testing::MakeTinyDataset();
+  EXPECT_DOUBLE_EQ(dataset.PositiveRate(), 0.5);
+}
+
+}  // namespace
+}  // namespace dfs::data

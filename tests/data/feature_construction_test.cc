@@ -1,0 +1,136 @@
+#include "data/feature_construction.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/classification.h"
+#include "ml/classifier.h"
+#include "util/rng.h"
+
+namespace dfs::data {
+namespace {
+
+// XOR-like task: the label depends on the product structure of (a, b), not
+// on either feature alone — the canonical case where selection needs
+// construction (Section 7).
+Dataset MakeXorDataset(int rows, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> a(rows), b(rows), noise(rows);
+  std::vector<int> labels(rows), groups(rows, 0);
+  for (int r = 0; r < rows; ++r) {
+    a[r] = rng.Uniform();
+    b[r] = rng.Uniform();
+    noise[r] = rng.Uniform();
+    const bool high_a = a[r] > 0.5;
+    const bool high_b = b[r] > 0.5;
+    labels[r] = (high_a == high_b) ? 1 : 0;  // XNOR
+    groups[r] = r % 2;
+  }
+  auto dataset = Dataset::Create("xor", {"a", "b", "noise"},
+                                 {a, b, noise}, labels, groups);
+  DFS_CHECK(dataset.ok());
+  return std::move(dataset).value();
+}
+
+TEST(FeatureConstructionTest, AddsProductWithNamesAndScaling) {
+  const Dataset xor_dataset = MakeXorDataset(400, 1);
+  auto augmented = ConstructProductFeatures(xor_dataset);
+  ASSERT_TRUE(augmented.ok());
+  EXPECT_GT(augmented->num_features(), xor_dataset.num_features());
+  // a*b must be among the constructions (it carries the XNOR signal).
+  const auto& names = augmented->feature_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "a*b"), names.end());
+  for (int f = xor_dataset.num_features(); f < augmented->num_features();
+       ++f) {
+    for (double v : augmented->Column(f)) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(FeatureConstructionTest, OriginalColumnsPreserved) {
+  const Dataset xor_dataset = MakeXorDataset(200, 2);
+  auto augmented = ConstructProductFeatures(xor_dataset);
+  ASSERT_TRUE(augmented.ok());
+  for (int f = 0; f < xor_dataset.num_features(); ++f) {
+    EXPECT_EQ(augmented->Column(f), xor_dataset.Column(f));
+    EXPECT_EQ(augmented->feature_names()[f], xor_dataset.feature_names()[f]);
+  }
+  EXPECT_EQ(augmented->labels(), xor_dataset.labels());
+}
+
+TEST(FeatureConstructionTest, ConstructionUnlocksXorForLinearModel) {
+  const Dataset train = MakeXorDataset(600, 3);
+  const Dataset test = MakeXorDataset(300, 4);
+  auto model = ml::CreateClassifier(ml::ModelKind::kLogisticRegression,
+                                    ml::Hyperparameters());
+  // Plain features: linear model is near chance on XNOR.
+  ASSERT_TRUE(model->Fit(train.ToMatrix(train.AllFeatures()),
+                         train.labels())
+                  .ok());
+  const double plain_f1 = metrics::F1Score(
+      test.labels(), model->PredictBatch(test.ToMatrix(test.AllFeatures())));
+
+  // Fit the construction on train; apply the same plan to test.
+  ProductFeaturePlan plan;
+  auto train_augmented =
+      ConstructProductFeatures(train, FeatureConstructionOptions(), &plan);
+  ASSERT_TRUE(train_augmented.ok());
+  auto test_augmented = ApplyProductFeatures(test, plan);
+  ASSERT_TRUE(test_augmented.ok());
+  ASSERT_EQ(train_augmented->feature_names(),
+            test_augmented->feature_names());
+  auto augmented_model = ml::CreateClassifier(
+      ml::ModelKind::kLogisticRegression, ml::Hyperparameters());
+  ASSERT_TRUE(augmented_model
+                  ->Fit(train_augmented->ToMatrix(
+                            train_augmented->AllFeatures()),
+                        train_augmented->labels())
+                  .ok());
+  const double augmented_f1 = metrics::F1Score(
+      test_augmented->labels(),
+      augmented_model->PredictBatch(
+          test_augmented->ToMatrix(test_augmented->AllFeatures())));
+  EXPECT_GT(augmented_f1, plain_f1 + 0.05);
+}
+
+TEST(FeatureConstructionTest, BudgetCapsConstructions) {
+  const Dataset xor_dataset = MakeXorDataset(200, 5);
+  FeatureConstructionOptions options;
+  options.max_constructed = 1;
+  options.min_gain = -1.0;  // admit everything, then cap
+  auto augmented = ConstructProductFeatures(xor_dataset, options);
+  ASSERT_TRUE(augmented.ok());
+  EXPECT_EQ(augmented->num_features(), xor_dataset.num_features() + 1);
+}
+
+TEST(FeatureConstructionTest, HighGainThresholdYieldsNoConstructions) {
+  const Dataset xor_dataset = MakeXorDataset(200, 6);
+  FeatureConstructionOptions options;
+  options.min_gain = 10.0;  // impossible
+  auto augmented = ConstructProductFeatures(xor_dataset, options);
+  ASSERT_TRUE(augmented.ok());
+  EXPECT_EQ(augmented->num_features(), xor_dataset.num_features());
+}
+
+TEST(FeatureConstructionTest, RejectsEmptyDataset) {
+  Dataset empty;
+  EXPECT_FALSE(ConstructProductFeatures(empty).ok());
+}
+
+TEST(FeatureConstructionTest, ApplyValidatesPlanIndices) {
+  const Dataset xor_dataset = MakeXorDataset(100, 7);
+  ProductFeaturePlan bad_plan;
+  bad_plan.pairs = {{0, 99}};
+  EXPECT_FALSE(ApplyProductFeatures(xor_dataset, bad_plan).ok());
+}
+
+TEST(FeatureConstructionTest, ApplyWithEmptyPlanIsIdentitySchema) {
+  const Dataset xor_dataset = MakeXorDataset(100, 8);
+  auto applied = ApplyProductFeatures(xor_dataset, ProductFeaturePlan());
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(applied->num_features(), xor_dataset.num_features());
+}
+
+}  // namespace
+}  // namespace dfs::data

@@ -1,0 +1,131 @@
+#include "data/preprocess.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/raw_dataset.h"
+
+namespace dfs::data {
+namespace {
+
+RawDataset MakeRaw() {
+  RawDataset raw;
+  raw.name = "raw";
+  raw.sensitive_attribute_name = "g";
+  raw.target = {0, 1, 0, 1};
+  raw.sensitive = {0, 0, 1, 1};
+
+  RawColumn numeric;
+  numeric.name = "age";
+  numeric.type = ColumnType::kNumeric;
+  numeric.numeric_values = {10.0, 20.0, std::nan(""), 40.0};
+  raw.columns.push_back(numeric);
+
+  RawColumn categorical;
+  categorical.name = "color";
+  categorical.type = ColumnType::kCategorical;
+  categorical.categorical_values = {"red", "blue", "red", ""};
+  raw.columns.push_back(categorical);
+  return raw;
+}
+
+TEST(PreprocessTest, NumericImputedWithMeanThenScaled) {
+  auto dataset = Preprocess(MakeRaw());
+  ASSERT_TRUE(dataset.ok());
+  // age: mean of {10,20,40} = 23.33 imputed, then min-max to [0,1].
+  const auto& age = dataset->Column(0);
+  EXPECT_DOUBLE_EQ(age[0], 0.0);
+  EXPECT_DOUBLE_EQ(age[3], 1.0);
+  EXPECT_NEAR(age[2], (23.0 + 1.0 / 3.0 - 10.0) / 30.0, 1e-9);
+}
+
+TEST(PreprocessTest, CategoricalOneHotWithMissingCategory) {
+  auto dataset = Preprocess(MakeRaw());
+  ASSERT_TRUE(dataset.ok());
+  const auto& names = dataset->feature_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "color=red"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "color=blue"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "color=<missing>"),
+            names.end());
+  // Indicators are one-hot: each row sums to 1 over color columns.
+  for (int r = 0; r < dataset->num_rows(); ++r) {
+    double sum = 0.0;
+    for (int f = 0; f < dataset->num_features(); ++f) {
+      if (names[f].rfind("color=", 0) == 0) sum += dataset->Value(r, f);
+    }
+    EXPECT_DOUBLE_EQ(sum, 1.0);
+  }
+}
+
+TEST(PreprocessTest, DropsConstantColumns) {
+  RawDataset raw = MakeRaw();
+  RawColumn constant;
+  constant.name = "const";
+  constant.type = ColumnType::kNumeric;
+  constant.numeric_values = {5.0, 5.0, 5.0, 5.0};
+  raw.columns.push_back(constant);
+  auto dataset = Preprocess(raw);
+  ASSERT_TRUE(dataset.ok());
+  const auto& names = dataset->feature_names();
+  EXPECT_EQ(std::find(names.begin(), names.end(), "const"), names.end());
+}
+
+TEST(PreprocessTest, KeepsConstantColumnsWhenDisabled) {
+  RawDataset raw = MakeRaw();
+  RawColumn constant;
+  constant.name = "const";
+  constant.type = ColumnType::kNumeric;
+  constant.numeric_values = {5.0, 5.0, 5.0, 5.0};
+  raw.columns.push_back(constant);
+  PreprocessOptions options;
+  options.drop_constant_columns = false;
+  auto dataset = Preprocess(raw, options);
+  ASSERT_TRUE(dataset.ok());
+  const auto& names = dataset->feature_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "const"), names.end());
+}
+
+TEST(PreprocessTest, RareCategoriesMergeIntoOther) {
+  RawDataset raw;
+  raw.name = "rare";
+  raw.target = {0, 1, 0, 1, 0, 1};
+  raw.sensitive = {0, 0, 0, 1, 1, 1};
+  RawColumn categorical;
+  categorical.name = "c";
+  categorical.type = ColumnType::kCategorical;
+  categorical.categorical_values = {"a", "a", "a", "b", "x", "y"};
+  raw.columns.push_back(categorical);
+  PreprocessOptions options;
+  options.min_category_count = 2;
+  auto dataset = Preprocess(raw, options);
+  ASSERT_TRUE(dataset.ok());
+  const auto& names = dataset->feature_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "c=<other>"), names.end());
+  EXPECT_EQ(std::find(names.begin(), names.end(), "c=x"), names.end());
+}
+
+TEST(PreprocessTest, AllValuesInUnitInterval) {
+  auto dataset = Preprocess(MakeRaw());
+  ASSERT_TRUE(dataset.ok());
+  for (int f = 0; f < dataset->num_features(); ++f) {
+    for (double v : dataset->Column(f)) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(PreprocessTest, RejectsEmptyDataset) {
+  RawDataset raw;
+  EXPECT_FALSE(Preprocess(raw).ok());
+}
+
+TEST(PreprocessTest, RejectsLengthMismatch) {
+  RawDataset raw = MakeRaw();
+  raw.columns[0].numeric_values.pop_back();
+  EXPECT_FALSE(Preprocess(raw).ok());
+}
+
+}  // namespace
+}  // namespace dfs::data

@@ -1,0 +1,69 @@
+#include "data/raw_dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dfs::data {
+namespace {
+
+CsvTable MakeTable() {
+  CsvTable table;
+  table.header = {"age", "city", "label", "sex"};
+  table.rows = {
+      {"34", "berlin", "1", "0"},
+      {"", "hannover", "0", "1"},
+      {"51.5", "", "1", "0"},
+  };
+  return table;
+}
+
+TEST(RawDatasetFromCsvTest, ParsesTargetAndSensitive) {
+  auto raw = RawDatasetFromCsv(MakeTable(), "label", "sex", "d");
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw->target, (std::vector<int>{1, 0, 1}));
+  EXPECT_EQ(raw->sensitive, (std::vector<int>{0, 1, 0}));
+  EXPECT_EQ(raw->sensitive_attribute_name, "sex");
+  EXPECT_EQ(raw->num_attributes(), 2);  // label/sex excluded
+}
+
+TEST(RawDatasetFromCsvTest, DetectsNumericWithMissing) {
+  auto raw = RawDatasetFromCsv(MakeTable(), "label", "sex", "d");
+  ASSERT_TRUE(raw.ok());
+  const RawColumn& age = raw->columns[0];
+  EXPECT_EQ(age.type, ColumnType::kNumeric);
+  EXPECT_DOUBLE_EQ(age.numeric_values[0], 34.0);
+  EXPECT_TRUE(std::isnan(age.numeric_values[1]));
+  EXPECT_DOUBLE_EQ(age.numeric_values[2], 51.5);
+}
+
+TEST(RawDatasetFromCsvTest, DetectsCategorical) {
+  auto raw = RawDatasetFromCsv(MakeTable(), "label", "sex", "d");
+  ASSERT_TRUE(raw.ok());
+  const RawColumn& city = raw->columns[1];
+  EXPECT_EQ(city.type, ColumnType::kCategorical);
+  EXPECT_EQ(city.categorical_values[1], "hannover");
+  EXPECT_EQ(city.categorical_values[2], "");
+}
+
+TEST(RawDatasetFromCsvTest, MixedColumnFallsBackToCategorical) {
+  CsvTable table = MakeTable();
+  table.rows[0][0] = "not-a-number";
+  auto raw = RawDatasetFromCsv(table, "label", "sex", "d");
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw->columns[0].type, ColumnType::kCategorical);
+}
+
+TEST(RawDatasetFromCsvTest, RejectsMissingColumns) {
+  EXPECT_FALSE(RawDatasetFromCsv(MakeTable(), "nope", "sex", "d").ok());
+  EXPECT_FALSE(RawDatasetFromCsv(MakeTable(), "label", "nope", "d").ok());
+}
+
+TEST(RawDatasetFromCsvTest, RejectsNonBinaryTarget) {
+  CsvTable table = MakeTable();
+  table.rows[0][2] = "2";
+  EXPECT_FALSE(RawDatasetFromCsv(table, "label", "sex", "d").ok());
+}
+
+}  // namespace
+}  // namespace dfs::data

@@ -1,0 +1,133 @@
+#include "data/split.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testing/test_util.h"
+
+namespace dfs::data {
+namespace {
+
+double PositiveRate(const std::vector<int>& labels) {
+  double positives = 0;
+  for (int y : labels) positives += y;
+  return labels.empty() ? 0.0 : positives / labels.size();
+}
+
+TEST(StratifiedSplitTest, ProportionsRoughly311) {
+  const Dataset dataset = testing::MakeLinearDataset(500, 2, 1);
+  Rng rng(2);
+  auto split = StratifiedSplit(dataset, 3, 1, 1, rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_NEAR(split->train.num_rows(), 300, 6);
+  EXPECT_NEAR(split->validation.num_rows(), 100, 6);
+  EXPECT_NEAR(split->test.num_rows(), 100, 6);
+  EXPECT_EQ(split->train.num_rows() + split->validation.num_rows() +
+                split->test.num_rows(),
+            500);
+}
+
+TEST(StratifiedSplitTest, PreservesClassBalance) {
+  const Dataset dataset = testing::MakeLinearDataset(600, 0, 3);
+  Rng rng(4);
+  auto split = StratifiedSplit(dataset, 3, 1, 1, rng);
+  ASSERT_TRUE(split.ok());
+  const double overall = dataset.PositiveRate();
+  EXPECT_NEAR(PositiveRate(split->train.labels()), overall, 0.03);
+  EXPECT_NEAR(PositiveRate(split->validation.labels()), overall, 0.05);
+  EXPECT_NEAR(PositiveRate(split->test.labels()), overall, 0.05);
+}
+
+TEST(StratifiedSplitTest, PartsAreDisjointAndComplete) {
+  // Use a dataset with a unique fingerprint per row (row index scaled).
+  std::vector<double> fingerprint(100);
+  std::vector<int> labels(100), groups(100, 0);
+  for (int r = 0; r < 100; ++r) {
+    fingerprint[r] = r / 99.0;
+    labels[r] = r % 2;
+  }
+  auto dataset = Dataset::Create("fp", {"id"}, {fingerprint}, labels, groups);
+  ASSERT_TRUE(dataset.ok());
+  Rng rng(5);
+  auto split = StratifiedSplit(*dataset, 3, 1, 1, rng);
+  ASSERT_TRUE(split.ok());
+  std::multiset<double> seen;
+  for (const auto* part : {&split->train, &split->validation, &split->test}) {
+    for (double v : part->Column(0)) seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 100u);
+  std::set<double> unique(seen.begin(), seen.end());
+  EXPECT_EQ(unique.size(), 100u);  // no duplication across parts
+}
+
+TEST(StratifiedSplitTest, EveryPartHasBothClasses) {
+  const Dataset dataset = testing::MakeLinearDataset(60, 0, 6);
+  Rng rng(7);
+  auto split = StratifiedSplit(dataset, 3, 1, 1, rng);
+  ASSERT_TRUE(split.ok());
+  for (const auto* part : {&split->train, &split->validation, &split->test}) {
+    const double rate = PositiveRate(part->labels());
+    EXPECT_GT(rate, 0.0);
+    EXPECT_LT(rate, 1.0);
+  }
+}
+
+TEST(StratifiedSplitTest, RejectsBadProportions) {
+  const Dataset dataset = testing::MakeLinearDataset(100, 0, 8);
+  Rng rng(9);
+  EXPECT_FALSE(StratifiedSplit(dataset, 0, 1, 1, rng).ok());
+  EXPECT_FALSE(StratifiedSplit(dataset, 3, -1, 1, rng).ok());
+}
+
+TEST(StratifiedSplitTest, RejectsTooFewRowsPerClass) {
+  auto dataset = Dataset::Create("small", {"x"}, {{0.1, 0.2, 0.3, 0.4}},
+                                 {0, 0, 0, 1}, {0, 0, 0, 0});
+  ASSERT_TRUE(dataset.ok());
+  Rng rng(10);
+  EXPECT_FALSE(StratifiedSplit(*dataset, 3, 1, 1, rng).ok());
+}
+
+TEST(StratifiedSampleTest, PreservesBalanceAndSize) {
+  const Dataset dataset = testing::MakeLinearDataset(1000, 0, 11);
+  Rng rng(12);
+  const Dataset sample = StratifiedSample(dataset, 100, rng);
+  EXPECT_NEAR(sample.num_rows(), 100, 3);
+  EXPECT_NEAR(sample.PositiveRate(), dataset.PositiveRate(), 0.05);
+}
+
+TEST(StratifiedSampleTest, NoopWhenSampleLargerThanData) {
+  const Dataset dataset = testing::MakeLinearDataset(50, 0, 13);
+  Rng rng(14);
+  EXPECT_EQ(StratifiedSample(dataset, 500, rng).num_rows(), 50);
+}
+
+TEST(StratifiedFoldsTest, FoldsPartitionRows) {
+  std::vector<int> labels(90);
+  for (int i = 0; i < 90; ++i) labels[i] = i % 3 == 0 ? 1 : 0;
+  Rng rng(15);
+  const auto folds = StratifiedFolds(labels, 5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<int> all;
+  for (const auto& fold : folds) {
+    for (int r : fold) {
+      EXPECT_TRUE(all.insert(r).second) << "duplicate row " << r;
+    }
+  }
+  EXPECT_EQ(all.size(), 90u);
+}
+
+TEST(StratifiedFoldsTest, FoldsAreClassBalanced) {
+  std::vector<int> labels(100);
+  for (int i = 0; i < 100; ++i) labels[i] = i < 40 ? 1 : 0;
+  Rng rng(16);
+  const auto folds = StratifiedFolds(labels, 4, rng);
+  for (const auto& fold : folds) {
+    int positives = 0;
+    for (int r : fold) positives += labels[r];
+    EXPECT_EQ(positives, 10);
+  }
+}
+
+}  // namespace
+}  // namespace dfs::data

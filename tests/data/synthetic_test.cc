@@ -1,0 +1,178 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/benchmark_suite.h"
+#include "util/math_util.h"
+
+namespace dfs::data {
+namespace {
+
+SyntheticSpec SmallSpec() {
+  SyntheticSpec spec;
+  spec.name = "unit";
+  spec.sensitive_attribute = "Gender";
+  spec.rows = 400;
+  spec.informative_numeric = 3;
+  spec.redundant_numeric = 2;
+  spec.noise_numeric = 4;
+  spec.proxy_features = 2;
+  spec.categorical_attributes = 1;
+  spec.categorical_cardinality = 3;
+  return spec;
+}
+
+TEST(SyntheticTest, DeterministicForSameSeed) {
+  const RawDataset a = GenerateRaw(SmallSpec(), 42);
+  const RawDataset b = GenerateRaw(SmallSpec(), 42);
+  ASSERT_EQ(a.target, b.target);
+  ASSERT_EQ(a.sensitive, b.sensitive);
+  ASSERT_EQ(a.columns.size(), b.columns.size());
+  for (size_t c = 0; c < a.columns.size(); ++c) {
+    if (a.columns[c].type == ColumnType::kNumeric) {
+      for (size_t r = 0; r < a.columns[c].numeric_values.size(); ++r) {
+        const double va = a.columns[c].numeric_values[r];
+        const double vb = b.columns[c].numeric_values[r];
+        EXPECT_TRUE((std::isnan(va) && std::isnan(vb)) || va == vb);
+      }
+    } else {
+      EXPECT_EQ(a.columns[c].categorical_values,
+                b.columns[c].categorical_values);
+    }
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  const RawDataset a = GenerateRaw(SmallSpec(), 1);
+  const RawDataset b = GenerateRaw(SmallSpec(), 2);
+  EXPECT_NE(a.target, b.target);
+}
+
+TEST(SyntheticTest, ShapesMatchSpec) {
+  const SyntheticSpec spec = SmallSpec();
+  const RawDataset raw = GenerateRaw(spec, 7);
+  EXPECT_EQ(raw.num_rows(), 400);
+  // sensitive + informative + redundant + proxy + noise + categorical cols
+  EXPECT_EQ(raw.num_attributes(), 1 + 3 + 2 + 2 + 4 + 1);
+}
+
+TEST(SyntheticTest, RowScaleMultipliesRows) {
+  const RawDataset raw = GenerateRaw(SmallSpec(), 7, 0.5);
+  EXPECT_EQ(raw.num_rows(), 200);
+  // Never below the 60-row floor.
+  EXPECT_EQ(GenerateRaw(SmallSpec(), 7, 0.0001).num_rows(), 60);
+}
+
+TEST(SyntheticTest, BothClassesAndGroupsPresent) {
+  const RawDataset raw = GenerateRaw(SmallSpec(), 9);
+  std::set<int> labels(raw.target.begin(), raw.target.end());
+  std::set<int> groups(raw.sensitive.begin(), raw.sensitive.end());
+  EXPECT_EQ(labels.size(), 2u);
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST(SyntheticTest, InformativeFeaturesCorrelateWithLabel) {
+  const RawDataset raw = GenerateRaw(SmallSpec(), 11);
+  std::vector<double> labels(raw.target.begin(), raw.target.end());
+  // num_inf_0 has the largest weight.
+  std::vector<double> informative;
+  for (double v : raw.columns[1].numeric_values) {
+    informative.push_back(std::isnan(v) ? 0.0 : v);
+  }
+  EXPECT_GT(std::fabs(PearsonCorrelation(informative, labels)), 0.25);
+}
+
+TEST(SyntheticTest, NoiseFeaturesUncorrelatedWithLabel) {
+  const SyntheticSpec spec = SmallSpec();
+  const RawDataset raw = GenerateRaw(spec, 11);
+  std::vector<double> labels(raw.target.begin(), raw.target.end());
+  // First noise column comes after sensitive+inf+red+proxy columns.
+  const int noise_index = 1 + spec.informative_numeric +
+                          spec.redundant_numeric + spec.proxy_features;
+  ASSERT_EQ(raw.columns[noise_index].name, "num_noise_0");
+  std::vector<double> noise;
+  for (double v : raw.columns[noise_index].numeric_values) {
+    noise.push_back(std::isnan(v) ? 0.0 : v);
+  }
+  EXPECT_LT(std::fabs(PearsonCorrelation(noise, labels)), 0.15);
+}
+
+TEST(SyntheticTest, ProxyFeaturesCorrelateWithSensitiveAttribute) {
+  const SyntheticSpec spec = SmallSpec();
+  const RawDataset raw = GenerateRaw(spec, 13);
+  std::vector<double> sensitive(raw.sensitive.begin(), raw.sensitive.end());
+  const int proxy_index =
+      1 + spec.informative_numeric + spec.redundant_numeric;
+  ASSERT_EQ(raw.columns[proxy_index].name, "num_proxy_0");
+  std::vector<double> proxy;
+  for (double v : raw.columns[proxy_index].numeric_values) {
+    proxy.push_back(std::isnan(v) ? 0.0 : v);
+  }
+  EXPECT_GT(PearsonCorrelation(proxy, sensitive), 0.5);
+}
+
+TEST(SyntheticTest, GroupBiasDepressesMinorityPositiveRate) {
+  SyntheticSpec spec = SmallSpec();
+  spec.rows = 2000;
+  spec.group_bias = 1.5;
+  const RawDataset raw = GenerateRaw(spec, 15);
+  double positive[2] = {0, 0}, count[2] = {0, 0};
+  for (int r = 0; r < raw.num_rows(); ++r) {
+    count[raw.sensitive[r]] += 1;
+    positive[raw.sensitive[r]] += raw.target[r];
+  }
+  EXPECT_LT(positive[1] / count[1], positive[0] / count[0] - 0.1);
+}
+
+TEST(SyntheticTest, EncodedFeatureCountMatchesPreprocessedWidthApprox) {
+  const SyntheticSpec spec = SmallSpec();
+  auto dataset = GenerateDataset(spec, 17);
+  ASSERT_TRUE(dataset.ok());
+  // One-hot may add a <missing> column per categorical and drop constants,
+  // so allow slack of (#categorical attrs) in each direction.
+  EXPECT_NEAR(dataset->num_features(), spec.EncodedFeatureCount(),
+              spec.categorical_attributes + 1);
+}
+
+TEST(BenchmarkSuiteTest, HasNineteenDatasetsInPaperOrder) {
+  ASSERT_EQ(BenchmarkSize(), 19);
+  const auto& specs = BenchmarkSpecs();
+  EXPECT_EQ(specs.front().name, "Traffic Violations");
+  EXPECT_EQ(specs.back().name, "Diabetic Mellitus");
+  // Descending paper instance counts, as in Table 2.
+  for (size_t i = 1; i < specs.size(); ++i) {
+    EXPECT_GE(specs[i - 1].paper_instances, specs[i].paper_instances);
+    EXPECT_GE(specs[i - 1].rows, specs[i].rows);
+  }
+}
+
+TEST(BenchmarkSuiteTest, SensitiveAttributesMatchPaper) {
+  EXPECT_EQ(BenchmarkSpecByName("COMPAS")->sensitive_attribute, "Race");
+  EXPECT_EQ(BenchmarkSpecByName("Adult")->sensitive_attribute, "Gender");
+  EXPECT_EQ(BenchmarkSpecByName("German Credit")->sensitive_attribute,
+            "Nationality");
+  EXPECT_FALSE(BenchmarkSpecByName("Iris").ok());
+}
+
+TEST(BenchmarkSuiteTest, GenerateBenchmarkDatasetWorksForAllIndices) {
+  for (int i = 0; i < BenchmarkSize(); ++i) {
+    auto dataset = GenerateBenchmarkDataset(i, 3, 0.1);
+    ASSERT_TRUE(dataset.ok()) << "dataset " << i;
+    EXPECT_GT(dataset->num_rows(), 0);
+    EXPECT_GT(dataset->num_features(), 0);
+  }
+  EXPECT_FALSE(GenerateBenchmarkDataset(19).ok());
+  EXPECT_FALSE(GenerateBenchmarkDataset(-1).ok());
+}
+
+TEST(BenchmarkSuiteTest, CompasIsSmallAndBiased) {
+  const auto spec = BenchmarkSpecByName("COMPAS");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_LE(spec->EncodedFeatureCount(), 25);
+  EXPECT_GE(spec->group_bias, 1.0);
+}
+
+}  // namespace
+}  // namespace dfs::data

@@ -1,0 +1,37 @@
+#include "fs/feature_subset.h"
+
+#include <gtest/gtest.h>
+
+namespace dfs::fs {
+namespace {
+
+TEST(FeatureSubsetTest, MaskIndexRoundTrip) {
+  const FeatureMask mask = IndicesToMask(5, {0, 2, 4});
+  EXPECT_EQ(mask, (FeatureMask{1, 0, 1, 0, 1}));
+  EXPECT_EQ(MaskToIndices(mask), (std::vector<int>{0, 2, 4}));
+}
+
+TEST(FeatureSubsetTest, FullMaskAndCount) {
+  const FeatureMask mask = FullMask(4);
+  EXPECT_EQ(CountSelected(mask), 4);
+  EXPECT_EQ(CountSelected(FeatureMask{0, 0}), 0);
+  EXPECT_EQ(CountSelected(FeatureMask{}), 0);
+}
+
+TEST(FeatureSubsetTest, HashDistinguishesMasks) {
+  EXPECT_NE(MaskHash({1, 0, 1}), MaskHash({0, 1, 1}));
+  EXPECT_NE(MaskHash({1, 0}), MaskHash({1, 0, 0}));
+  EXPECT_EQ(MaskHash({1, 0, 1}), MaskHash({1, 0, 1}));
+}
+
+TEST(FeatureSubsetTest, ToStringCompact) {
+  EXPECT_EQ(MaskToString({1, 0, 1, 1}), "{0,2,3}");
+  EXPECT_EQ(MaskToString({0, 0}), "{}");
+}
+
+TEST(FeatureSubsetDeathTest, IndicesOutOfRangeAbort) {
+  EXPECT_DEATH(IndicesToMask(2, {5}), "out of range");
+}
+
+}  // namespace
+}  // namespace dfs::fs

@@ -1,0 +1,156 @@
+#include "fs/rankings/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include "fs/rankings/information.h"
+#include "fs/rankings/mcfs.h"
+#include "fs/rankings/relieff.h"
+#include "fs/rankings/statistical.h"
+#include "testing/test_util.h"
+#include "util/math_util.h"
+
+namespace dfs::fs {
+namespace {
+
+// Supervised rankers must rank the two signal features of the linear toy
+// dataset above every noise feature.
+class SupervisedRankerTest : public ::testing::TestWithParam<RankerKind> {};
+
+TEST_P(SupervisedRankerTest, SignalBeatsNoise) {
+  const data::Dataset train = testing::MakeLinearDataset(400, 5, 101);
+  Rng rng(102);
+  auto ranker = CreateRanker(GetParam());
+  auto scores = ranker->Rank(train, rng);
+  ASSERT_TRUE(scores.ok()) << ranker->name();
+  ASSERT_EQ(scores->size(), 7u);
+  const auto order = ArgsortDescending(*scores);
+  // The two signal features occupy the top two ranks.
+  EXPECT_TRUE((order[0] == 0 && order[1] == 1) ||
+              (order[0] == 1 && order[1] == 0))
+      << ranker->name() << " ranked " << order[0] << "," << order[1];
+}
+
+TEST_P(SupervisedRankerTest, DeterministicForSameRngSeed) {
+  const data::Dataset train = testing::MakeLinearDataset(200, 3, 103);
+  auto ranker = CreateRanker(GetParam());
+  Rng rng_a(7), rng_b(7);
+  auto a = ranker->Rank(train, rng_a);
+  auto b = ranker->Rank(train, rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Supervised, SupervisedRankerTest,
+    ::testing::Values(RankerKind::kReliefF, RankerKind::kFisher,
+                      RankerKind::kMutualInformation, RankerKind::kFcbf,
+                      RankerKind::kChiSquared),
+    [](const auto& info) {
+      return CreateRanker(info.param)->name();
+    });
+
+TEST(VarianceRankerTest, RanksByColumnVariance) {
+  // Column 1 has the widest spread, column 2 is constant.
+  auto dataset = data::Dataset::Create(
+      "v", {"low", "high", "const"},
+      {{0.4, 0.5, 0.6, 0.5}, {0.0, 1.0, 0.0, 1.0}, {0.5, 0.5, 0.5, 0.5}},
+      {0, 1, 0, 1}, {0, 0, 1, 1});
+  ASSERT_TRUE(dataset.ok());
+  Rng rng(104);
+  auto scores = VarianceRanker().Rank(*dataset, rng);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT((*scores)[1], (*scores)[0]);
+  EXPECT_GT((*scores)[0], (*scores)[2]);
+  EXPECT_DOUBLE_EQ((*scores)[2], 0.0);
+}
+
+TEST(Chi2RankerTest, ClassDependentFeatureScoresHigher) {
+  const data::Dataset train = testing::MakeLinearDataset(500, 4, 105);
+  Rng rng(106);
+  auto scores = ChiSquaredRanker().Rank(train, rng);
+  ASSERT_TRUE(scores.ok());
+  for (size_t f = 2; f < scores->size(); ++f) {
+    EXPECT_GT((*scores)[0], (*scores)[f]);
+  }
+}
+
+TEST(FisherRankerTest, HandlesConstantColumn) {
+  auto dataset = data::Dataset::Create(
+      "f", {"const", "signal"},
+      {{0.5, 0.5, 0.5, 0.5}, {0.1, 0.2, 0.8, 0.9}}, {0, 0, 1, 1},
+      {0, 1, 0, 1});
+  ASSERT_TRUE(dataset.ok());
+  Rng rng(107);
+  auto scores = FisherRanker().Rank(*dataset, rng);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT((*scores)[1], (*scores)[0]);
+  EXPECT_GE((*scores)[0], 0.0);
+}
+
+TEST(FcbfRankerTest, RedundantFeatureDemoted) {
+  // f1 duplicates f0 exactly; FCBF must mark one as redundant (score < 1)
+  // while the predominant copy scores >= 1.
+  std::vector<double> base = {0.1, 0.2, 0.8, 0.9, 0.15, 0.85};
+  auto dataset = data::Dataset::Create(
+      "r", {"orig", "dup", "noise"},
+      {base, base, {0.3, 0.9, 0.2, 0.6, 0.8, 0.1}},
+      {0, 0, 1, 1, 0, 1}, {0, 1, 0, 1, 0, 1});
+  ASSERT_TRUE(dataset.ok());
+  Rng rng(108);
+  auto scores = FcbfRanker().Rank(*dataset, rng);
+  ASSERT_TRUE(scores.ok());
+  const bool first_kept = (*scores)[0] >= 1.0;
+  const bool second_kept = (*scores)[1] >= 1.0;
+  EXPECT_NE(first_kept, second_kept) << "exactly one duplicate survives";
+}
+
+TEST(McfsRankerTest, UnsupervisedStructureFeaturesScoreHigher) {
+  // Build two clusters separated along feature 0; feature 1 is noise.
+  Rng data_rng(109);
+  std::vector<double> structure(200), noise(200);
+  std::vector<int> labels(200), groups(200, 0);
+  for (int r = 0; r < 200; ++r) {
+    const bool cluster = r % 2 == 0;
+    structure[r] = (cluster ? 0.2 : 0.8) + 0.05 * data_rng.Normal();
+    noise[r] = data_rng.Uniform();
+    labels[r] = cluster ? 0 : 1;
+  }
+  auto dataset = data::Dataset::Create("m", {"structure", "noise"},
+                                       {structure, noise}, labels, groups);
+  ASSERT_TRUE(dataset.ok());
+  Rng rng(110);
+  auto scores = McfsRanker().Rank(*dataset, rng);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT((*scores)[0], (*scores)[1]);
+}
+
+TEST(McfsRankerTest, RejectsTinyDataset) {
+  auto dataset = data::Dataset::Create("t", {"a"}, {{0.1, 0.9}}, {0, 1},
+                                       {0, 0});
+  ASSERT_TRUE(dataset.ok());
+  Rng rng(111);
+  EXPECT_FALSE(McfsRanker().Rank(*dataset, rng).ok());
+}
+
+TEST(ReliefFRankerTest, RequiresBothClasses) {
+  auto dataset = data::Dataset::Create("s", {"a"}, {{0.1, 0.2, 0.9}},
+                                       {1, 1, 1}, {0, 0, 0});
+  ASSERT_TRUE(dataset.ok());
+  Rng rng(112);
+  EXPECT_FALSE(ReliefFRanker().Rank(*dataset, rng).ok());
+}
+
+TEST(RankerFactoryTest, AllKindsConstructible) {
+  for (RankerKind kind :
+       {RankerKind::kReliefF, RankerKind::kFisher,
+        RankerKind::kMutualInformation, RankerKind::kFcbf, RankerKind::kMcfs,
+        RankerKind::kVariance, RankerKind::kChiSquared}) {
+    auto ranker = CreateRanker(kind);
+    ASSERT_NE(ranker, nullptr);
+    EXPECT_FALSE(ranker->name().empty());
+  }
+}
+
+}  // namespace
+}  // namespace dfs::fs

@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+
+#include "fs/exhaustive.h"
+#include "fs/nsga2.h"
+#include "fs/registry.h"
+#include "fs/rfe.h"
+#include "fs/sequential.h"
+#include "fs/simulated_annealing.h"
+#include "fs/tpe_mask.h"
+#include "testing/test_util.h"
+
+namespace dfs::fs {
+namespace {
+
+using ::dfs::testing::BitMismatchObjective;
+using ::dfs::testing::FakeEvalContext;
+
+// ---------------------------------------------------------------------
+// Generic property: every strategy must find the (easy) 1-bit target in a
+// small search space and stop once the context reports success.
+
+class AnyStrategyTest : public ::testing::TestWithParam<StrategyId> {};
+
+TEST_P(AnyStrategyTest, SolvesSizeThreeTarget) {
+  // Success at any 3-feature subset of 6 (objective = |size - 3|): reachable
+  // by every search style — top-k rankings (k = 3), sequential growth or
+  // shrinkage, exhaustive size sweeps, and mask search.
+  auto objective = [](const FeatureMask& mask) {
+    return std::abs(CountSelected(mask) - 3.0);
+  };
+  FakeEvalContext context(6, objective, /*eval_budget=*/5000);
+  context.set_importances({0.5, 0.4, 0.9, 0.3, 0.2, 0.1});
+  context.set_train_data(testing::MakeLinearDataset(120, 4, 200));
+  auto strategy = CreateStrategy(GetParam(), /*seed=*/11);
+  strategy->Run(context);
+  // The baseline (original feature set) legitimately cannot solve this.
+  if (GetParam() == StrategyId::kOriginalFeatureSet) {
+    EXPECT_FALSE(context.success());
+    EXPECT_EQ(context.evaluations(), 1);
+  } else {
+    EXPECT_TRUE(context.success())
+        << strategy->name() << " evals=" << context.evaluations();
+  }
+}
+
+TEST_P(AnyStrategyTest, StopsWhenBudgetExhausted) {
+  // Unsatisfiable objective; the strategy must terminate anyway.
+  FakeEvalContext context(8, [](const FeatureMask&) { return 1.0; },
+                          /*eval_budget=*/40);
+  context.set_importances({1, 2, 3, 4, 5, 6, 7, 8});
+  context.set_train_data(testing::MakeLinearDataset(80, 6, 201));
+  auto strategy = CreateStrategy(GetParam(), 13);
+  strategy->Run(context);
+  EXPECT_FALSE(context.success());
+  EXPECT_LE(context.evaluations(), 40);
+}
+
+TEST_P(AnyStrategyTest, HasTaxonomyInfoAndName) {
+  auto strategy = CreateStrategy(GetParam(), 1);
+  ASSERT_NE(strategy, nullptr);
+  EXPECT_EQ(strategy->name(), StrategyIdToString(GetParam()));
+  const StrategyInfo info = strategy->info();
+  if (GetParam() == StrategyId::kNsga2) {
+    EXPECT_EQ(info.objectives, StrategyInfo::Objectives::kMulti);
+  } else {
+    EXPECT_EQ(info.objectives, StrategyInfo::Objectives::kSingle);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, AnyStrategyTest,
+    ::testing::ValuesIn(AllStrategiesWithBaseline()),
+    [](const auto& info) {
+      std::string name = StrategyIdToString(info.param);
+      std::string clean;
+      for (char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c))) clean += c;
+      }
+      return clean;
+    });
+
+// ---------------------------------------------------------------------
+// Strategy-specific behavior.
+
+TEST(SequentialTest, ForwardFindsTwoFeatureTarget) {
+  const FeatureMask target = IndicesToMask(10, {1, 7});
+  FakeEvalContext context(10, BitMismatchObjective(target));
+  SequentialSelection sfs(SequentialSelection::Direction::kForward, false);
+  sfs.Run(context);
+  EXPECT_TRUE(context.success());
+  EXPECT_EQ(context.best_mask(), target);
+  // Forward selection: ~10 + 9 evaluations, far below exhaustive.
+  EXPECT_LE(context.evaluations(), 25);
+}
+
+TEST(SequentialTest, ForwardRespectsMaxFeatureCount) {
+  FakeEvalContext context(8, [](const FeatureMask&) { return 1.0; }, 500);
+  context.set_max_feature_count(3);
+  SequentialSelection sfs(SequentialSelection::Direction::kForward, false);
+  sfs.Run(context);
+  EXPECT_LE(CountSelected(context.best_mask()), 3);
+}
+
+TEST(SequentialTest, BackwardStartsFromFullSet) {
+  std::vector<int> sizes;
+  FakeEvalContext context(5, [&sizes](const FeatureMask& mask) {
+    sizes.push_back(CountSelected(mask));
+    return 1.0;
+  }, 6);
+  SequentialSelection sbs(SequentialSelection::Direction::kBackward, false);
+  sbs.Run(context);
+  ASSERT_FALSE(sizes.empty());
+  EXPECT_EQ(sizes.front(), 5);  // full mask first
+}
+
+TEST(SequentialTest, FloatingForwardCanUndoMistake) {
+  // Objective rewards {0,1} together but greedy-first feature is 2:
+  // single features: f2 best (0.5), others 0.8; pairs with 2 are bad (0.9),
+  // pair {0,1} is the target (0.0). Plain SFS picks f2 then gets stuck at
+  // {2,x}; SFFS reaches {0,1} via floating removal.
+  auto objective = [](const FeatureMask& mask) {
+    const auto selected = MaskToIndices(mask);
+    if (selected == std::vector<int>{0, 1}) return 0.0;
+    if (selected.size() == 1) return selected[0] == 2 ? 0.5 : 0.8;
+    // Penalize any set containing feature 2 heavily, others mildly.
+    for (int f : selected) {
+      if (f == 2) return 0.9;
+    }
+    return 0.7 - 0.01 * selected.size();
+  };
+  FakeEvalContext floating_context(5, objective);
+  SequentialSelection sffs(SequentialSelection::Direction::kForward, true);
+  sffs.Run(floating_context);
+  EXPECT_TRUE(floating_context.success());
+}
+
+TEST(ExhaustiveTest, EnumeratesSmallestSubsetsFirst) {
+  std::vector<int> sizes;
+  FakeEvalContext context(5, [&sizes](const FeatureMask& mask) {
+    sizes.push_back(CountSelected(mask));
+    return 1.0;
+  }, 31);
+  ExhaustiveSearch es;
+  es.Run(context);
+  // All 31 non-empty subsets, in non-decreasing size order.
+  EXPECT_EQ(context.evaluations(), 31);
+  for (size_t i = 1; i < sizes.size(); ++i) EXPECT_GE(sizes[i], sizes[i - 1]);
+}
+
+TEST(ExhaustiveTest, PrunesAboveMaxFeatureCount) {
+  FakeEvalContext context(6, [](const FeatureMask&) { return 1.0; }, 1000);
+  context.set_max_feature_count(2);
+  ExhaustiveSearch es;
+  es.Run(context);
+  // C(6,1) + C(6,2) = 21 evaluations, nothing larger.
+  EXPECT_EQ(context.evaluations(), 21);
+}
+
+TEST(RfeTest, DropsLeastImportantFeatureFirst)
+{
+  std::vector<FeatureMask> seen;
+  FakeEvalContext context(4, [&seen](const FeatureMask& mask) {
+    seen.push_back(mask);
+    return 1.0;
+  }, 100);
+  context.set_importances({0.9, 0.1, 0.8, 0.5});  // feature 1 weakest
+  RecursiveFeatureElimination rfe;
+  rfe.Run(context);
+  ASSERT_GE(seen.size(), 2u);
+  EXPECT_EQ(seen[0], FullMask(4));
+  EXPECT_EQ(seen[1], IndicesToMask(4, {0, 2, 3}));  // dropped feature 1
+  // Runs down to a single feature: 4 evaluations total.
+  EXPECT_EQ(seen.back(), IndicesToMask(4, {0}));
+}
+
+TEST(SimulatedAnnealingTest, FindsTargetInModerateSpace) {
+  const FeatureMask target = IndicesToMask(10, {0, 3, 4});
+  FakeEvalContext context(10, BitMismatchObjective(target), 4000);
+  SimulatedAnnealingStrategy sa(/*seed=*/21);
+  sa.Run(context);
+  EXPECT_TRUE(context.success());
+}
+
+TEST(SimulatedAnnealingTest, RespectsMaxFeatureCount) {
+  FakeEvalContext context(10, [](const FeatureMask&) { return 1.0; }, 300);
+  context.set_max_feature_count(2);
+  SimulatedAnnealingStrategy sa(22);
+  sa.Run(context);
+  EXPECT_LE(CountSelected(context.best_mask()), 2);
+}
+
+TEST(TpeMaskTest, FindsSatisfyingRegionInModerateSpace) {
+  // Graded objective, as in real wrapper evaluation: success once both
+  // required features are selected and at most two extras remain.
+  auto objective = [](const FeatureMask& mask) {
+    const double required = (mask[2] ? 0 : 1) + (mask[5] ? 0 : 1);
+    const double extras = std::max(0, CountSelected(mask) - 4);
+    return required + 0.2 * extras;
+  };
+  FakeEvalContext context(10, objective, 2000);
+  TpeMaskStrategy tpe(23);
+  tpe.Run(context);
+  EXPECT_TRUE(context.success());
+}
+
+TEST(Nsga2Test, FindsTargetInModerateSpace) {
+  const FeatureMask target = IndicesToMask(10, {1, 6, 8});
+  // Multi-objective context still aggregates through the objective; the
+  // constraint set has only min_f1 active so shortfalls are 1-dim + tie.
+  FakeEvalContext context(10, BitMismatchObjective(target), 6000);
+  Nsga2Strategy nsga2(24);
+  nsga2.Run(context);
+  EXPECT_TRUE(context.success());
+}
+
+TEST(Nsga2Test, FastNonDominatedSortRanksFronts) {
+  // Points: a dominates b; c is incomparable to both on objective 2.
+  std::vector<std::vector<double>> objectives = {
+      {0.0, 0.0},  // front 0
+      {1.0, 1.0},  // dominated by everything
+      {0.5, 0.0},  // dominated by a only
+  };
+  const auto ranks = FastNonDominatedSort(objectives);
+  EXPECT_EQ(ranks[0], 0);
+  EXPECT_EQ(ranks[2], 1);
+  EXPECT_EQ(ranks[1], 2);
+}
+
+TEST(Nsga2Test, NonDominatedPointsShareFrontZero) {
+  std::vector<std::vector<double>> objectives = {
+      {0.0, 1.0}, {1.0, 0.0}, {0.5, 0.5}};
+  const auto ranks = FastNonDominatedSort(objectives);
+  EXPECT_EQ(ranks, (std::vector<int>{0, 0, 0}));
+}
+
+TEST(Nsga2Test, CrowdingDistanceFavorsBoundary) {
+  std::vector<std::vector<double>> objectives = {
+      {0.0, 1.0}, {0.5, 0.5}, {1.0, 0.0}};
+  const auto distance = CrowdingDistance(objectives, {0, 1, 2});
+  EXPECT_TRUE(std::isinf(distance[0]));
+  EXPECT_TRUE(std::isinf(distance[2]));
+  EXPECT_FALSE(std::isinf(distance[1]));
+  EXPECT_GT(distance[1], 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Registry.
+
+TEST(RegistryTest, SixteenStrategiesPlusBaseline) {
+  EXPECT_EQ(AllStrategies().size(), 16u);
+  EXPECT_EQ(AllStrategiesWithBaseline().size(), 17u);
+  EXPECT_EQ(AllStrategiesWithBaseline().front(),
+            StrategyId::kOriginalFeatureSet);
+}
+
+TEST(RegistryTest, NamesRoundTrip) {
+  for (StrategyId id : AllStrategiesWithBaseline()) {
+    const std::string name = StrategyIdToString(id);
+    EXPECT_NE(name, "?");
+    auto parsed = StrategyIdFromString(name);
+    ASSERT_TRUE(parsed.ok()) << name;
+    EXPECT_EQ(*parsed, id);
+  }
+  EXPECT_FALSE(StrategyIdFromString("bogus").ok());
+}
+
+TEST(RegistryTest, Table3RowOrder) {
+  const auto& ids = AllStrategies();
+  EXPECT_EQ(StrategyIdToString(ids.front()), "SBS(NR)");
+  EXPECT_EQ(StrategyIdToString(ids[6]), "TPE(NR)");
+  EXPECT_EQ(StrategyIdToString(ids.back()), "TPE(FCBF)");
+}
+
+TEST(RegistryTest, TaxonomyCoversEveryLeaf) {
+  // Figure 3: at least one strategy per leaf of the taxonomy.
+  bool has_exhaustive = false, has_sequential_nr = false,
+       has_sequential_ranked = false, has_randomized_nr = false,
+       has_randomized_ranked = false, has_multi_objective = false;
+  for (StrategyId id : AllStrategies()) {
+    const StrategyInfo info = CreateStrategy(id, 1)->info();
+    if (info.objectives == StrategyInfo::Objectives::kMulti) {
+      has_multi_objective = true;
+      continue;
+    }
+    switch (info.search) {
+      case StrategyInfo::Search::kExhaustive:
+        has_exhaustive = true;
+        break;
+      case StrategyInfo::Search::kSequential:
+        (info.uses_ranking ? has_sequential_ranked : has_sequential_nr) =
+            true;
+        break;
+      case StrategyInfo::Search::kRandomized:
+        (info.uses_ranking ? has_randomized_ranked : has_randomized_nr) =
+            true;
+        break;
+    }
+  }
+  EXPECT_TRUE(has_exhaustive);
+  EXPECT_TRUE(has_sequential_nr);
+  EXPECT_TRUE(has_sequential_ranked);
+  EXPECT_TRUE(has_randomized_nr);
+  EXPECT_TRUE(has_randomized_ranked);
+  EXPECT_TRUE(has_multi_objective);
+}
+
+}  // namespace
+}  // namespace dfs::fs

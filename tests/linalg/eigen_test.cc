@@ -1,0 +1,100 @@
+#include "linalg/eigen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace dfs::linalg {
+namespace {
+
+TEST(JacobiTest, DiagonalMatrix) {
+  Matrix m = {{3.0, 0.0}, {0.0, 1.0}};
+  auto eigen = JacobiEigenSymmetric(m);
+  ASSERT_TRUE(eigen.ok());
+  EXPECT_NEAR(eigen->values[0], 1.0, 1e-10);
+  EXPECT_NEAR(eigen->values[1], 3.0, 1e-10);
+}
+
+TEST(JacobiTest, KnownTwoByTwo) {
+  // Eigenvalues of [[2,1],[1,2]] are 1 and 3.
+  Matrix m = {{2.0, 1.0}, {1.0, 2.0}};
+  auto eigen = JacobiEigenSymmetric(m);
+  ASSERT_TRUE(eigen.ok());
+  EXPECT_NEAR(eigen->values[0], 1.0, 1e-10);
+  EXPECT_NEAR(eigen->values[1], 3.0, 1e-10);
+}
+
+TEST(JacobiTest, RejectsNonSquare) {
+  Matrix m(2, 3);
+  EXPECT_FALSE(JacobiEigenSymmetric(m).ok());
+}
+
+TEST(JacobiTest, RejectsAsymmetric) {
+  Matrix m = {{1.0, 2.0}, {0.0, 1.0}};
+  EXPECT_FALSE(JacobiEigenSymmetric(m).ok());
+}
+
+TEST(JacobiTest, ReconstructsRandomSymmetricMatrix) {
+  Rng rng(77);
+  const int n = 12;
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      m(i, j) = rng.Normal();
+      m(j, i) = m(i, j);
+    }
+  }
+  auto eigen = JacobiEigenSymmetric(m);
+  ASSERT_TRUE(eigen.ok());
+
+  // Rebuild A = V diag(values) V^T.
+  Matrix diag(n, n);
+  for (int i = 0; i < n; ++i) diag(i, i) = eigen->values[i];
+  const Matrix rebuilt =
+      eigen->vectors.Multiply(diag).Multiply(eigen->vectors.Transpose());
+  EXPECT_LT(rebuilt.FrobeniusDistance(m), 1e-6);
+}
+
+TEST(JacobiTest, EigenvectorsAreOrthonormal) {
+  Rng rng(78);
+  const int n = 8;
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      m(i, j) = rng.Uniform();
+      m(j, i) = m(i, j);
+    }
+  }
+  auto eigen = JacobiEigenSymmetric(m);
+  ASSERT_TRUE(eigen.ok());
+  const Matrix vtv =
+      eigen->vectors.Transpose().Multiply(eigen->vectors);
+  EXPECT_LT(vtv.FrobeniusDistance(Matrix::Identity(n)), 1e-8);
+}
+
+TEST(JacobiTest, SatisfiesEigenEquation) {
+  Matrix m = {{4.0, 1.0, 0.0}, {1.0, 3.0, 1.0}, {0.0, 1.0, 2.0}};
+  auto eigen = JacobiEigenSymmetric(m);
+  ASSERT_TRUE(eigen.ok());
+  for (int k = 0; k < 3; ++k) {
+    const std::vector<double> v = eigen->vectors.Column(k);
+    const std::vector<double> mv = m.MultiplyVector(v);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_NEAR(mv[i], eigen->values[k] * v[i], 1e-8);
+    }
+  }
+}
+
+TEST(JacobiTest, LaplacianSmallestEigenvalueIsZero) {
+  // Unnormalized Laplacian of a path graph 0-1-2: smallest eigenvalue 0.
+  Matrix laplacian = {{1.0, -1.0, 0.0}, {-1.0, 2.0, -1.0}, {0.0, -1.0, 1.0}};
+  auto eigen = JacobiEigenSymmetric(laplacian);
+  ASSERT_TRUE(eigen.ok());
+  EXPECT_NEAR(eigen->values[0], 0.0, 1e-10);
+  EXPECT_GT(eigen->values[1], 1e-6);
+}
+
+}  // namespace
+}  // namespace dfs::linalg

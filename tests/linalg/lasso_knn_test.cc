@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/knn.h"
+#include "linalg/lasso.h"
+#include "util/rng.h"
+
+namespace dfs::linalg {
+namespace {
+
+TEST(LassoTest, RecoversSparseSignal) {
+  Rng rng(11);
+  const int n = 120;
+  const int p = 10;
+  Matrix x(n, p);
+  std::vector<double> y(n);
+  // y = 2*x0 - 1.5*x3, all other coefficients 0.
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < p; ++c) x(r, c) = rng.Normal();
+    y[r] = 2.0 * x(r, 0) - 1.5 * x(r, 3) + 0.01 * rng.Normal();
+  }
+  LassoOptions options;
+  options.l1_penalty = 0.05;
+  const auto w = LassoCoordinateDescent(x, y, options);
+  EXPECT_NEAR(w[0], 2.0, 0.15);
+  EXPECT_NEAR(w[3], -1.5, 0.15);
+  for (int c : {1, 2, 4, 5, 6, 7, 8, 9}) {
+    EXPECT_LT(std::fabs(w[c]), 0.1) << "coefficient " << c;
+  }
+}
+
+TEST(LassoTest, LargePenaltyZeroesEverything) {
+  Rng rng(12);
+  Matrix x(50, 4);
+  std::vector<double> y(50);
+  for (int r = 0; r < 50; ++r) {
+    for (int c = 0; c < 4; ++c) x(r, c) = rng.Normal();
+    y[r] = x(r, 0);
+  }
+  LassoOptions options;
+  options.l1_penalty = 100.0;
+  for (double w : LassoCoordinateDescent(x, y, options)) {
+    EXPECT_DOUBLE_EQ(w, 0.0);
+  }
+}
+
+TEST(LassoTest, SparsityGrowsWithPenalty) {
+  Rng rng(13);
+  const int n = 100, p = 12;
+  Matrix x(n, p);
+  std::vector<double> y(n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < p; ++c) x(r, c) = rng.Normal();
+    y[r] = x(r, 0) + 0.5 * x(r, 1) + 0.2 * rng.Normal();
+  }
+  auto nonzeros = [&](double penalty) {
+    LassoOptions options;
+    options.l1_penalty = penalty;
+    int count = 0;
+    for (double w : LassoCoordinateDescent(x, y, options)) {
+      count += std::fabs(w) > 1e-9 ? 1 : 0;
+    }
+    return count;
+  };
+  EXPECT_GE(nonzeros(0.001), nonzeros(0.1));
+  EXPECT_GE(nonzeros(0.1), nonzeros(0.6));
+}
+
+TEST(LassoTest, EmptyInputsReturnEmpty) {
+  Matrix x(0, 0);
+  EXPECT_TRUE(LassoCoordinateDescent(x, {}).empty());
+}
+
+TEST(KnnTest, FindsNearestRows) {
+  Matrix points = {{0.0, 0.0}, {1.0, 0.0}, {5.0, 5.0}, {0.1, 0.1}};
+  const auto neighbors = KNearestRows(points, {0.0, 0.0}, 2, -1);
+  ASSERT_EQ(neighbors.size(), 2u);
+  EXPECT_EQ(neighbors[0], 0);
+  EXPECT_EQ(neighbors[1], 3);
+}
+
+TEST(KnnTest, ExcludesRequestedRow) {
+  Matrix points = {{0.0}, {0.5}, {2.0}};
+  const auto neighbors = KNearestRows(points, {0.0}, 1, 0);
+  ASSERT_EQ(neighbors.size(), 1u);
+  EXPECT_EQ(neighbors[0], 1);
+}
+
+TEST(KnnTest, KLargerThanPopulation) {
+  Matrix points = {{0.0}, {1.0}};
+  EXPECT_EQ(KNearestRows(points, {0.0}, 10, -1).size(), 2u);
+}
+
+TEST(HeatKernelGraphTest, SymmetricWithWeightsInUnitInterval) {
+  Rng rng(14);
+  Matrix points(20, 3);
+  for (int r = 0; r < 20; ++r) {
+    for (int c = 0; c < 3; ++c) points(r, c) = rng.Uniform();
+  }
+  const Matrix graph = HeatKernelKnnGraph(points, 4);
+  for (int i = 0; i < 20; ++i) {
+    for (int j = 0; j < 20; ++j) {
+      EXPECT_DOUBLE_EQ(graph(i, j), graph(j, i));
+      EXPECT_GE(graph(i, j), 0.0);
+      EXPECT_LE(graph(i, j), 1.0);
+    }
+  }
+}
+
+TEST(HeatKernelGraphTest, CloserPointsGetLargerWeights) {
+  Matrix points = {{0.0}, {0.1}, {0.9}, {1.0}};
+  const Matrix graph = HeatKernelKnnGraph(points, 2);
+  EXPECT_GT(graph(0, 1), graph(0, 3));
+}
+
+TEST(HeatKernelGraphTest, EmptyInput) {
+  Matrix points(0, 0);
+  EXPECT_EQ(HeatKernelKnnGraph(points, 3).rows(), 0);
+}
+
+}  // namespace
+}  // namespace dfs::linalg

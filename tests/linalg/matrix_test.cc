@@ -1,0 +1,80 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace dfs::linalg {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 0.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m(1, 2), 0.5);
+  m(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 7.0);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix identity = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(identity(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(identity(0, 1), 0.0);
+}
+
+TEST(MatrixTest, RowAndColumnCopies) {
+  Matrix m = {{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.Row(1), (std::vector<double>{4, 5, 6}));
+  EXPECT_EQ(m.Column(2), (std::vector<double>{3, 6}));
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix m = {{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(MatrixTest, MultiplyKnownProduct) {
+  Matrix a = {{1, 2}, {3, 4}};
+  Matrix b = {{5, 6}, {7, 8}};
+  const Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyByIdentityIsNoop) {
+  Matrix a = {{1, 2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(a.Multiply(Matrix::Identity(2)).FrobeniusDistance(a), 0.0);
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  Matrix a = {{1, 2}, {3, 4}};
+  EXPECT_EQ(a.MultiplyVector({1.0, 1.0}), (std::vector<double>{3.0, 7.0}));
+}
+
+TEST(VectorOpsTest, DotNormDistance) {
+  std::vector<double> a = {3.0, 4.0};
+  std::vector<double> b = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(Dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(Norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+}
+
+TEST(VectorOpsTest, AxpyAndScale) {
+  std::vector<double> a = {1.0, 2.0};
+  std::vector<double> b = {10.0, 20.0};
+  EXPECT_EQ(Axpy(a, 0.5, b), (std::vector<double>{6.0, 12.0}));
+  ScaleInPlace(a, 3.0);
+  EXPECT_EQ(a, (std::vector<double>{3.0, 6.0}));
+}
+
+}  // namespace
+}  // namespace dfs::linalg

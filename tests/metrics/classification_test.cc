@@ -1,0 +1,57 @@
+#include "metrics/classification.h"
+
+#include <gtest/gtest.h>
+
+namespace dfs::metrics {
+namespace {
+
+TEST(ConfusionTest, CountsAllCells) {
+  const ConfusionMatrix confusion =
+      ComputeConfusion({1, 1, 0, 0, 1, 0}, {1, 0, 0, 1, 1, 0});
+  EXPECT_EQ(confusion.true_positives, 2);
+  EXPECT_EQ(confusion.false_negatives, 1);
+  EXPECT_EQ(confusion.false_positives, 1);
+  EXPECT_EQ(confusion.true_negatives, 2);
+  EXPECT_EQ(confusion.total(), 6);
+}
+
+TEST(PrecisionRecallTest, KnownValues) {
+  ConfusionMatrix confusion;
+  confusion.true_positives = 3;
+  confusion.false_positives = 1;
+  confusion.false_negatives = 2;
+  confusion.true_negatives = 4;
+  EXPECT_DOUBLE_EQ(Precision(confusion), 0.75);
+  EXPECT_DOUBLE_EQ(Recall(confusion), 0.6);
+  // F1 = 2 * 0.75 * 0.6 / 1.35 = 2/3.
+  EXPECT_NEAR(F1Score(confusion), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Accuracy(confusion), 0.7);
+}
+
+TEST(F1Test, PerfectAndWorstCase) {
+  EXPECT_DOUBLE_EQ(F1Score({1, 0, 1}, {1, 0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(F1Score({1, 1, 1}, {0, 0, 0}), 0.0);
+}
+
+TEST(F1Test, UndefinedCasesAreZero) {
+  // No predicted positives and no actual positives.
+  EXPECT_DOUBLE_EQ(F1Score({0, 0}, {0, 0}), 0.0);
+}
+
+TEST(F1Test, RobustToClassImbalance) {
+  // Predicting all-majority on 90/10 imbalance: accuracy high, F1 zero —
+  // the reason the paper uses F1 (Section 3).
+  std::vector<int> y_true(100, 0), y_pred(100, 0);
+  for (int i = 0; i < 10; ++i) y_true[i] = 1;
+  EXPECT_DOUBLE_EQ(Accuracy(y_true, y_pred), 0.9);
+  EXPECT_DOUBLE_EQ(F1Score(y_true, y_pred), 0.0);
+}
+
+TEST(TprTest, MatchesRecall) {
+  std::vector<int> y_true = {1, 1, 1, 0};
+  std::vector<int> y_pred = {1, 0, 1, 1};
+  EXPECT_NEAR(TruePositiveRate(y_true, y_pred), 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dfs::metrics

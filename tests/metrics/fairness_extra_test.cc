@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "metrics/fairness.h"
+
+namespace dfs::metrics {
+namespace {
+
+TEST(GeneralizedEntropyIndexTest, ZeroForPerfectPredictions) {
+  std::vector<int> y = {1, 0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(GeneralizedEntropyIndex(y, y), 0.0);
+}
+
+TEST(GeneralizedEntropyIndexTest, ZeroForUniformErrors) {
+  // Everyone gets an undeserved positive: benefits are uniformly 2.
+  std::vector<int> y_true = {0, 0, 0};
+  std::vector<int> y_pred = {1, 1, 1};
+  EXPECT_DOUBLE_EQ(GeneralizedEntropyIndex(y_true, y_pred), 0.0);
+}
+
+TEST(GeneralizedEntropyIndexTest, PositiveForUnevenBenefits) {
+  // One undeserved positive among correct predictions: uneven benefits.
+  std::vector<int> y_true = {0, 0, 0, 0};
+  std::vector<int> y_pred = {1, 0, 0, 0};
+  EXPECT_GT(GeneralizedEntropyIndex(y_true, y_pred), 0.0);
+}
+
+TEST(GeneralizedEntropyIndexTest, MatchesHalfSquaredCoefficientOfVariation) {
+  // GE(alpha=2) equals CV^2 / 2 of the benefit distribution: a 4-of-8
+  // undeserved-positive split has benefit mean 1.5 and variance 0.25, so
+  // GE2 = (0.25 / 2.25) / 2 = 1/18; the 1-of-8 split gives
+  // (0.109375 / 1.265625) / 2 = 7/162. The even split is *more* unequal in
+  // relative terms.
+  std::vector<int> y_true(8, 0);
+  std::vector<int> one = {1, 0, 0, 0, 0, 0, 0, 0};
+  std::vector<int> four = {1, 1, 1, 1, 0, 0, 0, 0};
+  EXPECT_NEAR(GeneralizedEntropyIndex(y_true, four), 1.0 / 18.0, 1e-12);
+  EXPECT_NEAR(GeneralizedEntropyIndex(y_true, one), 7.0 / 162.0, 1e-12);
+  EXPECT_GT(GeneralizedEntropyIndex(y_true, four),
+            GeneralizedEntropyIndex(y_true, one));
+}
+
+TEST(GeneralizedEntropyIndexTest, EmptyInputIsZero) {
+  EXPECT_DOUBLE_EQ(GeneralizedEntropyIndex({}, {}), 0.0);
+}
+
+TEST(DisparateImpactTest, EqualRatesArePerfect) {
+  std::vector<int> groups = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(DisparateImpact({1, 0, 1, 0}, groups), 1.0);
+}
+
+TEST(DisparateImpactTest, EightyPercentRule) {
+  // Majority: 5/10 positive; minority: 4/10 positive -> ratio 0.8.
+  std::vector<int> y_pred, groups;
+  for (int i = 0; i < 10; ++i) {
+    groups.push_back(0);
+    y_pred.push_back(i < 5 ? 1 : 0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    groups.push_back(1);
+    y_pred.push_back(i < 4 ? 1 : 0);
+  }
+  EXPECT_NEAR(DisparateImpact(y_pred, groups), 0.8, 1e-12);
+}
+
+TEST(DisparateImpactTest, SymmetricInDirection) {
+  // Ratio > 1 is folded to 1/ratio so the score is direction-agnostic.
+  std::vector<int> groups = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(DisparateImpact({1, 0, 1, 1}, groups),
+                   DisparateImpact({1, 1, 1, 0}, groups));
+}
+
+TEST(DisparateImpactTest, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(DisparateImpact({0, 0, 0, 0}, {0, 0, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(DisparateImpact({1, 1, 0, 0}, {0, 0, 1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(DisparateImpact({1, 0}, {0, 0}), 1.0);  // one group only
+}
+
+}  // namespace
+}  // namespace dfs::metrics

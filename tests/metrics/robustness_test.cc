@@ -1,0 +1,152 @@
+#include "metrics/robustness.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/hop_skip_jump.h"
+#include "ml/logistic_regression.h"
+#include "testing/test_util.h"
+
+namespace dfs::metrics {
+namespace {
+
+linalg::Matrix ToMatrix(const data::Dataset& dataset) {
+  return dataset.ToMatrix(dataset.AllFeatures());
+}
+
+// A classifier with a fixed linear boundary at x0 = threshold; lets tests
+// reason about exact boundary distances without training noise.
+class ThresholdModel : public ml::Classifier {
+ public:
+  explicit ThresholdModel(double threshold) : threshold_(threshold) {}
+  Status Fit(const linalg::Matrix&, const std::vector<int>&) override {
+    return OkStatus();
+  }
+  double PredictProba(const std::vector<double>& row) const override {
+    return row[0] >= threshold_ ? 1.0 : 0.0;
+  }
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<ThresholdModel>(threshold_);
+  }
+  std::string name() const override { return "threshold"; }
+
+ private:
+  double threshold_;
+};
+
+TEST(HopSkipJumpTest, FindsAdversarialNearBoundary) {
+  ThresholdModel model(0.5);
+  HopSkipJumpOptions options;
+  options.max_l2_distance = 0.3;
+  HopSkipJumpAttack attack(options);
+  Rng rng(81);
+  // Point at x0 = 0.45: boundary is 0.05 away, well within the radius.
+  auto adversarial = attack.Attack(model, {0.45, 0.5}, rng);
+  ASSERT_TRUE(adversarial.has_value());
+  EXPECT_NE(model.Predict(*adversarial), model.Predict({0.45, 0.5}));
+  const double dx = (*adversarial)[0] - 0.45;
+  const double dy = (*adversarial)[1] - 0.5;
+  EXPECT_LE(std::sqrt(dx * dx + dy * dy), 0.3 + 1e-9);
+}
+
+TEST(HopSkipJumpTest, RespectsDistanceBudget) {
+  ThresholdModel model(0.95);
+  HopSkipJumpOptions options;
+  options.max_l2_distance = 0.05;  // boundary is 0.9 away from the probe
+  HopSkipJumpAttack attack(options);
+  Rng rng(82);
+  EXPECT_FALSE(attack.Attack(model, {0.05, 0.5}, rng).has_value());
+}
+
+TEST(HopSkipJumpTest, RespectsQueryBudget) {
+  ThresholdModel model(0.5);
+  HopSkipJumpOptions options;
+  options.max_queries = 40;
+  HopSkipJumpAttack attack(options);
+  Rng rng(83);
+  attack.Attack(model, {0.3, 0.3}, rng);
+  EXPECT_LE(attack.last_query_count(), 40 + 1);
+}
+
+TEST(HopSkipJumpTest, EmptyRowFails) {
+  ThresholdModel model(0.5);
+  HopSkipJumpAttack attack;
+  Rng rng(84);
+  EXPECT_FALSE(attack.Attack(model, {}, rng).has_value());
+}
+
+TEST(HopSkipJumpTest, MovesTowardBoundary) {
+  // The refined adversarial example should sit close to x0 = 0.5.
+  ThresholdModel model(0.5);
+  HopSkipJumpOptions options;
+  options.max_queries = 400;
+  options.max_l2_distance = 1.5;
+  HopSkipJumpAttack attack(options);
+  Rng rng(85);
+  auto adversarial = attack.Attack(model, {0.2, 0.5, 0.5}, rng);
+  ASSERT_TRUE(adversarial.has_value());
+  EXPECT_NEAR((*adversarial)[0], 0.5, 0.15);
+}
+
+TEST(EmpiricalRobustnessTest, PerfectWhenModelConstant) {
+  // A constant model cannot be evaded: no prediction ever flips.
+  class ConstantModel : public ml::Classifier {
+   public:
+    Status Fit(const linalg::Matrix&, const std::vector<int>&) override {
+      return OkStatus();
+    }
+    double PredictProba(const std::vector<double>&) const override {
+      return 1.0;
+    }
+    std::unique_ptr<Classifier> Clone() const override {
+      return std::make_unique<ConstantModel>();
+    }
+    std::string name() const override { return "const"; }
+  };
+  ConstantModel model;
+  const data::Dataset dataset = testing::MakeLinearDataset(60, 0, 86);
+  Rng rng(87);
+  EXPECT_DOUBLE_EQ(EmpiricalRobustness(model, ToMatrix(dataset),
+                                       dataset.labels(), rng),
+                   1.0);
+}
+
+TEST(EmpiricalRobustnessTest, InUnitIntervalForRealModel) {
+  const data::Dataset dataset = testing::MakeLinearDataset(150, 1, 88);
+  ml::LogisticRegression model((ml::Hyperparameters()));
+  ASSERT_TRUE(model.Fit(ToMatrix(dataset), dataset.labels()).ok());
+  Rng rng(89);
+  RobustnessOptions options;
+  options.max_attacked_rows = 10;
+  options.attack.max_queries = 80;
+  const double safety = EmpiricalRobustness(model, ToMatrix(dataset),
+                                            dataset.labels(), rng, options);
+  EXPECT_GE(safety, 0.0);
+  EXPECT_LE(safety, 1.0);
+}
+
+TEST(EmpiricalRobustnessTest, WiderAttackRadiusLowersSafety) {
+  const data::Dataset dataset = testing::MakeLinearDataset(200, 2, 90);
+  ml::LogisticRegression model((ml::Hyperparameters()));
+  ASSERT_TRUE(model.Fit(ToMatrix(dataset), dataset.labels()).ok());
+  auto safety_at = [&](double radius) {
+    Rng rng(91);
+    RobustnessOptions options;
+    options.max_attacked_rows = 16;
+    options.attack.max_l2_distance = radius;
+    return EmpiricalRobustness(model, ToMatrix(dataset), dataset.labels(),
+                               rng, options);
+  };
+  EXPECT_GE(safety_at(0.01), safety_at(2.0));
+}
+
+TEST(EmpiricalRobustnessTest, EmptyTestSetIsSafe) {
+  ThresholdModel model(0.5);
+  Rng rng(92);
+  EXPECT_DOUBLE_EQ(
+      EmpiricalRobustness(model, linalg::Matrix(0, 2), {}, rng), 1.0);
+}
+
+}  // namespace
+}  // namespace dfs::metrics

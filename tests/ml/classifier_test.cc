@@ -1,0 +1,83 @@
+#include "ml/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/classification.h"
+#include "testing/test_util.h"
+
+namespace dfs::ml {
+namespace {
+
+// Shared harness: every classifier family must learn the linearly separable
+// toy problem well above chance, clone correctly, and validate its inputs.
+class ClassifierParamTest : public ::testing::TestWithParam<ModelKind> {};
+
+linalg::Matrix ToMatrix(const data::Dataset& dataset) {
+  return dataset.ToMatrix(dataset.AllFeatures());
+}
+
+TEST_P(ClassifierParamTest, LearnsSeparableProblem) {
+  const data::Dataset train = testing::MakeLinearDataset(400, 3, 21);
+  const data::Dataset test = testing::MakeLinearDataset(200, 3, 22);
+  auto model = CreateClassifier(GetParam(), Hyperparameters());
+  ASSERT_TRUE(model->Fit(ToMatrix(train), train.labels()).ok());
+  const double f1 =
+      metrics::F1Score(test.labels(), model->PredictBatch(ToMatrix(test)));
+  EXPECT_GT(f1, 0.8) << model->name();
+}
+
+TEST_P(ClassifierParamTest, PredictionsMatchProbabilityThreshold) {
+  const data::Dataset train = testing::MakeLinearDataset(200, 1, 23);
+  auto model = CreateClassifier(GetParam(), Hyperparameters());
+  ASSERT_TRUE(model->Fit(ToMatrix(train), train.labels()).ok());
+  for (int r = 0; r < 50; ++r) {
+    const auto row = ToMatrix(train).Row(r);
+    const double proba = model->PredictProba(row);
+    EXPECT_GE(proba, 0.0);
+    EXPECT_LE(proba, 1.0);
+    EXPECT_EQ(model->Predict(row), proba >= 0.5 ? 1 : 0);
+  }
+}
+
+TEST_P(ClassifierParamTest, CloneIsUnfittedButTrainable) {
+  const data::Dataset train = testing::MakeLinearDataset(150, 1, 24);
+  auto model = CreateClassifier(GetParam(), Hyperparameters());
+  ASSERT_TRUE(model->Fit(ToMatrix(train), train.labels()).ok());
+  auto clone = model->Clone();
+  ASSERT_NE(clone, nullptr);
+  EXPECT_EQ(clone->name(), model->name());
+  ASSERT_TRUE(clone->Fit(ToMatrix(train), train.labels()).ok());
+  // Deterministic training: clone should agree with the original.
+  int agreement = 0;
+  for (int r = 0; r < train.num_rows(); ++r) {
+    const auto row = ToMatrix(train).Row(r);
+    agreement += model->Predict(row) == clone->Predict(row) ? 1 : 0;
+  }
+  EXPECT_GT(agreement, train.num_rows() * 9 / 10);
+}
+
+TEST_P(ClassifierParamTest, RejectsEmptyTrainingSet) {
+  auto model = CreateClassifier(GetParam(), Hyperparameters());
+  EXPECT_FALSE(model->Fit(linalg::Matrix(0, 3), {}).ok());
+}
+
+TEST_P(ClassifierParamTest, RejectsLabelSizeMismatch) {
+  auto model = CreateClassifier(GetParam(), Hyperparameters());
+  EXPECT_FALSE(model->Fit(linalg::Matrix(4, 2), {0, 1}).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ClassifierParamTest,
+    ::testing::Values(ModelKind::kLogisticRegression, ModelKind::kNaiveBayes,
+                      ModelKind::kDecisionTree, ModelKind::kLinearSvm),
+    [](const auto& info) { return ModelKindToString(info.param); });
+
+TEST(ModelKindTest, Names) {
+  EXPECT_STREQ(ModelKindToString(ModelKind::kLogisticRegression), "LR");
+  EXPECT_STREQ(ModelKindToString(ModelKind::kNaiveBayes), "NB");
+  EXPECT_STREQ(ModelKindToString(ModelKind::kDecisionTree), "DT");
+  EXPECT_STREQ(ModelKindToString(ModelKind::kLinearSvm), "SVM");
+}
+
+}  // namespace
+}  // namespace dfs::ml

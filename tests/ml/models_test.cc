@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/classification.h"
+#include "ml/decision_tree.h"
+#include "ml/linear_svm.h"
+#include "ml/logistic_regression.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+#include "testing/test_util.h"
+
+namespace dfs::ml {
+namespace {
+
+linalg::Matrix ToMatrix(const data::Dataset& dataset) {
+  return dataset.ToMatrix(dataset.AllFeatures());
+}
+
+TEST(LogisticRegressionTest, WeightsPointTowardSignal) {
+  const data::Dataset train = testing::MakeLinearDataset(500, 4, 31);
+  LogisticRegression model((Hyperparameters()));
+  ASSERT_TRUE(model.Fit(ToMatrix(train), train.labels()).ok());
+  // Signal features 0/1 have positive weights larger than any noise weight.
+  const auto& w = model.weights();
+  for (size_t f = 2; f < w.size(); ++f) {
+    EXPECT_GT(w[0], std::fabs(w[f]));
+    EXPECT_GT(w[1], std::fabs(w[f]));
+  }
+}
+
+TEST(LogisticRegressionTest, ImportancesAreAbsoluteWeights) {
+  const data::Dataset train = testing::MakeLinearDataset(200, 2, 32);
+  LogisticRegression model((Hyperparameters()));
+  ASSERT_TRUE(model.Fit(ToMatrix(train), train.labels()).ok());
+  auto importances = model.FeatureImportances();
+  ASSERT_TRUE(importances.has_value());
+  for (size_t f = 0; f < importances->size(); ++f) {
+    EXPECT_DOUBLE_EQ((*importances)[f], std::fabs(model.weights()[f]));
+  }
+}
+
+TEST(LogisticRegressionTest, StrongRegularizationShrinksWeights) {
+  const data::Dataset train = testing::MakeLinearDataset(300, 2, 33);
+  Hyperparameters weak;
+  weak.lr_c = 1000.0;
+  Hyperparameters strong;
+  strong.lr_c = 0.01;
+  LogisticRegression weak_model(weak), strong_model(strong);
+  ASSERT_TRUE(weak_model.Fit(ToMatrix(train), train.labels()).ok());
+  ASSERT_TRUE(strong_model.Fit(ToMatrix(train), train.labels()).ok());
+  EXPECT_LT(std::fabs(strong_model.weights()[0]),
+            std::fabs(weak_model.weights()[0]));
+}
+
+TEST(LogisticRegressionTest, RejectsNonPositiveC) {
+  Hyperparameters params;
+  params.lr_c = 0.0;
+  LogisticRegression model(params);
+  EXPECT_FALSE(model.Fit(linalg::Matrix(2, 1), {0, 1}).ok());
+}
+
+TEST(NaiveBayesTest, HandlesSingleClassGracefully) {
+  GaussianNaiveBayes model((Hyperparameters()));
+  linalg::Matrix x = {{0.1}, {0.2}, {0.3}};
+  ASSERT_TRUE(model.Fit(x, {1, 1, 1}).ok());
+  EXPECT_EQ(model.Predict({0.15}), 1);
+}
+
+TEST(NaiveBayesTest, SeparatedGaussiansClassifiedCorrectly) {
+  GaussianNaiveBayes model((Hyperparameters()));
+  linalg::Matrix x = {{0.1}, {0.2}, {0.15}, {0.8}, {0.9}, {0.85}};
+  ASSERT_TRUE(model.Fit(x, {0, 0, 0, 1, 1, 1}).ok());
+  EXPECT_EQ(model.Predict({0.1}), 0);
+  EXPECT_EQ(model.Predict({0.9}), 1);
+  EXPECT_GT(model.PredictProba({0.9}), 0.95);
+}
+
+TEST(DecisionTreeTest, DepthOneIsAStump) {
+  const data::Dataset train = testing::MakeLinearDataset(200, 0, 34);
+  Hyperparameters params;
+  params.dt_max_depth = 1;
+  DecisionTree model(params);
+  ASSERT_TRUE(model.Fit(ToMatrix(train), train.labels()).ok());
+  EXPECT_LE(model.NodeCount(), 3);
+}
+
+TEST(DecisionTreeTest, DeeperTreesFitBetterInSample) {
+  const data::Dataset train = testing::MakeLinearDataset(300, 0, 35);
+  auto in_sample_f1 = [&](int depth) {
+    Hyperparameters params;
+    params.dt_max_depth = depth;
+    DecisionTree model(params);
+    EXPECT_TRUE(model.Fit(ToMatrix(train), train.labels()).ok());
+    return metrics::F1Score(train.labels(),
+                            model.PredictBatch(ToMatrix(train)));
+  };
+  EXPECT_GE(in_sample_f1(7) + 1e-9, in_sample_f1(1));
+}
+
+TEST(DecisionTreeTest, PureNodeBecomesLeaf) {
+  DecisionTree model((Hyperparameters()));
+  linalg::Matrix x = {{0.1}, {0.2}, {0.3}};
+  ASSERT_TRUE(model.Fit(x, {1, 1, 1}).ok());
+  EXPECT_EQ(model.NodeCount(), 1);
+  EXPECT_DOUBLE_EQ(model.PredictProba({0.5}), 1.0);
+}
+
+TEST(DecisionTreeTest, ImportancesSumToOneAndFavorSignal) {
+  const data::Dataset train = testing::MakeLinearDataset(400, 3, 36);
+  DecisionTree model((Hyperparameters()));
+  ASSERT_TRUE(model.Fit(ToMatrix(train), train.labels()).ok());
+  auto importances = model.FeatureImportances();
+  ASSERT_TRUE(importances.has_value());
+  double total = 0.0;
+  for (double imp : *importances) total += imp;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT((*importances)[0] + (*importances)[1], 0.7);
+}
+
+TEST(DecisionTreeTest, RejectsInvalidDepth) {
+  Hyperparameters params;
+  params.dt_max_depth = 0;
+  DecisionTree model(params);
+  EXPECT_FALSE(model.Fit(linalg::Matrix(2, 1), {0, 1}).ok());
+}
+
+TEST(LinearSvmTest, ImportancesAreAbsoluteWeights) {
+  const data::Dataset train = testing::MakeLinearDataset(300, 2, 37);
+  LinearSvm model((Hyperparameters()));
+  ASSERT_TRUE(model.Fit(ToMatrix(train), train.labels()).ok());
+  auto importances = model.FeatureImportances();
+  ASSERT_TRUE(importances.has_value());
+  EXPECT_EQ(importances->size(), 4u);
+  // Signal features dominate noise.
+  EXPECT_GT((*importances)[0], (*importances)[2]);
+  EXPECT_GT((*importances)[1], (*importances)[3]);
+}
+
+TEST(LinearSvmTest, RejectsNonPositiveC) {
+  Hyperparameters params;
+  params.svm_c = -1.0;
+  LinearSvm model(params);
+  EXPECT_FALSE(model.Fit(linalg::Matrix(2, 1), {0, 1}).ok());
+}
+
+TEST(RandomForestTest, BeatsSingleStumpOnNoisyData) {
+  const data::Dataset train = testing::MakeLinearDataset(400, 6, 38);
+  const data::Dataset test = testing::MakeLinearDataset(200, 6, 39);
+  RandomForestOptions options;
+  RandomForest forest(options);
+  ASSERT_TRUE(forest.Fit(ToMatrix(train), train.labels()).ok());
+  const double forest_f1 =
+      metrics::F1Score(test.labels(), forest.PredictBatch(ToMatrix(test)));
+  EXPECT_GT(forest_f1, 0.75);
+}
+
+TEST(RandomForestTest, SingleClassDataPredictsPrior) {
+  RandomForest forest((RandomForestOptions()));
+  linalg::Matrix x = {{0.1}, {0.2}};
+  ASSERT_TRUE(forest.Fit(x, {1, 1}).ok());
+  EXPECT_DOUBLE_EQ(forest.PredictProba({0.5}), 1.0);
+}
+
+TEST(RandomForestTest, DeterministicForSeed) {
+  const data::Dataset train = testing::MakeLinearDataset(150, 2, 40);
+  RandomForestOptions options;
+  options.seed = 5;
+  RandomForest a(options), b(options);
+  ASSERT_TRUE(a.Fit(ToMatrix(train), train.labels()).ok());
+  ASSERT_TRUE(b.Fit(ToMatrix(train), train.labels()).ok());
+  for (int r = 0; r < 30; ++r) {
+    const auto row = ToMatrix(train).Row(r);
+    EXPECT_DOUBLE_EQ(a.PredictProba(row), b.PredictProba(row));
+  }
+}
+
+}  // namespace
+}  // namespace dfs::ml

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "metrics/classification.h"
+#include "ml/cross_validation.h"
+#include "ml/grid_search.h"
+#include "ml/permutation_importance.h"
+#include "testing/test_util.h"
+
+namespace dfs::ml {
+namespace {
+
+linalg::Matrix ToMatrix(const data::Dataset& dataset) {
+  return dataset.ToMatrix(dataset.AllFeatures());
+}
+
+TEST(CrossValidationTest, HighF1OnSeparableData) {
+  const data::Dataset dataset = testing::MakeLinearDataset(300, 1, 51);
+  Rng rng(52);
+  const auto prototype =
+      CreateClassifier(ModelKind::kLogisticRegression, Hyperparameters());
+  auto f1 = CrossValidatedF1(*prototype, ToMatrix(dataset), dataset.labels(),
+                             3, rng);
+  ASSERT_TRUE(f1.ok());
+  EXPECT_GT(*f1, 0.8);
+  EXPECT_LE(*f1, 1.0);
+}
+
+TEST(CrossValidationTest, NearChanceOnRandomLabels) {
+  Rng label_rng(53);
+  std::vector<std::vector<double>> columns(3, std::vector<double>(200));
+  std::vector<int> labels(200), groups(200, 0);
+  for (int r = 0; r < 200; ++r) {
+    for (auto& column : columns) column[r] = label_rng.Uniform();
+    labels[r] = label_rng.Bernoulli(0.5) ? 1 : 0;
+  }
+  auto dataset = data::Dataset::Create("rand", {"a", "b", "c"}, columns,
+                                       labels, groups);
+  ASSERT_TRUE(dataset.ok());
+  Rng rng(54);
+  const auto prototype =
+      CreateClassifier(ModelKind::kDecisionTree, Hyperparameters());
+  auto f1 = CrossValidatedF1(*prototype, dataset->ToMatrix({0, 1, 2}),
+                             dataset->labels(), 4, rng);
+  ASSERT_TRUE(f1.ok());
+  EXPECT_LT(*f1, 0.75);
+}
+
+TEST(CrossValidationTest, ValidatesArguments) {
+  const data::Dataset dataset = testing::MakeLinearDataset(60, 0, 55);
+  Rng rng(56);
+  const auto prototype =
+      CreateClassifier(ModelKind::kNaiveBayes, Hyperparameters());
+  EXPECT_FALSE(CrossValidatedF1(*prototype, ToMatrix(dataset),
+                                dataset.labels(), 1, rng)
+                   .ok());
+  EXPECT_FALSE(CrossValidatedF1(*prototype, ToMatrix(dataset), {0, 1}, 3, rng)
+                   .ok());
+}
+
+TEST(HyperparameterGridTest, MatchesPaperGrids) {
+  // LR: C = 10^n, n in [-2, 3] -> 6 points.
+  const auto lr = HyperparameterGrid(ModelKind::kLogisticRegression);
+  ASSERT_EQ(lr.size(), 6u);
+  EXPECT_DOUBLE_EQ(lr.front().lr_c, 0.01);
+  EXPECT_DOUBLE_EQ(lr.back().lr_c, 1000.0);
+  // NB: var_smoothing in [1e-12, 1e-6] -> 7 log-spaced points.
+  const auto nb = HyperparameterGrid(ModelKind::kNaiveBayes);
+  ASSERT_EQ(nb.size(), 7u);
+  EXPECT_DOUBLE_EQ(nb.front().nb_var_smoothing, 1e-12);
+  EXPECT_DOUBLE_EQ(nb.back().nb_var_smoothing, 1e-6);
+  // DT: depth 1..7.
+  const auto dt = HyperparameterGrid(ModelKind::kDecisionTree);
+  ASSERT_EQ(dt.size(), 7u);
+  EXPECT_EQ(dt.front().dt_max_depth, 1);
+  EXPECT_EQ(dt.back().dt_max_depth, 7);
+}
+
+TEST(GridSearchTest, PicksBestByValidationF1) {
+  const data::Dataset train = testing::MakeLinearDataset(300, 2, 57);
+  const data::Dataset validation = testing::MakeLinearDataset(150, 2, 58);
+  auto result = GridSearch(ModelKind::kDecisionTree, ToMatrix(train),
+                           train.labels(), ToMatrix(validation),
+                           validation.labels());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->evaluated_points, 7);
+  EXPECT_GT(result->best_validation_f1, 0.8);
+  ASSERT_NE(result->best_model, nullptr);
+  // The returned model must reproduce the reported score.
+  const double f1 = metrics::F1Score(
+      validation.labels(), result->best_model->PredictBatch(ToMatrix(validation)));
+  EXPECT_DOUBLE_EQ(f1, result->best_validation_f1);
+}
+
+TEST(GridSearchTest, BestIsNoWorseThanDefault) {
+  const data::Dataset train = testing::MakeLinearDataset(250, 3, 59);
+  const data::Dataset validation = testing::MakeLinearDataset(120, 3, 60);
+  auto result =
+      GridSearch(ModelKind::kLogisticRegression, ToMatrix(train),
+                 train.labels(), ToMatrix(validation), validation.labels());
+  ASSERT_TRUE(result.ok());
+  auto default_model =
+      CreateClassifier(ModelKind::kLogisticRegression, Hyperparameters());
+  ASSERT_TRUE(default_model->Fit(ToMatrix(train), train.labels()).ok());
+  const double default_f1 = metrics::F1Score(
+      validation.labels(), default_model->PredictBatch(ToMatrix(validation)));
+  EXPECT_GE(result->best_validation_f1 + 1e-9, default_f1);
+}
+
+TEST(PermutationImportanceTest, SignalFeaturesScoreHighest) {
+  const data::Dataset dataset = testing::MakeLinearDataset(300, 4, 61);
+  auto model =
+      CreateClassifier(ModelKind::kLogisticRegression, Hyperparameters());
+  ASSERT_TRUE(model->Fit(ToMatrix(dataset), dataset.labels()).ok());
+  Rng rng(62);
+  const auto importances = PermutationImportance(
+      *model, ToMatrix(dataset), dataset.labels(), /*repeats=*/2, rng);
+  ASSERT_EQ(importances.size(), 6u);
+  for (size_t f = 2; f < importances.size(); ++f) {
+    EXPECT_GT(importances[0], importances[f]);
+    EXPECT_GT(importances[1], importances[f]);
+  }
+}
+
+TEST(PermutationImportanceTest, NonNegativeAndEmptySafe) {
+  const data::Dataset dataset = testing::MakeLinearDataset(100, 1, 63);
+  auto model =
+      CreateClassifier(ModelKind::kNaiveBayes, Hyperparameters());
+  ASSERT_TRUE(model->Fit(ToMatrix(dataset), dataset.labels()).ok());
+  Rng rng(64);
+  for (double imp : PermutationImportance(*model, ToMatrix(dataset),
+                                          dataset.labels(), 1, rng)) {
+    EXPECT_GE(imp, 0.0);
+  }
+  EXPECT_TRUE(
+      PermutationImportance(*model, linalg::Matrix(0, 0), {}, 1, rng).empty());
+}
+
+}  // namespace
+}  // namespace dfs::ml

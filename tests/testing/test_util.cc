@@ -1,0 +1,96 @@
+#include "testing/test_util.h"
+
+#include "util/logging.h"
+
+namespace dfs::testing {
+
+data::Dataset MakeLinearDataset(int rows, int noise_features, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> columns(2 + noise_features,
+                                           std::vector<double>(rows));
+  std::vector<int> labels(rows);
+  std::vector<int> groups(rows);
+  for (int r = 0; r < rows; ++r) {
+    const double a = rng.Uniform();
+    const double b = rng.Uniform();
+    columns[0][r] = a;
+    columns[1][r] = b;
+    labels[r] = a + b + rng.Normal(0.0, 0.05) > 1.0 ? 1 : 0;
+    groups[r] = rng.Uniform() < 0.5 * a + 0.25 ? 1 : 0;
+    for (int f = 0; f < noise_features; ++f) {
+      columns[2 + f][r] = rng.Uniform();
+    }
+  }
+  std::vector<std::string> names = {"signal_a", "signal_b"};
+  for (int f = 0; f < noise_features; ++f) {
+    names.push_back("noise_" + std::to_string(f));
+  }
+  auto dataset = data::Dataset::Create("linear", std::move(names),
+                                       std::move(columns), std::move(labels),
+                                       std::move(groups));
+  DFS_CHECK(dataset.ok());
+  return std::move(dataset).value();
+}
+
+data::Dataset MakeTinyDataset() {
+  auto dataset = data::Dataset::Create(
+      "tiny", {"f0", "f1", "f2"},
+      {{0.0, 0.1, 0.2, 0.8, 0.9, 1.0, 0.85, 0.15},
+       {1.0, 0.9, 0.8, 0.2, 0.1, 0.0, 0.25, 0.75},
+       {0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5}},
+      {0, 0, 0, 1, 1, 1, 1, 0}, {0, 1, 0, 1, 0, 1, 0, 1});
+  DFS_CHECK(dataset.ok());
+  return std::move(dataset).value();
+}
+
+FakeEvalContext::FakeEvalContext(
+    int num_features, std::function<double(const fs::FeatureMask&)> objective,
+    int eval_budget)
+    : num_features_(num_features), max_feature_count_(num_features),
+      objective_(std::move(objective)), eval_budget_(eval_budget),
+      train_(MakeTinyDataset()) {}
+
+fs::EvalOutcome FakeEvalContext::Evaluate(const fs::FeatureMask& mask) {
+  fs::EvalOutcome outcome;
+  if (ShouldStop()) return outcome;
+  if (fs::CountSelected(mask) == 0) return outcome;
+  ++evaluations_;
+  outcome.evaluated = true;
+  outcome.objective = objective_(mask);
+  outcome.distance = std::max(0.0, outcome.objective);
+  outcome.satisfied_validation = outcome.objective <= 0.0;
+  outcome.success = outcome.satisfied_validation;
+  if (outcome.objective < best_objective_) {
+    best_objective_ = outcome.objective;
+    best_mask_ = mask;
+  }
+  if (outcome.success) success_ = true;
+  return outcome;
+}
+
+StatusOr<std::vector<double>> FakeEvalContext::FittedImportances(
+    const fs::FeatureMask& mask) {
+  const std::vector<int> selected = fs::MaskToIndices(mask);
+  if (selected.empty()) return InvalidArgumentError("empty mask");
+  std::vector<double> result;
+  for (int f : selected) {
+    result.push_back(f < static_cast<int>(importances_.size())
+                         ? importances_[f]
+                         : 0.0);
+  }
+  return result;
+}
+
+std::function<double(const fs::FeatureMask&)> BitMismatchObjective(
+    fs::FeatureMask target) {
+  return [target = std::move(target)](const fs::FeatureMask& mask) {
+    DFS_CHECK_EQ(mask.size(), target.size());
+    double mismatches = 0.0;
+    for (size_t f = 0; f < mask.size(); ++f) {
+      if ((mask[f] != 0) != (target[f] != 0)) mismatches += 1.0;
+    }
+    return mismatches;
+  };
+}
+
+}  // namespace dfs::testing

@@ -1,0 +1,86 @@
+#ifndef DFS_TESTS_TESTING_TEST_UTIL_H_
+#define DFS_TESTS_TESTING_TEST_UTIL_H_
+
+#include <functional>
+#include <vector>
+
+#include "constraints/constraint_set.h"
+#include "data/dataset.h"
+#include "fs/eval_context.h"
+#include "util/rng.h"
+
+namespace dfs::testing {
+
+/// Deterministic linearly-separable-ish dataset: label = 1 iff
+/// col0 + col1 > 1 (with slight noise), plus `noise_features` random
+/// columns. Groups follow a noisy copy of col0 so fairness metrics have
+/// structure. All columns lie in [0, 1].
+data::Dataset MakeLinearDataset(int rows, int noise_features, uint64_t seed);
+
+/// Tiny hand-written dataset (8 rows, 3 features) for exact-value tests.
+data::Dataset MakeTinyDataset();
+
+/// Scriptable EvalContext for strategy unit tests: the objective of a mask
+/// is supplied by a lambda; success fires when the objective drops to <= 0.
+/// Counts evaluations and enforces an evaluation budget in place of a
+/// wall-clock deadline.
+class FakeEvalContext : public fs::EvalContext {
+ public:
+  FakeEvalContext(int num_features,
+                  std::function<double(const fs::FeatureMask&)> objective,
+                  int eval_budget = 100000);
+
+  int num_features() const override { return num_features_; }
+  int max_feature_count() const override { return max_feature_count_; }
+  const constraints::ConstraintSet& constraint_set() const override {
+    return constraint_set_;
+  }
+  const data::Dataset& train_data() const override { return train_; }
+  bool ShouldStop() const override {
+    return success_ || evaluations_ >= eval_budget_;
+  }
+  double RemainingSeconds() const override {
+    return ShouldStop() ? 0.0 : 1.0;
+  }
+  Rng& rng() override { return rng_; }
+  fs::EvalOutcome Evaluate(const fs::FeatureMask& mask) override;
+  StatusOr<std::vector<double>> FittedImportances(
+      const fs::FeatureMask& mask) override;
+
+  void set_max_feature_count(int count) { max_feature_count_ = count; }
+  void set_constraint_set(const constraints::ConstraintSet& set) {
+    constraint_set_ = set;
+  }
+  void set_importances(std::vector<double> importances) {
+    importances_ = std::move(importances);
+  }
+  void set_train_data(data::Dataset dataset) { train_ = std::move(dataset); }
+
+  int evaluations() const { return evaluations_; }
+  bool success() const { return success_; }
+  const fs::FeatureMask& best_mask() const { return best_mask_; }
+  double best_objective() const { return best_objective_; }
+
+ private:
+  int num_features_;
+  int max_feature_count_;
+  std::function<double(const fs::FeatureMask&)> objective_;
+  int eval_budget_;
+  constraints::ConstraintSet constraint_set_;
+  data::Dataset train_;
+  Rng rng_{123};
+  std::vector<double> importances_;
+
+  int evaluations_ = 0;
+  bool success_ = false;
+  fs::FeatureMask best_mask_;
+  double best_objective_ = 1e18;
+};
+
+/// Objective with minimum 0 at exactly `target`: counts mismatched bits.
+std::function<double(const fs::FeatureMask&)> BitMismatchObjective(
+    fs::FeatureMask target);
+
+}  // namespace dfs::testing
+
+#endif  // DFS_TESTS_TESTING_TEST_UTIL_H_

@@ -1,0 +1,88 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace dfs {
+namespace {
+
+TEST(CsvTest, ParsesSimpleTable) {
+  auto table = ParseCsv("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->header, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(table->num_rows(), 2);
+  EXPECT_EQ(table->rows[1][0], "3");
+}
+
+TEST(CsvTest, HandlesMissingTrailingNewline) {
+  auto table = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 1);
+}
+
+TEST(CsvTest, HandlesQuotedFields) {
+  auto table = ParseCsv("name,notes\nx,\"a, b\"\ny,\"line\nbreak\"\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][1], "a, b");
+  EXPECT_EQ(table->rows[1][1], "line\nbreak");
+}
+
+TEST(CsvTest, HandlesEscapedQuotes) {
+  auto table = ParseCsv("a\n\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "he said \"hi\"");
+}
+
+TEST(CsvTest, HandlesCrLf) {
+  auto table = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][1], "2");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  EXPECT_FALSE(ParseCsv("a,b\n1\n").ok());
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(ParseCsv("a\n\"open\n").ok());
+}
+
+TEST(CsvTest, RejectsEmptyInput) { EXPECT_FALSE(ParseCsv("").ok()); }
+
+TEST(CsvTest, ColumnIndexLookup) {
+  auto table = ParseCsv("alpha,beta\n1,2\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->ColumnIndex("beta"), 1);
+  EXPECT_EQ(table->ColumnIndex("gamma"), -1);
+}
+
+TEST(CsvTest, WriteRoundTrip) {
+  CsvTable table;
+  table.header = {"id", "text"};
+  table.rows = {{"1", "plain"}, {"2", "with, comma"}, {"3", "with \"quote\""}};
+  auto parsed = ParseCsv(WriteCsv(table));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->rows, table.rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dfs_csv_test.csv").string();
+  CsvTable table;
+  table.header = {"k", "v"};
+  table.rows = {{"a", "1"}};
+  ASSERT_TRUE(WriteCsvFile(table, path).ok());
+  auto loaded = ReadCsvFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows, table.rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/definitely_missing.csv").ok());
+}
+
+}  // namespace
+}  // namespace dfs

@@ -1,0 +1,124 @@
+#include "util/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dfs {
+namespace {
+
+TEST(SigmoidTest, Midpoint) { EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5); }
+
+TEST(SigmoidTest, SymmetricTails) {
+  EXPECT_NEAR(Sigmoid(3.0) + Sigmoid(-3.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(100.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-100.0), 0.0, 1e-12);
+}
+
+TEST(SigmoidTest, NoOverflowOnExtremeInputs) {
+  EXPECT_TRUE(std::isfinite(Sigmoid(1e6)));
+  EXPECT_TRUE(std::isfinite(Sigmoid(-1e6)));
+}
+
+TEST(SafeLogTest, ClampsAtZero) {
+  EXPECT_TRUE(std::isfinite(SafeLog(0.0)));
+  EXPECT_DOUBLE_EQ(SafeLog(1.0), 0.0);
+}
+
+TEST(MeanVarianceTest, KnownValues) {
+  std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(values), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(values), 1.25);
+  EXPECT_NEAR(SampleStdDev(values), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(MeanVarianceTest, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleStdDev({5.0}), 0.0);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> values = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0), 3.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  std::vector<double> values = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.25), 2.5);
+}
+
+TEST(PearsonTest, PerfectCorrelation) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> neg = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, neg), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantInputGivesZero) {
+  std::vector<double> x = {1, 1, 1};
+  std::vector<double> y = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, y), 0.0);
+}
+
+TEST(ClampTest, Bounds) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(EntropyTest, UniformIsMaximal) {
+  const double uniform = EntropyFromCounts({10, 10, 10, 10});
+  EXPECT_NEAR(uniform, std::log(4.0), 1e-12);
+  EXPECT_LT(EntropyFromCounts({37, 1, 1, 1}), uniform);
+  EXPECT_DOUBLE_EQ(EntropyFromCounts({5, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(EntropyFromCounts({}), 0.0);
+}
+
+TEST(EqualWidthBinsTest, BinsSpanRange) {
+  std::vector<double> values = {0.0, 0.25, 0.5, 0.75, 1.0};
+  const auto bins = EqualWidthBins(values, 4);
+  EXPECT_EQ(bins, (std::vector<int>{0, 1, 2, 3, 3}));
+}
+
+TEST(EqualWidthBinsTest, ConstantColumnAllZero) {
+  const auto bins = EqualWidthBins({2.0, 2.0, 2.0}, 5);
+  EXPECT_EQ(bins, (std::vector<int>{0, 0, 0}));
+}
+
+TEST(MutualInformationTest, IndependentIsZero) {
+  // x alternates, y constant-ish independent pattern.
+  std::vector<int> x = {0, 1, 0, 1, 0, 1, 0, 1};
+  std::vector<int> y = {0, 0, 1, 1, 0, 0, 1, 1};
+  EXPECT_NEAR(DiscreteMutualInformation(x, y), 0.0, 1e-12);
+}
+
+TEST(MutualInformationTest, IdenticalEqualsEntropy) {
+  std::vector<int> x = {0, 1, 0, 1, 1, 1};
+  EXPECT_NEAR(DiscreteMutualInformation(x, x), DiscreteEntropy(x), 1e-12);
+}
+
+TEST(SymmetricalUncertaintyTest, RangeAndExtremes) {
+  std::vector<int> x = {0, 1, 0, 1};
+  std::vector<int> y = {1, 0, 1, 0};
+  EXPECT_NEAR(SymmetricalUncertainty(x, y), 1.0, 1e-12);  // determined
+  std::vector<int> constant = {0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(SymmetricalUncertainty(x, constant), 0.0);
+}
+
+TEST(ArgsortTest, DescendingAndAscending) {
+  std::vector<double> values = {0.3, 0.9, 0.1};
+  EXPECT_EQ(ArgsortDescending(values), (std::vector<int>{1, 0, 2}));
+  EXPECT_EQ(ArgsortAscending(values), (std::vector<int>{2, 0, 1}));
+}
+
+TEST(ArgsortTest, StableOnTies) {
+  std::vector<double> values = {0.5, 0.5, 0.5};
+  EXPECT_EQ(ArgsortDescending(values), (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace dfs

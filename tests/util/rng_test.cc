@@ -1,0 +1,149 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/math_util.h"
+
+namespace dfs {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-2.5, 3.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(5);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(2, 5));
+  EXPECT_EQ(seen, (std::set<int>{2, 3, 4, 5}));
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(6);
+  EXPECT_EQ(rng.UniformInt(9, 9), 9);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(8);
+  std::vector<double> samples(20000);
+  for (auto& s : samples) s = rng.Normal();
+  EXPECT_NEAR(Mean(samples), 0.0, 0.05);
+  EXPECT_NEAR(Variance(samples), 1.0, 0.06);
+}
+
+TEST(RngTest, NormalWithParameters) {
+  Rng rng(9);
+  std::vector<double> samples(20000);
+  for (auto& s : samples) s = rng.Normal(10.0, 2.0);
+  EXPECT_NEAR(Mean(samples), 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(Variance(samples)), 2.0, 0.1);
+}
+
+TEST(RngTest, LaplaceIsSymmetricWithExpectedScale) {
+  Rng rng(10);
+  std::vector<double> samples(20000);
+  for (auto& s : samples) s = rng.Laplace(2.0);
+  EXPECT_NEAR(Mean(samples), 0.0, 0.1);
+  // Var of Laplace(b) = 2 b^2 = 8.
+  EXPECT_NEAR(Variance(samples), 8.0, 0.8);
+}
+
+TEST(RngTest, LogNormalIsPositive) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.LogNormal(0.0, 1.0), 0.0);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(12);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(13);
+  std::vector<double> weights = {1.0, 3.0, 0.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[1] / 8000.0, 0.75, 0.03);
+}
+
+TEST(RngTest, CategoricalAllZeroWeightsIsUniform) {
+  Rng rng(14);
+  std::vector<double> weights = {0.0, 0.0};
+  int count0 = 0;
+  for (int i = 0; i < 4000; ++i) count0 += rng.Categorical(weights) == 0;
+  EXPECT_NEAR(count0 / 4000.0, 0.5, 0.05);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(15);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7};
+  auto shuffled = values;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(16);
+  const auto sample = rng.SampleWithoutReplacement(20, 8);
+  EXPECT_EQ(sample.size(), 8u);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 8u);
+  for (int v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 20);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementWholePopulation) {
+  Rng rng(17);
+  const auto sample = rng.SampleWithoutReplacement(5, 10);
+  EXPECT_EQ(sample.size(), 5u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(18);
+  Rng fork = a.Fork();
+  // The fork should not replay the parent's stream.
+  Rng b(18);
+  b.Next();  // parent consumed one draw to fork
+  int same = 0;
+  for (int i = 0; i < 32; ++i) same += fork.Next() == b.Next() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace dfs

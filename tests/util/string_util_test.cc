@@ -1,0 +1,52 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace dfs {
+namespace {
+
+TEST(SplitTest, Basic) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ","), "x,y,z");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StripTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Strip("  hello \t\n"), "hello");
+  EXPECT_EQ(Strip("none"), "none");
+  EXPECT_EQ(Strip("   "), "");
+}
+
+TEST(ToLowerTest, AsciiOnly) {
+  EXPECT_EQ(ToLower("HeLLo 123"), "hello 123");
+}
+
+TEST(StartsEndsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("feature_selection", "feature"));
+  EXPECT_FALSE(StartsWith("fs", "feature"));
+  EXPECT_TRUE(EndsWith("report.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("csv", "report.csv"));
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(FormatMeanStdTest, PaperStyle) {
+  EXPECT_EQ(FormatMeanStd(0.6049, 0.2212), "0.60 ± 0.22");
+}
+
+}  // namespace
+}  // namespace dfs
