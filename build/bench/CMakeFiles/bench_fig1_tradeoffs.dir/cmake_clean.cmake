@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_tradeoffs.dir/bench_fig1_tradeoffs.cc.o"
+  "CMakeFiles/bench_fig1_tradeoffs.dir/bench_fig1_tradeoffs.cc.o.d"
+  "bench_fig1_tradeoffs"
+  "bench_fig1_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_constraint_grid.dir/bench_fig5_constraint_grid.cc.o"
+  "CMakeFiles/bench_fig5_constraint_grid.dir/bench_fig5_constraint_grid.cc.o.d"
+  "bench_fig5_constraint_grid"
+  "bench_fig5_constraint_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_constraint_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

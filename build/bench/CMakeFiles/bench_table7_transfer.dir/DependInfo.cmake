@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table7_transfer.cc" "bench/CMakeFiles/bench_table7_transfer.dir/bench_table7_transfer.cc.o" "gcc" "bench/CMakeFiles/bench_table7_transfer.dir/bench_table7_transfer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/dfs_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dfs_robustness.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dfs_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dfs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/dfs_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dfs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dfs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/dfs_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

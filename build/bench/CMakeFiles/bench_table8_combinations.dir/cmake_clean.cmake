@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_combinations.dir/bench_table8_combinations.cc.o"
+  "CMakeFiles/bench_table8_combinations.dir/bench_table8_combinations.cc.o.d"
+  "bench_table8_combinations"
+  "bench_table8_combinations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_combinations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/dfs_bench_common.dir/bench_common.cc.o.d"
+  "libdfs_bench_common.a"
+  "libdfs_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

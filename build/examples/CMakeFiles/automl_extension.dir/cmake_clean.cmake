@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automl_extension.dir/automl_extension.cpp.o"
+  "CMakeFiles/automl_extension.dir/automl_extension.cpp.o.d"
+  "automl_extension"
+  "automl_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automl_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

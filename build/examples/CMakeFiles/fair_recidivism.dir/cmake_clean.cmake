@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fair_recidivism.dir/fair_recidivism.cpp.o"
+  "CMakeFiles/fair_recidivism.dir/fair_recidivism.cpp.o.d"
+  "fair_recidivism"
+  "fair_recidivism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fair_recidivism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_churn.dir/private_churn.cpp.o"
+  "CMakeFiles/private_churn.dir/private_churn.cpp.o.d"
+  "private_churn"
+  "private_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_credit.dir/robust_credit.cpp.o"
+  "CMakeFiles/robust_credit.dir/robust_credit.cpp.o.d"
+  "robust_credit"
+  "robust_credit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_credit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

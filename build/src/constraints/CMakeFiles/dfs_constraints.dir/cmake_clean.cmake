@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_constraints.dir/constraint.cc.o"
+  "CMakeFiles/dfs_constraints.dir/constraint.cc.o.d"
+  "CMakeFiles/dfs_constraints.dir/constraint_set.cc.o"
+  "CMakeFiles/dfs_constraints.dir/constraint_set.cc.o.d"
+  "libdfs_constraints.a"
+  "libdfs_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

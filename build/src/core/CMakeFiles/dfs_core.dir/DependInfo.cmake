@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cc" "src/core/CMakeFiles/dfs_core.dir/analysis.cc.o" "gcc" "src/core/CMakeFiles/dfs_core.dir/analysis.cc.o.d"
+  "/root/repo/src/core/dfs.cc" "src/core/CMakeFiles/dfs_core.dir/dfs.cc.o" "gcc" "src/core/CMakeFiles/dfs_core.dir/dfs.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/dfs_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/dfs_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/dfs_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/dfs_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/core/CMakeFiles/dfs_core.dir/optimizer.cc.o" "gcc" "src/core/CMakeFiles/dfs_core.dir/optimizer.cc.o.d"
+  "/root/repo/src/core/scenario.cc" "src/core/CMakeFiles/dfs_core.dir/scenario.cc.o" "gcc" "src/core/CMakeFiles/dfs_core.dir/scenario.cc.o.d"
+  "/root/repo/src/core/scenario_sampler.cc" "src/core/CMakeFiles/dfs_core.dir/scenario_sampler.cc.o" "gcc" "src/core/CMakeFiles/dfs_core.dir/scenario_sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dfs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dfs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dfs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dfs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dfs_robustness.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dfs_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/dfs_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/dfs_fs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

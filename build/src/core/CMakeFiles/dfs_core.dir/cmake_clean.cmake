@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_core.dir/analysis.cc.o"
+  "CMakeFiles/dfs_core.dir/analysis.cc.o.d"
+  "CMakeFiles/dfs_core.dir/dfs.cc.o"
+  "CMakeFiles/dfs_core.dir/dfs.cc.o.d"
+  "CMakeFiles/dfs_core.dir/engine.cc.o"
+  "CMakeFiles/dfs_core.dir/engine.cc.o.d"
+  "CMakeFiles/dfs_core.dir/experiment.cc.o"
+  "CMakeFiles/dfs_core.dir/experiment.cc.o.d"
+  "CMakeFiles/dfs_core.dir/optimizer.cc.o"
+  "CMakeFiles/dfs_core.dir/optimizer.cc.o.d"
+  "CMakeFiles/dfs_core.dir/scenario.cc.o"
+  "CMakeFiles/dfs_core.dir/scenario.cc.o.d"
+  "CMakeFiles/dfs_core.dir/scenario_sampler.cc.o"
+  "CMakeFiles/dfs_core.dir/scenario_sampler.cc.o.d"
+  "libdfs_core.a"
+  "libdfs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

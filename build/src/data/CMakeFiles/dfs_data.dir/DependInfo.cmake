@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/arff.cc" "src/data/CMakeFiles/dfs_data.dir/arff.cc.o" "gcc" "src/data/CMakeFiles/dfs_data.dir/arff.cc.o.d"
+  "/root/repo/src/data/benchmark_suite.cc" "src/data/CMakeFiles/dfs_data.dir/benchmark_suite.cc.o" "gcc" "src/data/CMakeFiles/dfs_data.dir/benchmark_suite.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/dfs_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/dfs_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/feature_construction.cc" "src/data/CMakeFiles/dfs_data.dir/feature_construction.cc.o" "gcc" "src/data/CMakeFiles/dfs_data.dir/feature_construction.cc.o.d"
+  "/root/repo/src/data/preprocess.cc" "src/data/CMakeFiles/dfs_data.dir/preprocess.cc.o" "gcc" "src/data/CMakeFiles/dfs_data.dir/preprocess.cc.o.d"
+  "/root/repo/src/data/raw_dataset.cc" "src/data/CMakeFiles/dfs_data.dir/raw_dataset.cc.o" "gcc" "src/data/CMakeFiles/dfs_data.dir/raw_dataset.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/data/CMakeFiles/dfs_data.dir/split.cc.o" "gcc" "src/data/CMakeFiles/dfs_data.dir/split.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/dfs_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/dfs_data.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dfs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dfs_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_data.dir/arff.cc.o"
+  "CMakeFiles/dfs_data.dir/arff.cc.o.d"
+  "CMakeFiles/dfs_data.dir/benchmark_suite.cc.o"
+  "CMakeFiles/dfs_data.dir/benchmark_suite.cc.o.d"
+  "CMakeFiles/dfs_data.dir/dataset.cc.o"
+  "CMakeFiles/dfs_data.dir/dataset.cc.o.d"
+  "CMakeFiles/dfs_data.dir/feature_construction.cc.o"
+  "CMakeFiles/dfs_data.dir/feature_construction.cc.o.d"
+  "CMakeFiles/dfs_data.dir/preprocess.cc.o"
+  "CMakeFiles/dfs_data.dir/preprocess.cc.o.d"
+  "CMakeFiles/dfs_data.dir/raw_dataset.cc.o"
+  "CMakeFiles/dfs_data.dir/raw_dataset.cc.o.d"
+  "CMakeFiles/dfs_data.dir/split.cc.o"
+  "CMakeFiles/dfs_data.dir/split.cc.o.d"
+  "CMakeFiles/dfs_data.dir/synthetic.cc.o"
+  "CMakeFiles/dfs_data.dir/synthetic.cc.o.d"
+  "libdfs_data.a"
+  "libdfs_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

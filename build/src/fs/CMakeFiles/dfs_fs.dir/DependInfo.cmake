@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/evolutionary.cc" "src/fs/CMakeFiles/dfs_fs.dir/evolutionary.cc.o" "gcc" "src/fs/CMakeFiles/dfs_fs.dir/evolutionary.cc.o.d"
+  "/root/repo/src/fs/exhaustive.cc" "src/fs/CMakeFiles/dfs_fs.dir/exhaustive.cc.o" "gcc" "src/fs/CMakeFiles/dfs_fs.dir/exhaustive.cc.o.d"
+  "/root/repo/src/fs/feature_subset.cc" "src/fs/CMakeFiles/dfs_fs.dir/feature_subset.cc.o" "gcc" "src/fs/CMakeFiles/dfs_fs.dir/feature_subset.cc.o.d"
+  "/root/repo/src/fs/nsga2.cc" "src/fs/CMakeFiles/dfs_fs.dir/nsga2.cc.o" "gcc" "src/fs/CMakeFiles/dfs_fs.dir/nsga2.cc.o.d"
+  "/root/repo/src/fs/portfolio.cc" "src/fs/CMakeFiles/dfs_fs.dir/portfolio.cc.o" "gcc" "src/fs/CMakeFiles/dfs_fs.dir/portfolio.cc.o.d"
+  "/root/repo/src/fs/rankings/information.cc" "src/fs/CMakeFiles/dfs_fs.dir/rankings/information.cc.o" "gcc" "src/fs/CMakeFiles/dfs_fs.dir/rankings/information.cc.o.d"
+  "/root/repo/src/fs/rankings/mcfs.cc" "src/fs/CMakeFiles/dfs_fs.dir/rankings/mcfs.cc.o" "gcc" "src/fs/CMakeFiles/dfs_fs.dir/rankings/mcfs.cc.o.d"
+  "/root/repo/src/fs/rankings/mrmr.cc" "src/fs/CMakeFiles/dfs_fs.dir/rankings/mrmr.cc.o" "gcc" "src/fs/CMakeFiles/dfs_fs.dir/rankings/mrmr.cc.o.d"
+  "/root/repo/src/fs/rankings/ranking.cc" "src/fs/CMakeFiles/dfs_fs.dir/rankings/ranking.cc.o" "gcc" "src/fs/CMakeFiles/dfs_fs.dir/rankings/ranking.cc.o.d"
+  "/root/repo/src/fs/rankings/relieff.cc" "src/fs/CMakeFiles/dfs_fs.dir/rankings/relieff.cc.o" "gcc" "src/fs/CMakeFiles/dfs_fs.dir/rankings/relieff.cc.o.d"
+  "/root/repo/src/fs/rankings/statistical.cc" "src/fs/CMakeFiles/dfs_fs.dir/rankings/statistical.cc.o" "gcc" "src/fs/CMakeFiles/dfs_fs.dir/rankings/statistical.cc.o.d"
+  "/root/repo/src/fs/registry.cc" "src/fs/CMakeFiles/dfs_fs.dir/registry.cc.o" "gcc" "src/fs/CMakeFiles/dfs_fs.dir/registry.cc.o.d"
+  "/root/repo/src/fs/rfe.cc" "src/fs/CMakeFiles/dfs_fs.dir/rfe.cc.o" "gcc" "src/fs/CMakeFiles/dfs_fs.dir/rfe.cc.o.d"
+  "/root/repo/src/fs/search/tpe.cc" "src/fs/CMakeFiles/dfs_fs.dir/search/tpe.cc.o" "gcc" "src/fs/CMakeFiles/dfs_fs.dir/search/tpe.cc.o.d"
+  "/root/repo/src/fs/sequential.cc" "src/fs/CMakeFiles/dfs_fs.dir/sequential.cc.o" "gcc" "src/fs/CMakeFiles/dfs_fs.dir/sequential.cc.o.d"
+  "/root/repo/src/fs/simulated_annealing.cc" "src/fs/CMakeFiles/dfs_fs.dir/simulated_annealing.cc.o" "gcc" "src/fs/CMakeFiles/dfs_fs.dir/simulated_annealing.cc.o.d"
+  "/root/repo/src/fs/top_k.cc" "src/fs/CMakeFiles/dfs_fs.dir/top_k.cc.o" "gcc" "src/fs/CMakeFiles/dfs_fs.dir/top_k.cc.o.d"
+  "/root/repo/src/fs/tpe_mask.cc" "src/fs/CMakeFiles/dfs_fs.dir/tpe_mask.cc.o" "gcc" "src/fs/CMakeFiles/dfs_fs.dir/tpe_mask.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dfs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dfs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dfs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/dfs_constraints.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

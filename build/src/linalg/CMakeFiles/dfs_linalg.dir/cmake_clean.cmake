@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_linalg.dir/eigen.cc.o"
+  "CMakeFiles/dfs_linalg.dir/eigen.cc.o.d"
+  "CMakeFiles/dfs_linalg.dir/knn.cc.o"
+  "CMakeFiles/dfs_linalg.dir/knn.cc.o.d"
+  "CMakeFiles/dfs_linalg.dir/lasso.cc.o"
+  "CMakeFiles/dfs_linalg.dir/lasso.cc.o.d"
+  "CMakeFiles/dfs_linalg.dir/matrix.cc.o"
+  "CMakeFiles/dfs_linalg.dir/matrix.cc.o.d"
+  "libdfs_linalg.a"
+  "libdfs_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_metrics.dir/classification.cc.o"
+  "CMakeFiles/dfs_metrics.dir/classification.cc.o.d"
+  "CMakeFiles/dfs_metrics.dir/fairness.cc.o"
+  "CMakeFiles/dfs_metrics.dir/fairness.cc.o.d"
+  "libdfs_metrics.a"
+  "libdfs_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/hop_skip_jump.cc" "src/metrics/CMakeFiles/dfs_robustness.dir/hop_skip_jump.cc.o" "gcc" "src/metrics/CMakeFiles/dfs_robustness.dir/hop_skip_jump.cc.o.d"
+  "/root/repo/src/metrics/robustness.cc" "src/metrics/CMakeFiles/dfs_robustness.dir/robustness.cc.o" "gcc" "src/metrics/CMakeFiles/dfs_robustness.dir/robustness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/dfs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dfs_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dfs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dfs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_robustness.dir/hop_skip_jump.cc.o"
+  "CMakeFiles/dfs_robustness.dir/hop_skip_jump.cc.o.d"
+  "CMakeFiles/dfs_robustness.dir/robustness.cc.o"
+  "CMakeFiles/dfs_robustness.dir/robustness.cc.o.d"
+  "libdfs_robustness.a"
+  "libdfs_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/classifier.cc" "src/ml/CMakeFiles/dfs_ml.dir/classifier.cc.o" "gcc" "src/ml/CMakeFiles/dfs_ml.dir/classifier.cc.o.d"
+  "/root/repo/src/ml/cross_validation.cc" "src/ml/CMakeFiles/dfs_ml.dir/cross_validation.cc.o" "gcc" "src/ml/CMakeFiles/dfs_ml.dir/cross_validation.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/ml/CMakeFiles/dfs_ml.dir/decision_tree.cc.o" "gcc" "src/ml/CMakeFiles/dfs_ml.dir/decision_tree.cc.o.d"
+  "/root/repo/src/ml/dp/dp_classifier.cc" "src/ml/CMakeFiles/dfs_ml.dir/dp/dp_classifier.cc.o" "gcc" "src/ml/CMakeFiles/dfs_ml.dir/dp/dp_classifier.cc.o.d"
+  "/root/repo/src/ml/dp/dp_decision_tree.cc" "src/ml/CMakeFiles/dfs_ml.dir/dp/dp_decision_tree.cc.o" "gcc" "src/ml/CMakeFiles/dfs_ml.dir/dp/dp_decision_tree.cc.o.d"
+  "/root/repo/src/ml/dp/dp_logistic_regression.cc" "src/ml/CMakeFiles/dfs_ml.dir/dp/dp_logistic_regression.cc.o" "gcc" "src/ml/CMakeFiles/dfs_ml.dir/dp/dp_logistic_regression.cc.o.d"
+  "/root/repo/src/ml/dp/dp_naive_bayes.cc" "src/ml/CMakeFiles/dfs_ml.dir/dp/dp_naive_bayes.cc.o" "gcc" "src/ml/CMakeFiles/dfs_ml.dir/dp/dp_naive_bayes.cc.o.d"
+  "/root/repo/src/ml/grid_search.cc" "src/ml/CMakeFiles/dfs_ml.dir/grid_search.cc.o" "gcc" "src/ml/CMakeFiles/dfs_ml.dir/grid_search.cc.o.d"
+  "/root/repo/src/ml/linear_svm.cc" "src/ml/CMakeFiles/dfs_ml.dir/linear_svm.cc.o" "gcc" "src/ml/CMakeFiles/dfs_ml.dir/linear_svm.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "src/ml/CMakeFiles/dfs_ml.dir/logistic_regression.cc.o" "gcc" "src/ml/CMakeFiles/dfs_ml.dir/logistic_regression.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/ml/CMakeFiles/dfs_ml.dir/naive_bayes.cc.o" "gcc" "src/ml/CMakeFiles/dfs_ml.dir/naive_bayes.cc.o.d"
+  "/root/repo/src/ml/permutation_importance.cc" "src/ml/CMakeFiles/dfs_ml.dir/permutation_importance.cc.o" "gcc" "src/ml/CMakeFiles/dfs_ml.dir/permutation_importance.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/dfs_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/dfs_ml.dir/random_forest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dfs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dfs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dfs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dfs_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_ml.dir/classifier.cc.o"
+  "CMakeFiles/dfs_ml.dir/classifier.cc.o.d"
+  "CMakeFiles/dfs_ml.dir/cross_validation.cc.o"
+  "CMakeFiles/dfs_ml.dir/cross_validation.cc.o.d"
+  "CMakeFiles/dfs_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/dfs_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/dfs_ml.dir/dp/dp_classifier.cc.o"
+  "CMakeFiles/dfs_ml.dir/dp/dp_classifier.cc.o.d"
+  "CMakeFiles/dfs_ml.dir/dp/dp_decision_tree.cc.o"
+  "CMakeFiles/dfs_ml.dir/dp/dp_decision_tree.cc.o.d"
+  "CMakeFiles/dfs_ml.dir/dp/dp_logistic_regression.cc.o"
+  "CMakeFiles/dfs_ml.dir/dp/dp_logistic_regression.cc.o.d"
+  "CMakeFiles/dfs_ml.dir/dp/dp_naive_bayes.cc.o"
+  "CMakeFiles/dfs_ml.dir/dp/dp_naive_bayes.cc.o.d"
+  "CMakeFiles/dfs_ml.dir/grid_search.cc.o"
+  "CMakeFiles/dfs_ml.dir/grid_search.cc.o.d"
+  "CMakeFiles/dfs_ml.dir/linear_svm.cc.o"
+  "CMakeFiles/dfs_ml.dir/linear_svm.cc.o.d"
+  "CMakeFiles/dfs_ml.dir/logistic_regression.cc.o"
+  "CMakeFiles/dfs_ml.dir/logistic_regression.cc.o.d"
+  "CMakeFiles/dfs_ml.dir/naive_bayes.cc.o"
+  "CMakeFiles/dfs_ml.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/dfs_ml.dir/permutation_importance.cc.o"
+  "CMakeFiles/dfs_ml.dir/permutation_importance.cc.o.d"
+  "CMakeFiles/dfs_ml.dir/random_forest.cc.o"
+  "CMakeFiles/dfs_ml.dir/random_forest.cc.o.d"
+  "libdfs_ml.a"
+  "libdfs_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

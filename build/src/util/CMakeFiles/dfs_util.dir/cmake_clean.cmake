@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_util.dir/csv.cc.o"
+  "CMakeFiles/dfs_util.dir/csv.cc.o.d"
+  "CMakeFiles/dfs_util.dir/flags.cc.o"
+  "CMakeFiles/dfs_util.dir/flags.cc.o.d"
+  "CMakeFiles/dfs_util.dir/logging.cc.o"
+  "CMakeFiles/dfs_util.dir/logging.cc.o.d"
+  "CMakeFiles/dfs_util.dir/math_util.cc.o"
+  "CMakeFiles/dfs_util.dir/math_util.cc.o.d"
+  "CMakeFiles/dfs_util.dir/rng.cc.o"
+  "CMakeFiles/dfs_util.dir/rng.cc.o.d"
+  "CMakeFiles/dfs_util.dir/status.cc.o"
+  "CMakeFiles/dfs_util.dir/status.cc.o.d"
+  "CMakeFiles/dfs_util.dir/string_util.cc.o"
+  "CMakeFiles/dfs_util.dir/string_util.cc.o.d"
+  "CMakeFiles/dfs_util.dir/table_printer.cc.o"
+  "CMakeFiles/dfs_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/dfs_util.dir/thread_pool.cc.o"
+  "CMakeFiles/dfs_util.dir/thread_pool.cc.o.d"
+  "libdfs_util.a"
+  "libdfs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/analysis_test.cc.o"
+  "CMakeFiles/core_test.dir/core/analysis_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/dfs_test.cc.o"
+  "CMakeFiles/core_test.dir/core/dfs_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/engine_test.cc.o"
+  "CMakeFiles/core_test.dir/core/engine_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/experiment_test.cc.o"
+  "CMakeFiles/core_test.dir/core/experiment_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/integration_test.cc.o"
+  "CMakeFiles/core_test.dir/core/integration_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/optimizer_test.cc.o"
+  "CMakeFiles/core_test.dir/core/optimizer_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/scenario_test.cc.o"
+  "CMakeFiles/core_test.dir/core/scenario_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

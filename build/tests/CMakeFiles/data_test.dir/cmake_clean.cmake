@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_test.dir/data/arff_test.cc.o"
+  "CMakeFiles/data_test.dir/data/arff_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/benchmark_property_test.cc.o"
+  "CMakeFiles/data_test.dir/data/benchmark_property_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/dataset_test.cc.o"
+  "CMakeFiles/data_test.dir/data/dataset_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/feature_construction_test.cc.o"
+  "CMakeFiles/data_test.dir/data/feature_construction_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/preprocess_test.cc.o"
+  "CMakeFiles/data_test.dir/data/preprocess_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/raw_dataset_test.cc.o"
+  "CMakeFiles/data_test.dir/data/raw_dataset_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/split_test.cc.o"
+  "CMakeFiles/data_test.dir/data/split_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/synthetic_test.cc.o"
+  "CMakeFiles/data_test.dir/data/synthetic_test.cc.o.d"
+  "data_test"
+  "data_test.pdb"
+  "data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_testing.dir/testing/test_util.cc.o"
+  "CMakeFiles/dfs_testing.dir/testing/test_util.cc.o.d"
+  "libdfs_testing.a"
+  "libdfs_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

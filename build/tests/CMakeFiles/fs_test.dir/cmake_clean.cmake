@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_test.dir/fs/extensions_test.cc.o"
+  "CMakeFiles/fs_test.dir/fs/extensions_test.cc.o.d"
+  "CMakeFiles/fs_test.dir/fs/feature_subset_test.cc.o"
+  "CMakeFiles/fs_test.dir/fs/feature_subset_test.cc.o.d"
+  "CMakeFiles/fs_test.dir/fs/portfolio_test.cc.o"
+  "CMakeFiles/fs_test.dir/fs/portfolio_test.cc.o.d"
+  "CMakeFiles/fs_test.dir/fs/rankings_test.cc.o"
+  "CMakeFiles/fs_test.dir/fs/rankings_test.cc.o.d"
+  "CMakeFiles/fs_test.dir/fs/strategies_test.cc.o"
+  "CMakeFiles/fs_test.dir/fs/strategies_test.cc.o.d"
+  "CMakeFiles/fs_test.dir/fs/tpe_test.cc.o"
+  "CMakeFiles/fs_test.dir/fs/tpe_test.cc.o.d"
+  "fs_test"
+  "fs_test.pdb"
+  "fs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/classifier_test.cc" "tests/CMakeFiles/ml_test.dir/ml/classifier_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/classifier_test.cc.o.d"
+  "/root/repo/tests/ml/dp_models_test.cc" "tests/CMakeFiles/ml_test.dir/ml/dp_models_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/dp_models_test.cc.o.d"
+  "/root/repo/tests/ml/models_test.cc" "tests/CMakeFiles/ml_test.dir/ml/models_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/models_test.cc.o.d"
+  "/root/repo/tests/ml/serialization_test.cc" "tests/CMakeFiles/ml_test.dir/ml/serialization_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/serialization_test.cc.o.d"
+  "/root/repo/tests/ml/training_tools_test.cc" "tests/CMakeFiles/ml_test.dir/ml/training_tools_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/training_tools_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/dfs_testing.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/dfs_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/dfs_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dfs_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dfs_robustness.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dfs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dfs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dfs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

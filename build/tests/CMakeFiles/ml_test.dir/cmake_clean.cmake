@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_test.dir/ml/classifier_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/classifier_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/dp_models_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/dp_models_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/models_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/models_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/serialization_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/serialization_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/training_tools_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/training_tools_test.cc.o.d"
+  "ml_test"
+  "ml_test.pdb"
+  "ml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_cli.dir/dfs_cli.cc.o"
+  "CMakeFiles/dfs_cli.dir/dfs_cli.cc.o.d"
+  "dfs_cli"
+  "dfs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
