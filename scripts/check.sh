@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite.
+#
+#   scripts/check.sh              # the tier-1 gate from ROADMAP.md
+#   scripts/check.sh --sanitize   # additionally run the concurrent tests
+#                                 # (serve_test, util_test) under TSan
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [[ "${1:-}" == "--sanitize" ]]; then
+  # ThreadSanitizer build of the concurrency-heavy binaries in a separate
+  # build tree, so the regular build/ stays clean.
+  cmake -B build-tsan -S . -DDFS_SANITIZE=thread
+  cmake --build build-tsan -j --target serve_test util_test
+  ./build-tsan/tests/serve_test
+  ./build-tsan/tests/util_test
+fi
+
+echo "check.sh: OK"

@@ -29,7 +29,13 @@ const data::Dataset& DfsEngine::train_data() const {
   return scenario_.split.train;
 }
 
+bool DfsEngine::ExternallyCancelled() const {
+  return options_.stop_token != nullptr &&
+         options_.stop_token->load(std::memory_order_relaxed);
+}
+
 bool DfsEngine::ShouldStop() const {
+  if (ExternallyCancelled()) return true;
   // In utility mode a satisfying subset does not end the search: the budget
   // is spent maximizing F1 subject to the constraints (Eq. 2).
   if (options_.maximize_f1_utility) return deadline_.Expired();
@@ -108,7 +114,7 @@ constraints::MetricValues DfsEngine::Measure(const ml::Classifier& model,
 
 fs::EvalOutcome DfsEngine::Evaluate(const fs::FeatureMask& mask) {
   fs::EvalOutcome outcome;
-  if (deadline_.Expired()) return outcome;
+  if (deadline_.Expired() || ExternallyCancelled()) return outcome;
   if (static_cast<int>(mask.size()) != num_features()) {
     DFS_LOG(WARNING) << "mask size mismatch";
     return outcome;
@@ -231,12 +237,15 @@ RunResult DfsEngine::Run(fs::FeatureSelectionStrategy& strategy) {
 
   strategy.Run(*this);
 
+  result_.cancelled = ExternallyCancelled();
   if (!success_found_) {
     result_.search_seconds = stopwatch_.ElapsedSeconds();
-    result_.timed_out = deadline_.Expired();
-    result_.search_exhausted = !result_.timed_out;
-    // Failure analysis: measure the best subset on test once (Table 4).
-    if (!result_.selected.empty() &&
+    result_.timed_out = !result_.cancelled && deadline_.Expired();
+    result_.search_exhausted = !result_.timed_out && !result_.cancelled;
+    // Failure analysis: measure the best subset on test once (Table 4). A
+    // cancelled run skips it — cancellation promises a prompt return, and
+    // the extra training would delay it by another evaluation.
+    if (!result_.cancelled && !result_.selected.empty() &&
         fs::CountSelected(result_.selected) > 0 &&
         result_.best_distance_test >= 1e17) {
       const std::vector<int> features = fs::MaskToIndices(result_.selected);

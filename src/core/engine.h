@@ -1,6 +1,7 @@
 #ifndef DFS_CORE_ENGINE_H_
 #define DFS_CORE_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -31,6 +32,12 @@ struct EngineOptions {
   /// Record one trace point per (uncached) evaluation in RunResult::trace;
   /// off by default to keep benchmark memory flat.
   bool record_trace = false;
+  /// External cancellation token. When set and flipped to true by another
+  /// thread, the search stops at the next evaluation boundary: ShouldStop()
+  /// turns true and Evaluate() refuses further work, so a running Run()
+  /// returns within one wrapper evaluation. Used by the serve subsystem to
+  /// cancel RUNNING jobs.
+  std::shared_ptr<std::atomic<bool>> stop_token;
 };
 
 /// One evaluation in a recorded search trace: when it happened, what was
@@ -58,6 +65,8 @@ struct RunResult {
   /// Wall-clock seconds until success (or until the search ended).
   double search_seconds = 0.0;
   bool timed_out = false;
+  /// The run was stopped by EngineOptions::stop_token before finishing.
+  bool cancelled = false;
   /// Eq. (1) distances of the best subset — the Table-4 failure analysis.
   double best_distance_validation = 1e18;
   double best_distance_test = 1e18;
@@ -114,6 +123,9 @@ class DfsEngine : public fs::EvalContext {
   constraints::MetricValues Measure(const ml::Classifier& model,
                                     const std::vector<int>& features,
                                     const data::Dataset& split);
+
+  /// True once the external stop token (if any) has been flipped.
+  bool ExternallyCancelled() const;
 
   MlScenario scenario_;
   EngineOptions options_;

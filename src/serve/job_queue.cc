@@ -1,0 +1,72 @@
+#include "serve/job_queue.h"
+
+#include <algorithm>
+
+namespace dfs::serve {
+
+const char* SubmitOutcomeName(SubmitOutcome outcome) {
+  switch (outcome) {
+    case SubmitOutcome::kAccepted:
+      return "ACCEPTED";
+    case SubmitOutcome::kQueueFull:
+      return "QUEUE_FULL";
+    case SubmitOutcome::kClosed:
+      return "CLOSED";
+  }
+  return "UNKNOWN";
+}
+
+JobQueue::JobQueue(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {}
+
+SubmitOutcome JobQueue::TrySubmit(std::shared_ptr<Job> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return SubmitOutcome::kClosed;
+    if (entries_.size() >= capacity_) return SubmitOutcome::kQueueFull;
+    const OrderKey key{job->request().priority, next_sequence_++};
+    key_by_id_.emplace(job->id(), key);
+    entries_.emplace(key, std::move(job));
+  }
+  available_.notify_one();
+  return SubmitOutcome::kAccepted;
+}
+
+std::shared_ptr<Job> JobQueue::PopBlocking() {
+  std::unique_lock<std::mutex> lock(mu_);
+  available_.wait(lock, [this] { return closed_ || !entries_.empty(); });
+  if (entries_.empty()) return nullptr;  // closed and drained
+  auto it = entries_.begin();
+  std::shared_ptr<Job> job = std::move(it->second);
+  key_by_id_.erase(job->id());
+  entries_.erase(it);
+  return job;
+}
+
+bool JobQueue::Remove(JobId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = key_by_id_.find(id);
+  if (it == key_by_id_.end()) return false;
+  entries_.erase(it->second);
+  key_by_id_.erase(it);
+  return true;
+}
+
+void JobQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  available_.notify_all();
+}
+
+size_t JobQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace dfs::serve

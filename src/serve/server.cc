@@ -1,0 +1,391 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/engine.h"
+#include "core/scenario.h"
+#include "data/benchmark_suite.h"
+#include "data/synthetic.h"
+#include "fs/feature_subset.h"
+#include "fs/registry.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace dfs::serve {
+
+DfsServer::DfsServer(ServerOptions options)
+    : options_(std::move(options)),
+      queue_(options_.queue_capacity) {
+  options_.num_workers = std::max(1, options_.num_workers);
+  workers_.reserve(options_.num_workers);
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+DfsServer::~DfsServer() { Shutdown(/*cancel_pending=*/true); }
+
+void DfsServer::RegisterDataset(const std::string& name,
+                                data::Dataset dataset) {
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  datasets_[name] = std::make_shared<const data::Dataset>(std::move(dataset));
+}
+
+void DfsServer::SetOptimizer(core::DfsOptimizer optimizer) {
+  std::lock_guard<std::mutex> lock(optimizer_mu_);
+  optimizer_ = std::move(optimizer);
+}
+
+StatusOr<JobId> DfsServer::Submit(const JobRequest& request) {
+  if (!accepting_.load()) {
+    return FailedPreconditionError("server is shutting down");
+  }
+  if (request.dataset.empty()) {
+    return InvalidArgumentError("job request needs a dataset name");
+  }
+  // Reject unknown strategy names at the door (cheap client-error feedback;
+  // these are not backpressure rejections and count toward neither
+  // `accepted` nor `rejected`).
+  if (request.strategy != "auto") {
+    DFS_RETURN_IF_ERROR(
+        fs::StrategyIdFromString(request.strategy).status());
+  }
+
+  const JobId id = next_id_.fetch_add(1);
+  auto job = std::make_shared<Job>(id, request);
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    SweepLocked();
+    jobs_.emplace(id, job);
+  }
+  switch (queue_.TrySubmit(job)) {
+    case SubmitOutcome::kAccepted: {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.accepted;
+      return id;
+    }
+    case SubmitOutcome::kQueueFull: {
+      {
+        std::lock_guard<std::mutex> lock(jobs_mu_);
+        jobs_.erase(id);
+      }
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.rejected;
+      return ResourceExhaustedError(
+          "queue full (capacity " + std::to_string(queue_.capacity()) +
+          "): backpressure, retry later");
+    }
+    case SubmitOutcome::kClosed:
+      break;
+  }
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  jobs_.erase(id);
+  return FailedPreconditionError("server is shutting down");
+}
+
+StatusOr<JobStatusView> DfsServer::GetStatus(JobId id) const {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      return NotFoundError("unknown or evicted job " + std::to_string(id));
+    }
+    job = it->second;
+  }
+  JobStatusView view;
+  view.id = job->id();
+  view.state = job->state();
+  view.priority = job->request().priority;
+  view.strategy = job->request().strategy;
+  view.error = job->error();
+  view.queue_seconds = job->queue_seconds();
+  view.run_seconds = job->run_seconds();
+  return view;
+}
+
+StatusOr<JobResult> DfsServer::GetResult(JobId id) const {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      return NotFoundError("unknown or evicted job " + std::to_string(id));
+    }
+    job = it->second;
+  }
+  switch (job->state()) {
+    case JobState::kDone:
+    case JobState::kTimedOut:
+      return job->result();
+    case JobState::kFailed:
+      return InternalError("job failed: " + job->error());
+    case JobState::kCancelled:
+      return CancelledError("job was cancelled");
+    default:
+      return FailedPreconditionError("job is not terminal yet");
+  }
+}
+
+Status DfsServer::Cancel(JobId id) {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      return NotFoundError("unknown or evicted job " + std::to_string(id));
+    }
+    job = it->second;
+  }
+  return CancelJob(job);
+}
+
+Status DfsServer::CancelJob(const std::shared_ptr<Job>& job) {
+  const JobState state = job->state();
+  if (IsTerminalState(state)) {
+    if (state == JobState::kCancelled) return OkStatus();  // idempotent
+    return FailedPreconditionError(std::string("job already terminal: ") +
+                                   JobStateName(state));
+  }
+  job->RequestCancel();
+  // Still queued: take it out of the queue and finish it here. If a worker
+  // popped it in the meantime, Remove fails and the worker observes the
+  // stop token instead — exactly one side records the terminal state.
+  if (queue_.Remove(job->id()) &&
+      job->TryTransition(JobState::kCancelled)) {
+    RecordTerminal(*job, /*evaluations=*/0);
+  }
+  return OkStatus();
+}
+
+Status DfsServer::WaitForTerminal(JobId id, double timeout_seconds) const {
+  std::unique_lock<std::mutex> lock(jobs_mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return NotFoundError("unknown or evicted job " + std::to_string(id));
+  }
+  const std::shared_ptr<Job> job = it->second;
+  const bool terminal = terminal_cv_.wait_for(
+      lock, std::chrono::duration<double>(timeout_seconds),
+      [&] { return IsTerminalState(job->state()); });
+  if (!terminal) {
+    return DeadlineExceededError("job " + std::to_string(id) +
+                                 " not terminal after " +
+                                 std::to_string(timeout_seconds) + "s");
+  }
+  return OkStatus();
+}
+
+ServerStats DfsServer::Stats() const {
+  ServerStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    snapshot = stats_;
+  }
+  snapshot.queue_depth = queue_.size();
+  snapshot.running = running_.load();
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    snapshot.retained_jobs = jobs_.size();
+  }
+  return snapshot;
+}
+
+void DfsServer::Shutdown(bool cancel_pending) {
+  std::call_once(shutdown_once_, [&] {
+    accepting_.store(false);
+    if (cancel_pending) {
+      std::vector<std::shared_ptr<Job>> live;
+      {
+        std::lock_guard<std::mutex> lock(jobs_mu_);
+        for (const auto& [id, job] : jobs_) {
+          if (!IsTerminalState(job->state())) live.push_back(job);
+        }
+      }
+      for (const auto& job : live) (void)CancelJob(job);
+    }
+    queue_.Close();
+    for (auto& worker : workers_) worker.join();
+    workers_.clear();
+  });
+}
+
+void DfsServer::WorkerLoop() {
+  while (std::shared_ptr<Job> job = queue_.PopBlocking()) {
+    if (job->cancel_requested()) {
+      if (job->TryTransition(JobState::kCancelled)) {
+        RecordTerminal(*job, /*evaluations=*/0);
+      }
+      continue;
+    }
+    if (!job->TryTransition(JobState::kRunning)) continue;
+    running_.fetch_add(1);
+    const JobOutcome outcome = ExecuteJob(*job);
+    // Drop the gauge before the terminal transition: anyone woken by
+    // WaitForTerminal must not observe the finished job as still running.
+    running_.fetch_sub(1);
+    if (job->TryTransition(outcome.state)) {
+      RecordTerminal(*job, outcome.evaluations);
+    }
+  }
+}
+
+DfsServer::JobOutcome DfsServer::ExecuteJob(Job& job) {
+  const JobRequest& request = job.request();
+  const auto fail = [&](const std::string& message) {
+    job.set_error(message);
+    return JobOutcome{JobState::kFailed, 0};
+  };
+
+  auto dataset = ResolveDataset(request.dataset);
+  if (!dataset.ok()) return fail(dataset.status().ToString());
+  auto strategy_id = ChooseStrategy(request, **dataset);
+  if (!strategy_id.ok()) return fail(strategy_id.status().ToString());
+
+  Rng rng(request.seed);
+  auto scenario = core::MakeScenario(**dataset, request.model,
+                                     request.constraint_set, rng);
+  if (!scenario.ok()) return fail(scenario.status().ToString());
+
+  core::EngineOptions engine_options;
+  engine_options.use_hpo = request.use_hpo;
+  engine_options.maximize_f1_utility = request.maximize_utility;
+  engine_options.seed = request.seed;
+  engine_options.stop_token = job.stop_token();
+  core::DfsEngine engine(*std::move(scenario), engine_options);
+  auto strategy = fs::CreateStrategy(*strategy_id, request.seed);
+  const core::RunResult run = engine.Run(*strategy);
+
+  JobResult result;
+  result.success = run.success;
+  result.strategy = fs::StrategyIdToString(*strategy_id);
+  result.features = fs::MaskToIndices(run.selected);
+  const auto& names = (*dataset)->feature_names();
+  for (int feature : result.features) {
+    result.feature_names.push_back(names[feature]);
+  }
+  result.validation_values = run.validation_values;
+  result.test_values = run.test_values;
+  result.search_seconds = run.search_seconds;
+  result.evaluations = run.evaluations;
+  job.set_result(std::move(result));
+
+  const JobState final_state = run.cancelled  ? JobState::kCancelled
+                               : run.timed_out ? JobState::kTimedOut
+                                               : JobState::kDone;
+  return JobOutcome{final_state, run.evaluations};
+}
+
+void DfsServer::RecordTerminal(const Job& job, int evaluations) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    switch (job.state()) {
+      case JobState::kDone:
+        ++stats_.completed;
+        break;
+      case JobState::kFailed:
+        ++stats_.failed;
+        break;
+      case JobState::kCancelled:
+        ++stats_.cancelled;
+        break;
+      case JobState::kTimedOut:
+        ++stats_.timed_out;
+        break;
+      default:
+        DFS_LOG(WARNING) << "RecordTerminal on non-terminal job";
+        return;
+    }
+    stats_.evaluations += static_cast<uint64_t>(evaluations);
+    stats_.queue_seconds_total += job.queue_seconds();
+    const double run_seconds = job.run_seconds();
+    stats_.run_seconds_total += run_seconds;
+    stats_.run_seconds_max = std::max(stats_.run_seconds_max, run_seconds);
+  }
+  // Pairing the notify with the waiters' mutex closes the missed-wakeup
+  // window (the state transition itself happens under the job's own lock).
+  { std::lock_guard<std::mutex> lock(jobs_mu_); }
+  terminal_cv_.notify_all();
+}
+
+StatusOr<std::shared_ptr<const data::Dataset>> DfsServer::ResolveDataset(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  auto it = datasets_.find(name);
+  if (it != datasets_.end()) return it->second;
+  // Fall back to the benchmark suite, generating (and caching) on first
+  // use. Generation holds the lock — concurrent first requests for
+  // different suite datasets serialize, which is fine at service scale.
+  auto spec = data::BenchmarkSpecByName(name);
+  if (!spec.ok()) {
+    return NotFoundError("unknown dataset '" + name +
+                         "' (not registered, not in the benchmark suite)");
+  }
+  auto generated =
+      data::GenerateDataset(*spec, options_.seed, options_.dataset_row_scale);
+  if (!generated.ok()) return generated.status();
+  auto shared =
+      std::make_shared<const data::Dataset>(*std::move(generated));
+  datasets_[name] = shared;
+  return shared;
+}
+
+StatusOr<fs::StrategyId> DfsServer::ChooseStrategy(
+    const JobRequest& request, const data::Dataset& dataset) const {
+  if (request.strategy != "auto") {
+    return fs::StrategyIdFromString(request.strategy);
+  }
+  bool have_optimizer;
+  {
+    std::lock_guard<std::mutex> lock(optimizer_mu_);
+    have_optimizer = optimizer_.has_value();
+  }
+  if (have_optimizer) {
+    // Algorithm 1 deployment phase: featurize outside the lock (the
+    // landmarking CV is the expensive part), query under it.
+    auto features =
+        core::FeaturizeScenario(dataset, request.model, request.constraint_set,
+                                options_.optimizer_options);
+    if (features.ok()) {
+      std::lock_guard<std::mutex> lock(optimizer_mu_);
+      if (optimizer_.has_value()) {
+        auto choice = optimizer_->Choose(*features);
+        if (choice.ok()) return *choice;
+        DFS_LOG(WARNING) << "optimizer choice failed: "
+                         << choice.status().ToString();
+      }
+    } else {
+      DFS_LOG(WARNING) << "featurization failed: "
+                       << features.status().ToString();
+    }
+  }
+  return fs::StrategyIdFromString(options_.default_auto_strategy);
+}
+
+void DfsServer::SweepLocked() {
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    const Job& job = *it->second;
+    if (IsTerminalState(job.state()) &&
+        job.seconds_since_terminal() > options_.result_ttl_seconds) {
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (jobs_.size() <= options_.max_retained_jobs) return;
+  std::vector<std::pair<double, JobId>> terminal;  // (age, id)
+  for (const auto& [id, job] : jobs_) {
+    if (IsTerminalState(job->state())) {
+      terminal.emplace_back(job->seconds_since_terminal(), id);
+    }
+  }
+  std::sort(terminal.begin(), terminal.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [age, id] : terminal) {
+    if (jobs_.size() <= options_.max_retained_jobs) break;
+    jobs_.erase(id);
+  }
+}
+
+}  // namespace dfs::serve

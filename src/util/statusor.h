@@ -51,6 +51,17 @@ class StatusOr {
   const T* operator->() const { return &value(); }
   T* operator->() { return &value(); }
 
+  /// Returns the value, or `fallback` if this holds an error.
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    return ok() ? *value_ : static_cast<T>(std::forward<U>(fallback));
+  }
+  template <typename U>
+  T value_or(U&& fallback) && {
+    return ok() ? std::move(*value_)
+                : static_cast<T>(std::forward<U>(fallback));
+  }
+
  private:
   Status status_;
   std::optional<T> value_;

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
+#include <utility>
+
 #include "core/scenario.h"
 #include "fs/registry.h"
 #include "testing/test_util.h"
@@ -83,6 +87,61 @@ TEST(DfsEngineTest, DeadlineIsEnforced) {
   EXPECT_TRUE(result.timed_out);
   // Generous slack: one evaluation can overshoot the deadline slightly.
   EXPECT_LT(stopwatch.ElapsedSeconds(), 2.0);
+}
+
+TEST(DfsEngineTest, StopTokenCancelsARunningSearch) {
+  constraints::ConstraintSet set;
+  set.min_f1 = 0.999;          // unreachable: the search never succeeds
+  set.max_search_seconds = 30.0;  // the test must finish long before this
+
+  // Flips the shared token after a handful of evaluations, simulating a
+  // cancel request arriving from another thread mid-search.
+  class CancelAfterThree : public fs::FeatureSelectionStrategy {
+   public:
+    explicit CancelAfterThree(std::shared_ptr<std::atomic<bool>> token)
+        : token_(std::move(token)) {}
+    std::string name() const override { return "cancel-after-three"; }
+    fs::StrategyInfo info() const override { return {}; }
+    void Run(fs::EvalContext& context) override {
+      int evaluations = 0;
+      while (!context.ShouldStop()) {
+        fs::FeatureMask mask(context.num_features(), false);
+        mask[evaluations % context.num_features()] = true;
+        // Distinct single-feature masks cycle, but the cache makes repeats
+        // free, so the loop spins fast once the token flips.
+        mask[(evaluations / context.num_features()) %
+             context.num_features()] = true;
+        context.Evaluate(mask);
+        if (++evaluations == 3) token_->store(true);
+      }
+    }
+
+   private:
+    std::shared_ptr<std::atomic<bool>> token_;
+  };
+
+  EngineOptions options;
+  options.stop_token = std::make_shared<std::atomic<bool>>(false);
+  DfsEngine engine(MakeTestScenario(set), options);
+  CancelAfterThree strategy(options.stop_token);
+  Stopwatch stopwatch;
+  const RunResult result = engine.Run(strategy);
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_FALSE(result.success);
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_FALSE(result.search_exhausted);
+  EXPECT_LE(result.evaluations, 4);  // stops within one evaluation
+  EXPECT_LT(stopwatch.ElapsedSeconds(), 5.0);  // nowhere near the 30 s budget
+}
+
+TEST(DfsEngineTest, UnsetStopTokenDoesNotCancel) {
+  EngineOptions options;
+  options.stop_token = std::make_shared<std::atomic<bool>>(false);
+  DfsEngine engine(MakeTestScenario(EasySet()), options);
+  const RunResult result =
+      engine.Run(*fs::CreateStrategy(fs::StrategyId::kSffs, 1));
+  EXPECT_FALSE(result.cancelled);
+  EXPECT_TRUE(result.success);
 }
 
 TEST(DfsEngineTest, EvaluationCacheHitsOnRepeatedMask) {

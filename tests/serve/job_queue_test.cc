@@ -1,0 +1,137 @@
+#include "serve/job_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace dfs::serve {
+namespace {
+
+std::shared_ptr<Job> MakeJob(JobId id, int priority = 0) {
+  JobRequest request;
+  request.dataset = "test";
+  request.priority = priority;
+  return std::make_shared<Job>(id, request);
+}
+
+TEST(JobQueueTest, PopsInFifoOrderWithinOnePriority) {
+  JobQueue queue(8);
+  EXPECT_EQ(queue.TrySubmit(MakeJob(1)), SubmitOutcome::kAccepted);
+  EXPECT_EQ(queue.TrySubmit(MakeJob(2)), SubmitOutcome::kAccepted);
+  EXPECT_EQ(queue.TrySubmit(MakeJob(3)), SubmitOutcome::kAccepted);
+  EXPECT_EQ(queue.PopBlocking()->id(), 1u);
+  EXPECT_EQ(queue.PopBlocking()->id(), 2u);
+  EXPECT_EQ(queue.PopBlocking()->id(), 3u);
+}
+
+TEST(JobQueueTest, HigherPriorityPopsFirst) {
+  JobQueue queue(8);
+  queue.TrySubmit(MakeJob(1, /*priority=*/0));
+  queue.TrySubmit(MakeJob(2, /*priority=*/5));
+  queue.TrySubmit(MakeJob(3, /*priority=*/5));
+  queue.TrySubmit(MakeJob(4, /*priority=*/1));
+  EXPECT_EQ(queue.PopBlocking()->id(), 2u);  // highest priority, FIFO within
+  EXPECT_EQ(queue.PopBlocking()->id(), 3u);
+  EXPECT_EQ(queue.PopBlocking()->id(), 4u);
+  EXPECT_EQ(queue.PopBlocking()->id(), 1u);
+}
+
+TEST(JobQueueTest, FullQueueReportsBackpressureWithoutBlocking) {
+  JobQueue queue(2);
+  EXPECT_EQ(queue.TrySubmit(MakeJob(1)), SubmitOutcome::kAccepted);
+  EXPECT_EQ(queue.TrySubmit(MakeJob(2)), SubmitOutcome::kAccepted);
+  EXPECT_EQ(queue.TrySubmit(MakeJob(3)), SubmitOutcome::kQueueFull);
+  EXPECT_EQ(queue.size(), 2u);
+  // Draining one slot re-admits.
+  EXPECT_EQ(queue.PopBlocking()->id(), 1u);
+  EXPECT_EQ(queue.TrySubmit(MakeJob(3)), SubmitOutcome::kAccepted);
+}
+
+TEST(JobQueueTest, CapacityHasAFloorOfOne) {
+  JobQueue queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_EQ(queue.TrySubmit(MakeJob(1)), SubmitOutcome::kAccepted);
+  EXPECT_EQ(queue.TrySubmit(MakeJob(2)), SubmitOutcome::kQueueFull);
+}
+
+TEST(JobQueueTest, RemoveTakesAQueuedJobOut) {
+  JobQueue queue(8);
+  queue.TrySubmit(MakeJob(1));
+  queue.TrySubmit(MakeJob(2));
+  EXPECT_TRUE(queue.Remove(1));
+  EXPECT_FALSE(queue.Remove(1));   // already gone
+  EXPECT_FALSE(queue.Remove(99));  // never queued
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue.PopBlocking()->id(), 2u);
+}
+
+TEST(JobQueueTest, CloseRejectsSubmitsAndDrainsConsumers) {
+  JobQueue queue(8);
+  queue.TrySubmit(MakeJob(1));
+  queue.Close();
+  EXPECT_EQ(queue.TrySubmit(MakeJob(2)), SubmitOutcome::kClosed);
+  EXPECT_NE(queue.PopBlocking(), nullptr);  // drains the remaining job
+  EXPECT_EQ(queue.PopBlocking(), nullptr);  // then reports closed
+}
+
+TEST(JobQueueTest, CloseUnblocksWaitingConsumer) {
+  JobQueue queue(4);
+  std::atomic<bool> returned{false};
+  std::thread consumer([&queue, &returned] {
+    EXPECT_EQ(queue.PopBlocking(), nullptr);
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load());
+  queue.Close();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(JobQueueTest, ManyProducersManyConsumersDeliverEachJobOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 200;
+  JobQueue queue(32);
+
+  std::atomic<int> popped{0};
+  std::vector<std::atomic<int>> seen(kProducers * kPerProducer + 1);
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (std::shared_ptr<Job> job = queue.PopBlocking()) {
+        seen[job->id()].fetch_add(1);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const JobId id = static_cast<JobId>(p * kPerProducer + i + 1);
+        // Spin on backpressure: the queue is deliberately smaller than the
+        // total offered load.
+        while (queue.TrySubmit(MakeJob(id, /*priority=*/i % 3)) !=
+               SubmitOutcome::kAccepted) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  // Drain, then close.
+  while (queue.size() > 0) std::this_thread::yield();
+  queue.Close();
+  for (auto& consumer : consumers) consumer.join();
+
+  EXPECT_EQ(popped.load(), kProducers * kPerProducer);
+  for (int id = 1; id <= kProducers * kPerProducer; ++id) {
+    EXPECT_EQ(seen[id].load(), 1) << "job " << id;
+  }
+}
+
+}  // namespace
+}  // namespace dfs::serve

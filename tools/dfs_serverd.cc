@@ -1,0 +1,151 @@
+// dfs_serverd — the DFS job-service daemon.
+//
+//   dfs_serverd --port 7070 --workers 4 --queue-capacity 64
+//
+// Accepts newline-delimited JSON requests (see src/serve/line_protocol.h)
+// over TCP and runs declarative feature-selection jobs on a worker fleet.
+// Datasets are addressed by benchmark-suite name and generated on first
+// use; --optimizer loads a serialized meta-optimizer so "auto" jobs use
+// the Algorithm-1 deployment phase. A client-issued {"op":"shutdown"}
+// stops the daemon; running jobs are cancelled cooperatively.
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/frontend.h"
+#include "serve/server.h"
+#include "serve/tcp.h"
+#include "util/flags.h"
+
+namespace dfs {
+namespace {
+
+struct DaemonOptions {
+  int port = 7070;
+  int workers = 4;
+  int queue_capacity = 64;
+  double ttl = 300.0;
+  double row_scale = 1.0;
+  std::string optimizer;  // path to a serialized DfsOptimizer
+  bool expose = false;    // bind all interfaces instead of loopback
+  bool help = false;
+};
+
+/// Per-connection bookkeeping so shutdown can unblock readers.
+struct Connections {
+  std::mutex mu;
+  std::vector<std::shared_ptr<serve::LineChannel>> channels;
+
+  void Add(const std::shared_ptr<serve::LineChannel>& channel) {
+    std::lock_guard<std::mutex> lock(mu);
+    channels.push_back(channel);
+  }
+  void ShutdownAll() {
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto& channel : channels) channel->ShutdownSocket();
+  }
+};
+
+int RealMain(int argc, char** argv) {
+  DaemonOptions options;
+  FlagParser parser("dfs_serverd — DFS job-service daemon (line protocol "
+                    "over TCP; see DESIGN.md §serve)");
+  parser.AddInt("port", "TCP port to listen on", &options.port);
+  parser.AddInt("workers", "job worker threads", &options.workers);
+  parser.AddInt("queue-capacity",
+                "bounded job-queue capacity (full queue rejects submits)",
+                &options.queue_capacity);
+  parser.AddDouble("ttl", "seconds to retain terminal job results",
+                   &options.ttl);
+  parser.AddDouble("row-scale",
+                   "row scale for benchmark-suite datasets generated on "
+                   "demand",
+                   &options.row_scale);
+  parser.AddString("optimizer",
+                   "path to a serialized DfsOptimizer for \"auto\" jobs",
+                   &options.optimizer);
+  parser.AddBool("expose", "bind all interfaces instead of loopback only",
+                 &options.expose);
+  parser.AddBool("help", "print usage", &options.help);
+  if (Status status = parser.Parse(argc, argv); !status.ok()) {
+    std::fprintf(stderr, "%s\n\n%s", status.ToString().c_str(),
+                 parser.Help().c_str());
+    return 1;
+  }
+  if (options.help) {
+    std::fputs(parser.Help().c_str(), stdout);
+    return 0;
+  }
+
+  serve::ServerOptions server_options;
+  server_options.num_workers = options.workers;
+  server_options.queue_capacity =
+      static_cast<size_t>(std::max(1, options.queue_capacity));
+  server_options.result_ttl_seconds = options.ttl;
+  server_options.dataset_row_scale = options.row_scale;
+  serve::DfsServer server(server_options);
+
+  if (!options.optimizer.empty()) {
+    auto optimizer = core::DfsOptimizer::LoadFromFile(options.optimizer);
+    if (!optimizer.ok()) {
+      std::fprintf(stderr, "optimizer: %s\n",
+                   optimizer.status().ToString().c_str());
+      return 1;
+    }
+    server.SetOptimizer(std::move(optimizer).value());
+    std::printf("meta-optimizer loaded from %s\n", options.optimizer.c_str());
+  }
+
+  serve::TcpListener listener;
+  if (Status status =
+          listener.Listen(options.port, /*loopback_only=*/!options.expose);
+      !status.ok()) {
+    std::fprintf(stderr, "listen: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("dfs_serverd listening on port %d (%d workers, queue %zu)\n",
+              listener.port(), server_options.num_workers,
+              server_options.queue_capacity);
+  std::fflush(stdout);
+
+  std::atomic<bool> shutting_down{false};
+  Connections connections;
+  std::vector<std::thread> handlers;
+  while (true) {
+    auto client = listener.Accept();
+    if (!client.ok()) break;  // listener closed (shutdown) or fatal error
+    auto channel = std::make_shared<serve::LineChannel>(*client);
+    connections.Add(channel);
+    handlers.emplace_back([&server, &listener, &shutting_down, &connections,
+                           channel] {
+      if (serve::ServeConnection(server, *channel) &&
+          !shutting_down.exchange(true)) {
+        listener.Close();            // unblock the accept loop
+        connections.ShutdownAll();   // unblock other connections
+      }
+    });
+  }
+  for (auto& handler : handlers) handler.join();
+  server.Shutdown(/*cancel_pending=*/true);
+
+  const serve::ServerStats stats = server.Stats();
+  std::printf(
+      "dfs_serverd exiting: accepted=%llu completed=%llu failed=%llu "
+      "cancelled=%llu timed_out=%llu rejected=%llu\n",
+      static_cast<unsigned long long>(stats.accepted),
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.failed),
+      static_cast<unsigned long long>(stats.cancelled),
+      static_cast<unsigned long long>(stats.timed_out),
+      static_cast<unsigned long long>(stats.rejected));
+  return 0;
+}
+
+}  // namespace
+}  // namespace dfs
+
+int main(int argc, char** argv) { return dfs::RealMain(argc, argv); }
