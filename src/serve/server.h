@@ -45,10 +45,14 @@ struct ServerOptions {
   core::OptimizerOptions optimizer_options;
 };
 
-/// Monotonic service counters plus instantaneous gauges. The counters
-/// reconcile: accepted == completed + failed + cancelled + timed_out +
-/// queue_depth + running at every snapshot; rejected submissions are never
-/// part of accepted.
+/// Monotonic service counters plus instantaneous gauges. Once the system
+/// is quiescent (no queued or running jobs), the counters reconcile:
+/// accepted == completed + failed + cancelled + timed_out. A concurrent
+/// snapshot reads the counters and gauges under separate locks, so it can
+/// transiently miss a job in flight between them (popped but not yet
+/// running, or finished but not yet counted terminal) — treat
+/// accepted == terminal() + queue_depth + running as approximate while
+/// jobs are moving. Rejected submissions are never part of accepted.
 struct ServerStats {
   uint64_t accepted = 0;
   uint64_t rejected = 0;   ///< kQueueFull backpressure rejections

@@ -62,10 +62,12 @@ StatusOr<int> TcpListener::Accept() const {
   return client;
 }
 
+void TcpListener::InterruptAccept() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
 void TcpListener::Close() {
   if (fd_ >= 0) {
-    // shutdown() unblocks a concurrent accept() on most platforms; close()
-    // finishes the job.
     ::shutdown(fd_, SHUT_RDWR);
     ::close(fd_);
     fd_ = -1;
@@ -128,6 +130,11 @@ StatusOr<std::string> LineChannel::ReadLine() {
       return NotFoundError("connection closed");
     }
     buffer_.append(chunk, static_cast<size_t>(n));
+    if (buffer_.size() > kMaxLineBytes) {
+      buffer_.clear();
+      return ResourceExhaustedError("line exceeds " +
+                                    std::to_string(kMaxLineBytes) + " bytes");
+    }
   }
 }
 
@@ -136,11 +143,13 @@ Status LineChannel::WriteLine(const std::string& line) {
   payload.push_back('\n');
   size_t written = 0;
   while (written < payload.size()) {
-    const ssize_t n =
-        ::write(fd_, payload.data() + written, payload.size() - written);
+    // MSG_NOSIGNAL: a peer that disconnected mid-response must surface as
+    // EPIPE, not deliver SIGPIPE and kill the whole daemon.
+    const ssize_t n = ::send(fd_, payload.data() + written,
+                             payload.size() - written, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return ErrnoError("write");
+      return ErrnoError("send");
     }
     written += static_cast<size_t>(n);
   }

@@ -11,6 +11,11 @@ namespace dfs::serve {
 /// minimal: blocking sockets, loopback-first defaults, no TLS — the
 /// service is meant to sit behind a trusted edge.
 
+/// Hard cap on one protocol line (request or response). A peer that
+/// streams more than this without a newline gets its connection failed
+/// with ResourceExhausted instead of growing the buffer without bound.
+inline constexpr size_t kMaxLineBytes = 1 << 20;  // 1 MiB
+
 /// A listening TCP socket.
 class TcpListener {
  public:
@@ -27,11 +32,18 @@ class TcpListener {
   /// The bound port (after Listen).
   int port() const { return port_; }
 
-  /// Blocks for one client; returns the connected fd. After Close() (from
-  /// any thread) returns Cancelled.
+  /// Blocks for one client; returns the connected fd. After
+  /// InterruptAccept() or Close() returns Cancelled.
   StatusOr<int> Accept() const;
 
-  /// Closes the listening socket, unblocking Accept.
+  /// Wakes a concurrently blocked Accept without invalidating the fd:
+  /// ::shutdown(2) only, so any thread may call this while the owner is
+  /// in Accept. The owner remains responsible for Close() (closing from
+  /// another thread would race Accept and risk fd reuse).
+  void InterruptAccept();
+
+  /// Closes the listening socket. Owner-only: must not run concurrently
+  /// with Accept — use InterruptAccept to stop the accept loop first.
   void Close();
 
  private:
@@ -54,10 +66,12 @@ class LineChannel {
   LineChannel& operator=(const LineChannel&) = delete;
 
   /// Next line without its trailing '\n' (a final unterminated line is
-  /// returned as-is). NotFound on clean EOF, Internal on I/O errors.
+  /// returned as-is). NotFound on clean EOF, Internal on I/O errors,
+  /// ResourceExhausted once a line exceeds kMaxLineBytes.
   StatusOr<std::string> ReadLine();
 
-  /// Writes `line` plus '\n'.
+  /// Writes `line` plus '\n'. A disconnected peer surfaces as an error
+  /// (EPIPE/ECONNRESET), never as SIGPIPE.
   Status WriteLine(const std::string& line);
 
   /// Half-close from another thread: ::shutdown(2) on the socket so a

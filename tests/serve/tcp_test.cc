@@ -1,0 +1,70 @@
+#include "serve/tcp.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
+#include "util/status.h"
+
+namespace dfs::serve {
+namespace {
+
+TEST(LineChannelTest, ReadLineSplitsOnNewlineAndStripsCr) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  LineChannel writer(fds[0]);
+  LineChannel reader(fds[1]);
+
+  ASSERT_TRUE(writer.WriteLine("first").ok());
+  ASSERT_TRUE(writer.WriteLine("second\r").ok());
+  writer.Close();  // EOF after the two lines
+
+  EXPECT_EQ(reader.ReadLine().value_or(""), "first");
+  EXPECT_EQ(reader.ReadLine().value_or(""), "second");
+  EXPECT_EQ(reader.ReadLine().status().code(), StatusCode::kNotFound);
+}
+
+// A peer streaming bytes with no newline must fail the read with
+// ResourceExhausted instead of growing the server's buffer without bound.
+TEST(LineChannelTest, ReadLineRejectsOverlongLine) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  LineChannel reader(fds[0]);
+  std::thread writer([fd = fds[1]] {
+    const std::string chunk(4096, 'x');
+    // One chunk past the cap: the reader consumes until just over the cap,
+    // so everything sent here is drained and this thread never blocks.
+    size_t sent = 0;
+    while (sent < kMaxLineBytes + chunk.size()) {
+      const ssize_t n = ::send(fd, chunk.data(), chunk.size(), MSG_NOSIGNAL);
+      if (n <= 0) break;
+      sent += static_cast<size_t>(n);
+    }
+    ::close(fd);
+  });
+  EXPECT_EQ(reader.ReadLine().status().code(),
+            StatusCode::kResourceExhausted);
+  writer.join();
+}
+
+// Writing to a disconnected peer must come back as a Status error; without
+// MSG_NOSIGNAL the kernel would deliver SIGPIPE and kill the process (and
+// this whole test binary).
+TEST(LineChannelTest, WriteToDisconnectedPeerFailsWithoutSigpipe) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  LineChannel writer(fds[0]);
+  ::close(fds[1]);
+
+  Status status = OkStatus();
+  for (int i = 0; i < 8 && status.ok(); ++i) {
+    status = writer.WriteLine(std::string(1024, 'x'));
+  }
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace dfs::serve

@@ -10,10 +10,14 @@
 // stops the daemon; running jobs are cancelled cooperatively.
 
 #include <atomic>
+#include <csignal>
+#include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "serve/frontend.h"
@@ -35,22 +39,83 @@ struct DaemonOptions {
   bool help = false;
 };
 
-/// Per-connection bookkeeping so shutdown can unblock readers.
+/// Per-connection bookkeeping so shutdown can unblock readers. Entries
+/// are removed as their connections finish, so a long-lived daemon does
+/// not accumulate dead channels.
 struct Connections {
   std::mutex mu;
-  std::vector<std::shared_ptr<serve::LineChannel>> channels;
+  std::unordered_map<uint64_t, std::shared_ptr<serve::LineChannel>> channels;
 
-  void Add(const std::shared_ptr<serve::LineChannel>& channel) {
+  void Add(uint64_t id, std::shared_ptr<serve::LineChannel> channel) {
     std::lock_guard<std::mutex> lock(mu);
-    channels.push_back(channel);
+    channels.emplace(id, std::move(channel));
+  }
+  void Remove(uint64_t id) {
+    std::lock_guard<std::mutex> lock(mu);
+    channels.erase(id);
   }
   void ShutdownAll() {
     std::lock_guard<std::mutex> lock(mu);
-    for (const auto& channel : channels) channel->ShutdownSocket();
+    for (const auto& [id, channel] : channels) channel->ShutdownSocket();
   }
 };
 
+/// One thread per connection, joined incrementally: each body registers
+/// itself as finished, and the accept loop reaps (joins and discards)
+/// finished threads before every accept instead of growing an unjoined
+/// std::thread per connection for the life of the daemon.
+class HandlerPool {
+ public:
+  void Launch(std::function<void()> body) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t id = next_id_++;
+    threads_.emplace(id, std::thread([this, id, body = std::move(body)] {
+      body();
+      std::lock_guard<std::mutex> lock(mu_);
+      finished_.push_back(id);
+    }));
+  }
+
+  /// Joins every thread whose body has finished (join then only waits for
+  /// its final bookkeeping, never for connection I/O).
+  void Reap() {
+    std::vector<std::thread> done;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const uint64_t id : finished_) {
+        auto it = threads_.find(id);
+        if (it == threads_.end()) continue;
+        done.push_back(std::move(it->second));
+        threads_.erase(it);
+      }
+      finished_.clear();
+    }
+    for (auto& thread : done) thread.join();
+  }
+
+  void JoinAll() {
+    std::unordered_map<uint64_t, std::thread> remaining;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      remaining.swap(threads_);
+      finished_.clear();
+    }
+    for (auto& [id, thread] : remaining) thread.join();
+  }
+
+ private:
+  std::mutex mu_;
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, std::thread> threads_;
+  std::vector<uint64_t> finished_;
+};
+
 int RealMain(int argc, char** argv) {
+  // A client that disconnects while we write its response must surface as
+  // EPIPE (WriteLine already sends with MSG_NOSIGNAL; this covers any
+  // other socket write), not kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+
   DaemonOptions options;
   FlagParser parser("dfs_serverd — DFS job-service daemon (line protocol "
                     "over TCP; see DESIGN.md §serve)");
@@ -114,22 +179,29 @@ int RealMain(int argc, char** argv) {
 
   std::atomic<bool> shutting_down{false};
   Connections connections;
-  std::vector<std::thread> handlers;
+  HandlerPool handlers;
+  uint64_t next_connection_id = 1;
   while (true) {
     auto client = listener.Accept();
-    if (!client.ok()) break;  // listener closed (shutdown) or fatal error
+    if (!client.ok()) break;  // accept interrupted (shutdown) or fatal error
+    handlers.Reap();
+    const uint64_t connection_id = next_connection_id++;
     auto channel = std::make_shared<serve::LineChannel>(*client);
-    connections.Add(channel);
-    handlers.emplace_back([&server, &listener, &shutting_down, &connections,
-                           channel] {
-      if (serve::ServeConnection(server, *channel) &&
-          !shutting_down.exchange(true)) {
-        listener.Close();            // unblock the accept loop
-        connections.ShutdownAll();   // unblock other connections
+    connections.Add(connection_id, channel);
+    handlers.Launch([&server, &listener, &shutting_down, &connections,
+                     connection_id, channel] {
+      const bool shutdown_requested =
+          serve::ServeConnection(server, *channel);
+      connections.Remove(connection_id);
+      if (shutdown_requested && !shutting_down.exchange(true)) {
+        // Only wake the accept loop here; this thread must not Close()
+        // an fd the main thread may be accept()ing on.
+        listener.InterruptAccept();
+        connections.ShutdownAll();  // unblock other connections
       }
     });
   }
-  for (auto& handler : handlers) handler.join();
+  handlers.JoinAll();
   server.Shutdown(/*cancel_pending=*/true);
 
   const serve::ServerStats stats = server.Stats();
