@@ -2,7 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
+
+#include "obs/metrics.h"
 
 namespace dfs::bench {
 
@@ -52,6 +55,36 @@ StatusOr<core::ExperimentPool> GetPool(PoolMode mode) {
                config.num_scenarios, cache_path.c_str());
   return core::ExperimentPool::RunOrLoad(config, cache_path,
                                          /*verbose=*/true);
+}
+
+namespace {
+
+std::string g_metrics_out;  // set once in InitBench, read by the atexit hook
+
+void DumpMetricsAtExit() {
+  if (g_metrics_out.empty()) return;
+  if (!obs::DumpGlobalMetrics(g_metrics_out)) {
+    std::fprintf(stderr, "metrics-out: cannot write %s\n",
+                 g_metrics_out.c_str());
+  } else {
+    std::fprintf(stderr, "[metrics] snapshot written to %s\n",
+                 g_metrics_out.c_str());
+  }
+}
+
+}  // namespace
+
+void InitBench(int argc, char** argv) {
+  if (const char* env = std::getenv("DFS_METRICS_OUT")) g_metrics_out = env;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      g_metrics_out = argv[i + 1];
+      ++i;
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      g_metrics_out = argv[i] + 14;
+    }
+  }
+  if (!g_metrics_out.empty()) std::atexit(DumpMetricsAtExit);
 }
 
 void PrintHeader(const std::string& title, const std::string& paper_ref) {

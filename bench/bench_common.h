@@ -31,6 +31,13 @@ std::string BenchResultsDir();
 /// Prints the standard reproduction banner for a bench binary.
 void PrintHeader(const std::string& title, const std::string& paper_ref);
 
+/// Shared bench-binary setup, called first thing in every main():
+/// handles `--metrics-out <file.json>` (or the DFS_METRICS_OUT env var,
+/// flag wins) by registering an atexit hook that dumps the global
+/// dfs::obs registry snapshot to that path when the binary exits.
+/// Unrelated argv entries are left untouched for the caller to parse.
+void InitBench(int argc, char** argv);
+
 }  // namespace dfs::bench
 
 #endif  // DFS_BENCH_BENCH_COMMON_H_

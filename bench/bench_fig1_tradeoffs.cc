@@ -92,4 +92,7 @@ int Run() {
 }  // namespace
 }  // namespace dfs::bench
 
-int main() { return dfs::bench::Run(); }
+int main(int argc, char** argv) {
+  dfs::bench::InitBench(argc, argv);
+  return dfs::bench::Run();
+}

@@ -98,6 +98,7 @@ int Run(bool list_datasets) {
 }  // namespace dfs::bench
 
 int main(int argc, char** argv) {
+  dfs::bench::InitBench(argc, argv);
   bool list_datasets = true;  // inventory is cheap; print it by default
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no-list") == 0) list_datasets = false;

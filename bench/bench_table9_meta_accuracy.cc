@@ -64,6 +64,7 @@ int Run(bool landmark_sweep) {
 }  // namespace dfs::bench
 
 int main(int argc, char** argv) {
+  dfs::bench::InitBench(argc, argv);
   bool landmark_sweep = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--landmark-sweep") == 0) landmark_sweep = true;

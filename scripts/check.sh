@@ -4,8 +4,18 @@
 #   scripts/check.sh              # the tier-1 gate from ROADMAP.md
 #   scripts/check.sh --sanitize   # additionally run the concurrent tests
 #                                 # (serve_test, util_test) under TSan
+#   scripts/check.sh --docs       # docs only (no build): every relative
+#                                 # Markdown link resolves, and every
+#                                 # bench_* binary named in EXPERIMENTS.md
+#                                 # exists in bench/CMakeLists.txt
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--docs" ]]; then
+  python3 scripts/check_docs.py
+  echo "check.sh: OK"
+  exit 0
+fi
 
 cmake -B build -S .
 cmake --build build -j

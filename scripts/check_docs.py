@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks (scripts/check.sh --docs).
+
+1. Every relative Markdown link in the top-level *.md files and docs/
+   resolves to a file or directory in the repository.
+2. Every `bench_*` binary named in EXPERIMENTS.md is declared in
+   bench/CMakeLists.txt (no stale instructions for removed binaries).
+"""
+
+import glob
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# [text](target) — stop at the first ')' so "(see [a](b))" parses; skip
+# images the same way (the leading '!' does not change resolution rules).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def markdown_files():
+    files = sorted(glob.glob(os.path.join(REPO, "*.md")))
+    files += sorted(glob.glob(os.path.join(REPO, "docs", "**", "*.md"),
+                              recursive=True))
+    return files
+
+
+def strip_code_blocks(text):
+    """Removes fenced code blocks: link syntax inside them is example
+    text, not navigation."""
+    return re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+
+
+def check_links():
+    errors = []
+    for path in markdown_files():
+        with open(path, encoding="utf-8") as handle:
+            text = strip_code_blocks(handle.read())
+        base = os.path.dirname(path)
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target = target.split("#", 1)[0]  # drop in-page anchors
+            if not target:
+                continue
+            resolved = os.path.normpath(os.path.join(base, target))
+            if not os.path.exists(resolved):
+                errors.append(
+                    f"{os.path.relpath(path, REPO)}: broken link "
+                    f"'{match.group(1)}' -> {os.path.relpath(resolved, REPO)}"
+                )
+    return errors
+
+
+def check_bench_binaries():
+    # Binary names only — "bench_results" (the cache dir) and
+    # "bench_common" (the shared library) are not binaries.
+    with open(os.path.join(REPO, "EXPERIMENTS.md"), encoding="utf-8") as f:
+        named = set(re.findall(r"\b(bench_[a-z0-9_]+)\b", f.read()))
+    named -= {"bench_results", "bench_common"}
+    with open(os.path.join(REPO, "bench", "CMakeLists.txt"),
+              encoding="utf-8") as f:
+        declared = set(re.findall(r"\b(bench_[a-z0-9_]+)\b", f.read()))
+    declared.discard("bench_common")  # the shared library, not a binary
+    missing = sorted(named - declared)
+    return [
+        f"EXPERIMENTS.md names '{name}' but bench/CMakeLists.txt does not "
+        f"declare it" for name in missing
+    ]
+
+
+def main():
+    errors = check_links() + check_bench_binaries()
+    for error in errors:
+        print(f"check_docs: {error}", file=sys.stderr)
+    if errors:
+        print(f"check_docs: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"check_docs: {len(markdown_files())} Markdown files OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

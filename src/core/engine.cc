@@ -7,8 +7,44 @@
 #include "ml/dp/dp_classifier.h"
 #include "ml/grid_search.h"
 #include "ml/permutation_importance.h"
+#include "obs/trace.h"
 
 namespace dfs::core {
+namespace {
+
+/// Engine-wide instruments, resolved once (hot path then touches only
+/// atomics). Per-strategy instruments are resolved per Run instead.
+struct EngineMetrics {
+  obs::Counter& runs;
+  obs::Counter& successes;
+  obs::Counter& cancellations;
+  obs::Counter& evaluations;
+  obs::Counter& cache_hits;
+  obs::Counter& train_failures;
+  obs::Histogram& run_seconds;
+  obs::Histogram& evaluation_seconds;
+  obs::Histogram& fit_seconds;
+  obs::Histogram& cancel_latency_seconds;
+
+  static EngineMetrics& Get() {
+    auto& registry = obs::MetricsRegistry::Global();
+    static EngineMetrics* metrics = new EngineMetrics{
+        registry.counter("engine.runs"),
+        registry.counter("engine.successes"),
+        registry.counter("engine.cancellations"),
+        registry.counter("engine.evaluations"),
+        registry.counter("engine.cache_hits"),
+        registry.counter("engine.train_failures"),
+        registry.histogram("engine.run_seconds"),
+        registry.histogram("engine.evaluation_seconds"),
+        registry.histogram("engine.fit_seconds"),
+        registry.histogram("engine.cancel_latency_seconds"),
+    };
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 DfsEngine::DfsEngine(MlScenario scenario, const EngineOptions& options)
     : scenario_(std::move(scenario)), options_(options), rng_(options.seed) {}
@@ -30,8 +66,16 @@ const data::Dataset& DfsEngine::train_data() const {
 }
 
 bool DfsEngine::ExternallyCancelled() const {
-  return options_.stop_token != nullptr &&
-         options_.stop_token->load(std::memory_order_relaxed);
+  const bool cancelled =
+      options_.stop_token != nullptr &&
+      options_.stop_token->load(std::memory_order_relaxed);
+  // First observation starts the cancellation-latency clock: the serve
+  // promise is "a cancelled job returns within about one evaluation", and
+  // engine.cancel_latency_seconds is that promise measured.
+  if (cancelled && !cancel_observed_.has_value()) {
+    cancel_observed_.emplace();
+  }
+  return cancelled;
 }
 
 bool DfsEngine::ShouldStop() const {
@@ -50,6 +94,7 @@ Rng& DfsEngine::rng() { return rng_; }
 
 StatusOr<std::unique_ptr<ml::Classifier>> DfsEngine::TrainModel(
     const std::vector<int>& features) {
+  obs::ScopedTimer fit_timer(EngineMetrics::Get().fit_seconds);
   const auto& split = scenario_.split;
   const linalg::Matrix train_x = split.train.ToMatrix(features);
   const auto& train_y = split.train.labels();
@@ -113,6 +158,7 @@ constraints::MetricValues DfsEngine::Measure(const ml::Classifier& model,
 }
 
 fs::EvalOutcome DfsEngine::Evaluate(const fs::FeatureMask& mask) {
+  EngineMetrics& metrics = EngineMetrics::Get();
   fs::EvalOutcome outcome;
   if (deadline_.Expired() || ExternallyCancelled()) return outcome;
   if (static_cast<int>(mask.size()) != num_features()) {
@@ -126,16 +172,21 @@ fs::EvalOutcome DfsEngine::Evaluate(const fs::FeatureMask& mask) {
     auto it = cache_.find(mask);
     if (it != cache_.end()) {
       ++result_.cache_hits;
+      metrics.cache_hits.Increment();
       return it->second;
     }
   }
 
+  Stopwatch eval_stopwatch;
   auto model = TrainModel(features);
   if (!model.ok()) {
     DFS_LOG(WARNING) << "training failed: " << model.status().ToString();
+    metrics.train_failures.Increment();
     return outcome;
   }
   ++result_.evaluations;
+  metrics.evaluations.Increment();
+  if (strategy_evaluations_ != nullptr) strategy_evaluations_->Increment();
 
   outcome.evaluated = true;
   outcome.validation = Measure(**model, features, scenario_.split.validation);
@@ -154,6 +205,14 @@ fs::EvalOutcome DfsEngine::Evaluate(const fs::FeatureMask& mask) {
     test_values = Measure(**model, features, scenario_.split.test);
     have_test_values = true;
     outcome.success = scenario_.constraint_set.Satisfied(test_values);
+  }
+
+  // Wall-clock of the evaluation proper (train + measure + confirm);
+  // the bookkeeping below is excluded, cache hits never get here.
+  outcome.seconds = eval_stopwatch.ElapsedSeconds();
+  metrics.evaluation_seconds.Record(outcome.seconds);
+  if (strategy_eval_seconds_ != nullptr) {
+    strategy_eval_seconds_->Record(outcome.seconds);
   }
 
   // Track the best subset for result reporting / failure analysis.
@@ -231,13 +290,41 @@ RunResult DfsEngine::Run(fs::FeatureSelectionStrategy& strategy) {
   cache_.clear();
   success_found_ = false;
   best_objective_ = 1e18;
+  cancel_observed_.reset();
   deadline_ =
       Deadline::AfterSeconds(scenario_.constraint_set.max_search_seconds);
   stopwatch_.Restart();
 
+  // Per-strategy instruments ("strategy.<label>.*") attribute evaluation
+  // counts and timing to the strategy driving this run; the lookup cost is
+  // once per run, not per evaluation.
+  EngineMetrics& metrics = EngineMetrics::Get();
+  auto& registry = obs::MetricsRegistry::Global();
+  const std::string label = obs::SanitizeLabel(strategy.name());
+  strategy_evaluations_ =
+      &registry.counter("strategy." + label + ".evaluations");
+  strategy_eval_seconds_ =
+      &registry.histogram("strategy." + label + ".evaluation_seconds");
+  registry.counter("strategy." + label + ".runs").Increment();
+  metrics.runs.Increment();
+  obs::TraceSpan run_span("engine.run", strategy.name());
+
   strategy.Run(*this);
 
+  strategy_evaluations_ = nullptr;
+  strategy_eval_seconds_ = nullptr;
+
   result_.cancelled = ExternallyCancelled();
+  metrics.run_seconds.Record(stopwatch_.ElapsedSeconds());
+  registry.histogram("strategy." + label + ".run_seconds")
+      .Record(stopwatch_.ElapsedSeconds());
+  if (result_.cancelled) {
+    metrics.cancellations.Increment();
+    if (cancel_observed_.has_value()) {
+      metrics.cancel_latency_seconds.Record(
+          cancel_observed_->ElapsedSeconds());
+    }
+  }
   if (!success_found_) {
     result_.search_seconds = stopwatch_.ElapsedSeconds();
     result_.timed_out = !result_.cancelled && deadline_.Expired();
@@ -263,6 +350,7 @@ RunResult DfsEngine::Run(fs::FeatureSelectionStrategy& strategy) {
     // search time.
     result_.search_seconds = stopwatch_.ElapsedSeconds();
   }
+  if (result_.success) metrics.successes.Increment();
   return result_;
 }
 

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "fs/eval_context.h"
 #include "fs/strategy.h"
 #include "metrics/robustness.h"
+#include "obs/metrics.h"
 #include "util/stopwatch.h"
 
 namespace dfs::core {
@@ -124,7 +126,8 @@ class DfsEngine : public fs::EvalContext {
                                     const std::vector<int>& features,
                                     const data::Dataset& split);
 
-  /// True once the external stop token (if any) has been flipped.
+  /// True once the external stop token (if any) has been flipped. Also
+  /// stamps the first observation (see cancel_observed_).
   bool ExternallyCancelled() const;
 
   MlScenario scenario_;
@@ -138,6 +141,16 @@ class DfsEngine : public fs::EvalContext {
   RunResult result_;
   double best_objective_ = 1e18;
   std::unordered_map<fs::FeatureMask, fs::EvalOutcome, MaskHasher> cache_;
+
+  // dfs::obs instrumentation (see DESIGN.md §2c). Per-strategy handles are
+  // looked up once per Run ("strategy.<label>.*"); null between runs.
+  // cancel_observed_ stamps the first time the stop token is seen flipped,
+  // so Run can report observation→return cancellation latency; mutable
+  // because the observation happens inside const ShouldStop() (the engine
+  // runs one strategy on one thread, so there is no concurrent mutation).
+  obs::Counter* strategy_evaluations_ = nullptr;
+  obs::Histogram* strategy_eval_seconds_ = nullptr;
+  mutable std::optional<Stopwatch> cancel_observed_;
 };
 
 }  // namespace dfs::core

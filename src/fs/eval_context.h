@@ -17,6 +17,11 @@ struct EvalOutcome {
   /// False when the evaluation did not run (deadline expired, empty mask,
   /// or over the evaluation-independent size bound).
   bool evaluated = false;
+  /// Wall-clock cost of this evaluation (train [+HPO] + measure +
+  /// confirm-on-test); 0 for cache hits and skipped evaluations. The same
+  /// value lands in the dfs::obs histograms "engine.evaluation_seconds"
+  /// and "strategy.<label>.evaluation_seconds".
+  double seconds = 0.0;
   /// Metric values on the validation split.
   constraints::MetricValues validation;
   /// Eq. (1) distance on the validation split (0 = all constraints hold).
@@ -34,6 +39,15 @@ struct EvalOutcome {
 /// Implemented by core::DfsEngine; strategies only see this interface, which
 /// keeps every strategy a pure search procedure (Section 4.1: for DFS all
 /// strategies are wrapper approaches).
+///
+/// Observability: the implementation attributes every Evaluate() call to
+/// the strategy driving the run under dfs::obs metric names
+/// "strategy.<label>.{runs,evaluations,evaluation_seconds,run_seconds}"
+/// (label = obs::SanitizeLabel(strategy.name())), so strategies get
+/// per-strategy counts and timing without carrying any instrumentation
+/// themselves. Strategy-internal costs that bypass Evaluate (ranking
+/// computation, importance fits) are recorded at their call sites under
+/// "fs.*" — see top_k.cc / rfe.cc / portfolio.cc.
 class EvalContext {
  public:
   virtual ~EvalContext() = default;

@@ -1,5 +1,6 @@
 #include "fs/portfolio.h"
 
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -73,6 +74,7 @@ void TimeSlicedPortfolio::Run(EvalContext& context) {
   while (!context.ShouldStop()) {
     for (auto& member : members_) {
       if (context.ShouldStop()) return;
+      obs::TraceSpan span("fs.portfolio_slice", member->name());
       SlicedContext sliced(context, slice);
       member->Run(sliced);
     }

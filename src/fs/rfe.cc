@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace dfs::fs {
@@ -11,8 +12,18 @@ void RecursiveFeatureElimination::Run(EvalContext& context) {
   FeatureMask current = FullMask(n);
   context.Evaluate(current);
 
+  // Importance fits are RFE's dominant off-Evaluate cost (the paper blames
+  // NB's permutation-importance fallback for RFE's collapse, Table 6) —
+  // "fs.importance_seconds" makes that attributable per snapshot.
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::Histogram& importance_seconds =
+      registry.histogram("fs.importance_seconds");
+  obs::Counter& importance_fits = registry.counter("fs.importance_fits");
+
   while (!context.ShouldStop() && CountSelected(current) > 1) {
+    obs::ScopedTimer importance_timer(importance_seconds, &importance_fits);
     auto importances = context.FittedImportances(current);
+    importance_timer.Stop();
     if (!importances.ok()) {
       DFS_LOG(WARNING) << "RFE importance failure: "
                        << importances.status().ToString();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 
@@ -27,7 +28,18 @@ StrategyInfo TopKRankingStrategy::info() const {
 
 void TopKRankingStrategy::Run(EvalContext& context) {
   const int n = context.num_features();
-  auto scores = ranker_->Rank(context.train_data(), context.rng());
+  // The ranking is the strategy's own pre-search cost, invisible to
+  // Evaluate()-based accounting — "fs.ranking.<family>_seconds" is how
+  // MCFS's spectral-embedding overhead shows up in metrics snapshots.
+  auto scores = [&] {
+    auto& registry = obs::MetricsRegistry::Global();
+    obs::ScopedTimer timer(
+        registry.histogram("fs.ranking." +
+                           obs::SanitizeLabel(ranker_->name()) + "_seconds"),
+        &registry.counter("fs.rankings_computed"));
+    obs::TraceSpan span("fs.ranking", ranker_->name());
+    return ranker_->Rank(context.train_data(), context.rng());
+  }();
   if (!scores.ok()) {
     DFS_LOG(WARNING) << name() << " ranking failed: "
                      << scores.status().ToString();

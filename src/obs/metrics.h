@@ -1,0 +1,156 @@
+#ifndef DFS_OBS_METRICS_H_
+#define DFS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dfs::obs {
+
+/// dfs::obs — the observability spine of the repository.
+///
+/// A process-wide registry of named instruments (counters, gauges,
+/// fixed-bucket latency histograms) that the engine, the FS strategies and
+/// the serve fleet record into. The design contract:
+///
+///   * The hot path is atomics only. Instrument handles are stable
+///     references obtained once (registration takes the registry mutex;
+///     recording never does). Call sites cache the reference — either in a
+///     function-local static for fixed names or in a member for per-run
+///     names (e.g. per-strategy counters).
+///   * Instruments are never deleted, so cached references stay valid for
+///     the life of the process. `Reset()` zeroes values in place (tests,
+///     bench isolation) without invalidating handles.
+///   * Snapshots are read concurrently with writers; individual fields are
+///     atomically read but the snapshot as a whole is not a consistent cut
+///     (same caveat as serve::ServerStats — exact at quiescence).
+///
+/// Naming convention: dot-separated lowercase paths, subsystem first —
+/// "engine.evaluations", "strategy.sffs_nr.run_seconds",
+/// "serve.job_seconds". `SanitizeLabel` maps display names ("SFFS(NR)")
+/// onto that space.
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (queue depth, running workers).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Consistent-enough copy of one histogram (see class Histogram).
+struct HistogramSnapshot {
+  /// Inclusive upper bounds of the finite buckets, ascending; counts has
+  /// one extra trailing entry for the overflow bucket.
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
+
+  double mean() const { return count == 0 ? 0.0 : sum / count; }
+  /// Bucket-resolution quantile (upper bound of the bucket holding the
+  /// q-th sample; `max` for the overflow bucket). q in [0, 1].
+  double Quantile(double q) const;
+};
+
+/// Fixed-bucket latency histogram in seconds. Bucket bounds are fixed at
+/// construction (default: 24 exponential buckets, 1 µs .. ~8.4 s, factor 2,
+/// plus overflow), so recording is a linear scan over a small constant
+/// array and three relaxed atomic updates — no locks, no allocation.
+class Histogram {
+ public:
+  Histogram() : Histogram(DefaultBounds()) {}
+  explicit Histogram(std::vector<double> bounds);
+
+  void Record(double value);
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+  /// 1e-6 * 2^i for i in [0, 24): 1 µs up to ~8.4 s, then overflow.
+  static std::vector<double> DefaultBounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Full registry snapshot; serializable for --metrics-out files and the
+/// serve "metrics" verb.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Human/machine-readable JSON document (nested, indented) — the
+  /// --metrics-out file format. Histograms serialize as
+  /// {"count":N,"sum":s,"mean":m,"max":x,"p50":…,"p90":…,"p99":…,
+  ///  "buckets":{"1e-06":n,…,"+inf":n}} with zero buckets omitted.
+  std::string ToJson() const;
+};
+
+/// The process-wide instrument registry. `Global()` is the instance
+/// everything records into; separate instances exist only in tests.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use. The reference is valid for the registry's lifetime. Registering
+  /// the same name as two different instrument kinds is a programming
+  /// error; the first registration wins and a warning is logged.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  /// Histogram with custom bucket bounds (first registration wins).
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered instrument in place. Cached references stay
+  /// valid. For tests and benchmark-harness isolation only.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Maps a display name onto the metric-name space: lowercased, runs of
+/// non-alphanumerics collapsed to single '_', trimmed ("SFFS(NR)" ->
+/// "sffs_nr", "TPE(FCBF)" -> "tpe_fcbf").
+std::string SanitizeLabel(const std::string& name);
+
+/// Writes Global().Snapshot().ToJson() to `path`. Returns false (and logs)
+/// on I/O failure.
+bool DumpGlobalMetrics(const std::string& path);
+
+}  // namespace dfs::obs
+
+#endif  // DFS_OBS_METRICS_H_

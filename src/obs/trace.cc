@@ -1,0 +1,141 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace dfs::obs {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// Writer state behind one mutex; `enabled` is the lock-free fast-path
+/// flag so disabled spans never contend.
+struct WriterState {
+  std::mutex mu;
+  std::FILE* file = nullptr;
+  SteadyClock::time_point epoch;
+  int next_thread_ordinal = 0;
+};
+
+std::atomic<bool> g_enabled{false};
+
+WriterState& State() {
+  static WriterState* state = new WriterState();  // never freed
+  return *state;
+}
+
+/// Per-thread nesting depth and small stable ordinal. The ordinal is
+/// assigned on first emission after the current Open (monotone across
+/// Opens; readers only need it to distinguish threads).
+thread_local int t_depth = 0;
+thread_local int t_thread_ordinal = -1;
+
+std::string EscapeJson(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Status TraceWriter::Open(const std::string& path) {
+  WriterState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.file != nullptr) {
+    return FailedPreconditionError("trace writer already open");
+  }
+  state.file = std::fopen(path.c_str(), "w");
+  if (state.file == nullptr) {
+    return InternalError("cannot open trace file: " + path);
+  }
+  state.epoch = SteadyClock::now();
+  g_enabled.store(true, std::memory_order_release);
+  return OkStatus();
+}
+
+void TraceWriter::Close() {
+  WriterState& state = State();
+  // Flip the fast-path flag first: spans that start after this line are
+  // dropped; spans already emitting serialize behind the mutex.
+  g_enabled.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.file != nullptr) {
+    std::fclose(state.file);
+    state.file = nullptr;
+  }
+}
+
+bool TraceWriter::enabled() {
+  return g_enabled.load(std::memory_order_acquire);
+}
+
+void TraceWriter::Emit(const std::string& span, const std::string& detail,
+                       uint64_t start_us, uint64_t dur_us, int thread,
+                       int depth) {
+  WriterState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.file == nullptr) return;  // closed between check and emit
+  std::string line = "{\"span\":\"" + EscapeJson(span) + "\"";
+  if (!detail.empty()) {
+    line += ",\"detail\":\"" + EscapeJson(detail) + "\"";
+  }
+  line += ",\"start_us\":" + std::to_string(start_us) +
+          ",\"dur_us\":" + std::to_string(dur_us) +
+          ",\"thread\":" + std::to_string(thread) +
+          ",\"depth\":" + std::to_string(depth) + "}\n";
+  std::fwrite(line.data(), 1, line.size(), state.file);
+  std::fflush(state.file);
+}
+
+TraceSpan::TraceSpan(std::string name, std::string detail)
+    : enabled_(TraceWriter::enabled()) {
+  if (!enabled_) return;
+  name_ = std::move(name);
+  detail_ = std::move(detail);
+  WriterState& state = State();
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.file == nullptr) {
+      enabled_ = false;
+      return;
+    }
+    if (t_thread_ordinal < 0) t_thread_ordinal = state.next_thread_ordinal++;
+    start_us_ = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            SteadyClock::now() - state.epoch)
+            .count());
+  }
+  depth_ = t_depth++;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!enabled_) return;
+  t_depth--;
+  uint64_t now_us = 0;
+  {
+    WriterState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.file == nullptr) return;  // closed while the span was live
+    now_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            SteadyClock::now() - state.epoch)
+            .count());
+  }
+  TraceWriter::Emit(name_, detail_, start_us_,
+                    now_us >= start_us_ ? now_us - start_us_ : 0,
+                    t_thread_ordinal, depth_);
+}
+
+}  // namespace dfs::obs

@@ -1,0 +1,98 @@
+#ifndef DFS_OBS_TRACE_H_
+#define DFS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace dfs::obs {
+
+/// Optional process-wide JSONL span sink (dfs_serverd --trace-out, test
+/// harnesses). When no writer is open, TraceSpan costs one relaxed atomic
+/// load per construction and nothing else.
+///
+/// The file holds one flat JSON object per line (the same flat-JSON shape
+/// as the serve wire protocol, so the serve parser validates it):
+///
+///   {"span":"serve.job","detail":"id=7","start_us":1234,"dur_us":56789,
+///    "thread":3,"depth":0}
+///
+/// start_us is measured from TraceWriter::Open on the process steady
+/// clock; thread is a small per-process ordinal (first-use order, not an
+/// OS tid); depth is the number of enclosing live TraceSpans on the same
+/// thread — nesting is reconstructed by (thread, start_us, dur_us, depth).
+class TraceWriter {
+ public:
+  /// Opens `path` (truncating) and starts accepting spans. One writer per
+  /// process; a second Open without Close returns FailedPrecondition.
+  static Status Open(const std::string& path);
+
+  /// Flushes and closes the writer; subsequent spans are dropped again.
+  /// No-op when not open.
+  static void Close();
+
+  static bool enabled();
+
+  /// Appends one span line. Called by ~TraceSpan; rarely useful directly.
+  static void Emit(const std::string& span, const std::string& detail,
+                   uint64_t start_us, uint64_t dur_us, int thread, int depth);
+};
+
+/// RAII span: stamps construction→destruction on the trace timeline under
+/// `name`, maintaining a per-thread nesting depth. Cheap enough to leave in
+/// production paths (a disabled span never takes the clock).
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name, std::string detail = "");
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool enabled_;
+  std::string name_;
+  std::string detail_;
+  uint64_t start_us_ = 0;
+  int depth_ = 0;
+};
+
+/// RAII timer: records elapsed seconds into a Histogram at scope exit (and
+/// optionally bumps a Counter). Hot-path cost is two steady_clock reads
+/// plus the histogram's relaxed atomics.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram, Counter* counter = nullptr)
+      : histogram_(histogram), counter_(counter) {}
+
+  ~ScopedTimer() {
+    if (armed_) Stop();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Records now instead of at scope exit; idempotent.
+  void Stop() {
+    if (!armed_) return;
+    armed_ = false;
+    histogram_.Record(stopwatch_.ElapsedSeconds());
+    if (counter_ != nullptr) counter_->Increment();
+  }
+
+  /// Leaves without recording anything (e.g. cache-hit early return).
+  void Cancel() { armed_ = false; }
+
+ private:
+  Histogram& histogram_;
+  Counter* counter_;
+  Stopwatch stopwatch_;
+  bool armed_ = true;
+};
+
+}  // namespace dfs::obs
+
+#endif  // DFS_OBS_TRACE_H_

@@ -1,8 +1,10 @@
 #include "serve/frontend.h"
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/line_protocol.h"
 #include "util/string_util.h"
 
@@ -132,6 +134,57 @@ std::string HandleStats(DfsServer& server) {
   return WriteJsonLine(object);
 }
 
+/// The "metrics" verb: the dfs::obs registry snapshot flattened onto the
+/// wire's flat-JSON shape. Counters and gauges keep their registry names;
+/// a histogram <h> becomes "<h>.count", "<h>.sum", "<h>.mean", "<h>.max",
+/// "<h>.p50/.p90/.p99" plus "<h>.buckets", a "bound:count ..." string of
+/// its non-empty buckets ("+inf" for the overflow bucket). The serve
+/// gauges are refreshed from live server state first, so queue depth and
+/// running count are current even while jobs are moving.
+std::string HandleMetrics(DfsServer& server) {
+  auto& registry = obs::MetricsRegistry::Global();
+  const ServerStats stats = server.Stats();
+  registry.gauge("serve.queue_depth")
+      .Set(static_cast<int64_t>(stats.queue_depth));
+  registry.gauge("serve.running").Set(stats.running);
+  registry.gauge("serve.retained_jobs")
+      .Set(static_cast<int64_t>(stats.retained_jobs));
+
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+  JsonObject object;
+  object["ok"] = JsonValue::Bool(true);
+  for (const auto& [name, value] : snapshot.counters) {
+    object[name] = JsonValue::Number(static_cast<double>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    object[name] = JsonValue::Number(static_cast<double>(value));
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    object[name + ".count"] =
+        JsonValue::Number(static_cast<double>(h.count));
+    object[name + ".sum"] = JsonValue::Number(h.sum);
+    object[name + ".mean"] = JsonValue::Number(h.mean());
+    object[name + ".max"] = JsonValue::Number(h.max);
+    object[name + ".p50"] = JsonValue::Number(h.Quantile(0.5));
+    object[name + ".p90"] = JsonValue::Number(h.Quantile(0.9));
+    object[name + ".p99"] = JsonValue::Number(h.Quantile(0.99));
+    std::vector<std::string> buckets;
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      if (h.counts[i] == 0) continue;
+      char bound[40];
+      if (i < h.bounds.size()) {
+        std::snprintf(bound, sizeof(bound), "%.3g", h.bounds[i]);
+      } else {
+        std::snprintf(bound, sizeof(bound), "+inf");
+      }
+      buckets.push_back(std::string(bound) + ":" +
+                        std::to_string(h.counts[i]));
+    }
+    object[name + ".buckets"] = JsonValue::String(Join(buckets, " "));
+  }
+  return WriteJsonLine(object);
+}
+
 }  // namespace
 
 DispatchResult Dispatch(DfsServer& server, const std::string& line) {
@@ -148,6 +201,8 @@ DispatchResult Dispatch(DfsServer& server, const std::string& line) {
       return {HandleCancel(server, request->id), false};
     case Request::Op::kStats:
       return {HandleStats(server), false};
+    case Request::Op::kMetrics:
+      return {HandleMetrics(server), false};
     case Request::Op::kPing: {
       JsonObject object;
       object["ok"] = JsonValue::Bool(true);

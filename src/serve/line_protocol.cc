@@ -273,6 +273,10 @@ StatusOr<Request> ParseRequestLine(const std::string& line) {
     request.op = Request::Op::kStats;
     return request;
   }
+  if (op == "metrics") {
+    request.op = Request::Op::kMetrics;
+    return request;
+  }
   if (op == "shutdown") {
     request.op = Request::Op::kShutdown;
     return request;

@@ -23,10 +23,14 @@ namespace dfs::serve {
 ///   <- {"ok":true,"state":"DONE","success":true,"features":"0 3 9",...}
 ///   -> {"op":"cancel","id":7}        -> {"op":"stats"}
 ///   -> {"op":"ping"}                 -> {"op":"shutdown"}
+///   -> {"op":"metrics"}   // dfs::obs registry snapshot, flattened
 ///
 /// Errors: {"ok":false,"error":"<machine tag>","message":"<detail>"}.
 /// The "queue_full" error tag is the backpressure signal; clients should
 /// back off and retry instead of reconnecting.
+///
+/// The complete wire contract (field tables per verb, error codes, the
+/// 1 MiB line cap, polling semantics, transcripts) is docs/PROTOCOL.md.
 
 /// One scalar value of the flat JSON object.
 struct JsonValue {
@@ -61,8 +65,8 @@ std::optional<double> GetOptionalNumber(const JsonObject& object,
 
 /// A parsed client request.
 struct Request {
-  enum class Op { kSubmit, kStatus, kResult, kCancel, kStats, kPing,
-                  kShutdown };
+  enum class Op { kSubmit, kStatus, kResult, kCancel, kStats, kMetrics,
+                  kPing, kShutdown };
   Op op = Op::kPing;
   /// Valid when op == kSubmit.
   JobRequest submit;

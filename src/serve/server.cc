@@ -9,10 +9,51 @@
 #include "data/synthetic.h"
 #include "fs/feature_subset.h"
 #include "fs/registry.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
 namespace dfs::serve {
+namespace {
+
+/// dfs::obs instruments of the serve fleet. Counters mirror ServerStats
+/// (same reconcile-at-quiescence contract); the gauges and the job-latency
+/// histograms are what ServerStats cannot answer: instantaneous depth and
+/// the shape of the end-to-end distribution, queryable over the wire via
+/// the "metrics" verb.
+struct ServeMetrics {
+  obs::Counter& accepted;
+  obs::Counter& rejected;
+  obs::Counter& completed;
+  obs::Counter& failed;
+  obs::Counter& cancelled;
+  obs::Counter& timed_out;
+  obs::Gauge& queue_depth;
+  obs::Gauge& running;
+  obs::Histogram& queue_seconds;
+  obs::Histogram& run_seconds;
+  obs::Histogram& job_seconds;  ///< end-to-end: submit -> terminal
+
+  static ServeMetrics& Get() {
+    auto& registry = obs::MetricsRegistry::Global();
+    static ServeMetrics* metrics = new ServeMetrics{
+        registry.counter("serve.jobs.accepted"),
+        registry.counter("serve.jobs.rejected"),
+        registry.counter("serve.jobs.completed"),
+        registry.counter("serve.jobs.failed"),
+        registry.counter("serve.jobs.cancelled"),
+        registry.counter("serve.jobs.timed_out"),
+        registry.gauge("serve.queue_depth"),
+        registry.gauge("serve.running"),
+        registry.histogram("serve.queue_seconds"),
+        registry.histogram("serve.run_seconds"),
+        registry.histogram("serve.job_seconds"),
+    };
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 DfsServer::DfsServer(ServerOptions options)
     : options_(std::move(options)),
@@ -61,6 +102,9 @@ StatusOr<JobId> DfsServer::Submit(const JobRequest& request) {
   }
   switch (queue_.TrySubmit(job)) {
     case SubmitOutcome::kAccepted: {
+      ServeMetrics::Get().accepted.Increment();
+      ServeMetrics::Get().queue_depth.Set(
+          static_cast<int64_t>(queue_.size()));
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.accepted;
       return id;
@@ -70,6 +114,7 @@ StatusOr<JobId> DfsServer::Submit(const JobRequest& request) {
         std::lock_guard<std::mutex> lock(jobs_mu_);
         jobs_.erase(id);
       }
+      ServeMetrics::Get().rejected.Increment();
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.rejected;
       return ResourceExhaustedError(
@@ -152,9 +197,11 @@ Status DfsServer::CancelJob(const std::shared_ptr<Job>& job) {
   // Still queued: take it out of the queue and finish it here. If a worker
   // popped it in the meantime, Remove fails and the worker observes the
   // stop token instead — exactly one side records the terminal state.
-  if (queue_.Remove(job->id()) &&
-      job->TryTransition(JobState::kCancelled)) {
-    RecordTerminal(*job, /*evaluations=*/0);
+  if (queue_.Remove(job->id())) {
+    ServeMetrics::Get().queue_depth.Set(static_cast<int64_t>(queue_.size()));
+    if (job->TryTransition(JobState::kCancelled)) {
+      RecordTerminal(*job, /*evaluations=*/0);
+    }
   }
   return OkStatus();
 }
@@ -212,7 +259,9 @@ void DfsServer::Shutdown(bool cancel_pending) {
 }
 
 void DfsServer::WorkerLoop() {
+  ServeMetrics& metrics = ServeMetrics::Get();
   while (std::shared_ptr<Job> job = queue_.PopBlocking()) {
+    metrics.queue_depth.Set(static_cast<int64_t>(queue_.size()));
     if (job->cancel_requested()) {
       if (job->TryTransition(JobState::kCancelled)) {
         RecordTerminal(*job, /*evaluations=*/0);
@@ -221,10 +270,12 @@ void DfsServer::WorkerLoop() {
     }
     if (!job->TryTransition(JobState::kRunning)) continue;
     running_.fetch_add(1);
+    metrics.running.Add(1);
     const JobOutcome outcome = ExecuteJob(*job);
     // Drop the gauge before the terminal transition: anyone woken by
     // WaitForTerminal must not observe the finished job as still running.
     running_.fetch_sub(1);
+    metrics.running.Add(-1);
     if (job->TryTransition(outcome.state)) {
       RecordTerminal(*job, outcome.evaluations);
     }
@@ -232,6 +283,9 @@ void DfsServer::WorkerLoop() {
 }
 
 DfsServer::JobOutcome DfsServer::ExecuteJob(Job& job) {
+  obs::TraceSpan span("serve.job",
+                      "id=" + std::to_string(job.id()) + " strategy=" +
+                          job.request().strategy);
   const JobRequest& request = job.request();
   const auto fail = [&](const std::string& message) {
     job.set_error(message);
@@ -278,20 +332,25 @@ DfsServer::JobOutcome DfsServer::ExecuteJob(Job& job) {
 }
 
 void DfsServer::RecordTerminal(const Job& job, int evaluations) {
+  ServeMetrics& metrics = ServeMetrics::Get();
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     switch (job.state()) {
       case JobState::kDone:
         ++stats_.completed;
+        metrics.completed.Increment();
         break;
       case JobState::kFailed:
         ++stats_.failed;
+        metrics.failed.Increment();
         break;
       case JobState::kCancelled:
         ++stats_.cancelled;
+        metrics.cancelled.Increment();
         break;
       case JobState::kTimedOut:
         ++stats_.timed_out;
+        metrics.timed_out.Increment();
         break;
       default:
         DFS_LOG(WARNING) << "RecordTerminal on non-terminal job";
@@ -303,6 +362,9 @@ void DfsServer::RecordTerminal(const Job& job, int evaluations) {
     stats_.run_seconds_total += run_seconds;
     stats_.run_seconds_max = std::max(stats_.run_seconds_max, run_seconds);
   }
+  metrics.queue_seconds.Record(job.queue_seconds());
+  metrics.run_seconds.Record(job.run_seconds());
+  metrics.job_seconds.Record(job.queue_seconds() + job.run_seconds());
   // Pairing the notify with the waiters' mutex closes the missed-wakeup
   // window (the state transition itself happens under the job's own lock).
   { std::lock_guard<std::mutex> lock(jobs_mu_); }

@@ -1,0 +1,193 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dfs::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(GaugeTest, SetAddAndNegative) {
+  Gauge gauge;
+  gauge.Set(7);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.Add(-10);
+  EXPECT_EQ(gauge.value(), -3);
+  gauge.Reset();
+  EXPECT_EQ(gauge.value(), 0);
+}
+
+TEST(HistogramTest, DefaultBoundsCoverMicrosecondsToSeconds) {
+  const auto bounds = Histogram::DefaultBounds();
+  ASSERT_EQ(bounds.size(), 24u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-6);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(bounds[i], bounds[i - 1] * 2.0);
+  }
+  EXPECT_GT(bounds.back(), 8.0);  // ~8.4 s
+}
+
+TEST(HistogramTest, RecordPlacesSamplesInCorrectBuckets) {
+  Histogram histogram({1.0, 2.0, 4.0});
+  histogram.Record(0.5);   // bucket 0 (<= 1)
+  histogram.Record(1.0);   // bucket 0 (inclusive upper bound)
+  histogram.Record(3.0);   // bucket 2
+  histogram.Record(100.0);  // overflow
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  ASSERT_EQ(snapshot.counts.size(), 4u);  // 3 finite + overflow
+  EXPECT_EQ(snapshot.counts[0], 2u);
+  EXPECT_EQ(snapshot.counts[1], 0u);
+  EXPECT_EQ(snapshot.counts[2], 1u);
+  EXPECT_EQ(snapshot.counts[3], 1u);
+  EXPECT_EQ(snapshot.count, 4u);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 104.5);
+  EXPECT_DOUBLE_EQ(snapshot.max, 100.0);
+  EXPECT_DOUBLE_EQ(snapshot.mean(), 104.5 / 4.0);
+}
+
+TEST(HistogramTest, QuantileReturnsBucketUpperBound) {
+  Histogram histogram({1.0, 2.0, 4.0});
+  for (int i = 0; i < 90; ++i) histogram.Record(0.5);  // bucket 0
+  for (int i = 0; i < 9; ++i) histogram.Record(1.5);   // bucket 1
+  histogram.Record(8.0);                               // overflow
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.9), 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.95), 2.0);
+  // The last sample lives in the overflow bucket, whose "bound" is max.
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(1.0), 8.0);
+  // Empty histogram quantiles are zero.
+  EXPECT_DOUBLE_EQ(Histogram().Snapshot().Quantile(0.5), 0.0);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x.count");
+  Counter& b = registry.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesInPlaceWithoutInvalidatingHandles) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("c");
+  Gauge& gauge = registry.gauge("g");
+  Histogram& histogram = registry.histogram("h");
+  counter.Increment(5);
+  gauge.Set(3);
+  histogram.Record(0.25);
+  registry.Reset();
+  // The same references still work and read zero.
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(gauge.value(), 0);
+  EXPECT_EQ(histogram.Snapshot().count, 0u);
+  counter.Increment();
+  EXPECT_EQ(registry.Snapshot().counters.at("c"), 1u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentHammeringReconcilesExactly) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("hammer.count");
+  Gauge& gauge = registry.gauge("hammer.gauge");
+  Histogram& histogram = registry.histogram("hammer.seconds");
+
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        counter.Increment();
+        gauge.Add(1);
+        // Spread samples across several buckets; every value is exact in
+        // binary floating point so the sum reconciles exactly too.
+        histogram.Record((t % 4 == 0)   ? 0.5
+                         : (t % 4 == 1) ? 0.03125
+                         : (t % 4 == 2) ? 0.000244140625
+                                        : 16.0);  // overflow bucket
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  constexpr uint64_t kTotal =
+      static_cast<uint64_t>(kThreads) * kIterations;
+  EXPECT_EQ(counter.value(), kTotal);
+  EXPECT_EQ(gauge.value(), static_cast<int64_t>(kTotal));
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, kTotal);
+  uint64_t bucket_total = 0;
+  for (const uint64_t n : snapshot.counts) bucket_total += n;
+  EXPECT_EQ(bucket_total, kTotal);
+  // 2 of the 8 threads recorded each value.
+  const double expected_sum =
+      2.0 * kIterations * (0.5 + 0.03125 + 0.000244140625 + 16.0);
+  EXPECT_DOUBLE_EQ(snapshot.sum, expected_sum);
+  EXPECT_DOUBLE_EQ(snapshot.max, 16.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotWhileWritersRunIsWellFormed) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("live.count");
+  Histogram& histogram = registry.histogram("live.seconds");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load()) {
+      counter.Increment();
+      histogram.Record(0.001);
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    const MetricsSnapshot snapshot = registry.Snapshot();
+    const auto& h = snapshot.histograms.at("live.seconds");
+    uint64_t bucket_total = 0;
+    for (const uint64_t n : h.counts) bucket_total += n;
+    // Not a consistent cut, but never torn: bucket totals may trail the
+    // sample count by in-flight records, never exceed what was recorded.
+    EXPECT_LE(bucket_total, counter.value() + 1);
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST(SanitizeLabelTest, MapsDisplayNamesOntoMetricNames) {
+  EXPECT_EQ(SanitizeLabel("SFFS(NR)"), "sffs_nr");
+  EXPECT_EQ(SanitizeLabel("TPE(FCBF)"), "tpe_fcbf");
+  EXPECT_EQ(SanitizeLabel("Portfolio(SFS+RFE)"), "portfolio_sfs_rfe");
+  EXPECT_EQ(SanitizeLabel("  weird -- name "), "weird_name");
+  EXPECT_EQ(SanitizeLabel(""), "");
+}
+
+TEST(MetricsSnapshotTest, ToJsonContainsInstrumentsAndOmitsZeroBuckets) {
+  MetricsRegistry registry;
+  registry.counter("a.count").Increment(3);
+  registry.gauge("a.gauge").Set(-2);
+  Histogram& histogram = registry.histogram("a.seconds", {1.0, 2.0});
+  histogram.Record(0.5);
+  histogram.Record(9.0);
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"a.count\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"a.gauge\": -2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"a.seconds\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"+inf\""), std::string::npos) << json;
+  // The empty (1, 2] bucket must not appear.
+  EXPECT_EQ(json.find("\"2\""), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace dfs::obs

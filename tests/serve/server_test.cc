@@ -388,5 +388,72 @@ TEST(ServeFrontendTest, TcpLineProtocolEndToEnd) {
   listener.Close();
 }
 
+TEST(ServeFrontendTest, MetricsVerbRoundTripsOverTcp) {
+  auto server = MakeServer(/*workers=*/2, /*capacity=*/8);
+  TcpListener listener;
+  ASSERT_TRUE(listener.Listen(/*port=*/0).ok());
+  std::thread acceptor([&server, &listener] {
+    while (true) {
+      auto client = listener.Accept();
+      if (!client.ok()) return;
+      LineChannel channel(*client);
+      if (ServeConnection(*server, channel)) return;
+    }
+  });
+
+  auto fd = TcpConnect("127.0.0.1", listener.port());
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  LineChannel client(*fd);
+  const auto round_trip = [&client](const std::string& line) {
+    EXPECT_TRUE(client.WriteLine(line).ok());
+    auto response = client.ReadLine();
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    auto object = ParseJsonLine(response.value_or("{}"));
+    EXPECT_TRUE(object.ok()) << *response;
+    return object.value_or(JsonObject{});
+  };
+
+  // Run a job to completion so the serve counters and the job-latency
+  // histogram have observations.
+  JsonObject submitted = round_trip(
+      std::string(R"({"op":"submit","dataset":")") + kDataset +
+      R"js(","strategy":"SFS(NR)","min_f1":0.5,"budget":10})js");
+  ASSERT_TRUE(GetBool(submitted, "ok").value_or(false));
+  const int id = static_cast<int>(GetNumber(submitted, "id").value_or(0));
+  std::string state = "QUEUED";
+  Stopwatch stopwatch;
+  while ((state == "QUEUED" || state == "RUNNING") &&
+         stopwatch.ElapsedSeconds() < 60.0) {
+    JsonObject status = round_trip(
+        R"({"op":"status","id":)" + std::to_string(id) + "}");
+    state = GetString(status, "state").value_or("");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(state, "DONE");
+
+  JsonObject metrics = round_trip(R"({"op":"metrics"})");
+  EXPECT_TRUE(GetBool(metrics, "ok").value_or(false));
+  // Cumulative job-state counters (the obs mirror of ServerStats).
+  EXPECT_GE(GetNumber(metrics, "serve.jobs.completed").value_or(-1), 1.0);
+  // Live gauges refreshed from server state at request time.
+  EXPECT_EQ(GetNumber(metrics, "serve.queue_depth").value_or(-1), 0.0);
+  EXPECT_EQ(GetNumber(metrics, "serve.running").value_or(-1), 0.0);
+  // The flattened end-to-end latency histogram has the finished job.
+  EXPECT_GE(GetNumber(metrics, "serve.job_seconds.count").value_or(-1),
+            1.0);
+  EXPECT_GT(GetNumber(metrics, "serve.job_seconds.sum").value_or(-1), 0.0);
+  EXPECT_GE(GetNumber(metrics, "serve.job_seconds.p50").value_or(-1), 0.0);
+  ASSERT_TRUE(GetString(metrics, "serve.job_seconds.buckets").ok());
+  EXPECT_FALSE(
+      GetString(metrics, "serve.job_seconds.buckets").value_or("").empty());
+  // Engine instrumentation flows through the same snapshot.
+  EXPECT_GE(GetNumber(metrics, "engine.evaluations").value_or(-1), 1.0);
+
+  JsonObject bye = round_trip(R"({"op":"shutdown"})");
+  EXPECT_TRUE(GetBool(bye, "shutting_down").value_or(false));
+  acceptor.join();
+  listener.Close();
+}
+
 }  // namespace
 }  // namespace dfs::serve

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.h"
 #include "serve/frontend.h"
 #include "serve/server.h"
 #include "serve/tcp.h"
@@ -35,6 +36,7 @@ struct DaemonOptions {
   double ttl = 300.0;
   double row_scale = 1.0;
   std::string optimizer;  // path to a serialized DfsOptimizer
+  std::string trace_out;  // JSONL trace-span output (empty = disabled)
   bool expose = false;    // bind all interfaces instead of loopback
   bool help = false;
 };
@@ -133,6 +135,10 @@ int RealMain(int argc, char** argv) {
   parser.AddString("optimizer",
                    "path to a serialized DfsOptimizer for \"auto\" jobs",
                    &options.optimizer);
+  parser.AddString("trace-out",
+                   "write JSONL trace spans (serve.job, engine.run, fs.*) "
+                   "to this file",
+                   &options.trace_out);
   parser.AddBool("expose", "bind all interfaces instead of loopback only",
                  &options.expose);
   parser.AddBool("help", "print usage", &options.help);
@@ -144,6 +150,15 @@ int RealMain(int argc, char** argv) {
   if (options.help) {
     std::fputs(parser.Help().c_str(), stdout);
     return 0;
+  }
+
+  if (!options.trace_out.empty()) {
+    if (Status status = obs::TraceWriter::Open(options.trace_out);
+        !status.ok()) {
+      std::fprintf(stderr, "trace-out: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("tracing spans to %s\n", options.trace_out.c_str());
   }
 
   serve::ServerOptions server_options;
@@ -203,6 +218,7 @@ int RealMain(int argc, char** argv) {
   }
   handlers.JoinAll();
   server.Shutdown(/*cancel_pending=*/true);
+  obs::TraceWriter::Close();
 
   const serve::ServerStats stats = server.Stats();
   std::printf(

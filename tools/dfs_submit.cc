@@ -4,7 +4,8 @@
 //              --min-f1 0.7 --min-eo 0.9 --budget 2 --wait
 //   dfs_submit --status 7        dfs_submit --result 7
 //   dfs_submit --cancel 7        dfs_submit --stats
-//   dfs_submit --ping            dfs_submit --shutdown
+//   dfs_submit --metrics         dfs_submit --ping
+//   dfs_submit --shutdown
 //
 // Speaks the newline-delimited JSON line protocol (one request, one
 // response per line). Responses are printed verbatim; --wait polls a
@@ -47,6 +48,7 @@ struct ClientOptions {
   int result_id = 0;
   int cancel_id = 0;
   bool stats = false;
+  bool metrics = false;
   bool ping = false;
   bool shutdown = false;
   bool help = false;
@@ -85,6 +87,9 @@ void RegisterFlags(FlagParser& parser, ClientOptions& options) {
   parser.AddInt("result", "fetch the result of a job id", &options.result_id);
   parser.AddInt("cancel", "cancel a job id", &options.cancel_id);
   parser.AddBool("stats", "fetch service counters", &options.stats);
+  parser.AddBool("metrics",
+                 "fetch the flattened dfs::obs metrics snapshot",
+                 &options.metrics);
   parser.AddBool("ping", "health-check the service", &options.ping);
   parser.AddBool("shutdown", "ask the daemon to shut down",
                  &options.shutdown);
@@ -172,6 +177,8 @@ int RealMain(int argc, char** argv) {
     request = IdRequest("cancel", options.cancel_id);
   } else if (options.stats) {
     request = OpRequest("stats");
+  } else if (options.metrics) {
+    request = OpRequest("metrics");
   } else if (options.ping) {
     request = OpRequest("ping");
   } else if (options.shutdown) {
@@ -209,7 +216,8 @@ int RealMain(int argc, char** argv) {
   } else {
     std::fprintf(stderr,
                  "nothing to do: pass --dataset (submit) or one of "
-                 "--status/--result/--cancel/--stats/--ping/--shutdown\n\n%s",
+                 "--status/--result/--cancel/--stats/--metrics/--ping/"
+                 "--shutdown\n\n%s",
                  parser.Help().c_str());
     return 1;
   }
