@@ -5,6 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "core/engine.h"
 #include "core/scenario.h"
 #include "data/benchmark_suite.h"
@@ -115,6 +119,54 @@ void BM_EngineEvalCache(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineEvalCache)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 
+// ---- Parallel candidate-sweep evaluation (EvaluateBatch) -------------
+
+// Throughput of a candidate sweep (the inner loop of SFS/RFE/exhaustive)
+// through EvaluateBatch at different thread budgets. Arg is the engine's
+// num_threads; 0 means "process budget" (DFS_THREADS / hardware). The
+// cache is disabled so every mask costs a real train+measure, and the
+// masks rotate so each batch is fresh work.
+void BM_EngineEvaluateBatch(benchmark::State& state) {
+  const int num_threads = static_cast<int>(state.range(0));
+  state.SetLabel(num_threads == 0 ? "threads=budget"
+                                  : "threads=" + std::to_string(num_threads));
+  core::MlScenario scenario = MicroScenario();
+  scenario.constraint_set.min_f1 = 0.99;  // never succeed, keep evaluating
+  scenario.constraint_set.max_search_seconds = 3600;
+  core::EngineOptions options;
+  options.enable_eval_cache = false;
+  options.num_threads = num_threads;
+
+  core::DfsEngine engine(scenario, options);
+  class WarmupStrategy : public fs::FeatureSelectionStrategy {
+   public:
+    std::string name() const override { return "warmup"; }
+    fs::StrategyInfo info() const override { return {}; }
+    void Run(fs::EvalContext&) override {}
+  } warmup;
+  engine.Run(warmup);  // arms the deadline/state
+
+  const int n = TelcoDataset().num_features();
+  std::vector<fs::FeatureMask> masks;
+  for (int f = 0; f < n; ++f) {
+    masks.push_back(fs::IndicesToMask(n, {f}));
+    masks.push_back(fs::IndicesToMask(n, {f, (f + 1) % n}));
+  }
+  for (auto _ : state) {
+    auto outcomes = engine.EvaluateBatch(masks);
+    benchmark::DoNotOptimize(outcomes);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(masks.size()));
+}
+BENCHMARK(BM_EngineEvaluateBatch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 // ---- Ablation: TPE gamma quantile (DESIGN.md) ------------------------
 
 void BM_TpeGammaConvergence(benchmark::State& state) {
@@ -146,4 +198,40 @@ BENCHMARK(BM_TpeGammaConvergence)->Arg(10)->Arg(25)->Arg(50);
 }  // namespace
 }  // namespace dfs
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus a `--json` convenience flag: `--json <path>` (or
+// `--json=<path>`) writes the standard google-benchmark JSON report to
+// <path> while keeping the console output; a bare `--json` switches the
+// console reporter itself to JSON. Used by `scripts/check.sh
+// --bench-smoke` to snapshot serial-vs-parallel evaluation throughput.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(argc + 1);
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc &&
+        argv[i + 1][0] != '-') {
+      args.push_back(std::string("--benchmark_out=") + argv[i + 1]);
+      args.push_back("--benchmark_out_format=json");
+      ++i;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      args.push_back("--benchmark_format=json");
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      args.push_back(std::string("--benchmark_out=") + (argv[i] + 7));
+      args.push_back("--benchmark_out_format=json");
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::vector<char*> argv_rewritten;
+  argv_rewritten.reserve(args.size());
+  for (std::string& arg : args) argv_rewritten.push_back(arg.data());
+  int argc_rewritten = static_cast<int>(argv_rewritten.size());
+
+  benchmark::Initialize(&argc_rewritten, argv_rewritten.data());
+  if (benchmark::ReportUnrecognizedArguments(argc_rewritten,
+                                             argv_rewritten.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,18 +1,37 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, run the full test suite.
 #
-#   scripts/check.sh              # the tier-1 gate from ROADMAP.md
-#   scripts/check.sh --sanitize   # additionally run the concurrent tests
-#                                 # (serve_test, util_test) under TSan
-#   scripts/check.sh --docs       # docs only (no build): every relative
-#                                 # Markdown link resolves, and every
-#                                 # bench_* binary named in EXPERIMENTS.md
-#                                 # exists in bench/CMakeLists.txt
+#   scripts/check.sh               # the tier-1 gate from ROADMAP.md
+#   scripts/check.sh --sanitize    # additionally run the concurrent tests
+#                                  # (serve_test, util_test,
+#                                  # engine_parallel_test) under TSan
+#   scripts/check.sh --docs        # docs only (no build): every relative
+#                                  # Markdown link resolves, every bench_*
+#                                  # binary named in EXPERIMENTS.md exists,
+#                                  # and every DFS_* env knob read by the
+#                                  # code is documented in EXPERIMENTS.md
+#   scripts/check.sh --bench-smoke # build bench_micro and snapshot the
+#                                  # serial-vs-parallel candidate-sweep
+#                                  # throughput to BENCH_results.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if [[ "${1:-}" == "--docs" ]]; then
   python3 scripts/check_docs.py
+  echo "check.sh: OK"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--bench-smoke" ]]; then
+  cmake -B build -S .
+  cmake --build build -j --target bench_micro
+  # Covers Arg(1) (serial baseline) through Arg(0) (full budget); DFS_THREADS
+  # caps the budget so the snapshot is reproducible on wide machines.
+  DFS_THREADS="${DFS_THREADS:-4}" ./build/bench/bench_micro \
+    --benchmark_filter=EngineEvaluateBatch \
+    --benchmark_min_time=0.2 \
+    --json BENCH_results.json
+  echo "check.sh: wrote BENCH_results.json"
   echo "check.sh: OK"
   exit 0
 fi
@@ -25,9 +44,10 @@ if [[ "${1:-}" == "--sanitize" ]]; then
   # ThreadSanitizer build of the concurrency-heavy binaries in a separate
   # build tree, so the regular build/ stays clean.
   cmake -B build-tsan -S . -DDFS_SANITIZE=thread
-  cmake --build build-tsan -j --target serve_test util_test
+  cmake --build build-tsan -j --target serve_test util_test engine_parallel_test
   ./build-tsan/tests/serve_test
   ./build-tsan/tests/util_test
+  ./build-tsan/tests/engine_parallel_test
 fi
 
 echo "check.sh: OK"

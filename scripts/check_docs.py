@@ -5,6 +5,10 @@
    resolves to a file or directory in the repository.
 2. Every `bench_*` binary named in EXPERIMENTS.md is declared in
    bench/CMakeLists.txt (no stale instructions for removed binaries).
+3. Every `DFS_*` environment variable the code reads (any
+   `getenv("DFS_...")` under src/ or bench/) is documented in
+   EXPERIMENTS.md — env knobs must not be discoverable only by reading
+   the source.
 """
 
 import glob
@@ -71,8 +75,25 @@ def check_bench_binaries():
     ]
 
 
+def check_env_knobs():
+    getenv_re = re.compile(r"getenv\(\s*\"(DFS_[A-Z0-9_]+)\"")
+    read = {}
+    for root in ("src", "bench"):
+        pattern = os.path.join(REPO, root, "**", "*.cc")
+        for path in sorted(glob.glob(pattern, recursive=True)):
+            with open(path, encoding="utf-8") as handle:
+                for name in getenv_re.findall(handle.read()):
+                    read.setdefault(name, os.path.relpath(path, REPO))
+    with open(os.path.join(REPO, "EXPERIMENTS.md"), encoding="utf-8") as f:
+        documented = set(re.findall(r"\b(DFS_[A-Z0-9_]+)\b", f.read()))
+    return [
+        f"{path} reads '{name}' but EXPERIMENTS.md does not document it"
+        for name, path in sorted(read.items()) if name not in documented
+    ]
+
+
 def main():
-    errors = check_links() + check_bench_binaries()
+    errors = check_links() + check_bench_binaries() + check_env_knobs()
     for error in errors:
         print(f"check_docs: {error}", file=sys.stderr)
     if errors:

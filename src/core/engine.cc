@@ -19,12 +19,14 @@ struct EngineMetrics {
   obs::Counter& successes;
   obs::Counter& cancellations;
   obs::Counter& evaluations;
+  obs::Counter& parallel_evaluations;
   obs::Counter& cache_hits;
   obs::Counter& train_failures;
   obs::Histogram& run_seconds;
   obs::Histogram& evaluation_seconds;
   obs::Histogram& fit_seconds;
   obs::Histogram& cancel_latency_seconds;
+  obs::Histogram& batch_size;
 
   static EngineMetrics& Get() {
     auto& registry = obs::MetricsRegistry::Global();
@@ -33,12 +35,17 @@ struct EngineMetrics {
         registry.counter("engine.successes"),
         registry.counter("engine.cancellations"),
         registry.counter("engine.evaluations"),
+        registry.counter("engine.parallel_evaluations"),
         registry.counter("engine.cache_hits"),
         registry.counter("engine.train_failures"),
         registry.histogram("engine.run_seconds"),
         registry.histogram("engine.evaluation_seconds"),
         registry.histogram("engine.fit_seconds"),
         registry.histogram("engine.cancel_latency_seconds"),
+        // Candidate counts, not latencies: power-of-two buckets cover the
+        // sweep widths strategies actually submit.
+        registry.histogram("engine.batch_size",
+                           {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}),
     };
     return *metrics;
   }
@@ -47,7 +54,11 @@ struct EngineMetrics {
 }  // namespace
 
 DfsEngine::DfsEngine(MlScenario scenario, const EngineOptions& options)
-    : scenario_(std::move(scenario)), options_(options), rng_(options.seed) {}
+    : scenario_(std::move(scenario)),
+      options_(options),
+      rng_(options.seed),
+      batch_threads_(options.num_threads > 0 ? options.num_threads
+                                             : HardwareThreadBudget()) {}
 
 int DfsEngine::num_features() const {
   return scenario_.split.train.num_features();
@@ -71,9 +82,13 @@ bool DfsEngine::ExternallyCancelled() const {
       options_.stop_token->load(std::memory_order_relaxed);
   // First observation starts the cancellation-latency clock: the serve
   // promise is "a cancelled job returns within about one evaluation", and
-  // engine.cancel_latency_seconds is that promise measured.
-  if (cancelled && !cancel_observed_.has_value()) {
-    cancel_observed_.emplace();
+  // engine.cancel_latency_seconds is that promise measured. Batch workers
+  // poll concurrently, so the one-time stamp is mutex-guarded behind an
+  // atomic fast path.
+  if (cancelled && !cancel_seen_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(cancel_mu_);
+    if (!cancel_observed_.has_value()) cancel_observed_.emplace();
+    cancel_seen_.store(true, std::memory_order_release);
   }
   return cancelled;
 }
@@ -91,6 +106,16 @@ double DfsEngine::RemainingSeconds() const {
 }
 
 Rng& DfsEngine::rng() { return rng_; }
+
+uint64_t DfsEngine::EvalSeed(const fs::FeatureMask& mask) const {
+  // SplitMix64 finalizer over (run seed, mask hash): a well-mixed stream per
+  // mask, deterministic across thread counts and evaluation order, and
+  // distinct from the DP-classifier seed (seed ^ hash) used in TrainModel.
+  uint64_t z = options_.seed + 0x9E3779B97F4A7C15ULL * fs::MaskHash(mask);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
 
 StatusOr<std::unique_ptr<ml::Classifier>> DfsEngine::TrainModel(
     const std::vector<int>& features) {
@@ -136,7 +161,8 @@ StatusOr<std::unique_ptr<ml::Classifier>> DfsEngine::TrainModel(
 
 constraints::MetricValues DfsEngine::Measure(const ml::Classifier& model,
                                              const std::vector<int>& features,
-                                             const data::Dataset& split) {
+                                             const data::Dataset& split,
+                                             Rng& rng) {
   constraints::MetricValues values;
   values.selected_features = static_cast<int>(features.size());
   values.total_features = num_features();
@@ -152,44 +178,32 @@ constraints::MetricValues DfsEngine::Measure(const ml::Classifier& model,
   }
   if (scenario_.constraint_set.min_safety.has_value()) {
     values.safety = metrics::EmpiricalRobustness(model, x, split.labels(),
-                                                 rng_, options_.robustness);
+                                                 rng, options_.robustness);
   }
   return values;
 }
 
-fs::EvalOutcome DfsEngine::Evaluate(const fs::FeatureMask& mask) {
+DfsEngine::EvaluatedMask DfsEngine::EvaluateUncached(
+    const fs::FeatureMask& mask, const std::vector<int>& features) {
   EngineMetrics& metrics = EngineMetrics::Get();
-  fs::EvalOutcome outcome;
-  if (deadline_.Expired() || ExternallyCancelled()) return outcome;
-  if (static_cast<int>(mask.size()) != num_features()) {
-    DFS_LOG(WARNING) << "mask size mismatch";
-    return outcome;
-  }
-  const std::vector<int> features = fs::MaskToIndices(mask);
-  if (features.empty()) return outcome;
-
-  if (options_.enable_eval_cache) {
-    auto it = cache_.find(mask);
-    if (it != cache_.end()) {
-      ++result_.cache_hits;
-      metrics.cache_hits.Increment();
-      return it->second;
-    }
-  }
+  EvaluatedMask result;
+  fs::EvalOutcome& outcome = result.outcome;
 
   Stopwatch eval_stopwatch;
   auto model = TrainModel(features);
   if (!model.ok()) {
     DFS_LOG(WARNING) << "training failed: " << model.status().ToString();
     metrics.train_failures.Increment();
-    return outcome;
+    return result;
   }
-  ++result_.evaluations;
-  metrics.evaluations.Increment();
-  if (strategy_evaluations_ != nullptr) strategy_evaluations_->Increment();
+  // Per-evaluation RNG stream (robustness attacks): split from the run seed
+  // by mask so the measured values are identical no matter which thread —
+  // or how many threads — ran the evaluation.
+  Rng eval_rng(EvalSeed(mask));
 
   outcome.evaluated = true;
-  outcome.validation = Measure(**model, features, scenario_.split.validation);
+  outcome.validation =
+      Measure(**model, features, scenario_.split.validation, eval_rng);
   outcome.distance = scenario_.constraint_set.Distance(outcome.validation);
   outcome.objective = scenario_.constraint_set.Objective(
       outcome.validation, options_.maximize_f1_utility);
@@ -199,21 +213,30 @@ fs::EvalOutcome DfsEngine::Evaluate(const fs::FeatureMask& mask) {
   // Figure-2 workflow: only subsets that satisfy validation are confirmed
   // on test. (Repeated test-set checking is the paper's protocol; the test
   // metrics are reported, not searched over, except for this gate.)
-  constraints::MetricValues test_values;
-  bool have_test_values = false;
   if (outcome.satisfied_validation) {
-    test_values = Measure(**model, features, scenario_.split.test);
-    have_test_values = true;
-    outcome.success = scenario_.constraint_set.Satisfied(test_values);
+    result.test_values =
+        Measure(**model, features, scenario_.split.test, eval_rng);
+    result.have_test_values = true;
+    outcome.success = scenario_.constraint_set.Satisfied(result.test_values);
   }
 
   // Wall-clock of the evaluation proper (train + measure + confirm);
-  // the bookkeeping below is excluded, cache hits never get here.
+  // reduction-side bookkeeping is excluded, cache hits never get here.
   outcome.seconds = eval_stopwatch.ElapsedSeconds();
   metrics.evaluation_seconds.Record(outcome.seconds);
   if (strategy_eval_seconds_ != nullptr) {
     strategy_eval_seconds_->Record(outcome.seconds);
   }
+  return result;
+}
+
+void DfsEngine::RecordOutcome(const fs::FeatureMask& mask,
+                              const EvaluatedMask& result) {
+  EngineMetrics& metrics = EngineMetrics::Get();
+  const fs::EvalOutcome& outcome = result.outcome;
+  ++result_.evaluations;
+  metrics.evaluations.Increment();
+  if (strategy_evaluations_ != nullptr) strategy_evaluations_->Increment();
 
   // Track the best subset for result reporting / failure analysis.
   const bool improves = outcome.objective < best_objective_;
@@ -227,11 +250,11 @@ fs::EvalOutcome DfsEngine::Evaluate(const fs::FeatureMask& mask) {
     result_.selected = mask;
     result_.validation_values = outcome.validation;
     result_.best_distance_validation = outcome.distance;
-    if (have_test_values) {
-      result_.test_values = test_values;
+    if (result.have_test_values) {
+      result_.test_values = result.test_values;
       result_.best_distance_test =
-          scenario_.constraint_set.Distance(test_values);
-      result_.test_f1 = test_values.f1;
+          scenario_.constraint_set.Distance(result.test_values);
+      result_.test_f1 = result.test_values.f1;
     } else {
       result_.best_distance_test = 1e18;  // recomputed at end of Run
       result_.test_f1 = 0.0;
@@ -246,15 +269,119 @@ fs::EvalOutcome DfsEngine::Evaluate(const fs::FeatureMask& mask) {
   if (options_.record_trace) {
     TracePoint point;
     point.seconds = stopwatch_.ElapsedSeconds();
-    point.selected_features = static_cast<int>(features.size());
+    point.selected_features = fs::CountSelected(mask);
     point.objective = outcome.objective;
     point.distance = outcome.distance;
     point.satisfied_validation = outcome.satisfied_validation;
     point.success = outcome.success;
     result_.trace.push_back(point);
   }
-  if (options_.enable_eval_cache) cache_.emplace(mask, outcome);
-  return outcome;
+}
+
+void DfsEngine::EvaluateSlot(const fs::FeatureMask& mask, BatchSlot& slot) {
+  if (deadline_.Expired() || ExternallyCancelled()) {
+    slot.kind = SlotKind::kSkipped;
+    return;
+  }
+  if (static_cast<int>(mask.size()) != num_features()) {
+    DFS_LOG(WARNING) << "mask size mismatch";
+    slot.kind = SlotKind::kSkipped;
+    return;
+  }
+  const std::vector<int> features = fs::MaskToIndices(mask);
+  if (features.empty()) {
+    slot.kind = SlotKind::kSkipped;
+    return;
+  }
+
+  if (options_.enable_eval_cache) {
+    switch (cache_.Acquire(mask, &slot.result.outcome)) {
+      case ShardedEvalCache::Acquired::kHit:
+        slot.kind = SlotKind::kCacheHit;
+        return;
+      case ShardedEvalCache::Acquired::kAbandoned:
+        // The concurrent owner failed; training is deterministic per mask,
+        // so retrying would fail the same way. Report unevaluated.
+        slot.kind = SlotKind::kAbandoned;
+        return;
+      case ShardedEvalCache::Acquired::kOwner:
+        break;
+    }
+  }
+
+  slot.result = EvaluateUncached(mask, features);
+  if (options_.enable_eval_cache) {
+    if (slot.result.outcome.evaluated) {
+      cache_.Publish(mask, slot.result.outcome);
+    } else {
+      cache_.Abandon(mask);  // failed trainings are not cached
+    }
+  }
+  slot.kind = slot.result.outcome.evaluated ? SlotKind::kEvaluated
+                                            : SlotKind::kSkipped;
+}
+
+void DfsEngine::ReduceSlot(const fs::FeatureMask& mask, const BatchSlot& slot,
+                           bool parallel) {
+  EngineMetrics& metrics = EngineMetrics::Get();
+  switch (slot.kind) {
+    case SlotKind::kCacheHit:
+      ++result_.cache_hits;
+      metrics.cache_hits.Increment();
+      break;
+    case SlotKind::kEvaluated:
+      if (parallel) metrics.parallel_evaluations.Increment();
+      RecordOutcome(mask, slot.result);
+      break;
+    case SlotKind::kSkipped:
+    case SlotKind::kAbandoned:
+      break;
+  }
+}
+
+fs::EvalOutcome DfsEngine::Evaluate(const fs::FeatureMask& mask) {
+  BatchSlot slot;
+  EvaluateSlot(mask, slot);
+  ReduceSlot(mask, slot, /*parallel=*/false);
+  return slot.result.outcome;
+}
+
+std::vector<fs::EvalOutcome> DfsEngine::EvaluateBatch(
+    std::span<const fs::FeatureMask> masks) {
+  EngineMetrics& metrics = EngineMetrics::Get();
+  std::vector<fs::EvalOutcome> outcomes(masks.size());
+  if (masks.empty()) return outcomes;
+  metrics.batch_size.Record(static_cast<double>(masks.size()));
+
+  const int threads =
+      std::min(batch_threads_, static_cast<int>(masks.size()));
+  if (threads <= 1) {
+    for (size_t i = 0; i < masks.size(); ++i) outcomes[i] = Evaluate(masks[i]);
+    return outcomes;
+  }
+
+  EnsurePool();
+  std::vector<BatchSlot> slots(masks.size());
+  for (size_t i = 0; i < masks.size(); ++i) {
+    pool_->Schedule([this, &mask = masks[i], &slot = slots[i]] {
+      EvaluateSlot(mask, slot);
+    });
+  }
+  pool_->Wait();
+
+  // Reduce in submission order: the stateful bookkeeping (best-subset
+  // tracking, success recording, cache-hit totals, trace) is applied
+  // exactly as a serial sweep would have, so parallel runs select
+  // byte-identical masks (tie-breaks unchanged).
+  for (size_t i = 0; i < masks.size(); ++i) {
+    ReduceSlot(masks[i], slots[i], /*parallel=*/true);
+    outcomes[i] = slots[i].result.outcome;
+  }
+  return outcomes;
+}
+
+void DfsEngine::EnsurePool() {
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(batch_threads_);
 }
 
 StatusOr<std::vector<double>> DfsEngine::FittedImportances(
@@ -287,10 +414,11 @@ StatusOr<std::vector<double>> DfsEngine::FittedImportances(
 RunResult DfsEngine::Run(fs::FeatureSelectionStrategy& strategy) {
   // Reset per-run state.
   result_ = RunResult();
-  cache_.clear();
+  cache_.Clear();
   success_found_ = false;
   best_objective_ = 1e18;
   cancel_observed_.reset();
+  cancel_seen_.store(false, std::memory_order_release);
   deadline_ =
       Deadline::AfterSeconds(scenario_.constraint_set.max_search_seconds);
   stopwatch_.Restart();
@@ -338,8 +466,9 @@ RunResult DfsEngine::Run(fs::FeatureSelectionStrategy& strategy) {
       const std::vector<int> features = fs::MaskToIndices(result_.selected);
       auto model = TrainModel(features);
       if (model.ok()) {
+        Rng final_rng(EvalSeed(result_.selected));
         result_.test_values =
-            Measure(**model, features, scenario_.split.test);
+            Measure(**model, features, scenario_.split.test, final_rng);
         result_.best_distance_test =
             scenario_.constraint_set.Distance(result_.test_values);
         result_.test_f1 = result_.test_values.f1;

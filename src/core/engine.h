@@ -3,16 +3,19 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
+#include "core/eval_cache.h"
 #include "core/scenario.h"
 #include "fs/eval_context.h"
 #include "fs/strategy.h"
 #include "metrics/robustness.h"
 #include "obs/metrics.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace dfs::core {
 
@@ -34,6 +37,11 @@ struct EngineOptions {
   /// Record one trace point per (uncached) evaluation in RunResult::trace;
   /// off by default to keep benchmark memory flat.
   bool record_trace = false;
+  /// Threads for EvaluateBatch candidate sweeps. 0 = the process-wide
+  /// budget (DFS_THREADS env, default hardware_concurrency); 1 = serial.
+  /// Parallel runs select byte-identical masks to serial runs — see the
+  /// determinism contract in DESIGN.md.
+  int num_threads = 0;
   /// External cancellation token. When set and flipped to true by another
   /// thread, the search stops at the next evaluation boundary: ShouldStop()
   /// turns true and Evaluate() refuses further work, so a running Run()
@@ -87,6 +95,14 @@ struct RunResult {
 /// evaluation (train [+ HPO] -> validate constraints -> confirm on test),
 /// the evaluation cache, the search-time deadline, and success recording;
 /// strategies drive it through the fs::EvalContext interface.
+///
+/// Concurrency model: one strategy drives the engine from one thread.
+/// EvaluateBatch fans the per-mask training/measurement out over an
+/// internal pool (EngineOptions::num_threads), but all result reduction —
+/// best-subset tracking, success recording, cache-hit accounting, trace —
+/// happens on the calling thread in submission order, so a parallel run
+/// selects byte-identical masks to a serial one (DESIGN.md has the full
+/// ordering/determinism contract).
 class DfsEngine : public fs::EvalContext {
  public:
   /// The scenario is copied: the engine's lifetime is then independent of
@@ -106,14 +122,28 @@ class DfsEngine : public fs::EvalContext {
   double RemainingSeconds() const override;
   Rng& rng() override;
   fs::EvalOutcome Evaluate(const fs::FeatureMask& mask) override;
+  std::vector<fs::EvalOutcome> EvaluateBatch(
+      std::span<const fs::FeatureMask> masks) override;
   StatusOr<std::vector<double>> FittedImportances(
       const fs::FeatureMask& mask) override;
 
  private:
-  struct MaskHasher {
-    size_t operator()(const fs::FeatureMask& mask) const {
-      return static_cast<size_t>(fs::MaskHash(mask));
-    }
+  /// An evaluation plus the test-split values the reduction step needs for
+  /// result bookkeeping (test metrics are reported, never searched over, so
+  /// they stay out of the strategy-facing EvalOutcome).
+  struct EvaluatedMask {
+    fs::EvalOutcome outcome;
+    constraints::MetricValues test_values;
+    bool have_test_values = false;
+  };
+
+  /// How one slot of a parallel batch resolved; consumed by the in-order
+  /// reduction.
+  enum class SlotKind { kSkipped, kEvaluated, kCacheHit, kAbandoned };
+
+  struct BatchSlot {
+    EvaluatedMask result;
+    SlotKind kind = SlotKind::kSkipped;
   };
 
   /// Trains the scenario's model (DP variant when the privacy constraint is
@@ -121,10 +151,40 @@ class DfsEngine : public fs::EvalContext {
   StatusOr<std::unique_ptr<ml::Classifier>> TrainModel(
       const std::vector<int>& features);
 
-  /// Measures the constraint metrics of `model` on one split.
+  /// Measures the constraint metrics of `model` on one split, drawing any
+  /// evaluation-side randomness (the robustness attack) from `rng`.
   constraints::MetricValues Measure(const ml::Classifier& model,
                                     const std::vector<int>& features,
-                                    const data::Dataset& split);
+                                    const data::Dataset& split, Rng& rng);
+
+  /// Seed of the per-evaluation RNG stream: split deterministically from
+  /// the run seed by mask, so an evaluation's randomness is independent of
+  /// which thread runs it and of how many ran before it.
+  uint64_t EvalSeed(const fs::FeatureMask& mask) const;
+
+  /// The pure per-mask work (train + measure + confirm-on-test). Touches
+  /// only immutable run state and atomic obs instruments — safe to call
+  /// from batch workers concurrently.
+  EvaluatedMask EvaluateUncached(const fs::FeatureMask& mask,
+                                 const std::vector<int>& features);
+
+  /// The stateful reduction for one evaluated mask: evaluation counters,
+  /// best-subset tracking, success recording, trace. Caller-thread only,
+  /// in submission order.
+  void RecordOutcome(const fs::FeatureMask& mask, const EvaluatedMask& result);
+
+  /// Worker body of one parallel batch slot (deadline/cancel check, cache
+  /// acquire, evaluate, publish).
+  void EvaluateSlot(const fs::FeatureMask& mask, BatchSlot& slot);
+
+  /// Applies one resolved slot to the per-run state (cache-hit accounting
+  /// or RecordOutcome). Caller-thread only, in submission order.
+  void ReduceSlot(const fs::FeatureMask& mask, const BatchSlot& slot,
+                  bool parallel);
+
+  /// Lazily creates the batch pool (first parallel batch of the engine's
+  /// lifetime).
+  void EnsurePool();
 
   /// True once the external stop token (if any) has been flipped. Also
   /// stamps the first observation (see cancel_observed_).
@@ -133,6 +193,9 @@ class DfsEngine : public fs::EvalContext {
   MlScenario scenario_;
   EngineOptions options_;
   Rng rng_;
+  /// Resolved thread budget for EvaluateBatch (>= 1).
+  int batch_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;
 
   // Per-Run state.
   Deadline deadline_ = Deadline::Infinite();
@@ -140,16 +203,19 @@ class DfsEngine : public fs::EvalContext {
   bool success_found_ = false;
   RunResult result_;
   double best_objective_ = 1e18;
-  std::unordered_map<fs::FeatureMask, fs::EvalOutcome, MaskHasher> cache_;
+  ShardedEvalCache cache_;
 
   // dfs::obs instrumentation (see DESIGN.md §2c). Per-strategy handles are
   // looked up once per Run ("strategy.<label>.*"); null between runs.
   // cancel_observed_ stamps the first time the stop token is seen flipped,
-  // so Run can report observation→return cancellation latency; mutable
-  // because the observation happens inside const ShouldStop() (the engine
-  // runs one strategy on one thread, so there is no concurrent mutation).
+  // so Run can report observation→return cancellation latency. Stamping is
+  // guarded by cancel_mu_ (batch workers poll the token concurrently) with
+  // cancel_seen_ as the lock-free fast path; Run reads the stamp only after
+  // all workers have drained.
   obs::Counter* strategy_evaluations_ = nullptr;
   obs::Histogram* strategy_eval_seconds_ = nullptr;
+  mutable std::atomic<bool> cancel_seen_{false};
+  mutable std::mutex cancel_mu_;
   mutable std::optional<Stopwatch> cancel_observed_;
 };
 

@@ -1,0 +1,72 @@
+#include "core/eval_cache.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dfs::core {
+
+ShardedEvalCache::ShardedEvalCache(int num_shards)
+    : shards_(std::max(1, num_shards)) {}
+
+ShardedEvalCache::Acquired ShardedEvalCache::Acquire(
+    const fs::FeatureMask& mask, fs::EvalOutcome* outcome) {
+  Shard& shard = ShardFor(mask);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(mask);
+  if (it == shard.entries.end()) {
+    shard.entries.emplace(mask, std::make_shared<Entry>());
+    return Acquired::kOwner;
+  }
+  // Hold our own reference: Abandon() erases the map slot while we wait.
+  std::shared_ptr<Entry> entry = it->second;
+  shard.resolved.wait(lock,
+                      [&] { return entry->ready || entry->abandoned; });
+  if (entry->abandoned) return Acquired::kAbandoned;
+  *outcome = entry->outcome;
+  return Acquired::kHit;
+}
+
+void ShardedEvalCache::Publish(const fs::FeatureMask& mask,
+                               const fs::EvalOutcome& outcome) {
+  Shard& shard = ShardFor(mask);
+  {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(mask);
+    DFS_CHECK(it != shard.entries.end()) << "Publish without Acquire";
+    DFS_CHECK(!it->second->ready) << "Publish twice";
+    it->second->outcome = outcome;
+    it->second->ready = true;
+  }
+  shard.resolved.notify_all();
+}
+
+void ShardedEvalCache::Abandon(const fs::FeatureMask& mask) {
+  Shard& shard = ShardFor(mask);
+  {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(mask);
+    DFS_CHECK(it != shard.entries.end()) << "Abandon without Acquire";
+    it->second->abandoned = true;
+    shard.entries.erase(it);
+  }
+  shard.resolved.notify_all();
+}
+
+void ShardedEvalCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    shard.entries.clear();
+  }
+}
+
+size_t ShardedEvalCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+}  // namespace dfs::core

@@ -1,0 +1,89 @@
+#ifndef DFS_CORE_EVAL_CACHE_H_
+#define DFS_CORE_EVAL_CACHE_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "fs/eval_context.h"
+#include "fs/feature_subset.h"
+
+namespace dfs::core {
+
+/// Concurrent memo table for wrapper evaluations, mutex-striped into N
+/// shards keyed by fs::MaskHash so parallel batch workers rarely contend on
+/// the same lock.
+///
+/// The cache also deduplicates *in-flight* work: the first thread to ask
+/// for an unseen mask becomes its owner (Acquire returns kOwner) and must
+/// later Publish the outcome or Abandon the entry; any thread asking for
+/// the same mask meanwhile blocks until the owner resolves it. That
+/// preserves the serial engine's hit accounting — when one batch contains
+/// a mask twice, the duplicate is a cache hit, never a second training —
+/// which is what keeps parallel runs' cache-hit totals byte-identical to
+/// num_threads=1 runs.
+///
+/// Failed evaluations are not cached (Abandon removes the pending entry),
+/// matching the serial engine: a failed training is retried if the mask
+/// comes back later.
+class ShardedEvalCache {
+ public:
+  enum class Acquired {
+    kOwner,      ///< Not present: caller must evaluate, then Publish/Abandon.
+    kHit,        ///< Present (possibly after waiting): *outcome filled in.
+    kAbandoned,  ///< The in-flight owner abandoned it; not a hit, not cached.
+  };
+
+  explicit ShardedEvalCache(int num_shards = 16);
+
+  ShardedEvalCache(const ShardedEvalCache&) = delete;
+  ShardedEvalCache& operator=(const ShardedEvalCache&) = delete;
+
+  /// Looks up `mask`. kHit fills `*outcome` (blocking first if the entry is
+  /// still being computed by another thread). kOwner registers a pending
+  /// entry owned by the caller, which must Publish() or Abandon() it —
+  /// other threads block on the entry until then.
+  Acquired Acquire(const fs::FeatureMask& mask, fs::EvalOutcome* outcome);
+
+  /// Resolves a pending entry with its outcome and wakes waiters.
+  void Publish(const fs::FeatureMask& mask, const fs::EvalOutcome& outcome);
+
+  /// Removes a pending entry (evaluation failed or was skipped); waiters
+  /// observe kAbandoned. The mask can be re-acquired afterwards.
+  void Abandon(const fs::FeatureMask& mask);
+
+  /// Drops every entry. Must not race Acquire/Publish (the engine clears
+  /// only between runs, when no batch is in flight).
+  void Clear();
+
+  /// Number of entries, published or still in flight (linearizes per shard
+  /// only; test helper).
+  size_t size() const;
+
+ private:
+  struct Entry {
+    bool ready = false;
+    bool abandoned = false;
+    fs::EvalOutcome outcome;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable resolved;
+    std::unordered_map<fs::FeatureMask, std::shared_ptr<Entry>,
+                       fs::MaskHasher>
+        entries;
+  };
+
+  Shard& ShardFor(const fs::FeatureMask& mask) {
+    return shards_[fs::MaskHash(mask) % shards_.size()];
+  }
+
+  std::vector<Shard> shards_;
+};
+
+}  // namespace dfs::core
+
+#endif  // DFS_CORE_EVAL_CACHE_H_

@@ -1,5 +1,6 @@
 #include "core/experiment.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -8,6 +9,7 @@
 #include "data/benchmark_suite.h"
 #include "util/csv.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace dfs::core {
 namespace {
@@ -53,7 +55,7 @@ uint64_t ExperimentConfig::Hash() const {
   // Version of the synthetic benchmark suite / engine semantics: bump when
   // generated data or evaluation behavior changes so stale caches are
   // rejected even though the config fields look identical.
-  constexpr uint64_t kSuiteVersion = 2;
+  constexpr uint64_t kSuiteVersion = 3;
   uint64_t hash = 0xDF5DF5DF5ULL + kSuiteVersion;
   hash = HashMix(hash, static_cast<uint64_t>(num_scenarios));
   hash = HashMix(hash, use_hpo ? 1 : 0);
@@ -90,18 +92,20 @@ StatusOr<ExperimentPool> ExperimentPool::Run(const ExperimentConfig& config,
                                              bool verbose) {
   ExperimentPool pool;
   pool.config_ = config;
+
+  // Phase 1 (serial): sample every scenario from the shared sampler RNG and
+  // generate each benchmark dataset exactly once. Sampling order is the
+  // contract that keeps scenario s identical regardless of parallelism.
   Rng sampler_rng(config.seed);
-
-  // Datasets are generated once per index and shared across scenarios.
   std::vector<std::optional<data::Dataset>> datasets(data::BenchmarkSize());
-
+  std::vector<SampledScenario> sampled_scenarios;
+  sampled_scenarios.reserve(config.num_scenarios);
   for (int s = 0; s < config.num_scenarios; ++s) {
     SamplerOptions sampler = config.sampler;
     sampler.min_search_seconds *= config.time_scale;
     sampler.max_search_seconds *= config.time_scale;
     SampledScenario sampled =
         SampleScenario(data::BenchmarkSize(), sampler, sampler_rng);
-
     auto& dataset_slot = datasets[sampled.dataset_index];
     if (!dataset_slot.has_value()) {
       DFS_ASSIGN_OR_RETURN(
@@ -110,28 +114,49 @@ StatusOr<ExperimentPool> ExperimentPool::Run(const ExperimentConfig& config,
                                          config.row_scale));
       dataset_slot = std::move(dataset);
     }
+    sampled_scenarios.push_back(std::move(sampled));
+  }
+
+  // Phase 2 (parallel): each scenario runs independently — it has its own
+  // derived seeds and its own engine — so the outer loop is a plain
+  // ParallelFor. The process thread budget is split between the outer loop
+  // and each engine's inner EvaluateBatch parallelism so the two layers do
+  // not multiply into oversubscription. Records land in a pre-sized vector
+  // indexed by scenario id, so results are positionally identical to the
+  // serial order no matter which scenario finishes first.
+  const int budget = HardwareThreadBudget();
+  const int outer = std::max(1, std::min(budget, config.num_scenarios));
+  pool.records_.resize(config.num_scenarios);
+  std::vector<Status> statuses(config.num_scenarios, OkStatus());
+
+  ParallelFor(config.num_scenarios, outer, [&](int s) {
+    const SampledScenario& sampled = sampled_scenarios[s];
+    const data::Dataset& dataset = *datasets[sampled.dataset_index];
 
     ScenarioRecord record;
     record.scenario_id = s;
     record.dataset_index = sampled.dataset_index;
-    record.dataset_name = dataset_slot->name();
+    record.dataset_name = dataset.name();
     record.model = sampled.model;
     record.constraint_set = sampled.constraint_set;
-    record.rows = dataset_slot->num_rows();
-    record.features = dataset_slot->num_features();
+    record.rows = dataset.num_rows();
+    record.features = dataset.num_features();
 
     Rng split_rng(config.seed * 7919 + s);
-    DFS_ASSIGN_OR_RETURN(
-        MlScenario scenario,
-        MakeScenario(*dataset_slot, sampled.model, sampled.constraint_set,
-                     split_rng));
+    auto scenario = MakeScenario(dataset, sampled.model,
+                                 sampled.constraint_set, split_rng);
+    if (!scenario.ok()) {
+      statuses[s] = scenario.status();
+      return;
+    }
 
     EngineOptions engine_options;
     engine_options.use_hpo = config.use_hpo;
     engine_options.maximize_f1_utility = config.utility_mode;
     engine_options.robustness = config.robustness;
     engine_options.seed = config.seed * 104729 + s;
-    DfsEngine engine(scenario, engine_options);
+    engine_options.num_threads = std::max(1, budget / outer);
+    DfsEngine engine(*scenario, engine_options);
 
     for (size_t i = 0; i < config.strategies.size(); ++i) {
       const fs::StrategyId id = config.strategies[i];
@@ -155,13 +180,19 @@ StatusOr<ExperimentPool> ExperimentPool::Run(const ExperimentConfig& config,
       for (const auto& outcome : record.outcomes) {
         successes += outcome.success ? 1 : 0;
       }
+      // Completion order scrambles under parallelism; the scenario id keeps
+      // the lines attributable.
       DFS_LOG(ERROR) << "scenario " << s + 1 << "/" << config.num_scenarios
                      << " [" << record.dataset_name << ", "
                      << ml::ModelKindToString(record.model) << ", "
                      << record.constraint_set.ToString() << "] solved by "
                      << successes << "/" << record.outcomes.size();
     }
-    pool.records_.push_back(std::move(record));
+    pool.records_[s] = std::move(record);
+  });
+
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
   }
   return pool;
 }

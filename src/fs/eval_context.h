@@ -1,6 +1,7 @@
 #ifndef DFS_FS_EVAL_CONTEXT_H_
 #define DFS_FS_EVAL_CONTEXT_H_
 
+#include <span>
 #include <vector>
 
 #include "constraints/constraint_set.h"
@@ -77,6 +78,24 @@ class EvalContext {
   /// the metrics on validation, checks the constraints, and — if validation
   /// passes — confirms on test. Results are memoized per mask.
   virtual EvalOutcome Evaluate(const FeatureMask& mask) = 0;
+
+  /// Evaluates a candidate sweep: one outcome per mask, in submission
+  /// order. Semantically equivalent to calling Evaluate() on each mask in
+  /// order — same memoization, same best-subset bookkeeping, same
+  /// tie-breaks — which is the determinism contract that lets
+  /// implementations run the per-mask training/measurement concurrently
+  /// (core::DfsEngine does, see DESIGN.md). A batch is attempted in full:
+  /// unlike a hand-written sweep, it does not early-exit when a mask
+  /// succeeds mid-batch; only deadline expiry / cancellation skip the
+  /// remaining masks (skipped outcomes have evaluated == false). Check
+  /// ShouldStop() between batches, not between masks of one batch.
+  virtual std::vector<EvalOutcome> EvaluateBatch(
+      std::span<const FeatureMask> masks) {
+    std::vector<EvalOutcome> outcomes;
+    outcomes.reserve(masks.size());
+    for (const FeatureMask& mask : masks) outcomes.push_back(Evaluate(mask));
+    return outcomes;
+  }
 
   /// Importances of the *selected* features under the scenario's model
   /// fitted on `mask` (model-native, or permutation importance when the

@@ -22,14 +22,25 @@ bool NextCombination(std::vector<int>& combination, int n) {
 }  // namespace
 
 void ExhaustiveSearch::Run(EvalContext& context) {
+  // Enumeration order is unchanged from the serial version; combinations
+  // are just submitted in fixed-size batches so the engine can evaluate
+  // them concurrently. ShouldStop is checked between batches.
+  constexpr int kBatch = 64;
   const int n = context.num_features();
   const int max_count = context.max_feature_count();
   for (int size = 1; size <= max_count && !context.ShouldStop(); ++size) {
     std::vector<int> combination(size);
     for (int i = 0; i < size; ++i) combination[i] = i;
-    do {
-      context.Evaluate(IndicesToMask(n, combination));
-    } while (!context.ShouldStop() && NextCombination(combination, n));
+    bool more = true;
+    while (more && !context.ShouldStop()) {
+      std::vector<FeatureMask> batch;
+      batch.reserve(kBatch);
+      do {
+        batch.push_back(IndicesToMask(n, combination));
+        more = NextCombination(combination, n);
+      } while (more && static_cast<int>(batch.size()) < kBatch);
+      context.EvaluateBatch(batch);
+    }
   }
 }
 

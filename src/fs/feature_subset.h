@@ -1,6 +1,7 @@
 #ifndef DFS_FS_FEATURE_SUBSET_H_
 #define DFS_FS_FEATURE_SUBSET_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -25,6 +26,13 @@ int CountSelected(const FeatureMask& mask);
 
 /// FNV-1a hash (used by the evaluation cache).
 uint64_t MaskHash(const FeatureMask& mask);
+
+/// MaskHash adapter for unordered containers keyed by FeatureMask.
+struct MaskHasher {
+  size_t operator()(const FeatureMask& mask) const {
+    return static_cast<size_t>(MaskHash(mask));
+  }
+};
 
 /// Compact "{1,4,7}" rendering for logs.
 std::string MaskToString(const FeatureMask& mask);

@@ -110,30 +110,40 @@ void Nsga2Strategy::Run(EvalContext& context) {
     std::vector<double> objectives;
   };
 
-  auto evaluate = [&](FeatureMask mask) -> std::optional<Individual> {
-    const EvalOutcome outcome = context.Evaluate(mask);
-    if (!outcome.evaluated) return std::nullopt;
-    Individual individual;
-    individual.objectives =
-        context.constraint_set().PerConstraintShortfalls(outcome.validation);
-    // Tie-break objective so fully-feasible individuals still get pressure
-    // toward higher F1 in utility mode.
-    individual.objectives.push_back(outcome.objective);
-    individual.mask = std::move(mask);
-    return individual;
+  // Generation is sequential (it consumes the strategy RNG in a fixed
+  // order), evaluation is batched: a whole population's masks go through
+  // one EvaluateBatch. Returns false when any evaluation was refused
+  // (deadline/cancellation) — the search ends, like the serial version.
+  auto evaluate_into = [&](std::vector<FeatureMask> masks,
+                           std::vector<Individual>& out) -> bool {
+    const std::vector<EvalOutcome> outcomes = context.EvaluateBatch(masks);
+    for (size_t i = 0; i < masks.size(); ++i) {
+      if (!outcomes[i].evaluated) return false;
+      Individual individual;
+      individual.objectives = context.constraint_set().PerConstraintShortfalls(
+          outcomes[i].validation);
+      // Tie-break objective so fully-feasible individuals still get pressure
+      // toward higher F1 in utility mode.
+      individual.objectives.push_back(outcomes[i].objective);
+      individual.mask = std::move(masks[i]);
+      out.push_back(std::move(individual));
+    }
+    return true;
   };
 
   // Initial population.
   std::vector<Individual> population;
   const double density = std::min(0.5, static_cast<double>(max_ones) / n);
-  while (static_cast<int>(population.size()) < options_.population_size &&
-         !context.ShouldStop()) {
-    FeatureMask mask(n, 0);
-    for (int f = 0; f < n; ++f) mask[f] = rng.Bernoulli(density) ? 1 : 0;
-    repair(mask);
-    auto individual = evaluate(std::move(mask));
-    if (!individual.has_value()) return;
-    population.push_back(std::move(*individual));
+  if (!context.ShouldStop()) {
+    std::vector<FeatureMask> masks;
+    masks.reserve(options_.population_size);
+    for (int i = 0; i < options_.population_size; ++i) {
+      FeatureMask mask(n, 0);
+      for (int f = 0; f < n; ++f) mask[f] = rng.Bernoulli(density) ? 1 : 0;
+      repair(mask);
+      masks.push_back(std::move(mask));
+    }
+    if (!evaluate_into(std::move(masks), population)) return;
   }
 
   while (!context.ShouldStop() && !population.empty()) {
@@ -167,10 +177,11 @@ void Nsga2Strategy::Run(EvalContext& context) {
       return population[crowding[a] >= crowding[b] ? a : b];
     };
 
-    // Offspring generation.
-    std::vector<Individual> offspring;
-    while (static_cast<int>(offspring.size()) < options_.population_size &&
-           !context.ShouldStop()) {
+    // Offspring generation: all children for the generation first (fixed
+    // RNG order), then one batch evaluation.
+    std::vector<FeatureMask> children;
+    children.reserve(options_.population_size);
+    for (int i = 0; i < options_.population_size; ++i) {
       const Individual& parent_a = tournament();
       const Individual& parent_b = tournament();
       FeatureMask child(n);
@@ -185,10 +196,11 @@ void Nsga2Strategy::Run(EvalContext& context) {
         if (rng.Bernoulli(mutation_probability)) child[f] = child[f] ? 0 : 1;
       }
       repair(child);
-      auto individual = evaluate(std::move(child));
-      if (!individual.has_value()) return;
-      offspring.push_back(std::move(*individual));
+      children.push_back(std::move(child));
     }
+    std::vector<Individual> offspring;
+    offspring.reserve(options_.population_size);
+    if (!evaluate_into(std::move(children), offspring)) return;
 
     // Environmental selection over parents + offspring.
     for (auto& individual : offspring) {

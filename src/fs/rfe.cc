@@ -1,6 +1,7 @@
 #include "fs/rfe.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -31,14 +32,37 @@ void RecursiveFeatureElimination::Run(EvalContext& context) {
     }
     const std::vector<int> selected = MaskToIndices(current);
     DFS_CHECK_EQ(selected.size(), importances.value().size());
-    int weakest = 0;
-    for (size_t i = 1; i < selected.size(); ++i) {
-      if (importances.value()[i] < importances.value()[weakest]) {
-        weakest = static_cast<int>(i);
+
+    // Drop-candidate scoring: wrapper-evaluate removing each of the k
+    // least-important features in one batch and keep the best objective.
+    // Stable ascending-importance order + the batch's in-order reduction
+    // make ties fall to the least important feature — the classic drop.
+    std::vector<int> order(selected.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return importances.value()[a] < importances.value()[b];
+    });
+    const int k = std::min<int>(drop_candidates_,
+                                static_cast<int>(selected.size()));
+    std::vector<FeatureMask> candidates;
+    candidates.reserve(k);
+    for (int i = 0; i < k; ++i) {
+      FeatureMask candidate = current;
+      candidate[selected[order[i]]] = 0;
+      candidates.push_back(std::move(candidate));
+    }
+    const std::vector<EvalOutcome> outcomes =
+        context.EvaluateBatch(candidates);
+    int best = -1;
+    double best_objective = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      if (outcomes[i].evaluated && outcomes[i].objective < best_objective) {
+        best_objective = outcomes[i].objective;
+        best = static_cast<int>(i);
       }
     }
-    current[selected[weakest]] = 0;
-    context.Evaluate(current);
+    if (best < 0) return;  // nothing evaluable (deadline mid-batch)
+    current[selected[order[best]]] = 0;
   }
 }
 

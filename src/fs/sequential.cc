@@ -8,6 +8,47 @@ namespace {
 
 constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
+/// One candidate sweep: all masks that flip a single feature of `current`.
+/// `want_selected` picks which features are flip candidates (unselected
+/// ones for a forward/add sweep, selected ones for a backward/remove
+/// sweep); `skip` excludes one feature (the floating steps never undo the
+/// move that was just made). Candidates are built in ascending feature
+/// order — with the engine's in-order batch reduction that preserves the
+/// serial sweeps' first-wins tie-break.
+struct Sweep {
+  std::vector<FeatureMask> masks;
+  std::vector<int> features;
+
+  Sweep(const FeatureMask& current, bool want_selected, int skip) {
+    const int n = static_cast<int>(current.size());
+    FeatureMask candidate = current;
+    for (int f = 0; f < n; ++f) {
+      if (static_cast<bool>(current[f]) != want_selected || f == skip) {
+        continue;
+      }
+      candidate[f] = current[f] ? 0 : 1;
+      masks.push_back(candidate);
+      features.push_back(f);
+      candidate[f] = current[f];
+    }
+  }
+
+  /// Evaluates the sweep and returns (feature, objective) of the best
+  /// evaluated candidate, or (-1, inf) when nothing evaluated.
+  std::pair<int, double> Best(EvalContext& context) const {
+    const std::vector<EvalOutcome> outcomes = context.EvaluateBatch(masks);
+    int best_feature = -1;
+    double best_objective = kInfinity;
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      if (outcomes[i].evaluated && outcomes[i].objective < best_objective) {
+        best_objective = outcomes[i].objective;
+        best_feature = features[i];
+      }
+    }
+    return {best_feature, best_objective};
+  }
+};
+
 }  // namespace
 
 std::string SequentialSelection::name() const {
@@ -43,19 +84,10 @@ void SequentialSelection::RunForward(EvalContext& context) {
   std::vector<double> best_at_size(n + 1, kInfinity);
 
   while (!context.ShouldStop() && CountSelected(current) < max_count) {
-    // Forward step: try adding each unselected feature.
-    int best_feature = -1;
-    double best_objective = kInfinity;
-    for (int f = 0; f < n && !context.ShouldStop(); ++f) {
-      if (current[f]) continue;
-      current[f] = 1;
-      const EvalOutcome outcome = context.Evaluate(current);
-      current[f] = 0;
-      if (outcome.evaluated && outcome.objective < best_objective) {
-        best_objective = outcome.objective;
-        best_feature = f;
-      }
-    }
+    // Forward step: try adding each unselected feature (one batch).
+    const Sweep additions(current, /*want_selected=*/false, /*skip=*/-1);
+    if (additions.masks.empty()) break;
+    const auto [best_feature, best_objective] = additions.Best(context);
     if (best_feature < 0) break;  // nothing evaluable (deadline mid-sweep)
     current[best_feature] = 1;
     current_objective = best_objective;
@@ -65,18 +97,8 @@ void SequentialSelection::RunForward(EvalContext& context) {
     // Floating step: remove features while that beats the best subset of
     // the smaller size.
     while (floating_ && size > 2 && !context.ShouldStop()) {
-      int removal = -1;
-      double removal_objective = kInfinity;
-      for (int f = 0; f < n && !context.ShouldStop(); ++f) {
-        if (!current[f] || f == best_feature) continue;
-        current[f] = 0;
-        const EvalOutcome outcome = context.Evaluate(current);
-        current[f] = 1;
-        if (outcome.evaluated && outcome.objective < removal_objective) {
-          removal_objective = outcome.objective;
-          removal = f;
-        }
-      }
+      const Sweep removals(current, /*want_selected=*/true, best_feature);
+      const auto [removal, removal_objective] = removals.Best(context);
       if (removal < 0 || removal_objective >= best_at_size[size - 1]) break;
       current[removal] = 0;
       current_objective = removal_objective;
@@ -95,19 +117,10 @@ void SequentialSelection::RunBackward(EvalContext& context) {
   if (full.evaluated) best_at_size[n] = full.objective;
 
   while (!context.ShouldStop() && CountSelected(current) > 1) {
-    // Backward step: try removing each selected feature.
-    int best_feature = -1;
-    double best_objective = kInfinity;
-    for (int f = 0; f < n && !context.ShouldStop(); ++f) {
-      if (!current[f]) continue;
-      current[f] = 0;
-      const EvalOutcome outcome = context.Evaluate(current);
-      current[f] = 1;
-      if (outcome.evaluated && outcome.objective < best_objective) {
-        best_objective = outcome.objective;
-        best_feature = f;
-      }
-    }
+    // Backward step: try removing each selected feature (one batch).
+    const Sweep removals(current, /*want_selected=*/true, /*skip=*/-1);
+    if (removals.masks.empty()) break;
+    const auto [best_feature, best_objective] = removals.Best(context);
     if (best_feature < 0) break;
     current[best_feature] = 0;
     current_objective = best_objective;
@@ -117,18 +130,8 @@ void SequentialSelection::RunBackward(EvalContext& context) {
     // Floating step: re-add previously removed features while that beats
     // the best subset of the larger size.
     while (floating_ && size < n - 1 && !context.ShouldStop()) {
-      int addition = -1;
-      double addition_objective = kInfinity;
-      for (int f = 0; f < n && !context.ShouldStop(); ++f) {
-        if (current[f] || f == best_feature) continue;
-        current[f] = 1;
-        const EvalOutcome outcome = context.Evaluate(current);
-        current[f] = 0;
-        if (outcome.evaluated && outcome.objective < addition_objective) {
-          addition_objective = outcome.objective;
-          addition = f;
-        }
-      }
+      const Sweep additions(current, /*want_selected=*/false, best_feature);
+      const auto [addition, addition_objective] = additions.Best(context);
       if (addition < 0 || addition_objective >= best_at_size[size + 1]) break;
       current[addition] = 1;
       current_objective = addition_objective;

@@ -15,8 +15,15 @@ namespace dfs::fs {
 /// keep, which is why it wins on high EO thresholds (Section 6.4).
 class TpeMaskStrategy : public FeatureSelectionStrategy {
  public:
-  explicit TpeMaskStrategy(uint64_t seed, const TpeOptions& options = {})
-      : seed_(seed), options_(options) {}
+  /// `proposal_batch` masks are proposed per round and evaluated in one
+  /// EvaluateBatch before any of their losses are recorded (speculative
+  /// batched TPE). The batch width is a constant — never the engine's
+  /// thread count — so the proposal sequence is independent of parallelism.
+  explicit TpeMaskStrategy(uint64_t seed, const TpeOptions& options = {},
+                           int proposal_batch = 4)
+      : seed_(seed),
+        options_(options),
+        proposal_batch_(proposal_batch < 1 ? 1 : proposal_batch) {}
 
   std::string name() const override { return "TPE(NR)"; }
 
@@ -33,6 +40,7 @@ class TpeMaskStrategy : public FeatureSelectionStrategy {
  private:
   uint64_t seed_;
   TpeOptions options_;
+  int proposal_batch_;
 };
 
 }  // namespace dfs::fs

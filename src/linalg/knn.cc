@@ -7,16 +7,18 @@
 namespace dfs::linalg {
 
 std::vector<int> KNearestRows(const Matrix& points,
-                              const std::vector<double>& query, int k,
+                              std::span<const double> query, int k,
                               int exclude_row) {
   const int n = points.rows();
+  const int cols = points.cols();
   std::vector<std::pair<double, int>> distances;
   distances.reserve(n);
   for (int i = 0; i < n; ++i) {
     if (i == exclude_row) continue;
+    const double* row = points.RowPtr(i);
     double d = 0.0;
-    for (int c = 0; c < points.cols(); ++c) {
-      double diff = points(i, c) - query[c];
+    for (int c = 0; c < cols; ++c) {
+      double diff = row[c] - query[c];
       d += diff * diff;
     }
     distances.emplace_back(d, i);
@@ -38,10 +40,10 @@ Matrix HeatKernelKnnGraph(const Matrix& points, int k) {
   double sigma_sum = 0.0;
   std::vector<std::vector<int>> neighbor_lists(n);
   for (int i = 0; i < n; ++i) {
-    neighbor_lists[i] = KNearestRows(points, points.Row(i), k, i);
+    neighbor_lists[i] = KNearestRows(points, points.RowSpan(i), k, i);
     if (!neighbor_lists[i].empty()) {
-      double d = std::sqrt(
-          SquaredDistance(points.Row(i), points.Row(neighbor_lists[i][0])));
+      double d = std::sqrt(SquaredDistance(
+          points.RowSpan(i), points.RowSpan(neighbor_lists[i][0])));
       sigma_sum += d;
     }
   }
@@ -51,8 +53,8 @@ Matrix HeatKernelKnnGraph(const Matrix& points, int k) {
 
   for (int i = 0; i < n; ++i) {
     for (int j : neighbor_lists[i]) {
-      double w = std::exp(-SquaredDistance(points.Row(i), points.Row(j)) /
-                          denom);
+      double w = std::exp(
+          -SquaredDistance(points.RowSpan(i), points.RowSpan(j)) / denom);
       adjacency(i, j) = std::max(adjacency(i, j), w);
       adjacency(j, i) = adjacency(i, j);  // symmetrize
     }

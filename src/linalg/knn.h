@@ -1,6 +1,7 @@
 #ifndef DFS_LINALG_KNN_H_
 #define DFS_LINALG_KNN_H_
 
+#include <span>
 #include <vector>
 
 #include "linalg/matrix.h"
@@ -9,9 +10,10 @@ namespace dfs::linalg {
 
 /// Indices of the k nearest rows of `points` to `query` by Euclidean
 /// distance, optionally excluding one row (set exclude_row = -1 to disable).
-/// Brute force; the library only calls this on subsamples.
+/// Brute force; the library only calls this on subsamples. The query is a
+/// borrowed view so Matrix::RowSpan rows pass without copying.
 std::vector<int> KNearestRows(const Matrix& points,
-                              const std::vector<double>& query, int k,
+                              std::span<const double> query, int k,
                               int exclude_row);
 
 /// Symmetric k-NN adjacency with heat-kernel weights

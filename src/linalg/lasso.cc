@@ -22,10 +22,16 @@ std::vector<double> LassoCoordinateDescent(const Matrix& x,
   std::vector<double> w(p, 0.0);
   if (n == 0 || p == 0) return w;
 
+  // Row-major base pointer: rows are contiguous, so x(i, j) == base[i*p + j].
+  // This skips the per-element bounds checks of operator() in all the
+  // O(n*p*iterations) loops below.
+  const double* base = x.RowPtr(0);
+
   // Precompute column squared norms (the coordinate-wise Lipschitz terms).
   std::vector<double> col_sq(p, 0.0);
-  for (int j = 0; j < p; ++j) {
-    for (int i = 0; i < n; ++i) col_sq[j] += x(i, j) * x(i, j);
+  for (int i = 0; i < n; ++i) {
+    const double* row = base + static_cast<size_t>(i) * p;
+    for (int j = 0; j < p; ++j) col_sq[j] += row[j] * row[j];
   }
 
   // Residual r = y - Xw; starts at y because w = 0.
@@ -37,14 +43,17 @@ std::vector<double> LassoCoordinateDescent(const Matrix& x,
     for (int j = 0; j < p; ++j) {
       if (col_sq[j] <= 1e-12) continue;  // constant-zero column
       // rho = (1/n) x_j . (r + w_j x_j)
+      const double* col = base + j;
       double rho = 0.0;
-      for (int i = 0; i < n; ++i) rho += x(i, j) * residual[i];
+      for (int i = 0; i < n; ++i) rho += col[static_cast<size_t>(i) * p] * residual[i];
       rho = rho / n_double + w[j] * col_sq[j] / n_double;
       double new_w = SoftThreshold(rho, options.l1_penalty) /
                      (col_sq[j] / n_double);
       double delta = new_w - w[j];
       if (delta != 0.0) {
-        for (int i = 0; i < n; ++i) residual[i] -= delta * x(i, j);
+        for (int i = 0; i < n; ++i) {
+          residual[i] -= delta * col[static_cast<size_t>(i) * p];
+        }
         w[j] = new_w;
         max_change = std::max(max_change, std::fabs(delta));
       }

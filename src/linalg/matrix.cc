@@ -86,8 +86,7 @@ double Dot(const std::vector<double>& a, const std::vector<double>& b) {
 
 double Norm2(const std::vector<double>& a) { return std::sqrt(Dot(a, a)); }
 
-double SquaredDistance(const std::vector<double>& a,
-                       const std::vector<double>& b) {
+double SquaredDistance(std::span<const double> a, std::span<const double> b) {
   DFS_CHECK_EQ(a.size(), b.size());
   double sum = 0.0;
   for (size_t i = 0; i < a.size(); ++i) {

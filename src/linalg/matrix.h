@@ -2,6 +2,7 @@
 #define DFS_LINALG_MATRIX_H_
 
 #include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "util/logging.h"
@@ -41,6 +42,19 @@ class Matrix {
   /// Copies row `r` out.
   std::vector<double> Row(int r) const;
 
+  /// Borrowed view of row `r` (rows are contiguous in the row-major
+  /// layout). One bounds check per row instead of one per element, which is
+  /// what the knn / lasso inner loops need; invalidated when the matrix is
+  /// destroyed or assigned over.
+  std::span<const double> RowSpan(int r) const {
+    DFS_CHECK(r >= 0 && r < rows_);
+    return {data_.data() + static_cast<size_t>(r) * cols_,
+            static_cast<size_t>(cols_)};
+  }
+
+  /// Raw pointer form of RowSpan (same lifetime rules).
+  const double* RowPtr(int r) const { return RowSpan(r).data(); }
+
   /// Copies column `c` out.
   std::vector<double> Column(int c) const;
 
@@ -67,9 +81,9 @@ double Dot(const std::vector<double>& a, const std::vector<double>& b);
 /// Euclidean norm.
 double Norm2(const std::vector<double>& a);
 
-/// Squared Euclidean distance between two equal-length vectors.
-double SquaredDistance(const std::vector<double>& a,
-                       const std::vector<double>& b);
+/// Squared Euclidean distance between two equal-length sequences (accepts
+/// std::vector and Matrix::RowSpan views alike).
+double SquaredDistance(std::span<const double> a, std::span<const double> b);
 
 /// a + s * b, elementwise; requires equal sizes.
 std::vector<double> Axpy(const std::vector<double>& a, double s,

@@ -12,6 +12,7 @@
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace dfs::serve {
 namespace {
@@ -307,6 +308,10 @@ DfsServer::JobOutcome DfsServer::ExecuteJob(Job& job) {
   engine_options.maximize_f1_utility = request.maximize_utility;
   engine_options.seed = request.seed;
   engine_options.stop_token = job.stop_token();
+  // Split the process-wide thread budget across the worker fleet so
+  // num_workers concurrently-running jobs do not oversubscribe the host.
+  engine_options.num_threads =
+      std::max(1, HardwareThreadBudget() / std::max(1, options_.num_workers));
   core::DfsEngine engine(*std::move(scenario), engine_options);
   auto strategy = fs::CreateStrategy(*strategy_id, request.seed);
   const core::RunResult run = engine.Run(*strategy);

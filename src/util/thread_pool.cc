@@ -1,6 +1,9 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
+
+#include "util/logging.h"
 
 namespace dfs {
 
@@ -24,6 +27,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Schedule(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
+    DFS_CHECK(!shutdown_) << "ThreadPool::Schedule after shutdown";
     queue_.push_back(std::move(task));
   }
   task_available_.notify_one();
@@ -70,6 +74,15 @@ void ParallelFor(int count, int num_threads,
     pool.Schedule([&fn, i] { fn(i); });
   }
   pool.Wait();
+}
+
+int HardwareThreadBudget() {
+  if (const char* env = std::getenv("DFS_THREADS")) {
+    const int value = std::atoi(env);
+    if (value > 0) return value;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
 }  // namespace dfs

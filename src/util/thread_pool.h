@@ -23,7 +23,9 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Must not be called after the destructor has started.
+  /// Enqueues a task. Calling this once the destructor has started shutdown
+  /// is a checked failure (DFS_CHECK), not undefined behavior: the task
+  /// could never run, so silently accepting it would deadlock Wait().
   void Schedule(std::function<void()> task);
 
   /// Blocks until all scheduled tasks have finished.
@@ -45,8 +47,19 @@ class ThreadPool {
 
 /// Runs `fn(i)` for i in [0, count) across `num_threads` workers and waits.
 /// With num_threads <= 1 runs inline (deterministic order).
+///
+/// Exception behavior: `fn` must not throw. Tasks execute on pool worker
+/// threads, where an escaping exception propagates out of the thread entry
+/// function and calls std::terminate — there is no channel back to the
+/// caller. Catch inside `fn` and report through its captured state instead.
 void ParallelFor(int count, int num_threads,
                  const std::function<void(int)>& fn);
+
+/// Process-wide thread budget for parallel work (batched wrapper
+/// evaluation, the serve worker fleet, the bench harness's scenario loop):
+/// the DFS_THREADS environment variable when set to a positive integer,
+/// otherwise std::thread::hardware_concurrency(). Always >= 1.
+int HardwareThreadBudget();
 
 }  // namespace dfs
 

@@ -1,0 +1,260 @@
+// Determinism and concurrency tests for the parallel evaluation engine:
+// EvaluateBatch must select byte-identical masks (and identical evaluation
+// and cache-hit totals) at any thread count, and the sharded cache must
+// survive concurrent acquire/publish/abandon traffic.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/eval_cache.h"
+#include "core/scenario.h"
+#include "fs/registry.h"
+#include "testing/test_util.h"
+
+namespace dfs::core {
+namespace {
+
+MlScenario MakeTestScenario(const constraints::ConstraintSet& set) {
+  Rng rng(301);
+  auto scenario =
+      MakeScenario(testing::MakeLinearDataset(300, 4, 300),
+                   ml::ModelKind::kLogisticRegression, set, rng);
+  DFS_CHECK(scenario.ok());
+  return std::move(scenario).value();
+}
+
+constraints::ConstraintSet GenerousSet(double min_f1) {
+  constraints::ConstraintSet set;
+  set.min_f1 = min_f1;
+  // Generous deadline: determinism comparisons need both runs to finish
+  // their search, not race the clock.
+  set.max_search_seconds = 60.0;
+  return set;
+}
+
+RunResult RunWithThreads(const MlScenario& scenario, fs::StrategyId id,
+                         int num_threads) {
+  EngineOptions options;
+  options.seed = 77;
+  options.num_threads = num_threads;
+  DfsEngine engine(scenario, options);
+  auto strategy = fs::CreateStrategy(id, /*seed=*/5);
+  return engine.Run(*strategy);
+}
+
+void ExpectIdenticalRuns(fs::StrategyId id, double min_f1) {
+  const MlScenario scenario = MakeTestScenario(GenerousSet(min_f1));
+  const RunResult serial = RunWithThreads(scenario, id, 1);
+  const RunResult parallel = RunWithThreads(scenario, id, 4);
+  EXPECT_EQ(serial.selected, parallel.selected);
+  EXPECT_EQ(serial.success, parallel.success);
+  EXPECT_EQ(serial.evaluations, parallel.evaluations);
+  EXPECT_EQ(serial.cache_hits, parallel.cache_hits);
+  EXPECT_EQ(serial.search_exhausted, parallel.search_exhausted);
+  EXPECT_DOUBLE_EQ(serial.best_distance_validation,
+                   parallel.best_distance_validation);
+}
+
+// An achievable accuracy bound exercises the success path; an unreachable
+// one forces a full sweep of the search space (more evaluations, more
+// cache traffic) and the Table-4 failure bookkeeping.
+TEST(EngineParallelTest, SequentialForwardDeterministic) {
+  ExpectIdenticalRuns(fs::StrategyId::kSfs, 0.6);
+}
+
+TEST(EngineParallelTest, SequentialFloatingDeterministicUnderFullSweep) {
+  ExpectIdenticalRuns(fs::StrategyId::kSffs, 0.999);
+}
+
+TEST(EngineParallelTest, RfeDeterministic) {
+  ExpectIdenticalRuns(fs::StrategyId::kRfe, 0.999);
+}
+
+// NSGA-II never exhausts its space, so only the success path terminates
+// deterministically before the deadline: an achievable bound makes both
+// runs stop at the same (first) satisfying mask.
+TEST(EngineParallelTest, Nsga2Deterministic) {
+  ExpectIdenticalRuns(fs::StrategyId::kNsga2, 0.6);
+}
+
+TEST(EngineParallelTest, ExhaustiveDeterministic) {
+  ExpectIdenticalRuns(fs::StrategyId::kExhaustive, 0.999);
+}
+
+// EvaluateBatch outcomes must be positionally identical to a serial
+// Evaluate loop over the same masks (including the duplicate mask, which
+// the parallel path serves through in-flight deduplication).
+TEST(EngineParallelTest, BatchMatchesSerialEvaluateLoop) {
+  const MlScenario scenario = MakeTestScenario(GenerousSet(0.999));
+  EngineOptions options;
+  options.seed = 77;
+
+  class NullStrategy : public fs::FeatureSelectionStrategy {
+   public:
+    std::string name() const override { return "null"; }
+    fs::StrategyInfo info() const override { return {}; }
+    void Run(fs::EvalContext&) override {}
+  } warmup;
+
+  std::vector<fs::FeatureMask> masks;
+  const int n = 6;
+  for (int f = 0; f < n; ++f) masks.push_back(fs::IndicesToMask(n, {f}));
+  masks.push_back(fs::IndicesToMask(n, {0}));  // duplicate -> cache path
+  masks.push_back(fs::IndicesToMask(n, {1, 3, 5}));
+
+  options.num_threads = 1;
+  DfsEngine serial(scenario, options);
+  serial.Run(warmup);  // arms the deadline
+  std::vector<fs::EvalOutcome> expected;
+  for (const auto& mask : masks) expected.push_back(serial.Evaluate(mask));
+
+  options.num_threads = 4;
+  DfsEngine parallel(scenario, options);
+  parallel.Run(warmup);
+  const std::vector<fs::EvalOutcome> actual = parallel.EvaluateBatch(masks);
+
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].evaluated, actual[i].evaluated) << "mask " << i;
+    EXPECT_EQ(expected[i].satisfied_validation,
+              actual[i].satisfied_validation)
+        << "mask " << i;
+    EXPECT_EQ(expected[i].success, actual[i].success) << "mask " << i;
+    EXPECT_DOUBLE_EQ(expected[i].objective, actual[i].objective)
+        << "mask " << i;
+    EXPECT_DOUBLE_EQ(expected[i].distance, actual[i].distance)
+        << "mask " << i;
+  }
+}
+
+// ---- ShardedEvalCache ------------------------------------------------
+
+fs::EvalOutcome OutcomeFor(const fs::FeatureMask& mask) {
+  fs::EvalOutcome outcome;
+  outcome.evaluated = true;
+  outcome.objective = static_cast<double>(fs::MaskHash(mask) % 1000);
+  return outcome;
+}
+
+// Many threads race Acquire/Publish over a small overlapping mask set:
+// every thread must come back with the mask's canonical outcome whether it
+// was the owner or a (possibly blocked) hit, and owner/hit totals must
+// reconcile to exactly one owner per distinct mask.
+TEST(ShardedEvalCacheTest, ConcurrentAcquirePublish) {
+  constexpr int kThreads = 8;
+  constexpr int kMasks = 32;
+  constexpr int kRounds = 40;
+  ShardedEvalCache cache(/*num_shards=*/4);
+
+  std::vector<fs::FeatureMask> masks;
+  for (int m = 0; m < kMasks; ++m) {
+    masks.push_back(fs::IndicesToMask(64, {m, (m * 7 + 1) % 64}));
+  }
+
+  std::atomic<int> owners{0};
+  std::atomic<int> hits{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        // Each thread walks the masks at a different stride so owners and
+        // waiters interleave.
+        const auto& mask = masks[(round * (t + 1) + t) % kMasks];
+        fs::EvalOutcome hit;
+        switch (cache.Acquire(mask, &hit)) {
+          case ShardedEvalCache::Acquired::kOwner:
+            owners.fetch_add(1);
+            cache.Publish(mask, OutcomeFor(mask));
+            break;
+          case ShardedEvalCache::Acquired::kHit:
+            hits.fetch_add(1);
+            if (hit.objective != OutcomeFor(mask).objective) {
+              mismatches.fetch_add(1);
+            }
+            break;
+          case ShardedEvalCache::Acquired::kAbandoned:
+            ADD_FAILURE() << "unexpected abandonment";
+            break;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  // Every distinct mask is owned exactly once; everything else is a hit.
+  EXPECT_EQ(owners.load(), kMasks);
+  EXPECT_EQ(owners.load() + hits.load(), kThreads * kRounds);
+  EXPECT_EQ(cache.size(), static_cast<size_t>(kMasks));
+}
+
+// Abandoned entries must not poison the cache: waiters observe the
+// abandonment, and the next Acquire for that mask becomes a fresh owner.
+TEST(ShardedEvalCacheTest, AbandonReleasesWaitersAndMask) {
+  ShardedEvalCache cache;
+  const fs::FeatureMask mask = fs::IndicesToMask(16, {2, 5});
+
+  fs::EvalOutcome scratch;
+  ASSERT_EQ(cache.Acquire(mask, &scratch),
+            ShardedEvalCache::Acquired::kOwner);
+
+  std::atomic<int> abandoned_seen{0};
+  std::thread waiter([&] {
+    fs::EvalOutcome hit;
+    switch (cache.Acquire(mask, &hit)) {
+      case ShardedEvalCache::Acquired::kAbandoned:
+        abandoned_seen.fetch_add(1);
+        break;
+      case ShardedEvalCache::Acquired::kOwner:
+        // Lost the startup race (Abandon ran before this Acquire): release
+        // the fresh ownership so the re-acquire below cannot block.
+        cache.Abandon(mask);
+        break;
+      case ShardedEvalCache::Acquired::kHit:
+        ADD_FAILURE() << "unexpected hit";
+        break;
+    }
+  });
+  // Give the waiter time to park in Acquire's wait before abandoning, so
+  // the abandonment-wakes-waiters path is what actually runs.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  cache.Abandon(mask);
+  waiter.join();
+  EXPECT_EQ(abandoned_seen.load(), 1);
+  EXPECT_EQ(cache.size(), 0u);
+
+  // The mask is re-ownable after abandonment and publishes normally.
+  ASSERT_EQ(cache.Acquire(mask, &scratch),
+            ShardedEvalCache::Acquired::kOwner);
+  cache.Publish(mask, OutcomeFor(mask));
+  EXPECT_EQ(cache.Acquire(mask, &scratch),
+            ShardedEvalCache::Acquired::kHit);
+  EXPECT_DOUBLE_EQ(scratch.objective, OutcomeFor(mask).objective);
+}
+
+TEST(ShardedEvalCacheTest, ClearResetsAllShards) {
+  ShardedEvalCache cache(/*num_shards=*/3);
+  fs::EvalOutcome scratch;
+  for (int m = 0; m < 10; ++m) {
+    const fs::FeatureMask mask = fs::IndicesToMask(16, {m});
+    ASSERT_EQ(cache.Acquire(mask, &scratch),
+              ShardedEvalCache::Acquired::kOwner);
+    cache.Publish(mask, OutcomeFor(mask));
+  }
+  EXPECT_EQ(cache.size(), 10u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Acquire(fs::IndicesToMask(16, {3}), &scratch),
+            ShardedEvalCache::Acquired::kOwner);
+  cache.Abandon(fs::IndicesToMask(16, {3}));
+}
+
+}  // namespace
+}  // namespace dfs::core

@@ -269,7 +269,14 @@ TEST(DfsEngineTest, TraceRecordsEveryUncachedEvaluation) {
     EXPECT_GE(point.distance, 0.0);
   }
   if (result.success) {
-    EXPECT_TRUE(result.trace.back().success);
+    // Candidate batches are attempted in full (the determinism contract),
+    // so evaluations recorded after the successful one may trail it in the
+    // trace; the success point itself must still be present.
+    bool any_success = false;
+    for (const TracePoint& point : result.trace) {
+      any_success = any_success || point.success;
+    }
+    EXPECT_TRUE(any_success);
   }
 }
 

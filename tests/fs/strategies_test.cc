@@ -167,13 +167,37 @@ TEST(RfeTest, DropsLeastImportantFeatureFirst)
     return 1.0;
   }, 100);
   context.set_importances({0.9, 0.1, 0.8, 0.5});  // feature 1 weakest
-  RecursiveFeatureElimination rfe;
+  RecursiveFeatureElimination rfe(/*drop_candidates=*/1);  // classic RFE
   rfe.Run(context);
   ASSERT_GE(seen.size(), 2u);
   EXPECT_EQ(seen[0], FullMask(4));
   EXPECT_EQ(seen[1], IndicesToMask(4, {0, 2, 3}));  // dropped feature 1
   // Runs down to a single feature: 4 evaluations total.
   EXPECT_EQ(seen.back(), IndicesToMask(4, {0}));
+}
+
+// Default RFE scores several drop candidates per step; the best objective
+// wins even when it belongs to the *most* important feature, and ties
+// still fall to the least important one (classic behavior).
+TEST(RfeTest, DropCandidateScoringPrefersBetterObjective)
+{
+  std::vector<FeatureMask> seen;
+  FakeEvalContext context(4, [&seen](const FeatureMask& mask) {
+    seen.push_back(mask);
+    return mask[0] ? 1.0 : 0.5;  // any subset without feature 0 scores best
+  }, 100);
+  context.set_importances({0.9, 0.1, 0.8, 0.5});
+  RecursiveFeatureElimination rfe;  // default candidate width
+  rfe.Run(context);
+  // First step: 4 candidates in ascending-importance order (f1 f3 f2 f0);
+  // the f0-drop wins on objective despite f0 being the most important.
+  ASSERT_GE(seen.size(), 6u);
+  EXPECT_EQ(seen[0], FullMask(4));
+  EXPECT_EQ(seen[1], IndicesToMask(4, {0, 2, 3}));
+  EXPECT_EQ(seen[4], IndicesToMask(4, {1, 2, 3}));
+  // Second step starts from {1,2,3}: feature 0 is really gone, and the
+  // all-tied round drops the least important feature (f1) first.
+  EXPECT_EQ(seen[5], IndicesToMask(4, {2, 3}));
 }
 
 TEST(SimulatedAnnealingTest, FindsTargetInModerateSpace) {

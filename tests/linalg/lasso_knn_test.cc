@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "linalg/knn.h"
 #include "linalg/lasso.h"
@@ -74,7 +75,8 @@ TEST(LassoTest, EmptyInputsReturnEmpty) {
 
 TEST(KnnTest, FindsNearestRows) {
   Matrix points = {{0.0, 0.0}, {1.0, 0.0}, {5.0, 5.0}, {0.1, 0.1}};
-  const auto neighbors = KNearestRows(points, {0.0, 0.0}, 2, -1);
+  const std::vector<double> query = {0.0, 0.0};
+  const auto neighbors = KNearestRows(points, query, 2, -1);
   ASSERT_EQ(neighbors.size(), 2u);
   EXPECT_EQ(neighbors[0], 0);
   EXPECT_EQ(neighbors[1], 3);
@@ -82,14 +84,16 @@ TEST(KnnTest, FindsNearestRows) {
 
 TEST(KnnTest, ExcludesRequestedRow) {
   Matrix points = {{0.0}, {0.5}, {2.0}};
-  const auto neighbors = KNearestRows(points, {0.0}, 1, 0);
+  const std::vector<double> query = {0.0};
+  const auto neighbors = KNearestRows(points, query, 1, 0);
   ASSERT_EQ(neighbors.size(), 1u);
   EXPECT_EQ(neighbors[0], 1);
 }
 
 TEST(KnnTest, KLargerThanPopulation) {
   Matrix points = {{0.0}, {1.0}};
-  EXPECT_EQ(KNearestRows(points, {0.0}, 10, -1).size(), 2u);
+  const std::vector<double> query = {0.0};
+  EXPECT_EQ(KNearestRows(points, query, 10, -1).size(), 2u);
 }
 
 TEST(HeatKernelGraphTest, SymmetricWithWeightsInUnitInterval) {
