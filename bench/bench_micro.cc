@@ -119,6 +119,99 @@ void BM_EngineEvalCache(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineEvalCache)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 
+// ---- One uncached wrapper evaluation --------------------------------
+
+// Cost of a single wrapper evaluation (train + measure on validation),
+// cache disabled, masks rotating so every call is fresh work. This is the
+// unit the whole benchmark's wall-clock is made of; the span/scratch fast
+// path is judged by this number (scripts/bench_diff.py against the
+// committed baseline).
+void BM_EvaluateUncached(benchmark::State& state) {
+  core::MlScenario scenario = MicroScenario();
+  scenario.constraint_set.min_f1 = 0.99;  // never succeed, keep evaluating
+  scenario.constraint_set.max_search_seconds = 3600;
+  core::EngineOptions options;
+  options.enable_eval_cache = false;
+  options.num_threads = 1;
+
+  core::DfsEngine engine(scenario, options);
+  class WarmupStrategy : public fs::FeatureSelectionStrategy {
+   public:
+    std::string name() const override { return "warmup"; }
+    fs::StrategyInfo info() const override { return {}; }
+    void Run(fs::EvalContext&) override {}
+  } warmup;
+  engine.Run(warmup);  // arms the deadline/state
+
+  const int n = TelcoDataset().num_features();
+  std::vector<fs::FeatureMask> masks;
+  for (int f = 0; f < n; ++f) {
+    masks.push_back(fs::IndicesToMask(n, {f, (f + 1) % n, (f + 3) % n}));
+  }
+  int i = 0;
+  for (auto _ : state) {
+    auto outcome = engine.Evaluate(masks[i++ % masks.size()]);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_EvaluateUncached)->Unit(benchmark::kMicrosecond);
+
+// ---- Masked-column gather (Dataset -> row-major Matrix) --------------
+
+// The per-evaluation transpose copy that feeds every train/measure. Arg 0
+// benchmarks the allocating ToMatrix (the pre-span path kept for
+// comparison); arg 1 the in-place GatherInto against a warm scratch
+// matrix, which allocates nothing after the first call.
+void BM_GatherInto(benchmark::State& state) {
+  const bool in_place = state.range(0) != 0;
+  state.SetLabel(in_place ? "GatherInto (warm scratch)" : "ToMatrix (alloc)");
+  const auto& dataset = TelcoDataset();
+  const int n = dataset.num_features();
+  std::vector<std::vector<int>> feature_sets;
+  for (int f = 0; f < n; ++f) {
+    feature_sets.push_back({f, (f + 1) % n, (f + 3) % n, (f + 5) % n});
+  }
+  linalg::Matrix scratch;
+  int i = 0;
+  for (auto _ : state) {
+    const auto& features = feature_sets[i++ % feature_sets.size()];
+    if (in_place) {
+      dataset.GatherInto(features, &scratch);
+      benchmark::DoNotOptimize(scratch.MutableData());
+    } else {
+      linalg::Matrix x = dataset.ToMatrix(features);
+      benchmark::DoNotOptimize(x);
+    }
+  }
+}
+BENCHMARK(BM_GatherInto)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+// ---- Batch prediction through the span kernel ------------------------
+
+// Full-split batch prediction, the measurement half of an evaluation.
+// Arg 0 is the allocating PredictBatch(x) convenience form; arg 1 the
+// output-parameter form over a warm buffer (the engine's steady state).
+void BM_PredictBatchSpan(benchmark::State& state) {
+  const bool warm = state.range(0) != 0;
+  state.SetLabel(warm ? "out-param (warm)" : "allocating");
+  const auto& dataset = TelcoDataset();
+  const auto x = dataset.ToMatrix(dataset.AllFeatures());
+  auto model = ml::CreateClassifier(ml::ModelKind::kLogisticRegression,
+                                    ml::Hyperparameters());
+  DFS_CHECK(model->Fit(x, dataset.labels()).ok());
+  std::vector<int> predictions;
+  for (auto _ : state) {
+    if (warm) {
+      model->PredictBatch(x, &predictions);
+      benchmark::DoNotOptimize(predictions.data());
+    } else {
+      auto fresh = model->PredictBatch(x);
+      benchmark::DoNotOptimize(fresh);
+    }
+  }
+}
+BENCHMARK(BM_PredictBatchSpan)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
 // ---- Parallel candidate-sweep evaluation (EvaluateBatch) -------------
 
 // Throughput of a candidate sweep (the inner loop of SFS/RFE/exhaustive)
@@ -226,6 +319,16 @@ int main(int argc, char** argv) {
   for (std::string& arg : args) argv_rewritten.push_back(arg.data());
   int argc_rewritten = static_cast<int>(argv_rewritten.size());
 
+  // google-benchmark's own "library_build_type" context describes the
+  // system libbenchmark (Debian ships it without NDEBUG, so it always says
+  // "debug"); dfs_build_type records how *this* code was compiled, and
+  // scripts/check.sh --bench-smoke refuses to snapshot unless it says
+  // "release".
+#ifdef NDEBUG
+  benchmark::AddCustomContext("dfs_build_type", "release");
+#else
+  benchmark::AddCustomContext("dfs_build_type", "debug");
+#endif
   benchmark::Initialize(&argc_rewritten, argv_rewritten.data());
   if (benchmark::ReportUnrecognizedArguments(argc_rewritten,
                                              argv_rewritten.data())) {

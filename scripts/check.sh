@@ -4,7 +4,10 @@
 #   scripts/check.sh               # the tier-1 gate from ROADMAP.md
 #   scripts/check.sh --sanitize    # additionally run the concurrent tests
 #                                  # (serve_test, util_test,
-#                                  # engine_parallel_test) under TSan
+#                                  # engine_parallel_test, engine_golden_test)
+#                                  # under TSan, and the zero-copy evaluation
+#                                  # tests (engine_golden_test, linalg_test)
+#                                  # under ASan+UBSan
 #   scripts/check.sh --docs        # docs only (no build): every relative
 #                                  # Markdown link resolves, every bench_*
 #                                  # binary named in EXPERIMENTS.md exists,
@@ -23,15 +26,29 @@ if [[ "${1:-}" == "--docs" ]]; then
 fi
 
 if [[ "${1:-}" == "--bench-smoke" ]]; then
-  cmake -B build -S .
-  cmake --build build -j --target bench_micro
-  # Covers Arg(1) (serial baseline) through Arg(0) (full budget); DFS_THREADS
-  # caps the budget so the snapshot is reproducible on wide machines.
-  DFS_THREADS="${DFS_THREADS:-4}" ./build/bench/bench_micro \
-    --benchmark_filter=EngineEvaluateBatch \
+  # Dedicated Release tree: committed snapshots must never come from a
+  # debug build of this library. (The build/ tree's type is whatever the
+  # developer last configured; build-bench is pinned.)
+  cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-bench -j --target bench_micro
+  # Covers the hot-path kernels (GatherInto, span PredictBatch, one
+  # uncached evaluation) and the Arg(1) serial baseline through Arg(0)
+  # full-budget candidate sweep; DFS_THREADS caps the budget so the
+  # snapshot is reproducible on wide machines.
+  out="${2:-BENCH_results.json}"
+  DFS_THREADS="${DFS_THREADS:-4}" ./build-bench/bench/bench_micro \
+    --benchmark_filter='EngineEvaluateBatch|EvaluateUncached|GatherInto|PredictBatchSpan' \
     --benchmark_min_time=0.2 \
-    --json BENCH_results.json
-  echo "check.sh: wrote BENCH_results.json"
+    --json "$out"
+  # Note: the JSON's "library_build_type" describes the *system*
+  # libbenchmark (Debian ships it non-NDEBUG, i.e. "debug" forever);
+  # "dfs_build_type" is this library's own build and is the one gated.
+  if ! grep -q '"dfs_build_type": "release"' "$out"; then
+    echo "check.sh: FATAL: $out was produced by a non-Release build" >&2
+    echo "check.sh: (context lacks '\"dfs_build_type\": \"release\"')" >&2
+    exit 1
+  fi
+  echo "check.sh: wrote $out"
   echo "check.sh: OK"
   exit 0
 fi
@@ -42,12 +59,24 @@ cmake --build build -j
 
 if [[ "${1:-}" == "--sanitize" ]]; then
   # ThreadSanitizer build of the concurrency-heavy binaries in a separate
-  # build tree, so the regular build/ stays clean.
+  # build tree, so the regular build/ stays clean. engine_golden_test rides
+  # along: its byte-identical comparisons must hold when evaluations share
+  # the engine's scratch pool across threads.
   cmake -B build-tsan -S . -DDFS_SANITIZE=thread
-  cmake --build build-tsan -j --target serve_test util_test engine_parallel_test
+  cmake --build build-tsan -j --target serve_test util_test \
+    engine_parallel_test engine_golden_test
   ./build-tsan/tests/serve_test
   ./build-tsan/tests/util_test
   ./build-tsan/tests/engine_parallel_test
+  ./build-tsan/tests/engine_golden_test
+  # ASan+UBSan sweep of the zero-copy evaluation path: the span kernels,
+  # unchecked Matrix accessors, and in-place gathers must be clean under
+  # memory and UB checking (DFS_DCHECK bounds checks compile out in
+  # Release; the sanitizers are the backstop).
+  cmake -B build-asan -S . -DDFS_SANITIZE=address,undefined
+  cmake --build build-asan -j --target engine_golden_test linalg_test
+  ./build-asan/tests/engine_golden_test
+  ./build-asan/tests/linalg_test
 fi
 
 echo "check.sh: OK"

@@ -4,7 +4,9 @@
 1. Every relative Markdown link in the top-level *.md files and docs/
    resolves to a file or directory in the repository.
 2. Every `bench_*` binary named in EXPERIMENTS.md is declared in
-   bench/CMakeLists.txt (no stale instructions for removed binaries).
+   bench/CMakeLists.txt (no stale instructions for removed binaries),
+   and every declared binary is named in EXPERIMENTS.md (no
+   undocumented benchmarks).
 3. Every `DFS_*` environment variable the code reads (any
    `getenv("DFS_...")` under src/ or bench/) is documented in
    EXPERIMENTS.md — env knobs must not be discoverable only by reading
@@ -59,20 +61,27 @@ def check_links():
 
 
 def check_bench_binaries():
-    # Binary names only — "bench_results" (the cache dir) and
-    # "bench_common" (the shared library) are not binaries.
+    # Binary names only — "bench_results" (the cache dir), "bench_common"
+    # (the shared library), and "bench_diff" (the comparison script in
+    # scripts/) are not benchmark binaries.
     with open(os.path.join(REPO, "EXPERIMENTS.md"), encoding="utf-8") as f:
         named = set(re.findall(r"\b(bench_[a-z0-9_]+)\b", f.read()))
-    named -= {"bench_results", "bench_common"}
+    named -= {"bench_results", "bench_common", "bench_diff"}
     with open(os.path.join(REPO, "bench", "CMakeLists.txt"),
               encoding="utf-8") as f:
         declared = set(re.findall(r"\b(bench_[a-z0-9_]+)\b", f.read()))
     declared.discard("bench_common")  # the shared library, not a binary
-    missing = sorted(named - declared)
-    return [
+    errors = [
         f"EXPERIMENTS.md names '{name}' but bench/CMakeLists.txt does not "
-        f"declare it" for name in missing
+        f"declare it" for name in sorted(named - declared)
     ]
+    # The reverse direction: a benchmark binary nobody can find from the
+    # docs is a benchmark nobody runs.
+    errors += [
+        f"bench/CMakeLists.txt declares '{name}' but EXPERIMENTS.md does "
+        f"not mention it" for name in sorted(declared - named)
+    ]
+    return errors
 
 
 def check_env_knobs():

@@ -117,11 +117,31 @@ uint64_t DfsEngine::EvalSeed(const fs::FeatureMask& mask) const {
   return z ^ (z >> 31);
 }
 
+std::unique_ptr<DfsEngine::EvalScratch> DfsEngine::AcquireScratch() {
+  {
+    std::lock_guard<std::mutex> lock(scratch_mu_);
+    if (!scratch_pool_.empty()) {
+      auto scratch = std::move(scratch_pool_.back());
+      scratch_pool_.pop_back();
+      return scratch;
+    }
+  }
+  return std::make_unique<EvalScratch>();
+}
+
+void DfsEngine::ReleaseScratch(std::unique_ptr<EvalScratch> scratch) {
+  if (scratch == nullptr) return;
+  scratch->validation_gathered = false;
+  std::lock_guard<std::mutex> lock(scratch_mu_);
+  scratch_pool_.push_back(std::move(scratch));
+}
+
 StatusOr<std::unique_ptr<ml::Classifier>> DfsEngine::TrainModel(
-    const std::vector<int>& features) {
+    const std::vector<int>& features, EvalScratch& scratch) {
   obs::ScopedTimer fit_timer(EngineMetrics::Get().fit_seconds);
   const auto& split = scenario_.split;
-  const linalg::Matrix train_x = split.train.ToMatrix(features);
+  scratch.validation_gathered = false;
+  split.train.GatherInto(features, &scratch.train_x);
   const auto& train_y = split.train.labels();
   const bool is_private =
       scenario_.constraint_set.privacy_epsilon.has_value();
@@ -134,10 +154,15 @@ StatusOr<std::unique_ptr<ml::Classifier>> DfsEngine::TrainModel(
   } else {
     grid.push_back(ml::Hyperparameters());
   }
+  // Validation is gathered only when the HPO loop actually scores on it;
+  // the gather is then reused by Measure via scratch.validation_gathered.
+  if (grid.size() > 1) {
+    split.validation.GatherInto(features, &scratch.validation_x);
+    scratch.validation_gathered = true;
+  }
 
   std::unique_ptr<ml::Classifier> best_model;
   double best_f1 = -1.0;
-  const linalg::Matrix validation_x = split.validation.ToMatrix(features);
   for (const auto& params : grid) {
     std::unique_ptr<ml::Classifier> model =
         is_private
@@ -146,10 +171,11 @@ StatusOr<std::unique_ptr<ml::Classifier>> DfsEngine::TrainModel(
                                          fs::IndicesToMask(num_features(),
                                                            features)))
             : ml::CreateClassifier(scenario_.model, params);
-    DFS_RETURN_IF_ERROR(model->Fit(train_x, train_y));
+    DFS_RETURN_IF_ERROR(model->Fit(scratch.train_x, train_y));
     if (grid.size() == 1) return model;
-    const double f1 = metrics::F1Score(
-        split.validation.labels(), model->PredictBatch(validation_x));
+    model->PredictBatch(scratch.validation_x, &scratch.predictions);
+    const double f1 =
+        metrics::F1Score(split.validation.labels(), scratch.predictions);
     if (f1 > best_f1) {
       best_f1 = f1;
       best_model = std::move(model);
@@ -162,19 +188,19 @@ StatusOr<std::unique_ptr<ml::Classifier>> DfsEngine::TrainModel(
 constraints::MetricValues DfsEngine::Measure(const ml::Classifier& model,
                                              const std::vector<int>& features,
                                              const data::Dataset& split,
-                                             Rng& rng) {
+                                             const linalg::Matrix& x, Rng& rng,
+                                             EvalScratch& scratch) {
   constraints::MetricValues values;
   values.selected_features = static_cast<int>(features.size());
   values.total_features = num_features();
   values.feature_fraction =
       static_cast<double>(features.size()) / std::max(1, num_features());
 
-  const linalg::Matrix x = split.ToMatrix(features);
-  const std::vector<int> predictions = model.PredictBatch(x);
-  values.f1 = metrics::F1Score(split.labels(), predictions);
+  model.PredictBatch(x, &scratch.predictions);
+  values.f1 = metrics::F1Score(split.labels(), scratch.predictions);
   if (scenario_.constraint_set.min_equal_opportunity.has_value()) {
-    values.equal_opportunity =
-        metrics::EqualOpportunity(split.labels(), predictions, split.groups());
+    values.equal_opportunity = metrics::EqualOpportunity(
+        split.labels(), scratch.predictions, split.groups());
   }
   if (scenario_.constraint_set.min_safety.has_value()) {
     values.safety = metrics::EmpiricalRobustness(model, x, split.labels(),
@@ -190,7 +216,8 @@ DfsEngine::EvaluatedMask DfsEngine::EvaluateUncached(
   fs::EvalOutcome& outcome = result.outcome;
 
   Stopwatch eval_stopwatch;
-  auto model = TrainModel(features);
+  ScratchLease scratch(*this);
+  auto model = TrainModel(features, *scratch);
   if (!model.ok()) {
     DFS_LOG(WARNING) << "training failed: " << model.status().ToString();
     metrics.train_failures.Increment();
@@ -202,8 +229,13 @@ DfsEngine::EvaluatedMask DfsEngine::EvaluateUncached(
   Rng eval_rng(EvalSeed(mask));
 
   outcome.evaluated = true;
-  outcome.validation =
-      Measure(**model, features, scenario_.split.validation, eval_rng);
+  // Under HPO the TrainModel loop already gathered validation for this
+  // feature set; otherwise gather it here — exactly once either way.
+  if (!scratch->validation_gathered) {
+    scenario_.split.validation.GatherInto(features, &scratch->validation_x);
+  }
+  outcome.validation = Measure(**model, features, scenario_.split.validation,
+                               scratch->validation_x, eval_rng, *scratch);
   outcome.distance = scenario_.constraint_set.Distance(outcome.validation);
   outcome.objective = scenario_.constraint_set.Objective(
       outcome.validation, options_.maximize_f1_utility);
@@ -211,11 +243,13 @@ DfsEngine::EvaluatedMask DfsEngine::EvaluateUncached(
       scenario_.constraint_set.Satisfied(outcome.validation);
 
   // Figure-2 workflow: only subsets that satisfy validation are confirmed
-  // on test. (Repeated test-set checking is the paper's protocol; the test
-  // metrics are reported, not searched over, except for this gate.)
+  // on test, so the test gather happens only behind this gate. (Repeated
+  // test-set checking is the paper's protocol; the test metrics are
+  // reported, not searched over, except for this gate.)
   if (outcome.satisfied_validation) {
-    result.test_values =
-        Measure(**model, features, scenario_.split.test, eval_rng);
+    scenario_.split.test.GatherInto(features, &scratch->test_x);
+    result.test_values = Measure(**model, features, scenario_.split.test,
+                                 scratch->test_x, eval_rng, *scratch);
     result.have_test_values = true;
     outcome.success = scenario_.constraint_set.Satisfied(result.test_values);
   }
@@ -398,15 +432,16 @@ StatusOr<std::vector<double>> DfsEngine::FittedImportances(
                        options_.seed)
                  : ml::CreateClassifier(scenario_.model,
                                         ml::Hyperparameters());
-  const linalg::Matrix train_x = scenario_.split.train.ToMatrix(features);
-  DFS_RETURN_IF_ERROR(model->Fit(train_x, scenario_.split.train.labels()));
+  ScratchLease scratch(*this);
+  scenario_.split.train.GatherInto(features, &scratch->train_x);
+  DFS_RETURN_IF_ERROR(
+      model->Fit(scratch->train_x, scenario_.split.train.labels()));
   auto native = model->FeatureImportances();
   if (native.has_value()) return *native;
   // Fallback: permutation importance on the validation split (the costly
   // path the paper attributes to NB under RFE).
-  const linalg::Matrix validation_x =
-      scenario_.split.validation.ToMatrix(features);
-  return ml::PermutationImportance(*model, validation_x,
+  scenario_.split.validation.GatherInto(features, &scratch->validation_x);
+  return ml::PermutationImportance(*model, scratch->validation_x,
                                    scenario_.split.validation.labels(),
                                    /*repeats=*/1, rng_);
 }
@@ -464,11 +499,14 @@ RunResult DfsEngine::Run(fs::FeatureSelectionStrategy& strategy) {
         fs::CountSelected(result_.selected) > 0 &&
         result_.best_distance_test >= 1e17) {
       const std::vector<int> features = fs::MaskToIndices(result_.selected);
-      auto model = TrainModel(features);
+      ScratchLease scratch(*this);
+      auto model = TrainModel(features, *scratch);
       if (model.ok()) {
         Rng final_rng(EvalSeed(result_.selected));
+        scenario_.split.test.GatherInto(features, &scratch->test_x);
         result_.test_values =
-            Measure(**model, features, scenario_.split.test, final_rng);
+            Measure(**model, features, scenario_.split.test, scratch->test_x,
+                    final_rng, *scratch);
         result_.best_distance_test =
             scenario_.constraint_set.Distance(result_.test_values);
         result_.test_f1 = result_.test_values.f1;

@@ -146,16 +146,60 @@ class DfsEngine : public fs::EvalContext {
     SlotKind kind = SlotKind::kSkipped;
   };
 
-  /// Trains the scenario's model (DP variant when the privacy constraint is
-  /// active; grid-searched when HPO is on) on the selected columns.
-  StatusOr<std::unique_ptr<ml::Classifier>> TrainModel(
-      const std::vector<int>& features);
+  /// Reusable per-evaluation buffers (the "evaluation memory contract",
+  /// DESIGN.md §2e). One scratch is leased per in-flight evaluation;
+  /// Dataset::GatherInto reshapes the matrices in place and
+  /// Classifier::PredictBatch writes into `predictions`, so once every
+  /// worker has seen its largest mask the steady-state evaluation path
+  /// performs no heap allocation for gathers or batch predictions.
+  struct EvalScratch {
+    linalg::Matrix train_x;
+    linalg::Matrix validation_x;
+    linalg::Matrix test_x;
+    std::vector<int> predictions;
+    /// Set by TrainModel when the HPO loop already gathered validation_x
+    /// for the current feature set; Measure then skips the second gather.
+    bool validation_gathered = false;
+  };
 
-  /// Measures the constraint metrics of `model` on one split, drawing any
-  /// evaluation-side randomness (the robustness attack) from `rng`.
+  /// RAII lease of one EvalScratch from the engine's pool. Scratches are
+  /// recycled, never destroyed, for the engine's lifetime; the pool high-
+  /// water mark is the batch concurrency.
+  class ScratchLease {
+   public:
+    explicit ScratchLease(DfsEngine& engine)
+        : engine_(engine), scratch_(engine.AcquireScratch()) {}
+    ~ScratchLease() { engine_.ReleaseScratch(std::move(scratch_)); }
+    ScratchLease(const ScratchLease&) = delete;
+    ScratchLease& operator=(const ScratchLease&) = delete;
+    EvalScratch& operator*() { return *scratch_; }
+    EvalScratch* operator->() { return scratch_.get(); }
+
+   private:
+    DfsEngine& engine_;
+    std::unique_ptr<EvalScratch> scratch_;
+  };
+
+  std::unique_ptr<EvalScratch> AcquireScratch();
+  void ReleaseScratch(std::unique_ptr<EvalScratch> scratch);
+
+  /// Trains the scenario's model (DP variant when the privacy constraint is
+  /// active; grid-searched when HPO is on) on the selected columns, using
+  /// `scratch` for the gathered train (and, under HPO, validation)
+  /// matrices. The returned classifier owns all its state — it never
+  /// borrows from `scratch`.
+  StatusOr<std::unique_ptr<ml::Classifier>> TrainModel(
+      const std::vector<int>& features, EvalScratch& scratch);
+
+  /// Measures the constraint metrics of `model` on one split whose selected
+  /// columns are already gathered in `x`, drawing any evaluation-side
+  /// randomness (the robustness attack) from `rng`. Predictions go through
+  /// scratch.predictions — no allocation on the steady-state path.
   constraints::MetricValues Measure(const ml::Classifier& model,
                                     const std::vector<int>& features,
-                                    const data::Dataset& split, Rng& rng);
+                                    const data::Dataset& split,
+                                    const linalg::Matrix& x, Rng& rng,
+                                    EvalScratch& scratch);
 
   /// Seed of the per-evaluation RNG stream: split deterministically from
   /// the run seed by mask, so an evaluation's randomness is independent of
@@ -196,6 +240,11 @@ class DfsEngine : public fs::EvalContext {
   /// Resolved thread budget for EvaluateBatch (>= 1).
   int batch_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;
+
+  /// Free list of evaluation scratches (leased via ScratchLease). Guarded
+  /// by scratch_mu_; survives across Runs so repeated searches stay warm.
+  std::mutex scratch_mu_;
+  std::vector<std::unique_ptr<EvalScratch>> scratch_pool_;
 
   // Per-Run state.
   Deadline deadline_ = Deadline::Infinite();

@@ -41,14 +41,26 @@ StatusOr<Dataset> Dataset::Create(std::string name,
 
 linalg::Matrix Dataset::ToMatrix(
     const std::vector<int>& feature_indices) const {
-  linalg::Matrix matrix(num_rows(), static_cast<int>(feature_indices.size()));
-  for (size_t j = 0; j < feature_indices.size(); ++j) {
-    const auto& column = Column(feature_indices[j]);
-    for (int r = 0; r < num_rows(); ++r) {
-      matrix(r, static_cast<int>(j)) = column[r];
-    }
-  }
+  linalg::Matrix matrix;
+  GatherInto(feature_indices, &matrix);
   return matrix;
+}
+
+void Dataset::GatherInto(const std::vector<int>& feature_indices,
+                         linalg::Matrix* out) const {
+  DFS_CHECK(out != nullptr);
+  const int n = num_rows();
+  const size_t k = feature_indices.size();
+  out->Resize(n, static_cast<int>(k));
+  double* dst = out->MutableData();
+  for (size_t j = 0; j < k; ++j) {
+    // One bounds check per column; the element loop is a contiguous read
+    // of the source column with a stride-k write.
+    const std::vector<double>& column = Column(feature_indices[j]);
+    const double* src = column.data();
+    double* cell = dst + j;
+    for (int r = 0; r < n; ++r, cell += k) *cell = src[r];
+  }
 }
 
 std::vector<int> Dataset::AllFeatures() const {

@@ -48,6 +48,15 @@ class Dataset {
   /// the classifiers consume).
   linalg::Matrix ToMatrix(const std::vector<int>& feature_indices) const;
 
+  /// ToMatrix without the allocation: reshapes `*out` in place (capacity is
+  /// reused whenever it suffices — see linalg::Matrix::Resize) and writes
+  /// through the unchecked fast path. Feature indices are validated once
+  /// per column, not once per element. `out` must not be null; its previous
+  /// contents are discarded. This is the gather the engine's EvalScratch
+  /// cycles through on every wrapper evaluation (DESIGN.md §2e).
+  void GatherInto(const std::vector<int>& feature_indices,
+                  linalg::Matrix* out) const;
+
   /// All feature indices [0, num_features).
   std::vector<int> AllFeatures() const;
 

@@ -39,6 +39,42 @@ class Matrix {
     return data_[static_cast<size_t>(r) * cols_ + c];
   }
 
+  // --- Unchecked fast path (see DESIGN.md §2e) ------------------------
+  //
+  // The wrapper-evaluation hot loop (gather, train, predict) pays for a
+  // bounds check per *element* through operator(); these accessors check
+  // only under DFS_DCHECK (debug builds). Release correctness is covered
+  // by the ASan/UBSan runs of matrix_test and engine_golden_test
+  // (scripts/check.sh --sanitize).
+
+  /// Unchecked read (debug-only bounds check).
+  double At(int r, int c) const {
+    DFS_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  /// Unchecked write (debug-only bounds check).
+  void Set(int r, int c, double v) {
+    DFS_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    data_[static_cast<size_t>(r) * cols_ + c] = v;
+  }
+  /// Raw row-major storage, length rows()*cols(). Invalidated by Resize
+  /// and by assignment, like RowSpan.
+  double* MutableData() { return data_.data(); }
+  const double* Data() const { return data_.data(); }
+
+  /// Reshapes in place to rows x cols. Existing element values are NOT
+  /// preserved in any meaningful layout; callers overwrite the contents
+  /// (Dataset::GatherInto does). Never shrinks capacity, so a scratch
+  /// matrix cycling through same-or-smaller shapes stops allocating after
+  /// its first (largest) use.
+  void Resize(int rows, int cols) {
+    DFS_CHECK_GE(rows, 0);
+    DFS_CHECK_GE(cols, 0);
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(static_cast<size_t>(rows) * cols);
+  }
+
   /// Copies row `r` out.
   std::vector<double> Row(int r) const;
 

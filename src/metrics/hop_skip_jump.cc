@@ -8,21 +8,21 @@
 namespace dfs::metrics {
 namespace {
 
-double Distance(const std::vector<double>& a, const std::vector<double>& b) {
+double Distance(std::span<const double> a, std::span<const double> b) {
   return std::sqrt(linalg::SquaredDistance(a, b));
 }
 
 }  // namespace
 
 std::optional<std::vector<double>> HopSkipJumpAttack::Attack(
-    const ml::Classifier& model, const std::vector<double>& row,
+    const ml::Classifier& model, std::span<const double> row,
     Rng& rng) const {
   last_query_count_ = 0;
   const int d = static_cast<int>(row.size());
   if (d == 0) return std::nullopt;
 
   int queries_left = options_.max_queries;
-  auto query = [&](const std::vector<double>& point) -> int {
+  auto query = [&](std::span<const double> point) -> int {
     --queries_left;
     ++last_query_count_;
     return model.Predict(point);
@@ -30,11 +30,20 @@ std::optional<std::vector<double>> HopSkipJumpAttack::Attack(
 
   const int original_class = query(row);
 
-  // Phase 1: find any point of the other class inside the unit box.
+  // All working vectors are sized once and swapped/overwritten in place:
+  // the query loop below runs hundreds of times per attacked row, and per-
+  // probe allocation used to dominate it.
   std::vector<double> adversarial;
+  std::vector<double> candidate(d);
+  std::vector<double> inside(d);
+  std::vector<double> midpoint(d);
+  std::vector<double> u(d);
+  std::vector<double> probe(d);
+  std::vector<double> direction(d);
+
+  // Phase 1: find any point of the other class inside the unit box.
   for (int trial = 0; trial < options_.init_trials && queries_left > 0;
        ++trial) {
-    std::vector<double> candidate(d);
     for (int c = 0; c < d; ++c) candidate[c] = rng.Uniform();
     if (query(candidate) != original_class) {
       adversarial = std::move(candidate);
@@ -42,27 +51,27 @@ std::optional<std::vector<double>> HopSkipJumpAttack::Attack(
     }
   }
   if (adversarial.empty()) return std::nullopt;
+  candidate.resize(d);  // re-arm after the move into `adversarial`
 
-  // Phase 2/3 helper: bisect between `row` (inside) and an adversarial
-  // point, returning the closest adversarial point on the segment.
-  auto project_to_boundary = [&](std::vector<double> outside) {
-    std::vector<double> inside = row;
+  // Phase 2/3 helper: bisect between `row` (inside) and the adversarial
+  // point, leaving the closest adversarial point on the segment in
+  // `adversarial`. Buffers rotate by swap; nothing is reallocated.
+  auto project_to_boundary = [&]() {
+    inside.assign(row.begin(), row.end());
     for (int step = 0;
          step < options_.boundary_search_steps && queries_left > 0; ++step) {
-      std::vector<double> midpoint(d);
       for (int c = 0; c < d; ++c) {
-        midpoint[c] = 0.5 * (inside[c] + outside[c]);
+        midpoint[c] = 0.5 * (inside[c] + adversarial[c]);
       }
       if (query(midpoint) != original_class) {
-        outside = std::move(midpoint);
+        std::swap(adversarial, midpoint);
       } else {
-        inside = std::move(midpoint);
+        std::swap(inside, midpoint);
       }
     }
-    return outside;
   };
 
-  adversarial = project_to_boundary(std::move(adversarial));
+  project_to_boundary();
 
   // Phase 3: gradient-direction estimation + geometric step, as in
   // HopSkipJump. phi(u) = +1 if stepping to `adversarial + delta u` stays
@@ -73,16 +82,14 @@ std::optional<std::vector<double>> HopSkipJumpAttack::Attack(
     const double delta =
         std::max(1e-3, 0.1 * current_distance / std::sqrt(iteration + 1.0));
 
-    std::vector<double> direction(d, 0.0);
+    std::fill(direction.begin(), direction.end(), 0.0);
     for (int s = 0; s < options_.gradient_samples && queries_left > 0; ++s) {
-      std::vector<double> u(d);
       double norm = 0.0;
       for (int c = 0; c < d; ++c) {
         u[c] = rng.Normal();
         norm += u[c] * u[c];
       }
       norm = std::sqrt(std::max(norm, 1e-12));
-      std::vector<double> probe(d);
       for (int c = 0; c < d; ++c) {
         probe[c] = Clamp(adversarial[c] + delta * u[c] / norm, 0.0, 1.0);
       }
@@ -98,19 +105,18 @@ std::optional<std::vector<double>> HopSkipJumpAttack::Attack(
     double step = current_distance / std::sqrt(iteration + 1.0);
     bool moved = false;
     while (step > 1e-4 && queries_left > 0) {
-      std::vector<double> candidate(d);
       for (int c = 0; c < d; ++c) {
         candidate[c] = Clamp(adversarial[c] + step * direction[c], 0.0, 1.0);
       }
       if (query(candidate) != original_class) {
-        adversarial = std::move(candidate);
+        std::swap(adversarial, candidate);
         moved = true;
         break;
       }
       step *= 0.5;
     }
     if (!moved) break;
-    adversarial = project_to_boundary(std::move(adversarial));
+    project_to_boundary();
   }
 
   if (Distance(adversarial, row) <= options_.max_l2_distance) {

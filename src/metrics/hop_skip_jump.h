@@ -2,6 +2,7 @@
 #define DFS_METRICS_HOP_SKIP_JUMP_H_
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "linalg/matrix.h"
@@ -35,10 +36,22 @@ class HopSkipJumpAttack {
 
   /// Attacks one row. Returns the adversarial example, or nullopt if none
   /// was found within budget/radius. `model` must be fitted on the same
-  /// feature space as `row`.
+  /// feature space as `row`. The span is borrowed for the duration of the
+  /// call only (rows typically come straight from a Matrix::RowSpan); all
+  /// model queries go through the span PredictProba kernel, and the
+  /// attack's working vectors are hoisted so the query loop allocates
+  /// nothing per probe.
+  std::optional<std::vector<double>> Attack(const ml::Classifier& model,
+                                            std::span<const double> row,
+                                            Rng& rng) const;
+
+  /// Convenience overload for owned rows (spans have no initializer-list
+  /// constructor, so `Attack(model, {0.4, 0.5}, rng)` resolves here).
   std::optional<std::vector<double>> Attack(const ml::Classifier& model,
                                             const std::vector<double>& row,
-                                            Rng& rng) const;
+                                            Rng& rng) const {
+    return Attack(model, std::span<const double>(row), rng);
+  }
 
   /// Model queries consumed by the most recent Attack call.
   int last_query_count() const { return last_query_count_; }

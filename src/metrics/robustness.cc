@@ -17,7 +17,7 @@ double EmpiricalRobustness(const ml::Classifier& model,
 
   std::vector<int> original_predictions(n);
   for (int r = 0; r < n; ++r) {
-    original_predictions[r] = model.Predict(test_x.Row(r));
+    original_predictions[r] = model.Predict(test_x.RowSpan(r));
   }
   const double original_f1 = F1Score(test_y, original_predictions);
 
@@ -29,7 +29,7 @@ double EmpiricalRobustness(const ml::Classifier& model,
   HopSkipJumpAttack attack(options.attack);
   std::vector<int> attacked_predictions = original_predictions;
   for (int r : rows) {
-    auto adversarial = attack.Attack(model, test_x.Row(r), rng);
+    auto adversarial = attack.Attack(model, test_x.RowSpan(r), rng);
     if (adversarial.has_value()) {
       attacked_predictions[r] = model.Predict(*adversarial);
     }

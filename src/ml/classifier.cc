@@ -21,11 +21,18 @@ const char* ModelKindToString(ModelKind kind) {
   return "?";
 }
 
+void Classifier::PredictBatch(const linalg::Matrix& x,
+                              std::vector<int>* out) const {
+  DFS_CHECK(out != nullptr);
+  const int n = x.rows();
+  out->resize(n);
+  int* dst = out->data();
+  for (int r = 0; r < n; ++r) dst[r] = Predict(x.RowSpan(r));
+}
+
 std::vector<int> Classifier::PredictBatch(const linalg::Matrix& x) const {
-  std::vector<int> predictions(x.rows());
-  for (int r = 0; r < x.rows(); ++r) {
-    predictions[r] = Predict(x.Row(r));
-  }
+  std::vector<int> predictions;
+  PredictBatch(x, &predictions);
   return predictions;
 }
 

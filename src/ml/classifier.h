@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -44,15 +45,33 @@ class Classifier {
   /// Trains on `x` (rows = instances) with binary labels `y`.
   virtual Status Fit(const linalg::Matrix& x, const std::vector<int>& y) = 0;
 
-  /// P(y = 1 | row). Only valid after a successful Fit.
-  virtual double PredictProba(const std::vector<double>& row) const = 0;
+  /// P(y = 1 | row). Only valid after a successful Fit. The span form is
+  /// the virtual kernel every implementation provides; it must not retain
+  /// the span past the call (rows are typically borrowed views into a
+  /// caller's scratch matrix — the RowSpan lifetime rules apply, see
+  /// DESIGN.md §2e).
+  virtual double PredictProba(std::span<const double> row) const = 0;
 
-  /// Hard prediction at threshold 0.5.
-  virtual int Predict(const std::vector<double>& row) const {
-    return PredictProba(row) >= 0.5 ? 1 : 0;
+  /// Convenience shim for std::vector callers (delegates to the span
+  /// kernel; kept so existing call sites and tests stay source-compatible).
+  double PredictProba(const std::vector<double>& row) const {
+    return PredictProba(std::span<const double>(row));
   }
 
-  /// Hard predictions for every row of `x`.
+  /// Hard prediction at threshold 0.5.
+  virtual int Predict(std::span<const double> row) const {
+    return PredictProba(row) >= 0.5 ? 1 : 0;
+  }
+  int Predict(const std::vector<double>& row) const {
+    return Predict(std::span<const double>(row));
+  }
+
+  /// Hard predictions for every row of `x`, written into `*out` (resized to
+  /// x.rows(); capacity is reused). No per-row vector is materialized: rows
+  /// reach the kernel as borrowed spans.
+  void PredictBatch(const linalg::Matrix& x, std::vector<int>* out) const;
+
+  /// Allocating convenience form of the above.
   std::vector<int> PredictBatch(const linalg::Matrix& x) const;
 
   /// Model-native feature importances (|w| for linear models, impurity

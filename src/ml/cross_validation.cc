@@ -50,7 +50,7 @@ StatusOr<double> CrossValidatedF1(const Classifier& prototype,
     std::vector<int> y_true(test_rows.size()), y_pred(test_rows.size());
     for (size_t i = 0; i < test_rows.size(); ++i) {
       y_true[i] = y[test_rows[i]];
-      y_pred[i] = model->Predict(x.Row(test_rows[i]));
+      y_pred[i] = model->Predict(x.RowSpan(test_rows[i]));
     }
     total_f1 += metrics::F1Score(y_true, y_pred);
     ++scored_folds;

@@ -65,7 +65,7 @@ int DecisionTree::BuildNode(const linalg::Matrix& x, const std::vector<int>& y,
   double best_gain = 1e-12;
   std::vector<double> values(rows.size());
   for (int feature = 0; feature < x.cols(); ++feature) {
-    for (size_t i = 0; i < rows.size(); ++i) values[i] = x(rows[i], feature);
+    for (size_t i = 0; i < rows.size(); ++i) values[i] = x.At(rows[i], feature);
     std::vector<double> sorted_values = values;
     std::sort(sorted_values.begin(), sorted_values.end());
     if (sorted_values.front() == sorted_values.back()) continue;
@@ -111,7 +111,7 @@ int DecisionTree::BuildNode(const linalg::Matrix& x, const std::vector<int>& y,
 
   std::vector<int> left_rows, right_rows;
   for (int r : rows) {
-    (x(r, best_feature) <= best_threshold ? left_rows : right_rows)
+    (x.At(r, best_feature) <= best_threshold ? left_rows : right_rows)
         .push_back(r);
   }
   rows.clear();
@@ -127,16 +127,17 @@ int DecisionTree::BuildNode(const linalg::Matrix& x, const std::vector<int>& y,
   return node_index;
 }
 
-double DecisionTree::PredictProba(const std::vector<double>& row) const {
-  DFS_CHECK(fitted_) << "PredictProba before Fit";
-  int node = 0;
-  while (nodes_[node].feature >= 0) {
-    DFS_CHECK_LT(static_cast<size_t>(nodes_[node].feature), row.size());
-    node = row[nodes_[node].feature] <= nodes_[node].threshold
-               ? nodes_[node].left
-               : nodes_[node].right;
+double DecisionTree::PredictProba(std::span<const double> row) const {
+  DFS_DCHECK(fitted_) << "PredictProba before Fit";
+  const Node* nodes = nodes_.data();
+  const double* v = row.data();
+  const Node* node = nodes;
+  while (node->feature >= 0) {
+    DFS_DCHECK(static_cast<size_t>(node->feature) < row.size());
+    node = nodes +
+           (v[node->feature] <= node->threshold ? node->left : node->right);
   }
-  return nodes_[node].positive_probability;
+  return node->positive_probability;
 }
 
 std::optional<std::vector<double>> DecisionTree::FeatureImportances() const {

@@ -20,7 +20,10 @@ class DecisionTree : public Classifier {
   explicit DecisionTree(const Hyperparameters& params) : params_(params) {}
 
   Status Fit(const linalg::Matrix& x, const std::vector<int>& y) override;
-  double PredictProba(const std::vector<double>& row) const override;
+  double PredictProba(std::span<const double> row) const override;
+  /// Re-expose the base-class std::vector convenience shim (the span
+  /// override would otherwise hide it from unqualified lookup).
+  using Classifier::PredictProba;
 
   /// Total gini-impurity decrease contributed by each feature, normalized to
   /// sum to 1 (0s if the tree is a single leaf).

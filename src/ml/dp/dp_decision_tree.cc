@@ -83,16 +83,17 @@ Status DpDecisionTree::Fit(const linalg::Matrix& x, const std::vector<int>& y) {
   return OkStatus();
 }
 
-double DpDecisionTree::PredictProba(const std::vector<double>& row) const {
-  DFS_CHECK(fitted_) << "PredictProba before Fit";
-  int node = 0;
-  while (nodes_[node].feature >= 0) {
-    DFS_CHECK_LT(static_cast<size_t>(nodes_[node].feature), row.size());
-    node = row[nodes_[node].feature] <= nodes_[node].threshold
-               ? nodes_[node].left
-               : nodes_[node].right;
+double DpDecisionTree::PredictProba(std::span<const double> row) const {
+  DFS_DCHECK(fitted_) << "PredictProba before Fit";
+  const Node* nodes = nodes_.data();
+  const double* v = row.data();
+  const Node* node = nodes;
+  while (node->feature >= 0) {
+    DFS_DCHECK(static_cast<size_t>(node->feature) < row.size());
+    node = nodes +
+           (v[node->feature] <= node->threshold ? node->left : node->right);
   }
-  return nodes_[node].positive_probability;
+  return node->positive_probability;
 }
 
 }  // namespace dfs::ml

@@ -48,10 +48,11 @@ StatusOr<GridSearchResult> GridSearch(ModelKind kind,
                                       const std::vector<int>& validation_y) {
   GridSearchResult result;
   result.best_validation_f1 = -1.0;
+  std::vector<int> predictions;  // reused across the grid
   for (const auto& params : HyperparameterGrid(kind)) {
     auto model = CreateClassifier(kind, params);
     DFS_RETURN_IF_ERROR(model->Fit(train_x, train_y));
-    const std::vector<int> predictions = model->PredictBatch(validation_x);
+    model->PredictBatch(validation_x, &predictions);
     const double f1 = metrics::F1Score(validation_y, predictions);
     ++result.evaluated_points;
     if (f1 > result.best_validation_f1) {

@@ -27,19 +27,21 @@ Status LinearSvm::Fit(const linalg::Matrix& x, const std::vector<int>& y) {
   long long t = 0;
   for (int epoch = 0; epoch < params_.svm_epochs; ++epoch) {
     rng.Shuffle(order);
+    double* w = weights_.data();
     for (int i : order) {
       ++t;
       const double step = 1.0 / (lambda * static_cast<double>(t));
       const double label = y[i] == 1 ? 1.0 : -1.0;
+      const double* xi = x.RowPtr(i);
       double margin = intercept_;
-      for (int c = 0; c < d; ++c) margin += weights_[c] * x(i, c);
+      for (int c = 0; c < d; ++c) margin += w[c] * xi[c];
       // Pegasos update: always shrink, add the hinge subgradient on margin
       // violations.
       const double shrink = 1.0 - step * lambda;
-      for (int c = 0; c < d; ++c) weights_[c] *= shrink;
+      for (int c = 0; c < d; ++c) w[c] *= shrink;
       if (label * margin < 1.0) {
         for (int c = 0; c < d; ++c) {
-          weights_[c] += step * label * x(i, c);
+          w[c] += step * label * xi[c];
         }
         intercept_ += step * label * 0.1;  // lightly-learned bias
       }
@@ -49,11 +51,14 @@ Status LinearSvm::Fit(const linalg::Matrix& x, const std::vector<int>& y) {
   return OkStatus();
 }
 
-double LinearSvm::PredictProba(const std::vector<double>& row) const {
-  DFS_CHECK(fitted_) << "PredictProba before Fit";
-  DFS_CHECK_EQ(row.size(), weights_.size());
+double LinearSvm::PredictProba(std::span<const double> row) const {
+  DFS_DCHECK(fitted_) << "PredictProba before Fit";
+  DFS_DCHECK(row.size() == weights_.size());
+  const double* v = row.data();
+  const double* w = weights_.data();
+  const size_t d = row.size();
   double margin = intercept_;
-  for (size_t c = 0; c < row.size(); ++c) margin += weights_[c] * row[c];
+  for (size_t c = 0; c < d; ++c) margin += w[c] * v[c];
   return Sigmoid(4.0 * margin);  // squash; scale keeps mid-margins soft
 }
 

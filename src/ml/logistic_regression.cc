@@ -23,16 +23,22 @@ Status LogisticRegression::Fit(const linalg::Matrix& x,
 
   // Gradient descent with a decaying step; features in [0,1] keep the
   // logistic loss Lipschitz constant small, so a fixed base step works.
+  // Inner loops run on raw row pointers: one bounds check per row
+  // (RowPtr), none per element, and no aliasing between the row and the
+  // weight/gradient arrays the compiler has to re-load around.
   double step = 2.0;
   std::vector<double> gradient(d, 0.0);
+  const double* w = weights_.data();
+  double* g = gradient.data();
   for (int iteration = 0; iteration < params_.lr_max_iterations; ++iteration) {
     std::fill(gradient.begin(), gradient.end(), 0.0);
     double intercept_gradient = 0.0;
     for (int r = 0; r < n; ++r) {
+      const double* xr = x.RowPtr(r);
       double margin = intercept_;
-      for (int c = 0; c < d; ++c) margin += weights_[c] * x(r, c);
+      for (int c = 0; c < d; ++c) margin += w[c] * xr[c];
       double error = Sigmoid(margin) - y[r];
-      for (int c = 0; c < d; ++c) gradient[c] += error * x(r, c);
+      for (int c = 0; c < d; ++c) g[c] += error * xr[c];
       intercept_gradient += error;
     }
     double gradient_norm_sq = intercept_gradient * intercept_gradient;
@@ -50,11 +56,14 @@ Status LogisticRegression::Fit(const linalg::Matrix& x,
   return OkStatus();
 }
 
-double LogisticRegression::PredictProba(const std::vector<double>& row) const {
-  DFS_CHECK(fitted_) << "PredictProba before Fit";
-  DFS_CHECK_EQ(row.size(), weights_.size());
+double LogisticRegression::PredictProba(std::span<const double> row) const {
+  DFS_DCHECK(fitted_) << "PredictProba before Fit";
+  DFS_DCHECK(row.size() == weights_.size());
+  const double* v = row.data();
+  const double* w = weights_.data();
+  const size_t d = row.size();
   double margin = intercept_;
-  for (size_t c = 0; c < row.size(); ++c) margin += weights_[c] * row[c];
+  for (size_t c = 0; c < d; ++c) margin += w[c] * v[c];
   return Sigmoid(margin);
 }
 

@@ -27,16 +27,24 @@ Status GaussianNaiveBayes::Fit(const linalg::Matrix& x,
     mean_[k].assign(d, 0.0);
     variance_[k].assign(d, 0.0);
   }
+  // Sufficient statistics over raw row pointers: one bounds check per row,
+  // none per element (the [0,1]-scaled features make this the entire cost
+  // of an NB fit).
   for (int r = 0; r < n; ++r) {
-    for (int c = 0; c < d; ++c) mean_[y[r]][c] += x(r, c);
+    const double* xr = x.RowPtr(r);
+    double* m = mean_[y[r]].data();
+    for (int c = 0; c < d; ++c) m[c] += xr[c];
   }
   for (int k = 0; k < 2; ++k) {
     for (int c = 0; c < d; ++c) mean_[k][c] /= std::max(count[k], 1e-9);
   }
   for (int r = 0; r < n; ++r) {
+    const double* xr = x.RowPtr(r);
+    const double* m = mean_[y[r]].data();
+    double* v = variance_[y[r]].data();
     for (int c = 0; c < d; ++c) {
-      const double delta = x(r, c) - mean_[y[r]][c];
-      variance_[y[r]][c] += delta * delta;
+      const double delta = xr[c] - m[c];
+      v[c] += delta * delta;
     }
   }
   // Smoothing: fraction of the largest overall feature variance.
@@ -47,8 +55,17 @@ Status GaussianNaiveBayes::Fit(const linalg::Matrix& x,
     }
   }
   for (int c = 0; c < d; ++c) {
-    std::vector<double> column = x.Column(c);
-    max_variance = std::max(max_variance, Variance(column));
+    // Same two-pass mean/variance arithmetic as util::Variance, strided
+    // over the column in place of the former x.Column copy.
+    double sum = 0.0;
+    for (int r = 0; r < n; ++r) sum += x.At(r, c);
+    const double mean = sum / n;
+    double sq = 0.0;
+    for (int r = 0; r < n; ++r) {
+      const double delta = x.At(r, c) - mean;
+      sq += delta * delta;
+    }
+    max_variance = std::max(max_variance, sq / n);
   }
   const double smoothing =
       std::max(params_.nb_var_smoothing * std::max(max_variance, 1e-9), 1e-12);
@@ -59,15 +76,19 @@ Status GaussianNaiveBayes::Fit(const linalg::Matrix& x,
   return OkStatus();
 }
 
-double GaussianNaiveBayes::PredictProba(const std::vector<double>& row) const {
-  DFS_CHECK(fitted_) << "PredictProba before Fit";
-  DFS_CHECK_EQ(row.size(), mean_[0].size());
+double GaussianNaiveBayes::PredictProba(std::span<const double> row) const {
+  DFS_DCHECK(fitted_) << "PredictProba before Fit";
+  DFS_DCHECK(row.size() == mean_[0].size());
+  const double* v = row.data();
+  const size_t d = row.size();
   double log_likelihood[2];
   for (int k = 0; k < 2; ++k) {
+    const double* mean = mean_[k].data();
+    const double* var = variance_[k].data();
     double total = log_prior_[k];
-    for (size_t c = 0; c < row.size(); ++c) {
-      const double variance = variance_[k][c];
-      const double delta = row[c] - mean_[k][c];
+    for (size_t c = 0; c < d; ++c) {
+      const double variance = var[c];
+      const double delta = v[c] - mean[c];
       total += -0.5 * std::log(2.0 * M_PI * variance) -
                delta * delta / (2.0 * variance);
     }

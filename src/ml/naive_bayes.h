@@ -17,7 +17,10 @@ class GaussianNaiveBayes : public Classifier {
       : params_(params) {}
 
   Status Fit(const linalg::Matrix& x, const std::vector<int>& y) override;
-  double PredictProba(const std::vector<double>& row) const override;
+  double PredictProba(std::span<const double> row) const override;
+  /// Re-expose the base-class std::vector convenience shim (the span
+  /// override would otherwise hide it from unqualified lookup).
+  using Classifier::PredictProba;
 
   std::unique_ptr<Classifier> Clone() const override {
     return std::make_unique<GaussianNaiveBayes>(params_);

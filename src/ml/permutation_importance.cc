@@ -16,20 +16,25 @@ std::vector<double> PermutationImportance(const Classifier& fitted_model,
   if (n == 0 || d == 0) return importances;
   repeats = std::max(1, repeats);
 
-  const double baseline = metrics::F1Score(y, fitted_model.PredictBatch(x));
+  std::vector<int> predictions;
+  fitted_model.PredictBatch(x, &predictions);
+  const double baseline = metrics::F1Score(y, predictions);
 
   std::vector<int> permutation(n);
   for (int r = 0; r < n; ++r) permutation[r] = r;
 
+  // One reusable row buffer: refill from the borrowed RowSpan, overwrite
+  // the permuted feature, predict through the span kernel. The inner loop
+  // (n * d * repeats predictions) allocates nothing.
+  std::vector<double> row(d);
   for (int feature = 0; feature < d; ++feature) {
     double total_drop = 0.0;
     for (int repeat = 0; repeat < repeats; ++repeat) {
       rng.Shuffle(permutation);
-      std::vector<int> predictions(n);
-      std::vector<double> row;
       for (int r = 0; r < n; ++r) {
-        row = x.Row(r);
-        row[feature] = x(permutation[r], feature);
+        const std::span<const double> original = x.RowSpan(r);
+        row.assign(original.begin(), original.end());
+        row[feature] = x.At(permutation[r], feature);
         predictions[r] = fitted_model.Predict(row);
       }
       total_drop += baseline - metrics::F1Score(y, predictions);

@@ -140,11 +140,11 @@ StatusOr<RandomForest> RandomForest::Deserialize(const std::string& text) {
   return forest;
 }
 
-double RandomForest::PredictProba(const std::vector<double>& row) const {
+double RandomForest::PredictProba(std::span<const double> row) const {
   DFS_CHECK(fitted_) << "PredictProba before Fit";
   if (members_.empty()) return prior_;
   double total = 0.0;
-  std::vector<double> sub_row;
+  std::vector<double>& sub_row = sub_row_scratch_;
   for (const auto& member : members_) {
     sub_row.resize(member.features.size());
     for (size_t j = 0; j < member.features.size(); ++j) {

@@ -34,7 +34,10 @@ class RandomForest : public Classifier {
       : options_(options) {}
 
   Status Fit(const linalg::Matrix& x, const std::vector<int>& y) override;
-  double PredictProba(const std::vector<double>& row) const override;
+  double PredictProba(std::span<const double> row) const override;
+  /// Re-expose the base-class std::vector convenience shim (the span
+  /// override would otherwise hide it from unqualified lookup).
+  using Classifier::PredictProba;
 
   std::unique_ptr<Classifier> Clone() const override {
     return std::make_unique<RandomForest>(options_);
@@ -56,6 +59,11 @@ class RandomForest : public Classifier {
   std::vector<Member> members_;
   double prior_ = 0.5;
   bool fitted_ = false;
+  /// Per-member feature-subspace gather buffer, reused across predictions.
+  /// Like Fit, PredictProba is single-threaded per instance (the engine's
+  /// parallel workers each own their models); the buffer makes a forest
+  /// prediction allocation-free after the first call.
+  mutable std::vector<double> sub_row_scratch_;
 };
 
 }  // namespace dfs::ml

@@ -73,6 +73,19 @@ class NullStream {
                 DFS_LOG_FATAL << "Check failed: " #condition " "
 
 #define DFS_CHECK_EQ(a, b) DFS_CHECK((a) == (b))
+
+/// Debug-only CHECK: compiled out under NDEBUG (i.e. in Release builds).
+/// Used on unchecked hot-path accessors (Matrix::At/Set, GatherInto) where a
+/// per-element branch is the cost being optimized away; sanitizer builds of
+/// the tests still catch genuine out-of-bounds access at the heap level.
+/// The `while (false)` keeps `DFS_DCHECK(c) << "msg"` compiling when
+/// disabled.
+#ifndef NDEBUG
+#define DFS_DCHECK(condition) DFS_CHECK(condition)
+#else
+#define DFS_DCHECK(condition) \
+  while (false) DFS_CHECK(condition)
+#endif
 #define DFS_CHECK_NE(a, b) DFS_CHECK((a) != (b))
 #define DFS_CHECK_LT(a, b) DFS_CHECK((a) < (b))
 #define DFS_CHECK_LE(a, b) DFS_CHECK((a) <= (b))

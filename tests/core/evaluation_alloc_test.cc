@@ -1,0 +1,161 @@
+// Allocation-count proof for the zero-copy evaluation path (own test
+// binary: it replaces the global operator new/delete with counting
+// versions). The evaluation memory contract (DESIGN.md §2e) promises that
+// after warm-up the hot wrapper-evaluation components — masked-column
+// gathers and batch prediction — perform no heap allocation; these tests
+// enforce exactly that with a global allocation hook. The engine-level
+// consequence follows by construction: the gathered matrices and the
+// prediction buffer live in the engine's leased EvalScratch, and
+// Matrix::Resize/vector::resize never shrink capacity, so a warm scratch
+// sees only the allocation-free calls proven here.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "data/dataset.h"
+#include "linalg/matrix.h"
+#include "ml/classifier.h"
+#include "ml/random_forest.h"
+#include "testing/test_util.h"
+
+// Sanitizers interpose their own allocator and shadow accounting; the
+// counting hook is meaningless (and ASan flags the malloc/free mismatch in
+// some configurations), so these tests skip themselves under ASan/TSan.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define DFS_ALLOC_HOOK_UNUSABLE 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define DFS_ALLOC_HOOK_UNUSABLE 1
+#endif
+#endif
+
+namespace {
+std::atomic<bool> g_counting{false};
+std::atomic<long long> g_allocations{0};
+}  // namespace
+
+#ifndef DFS_ALLOC_HOOK_UNUSABLE
+
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#endif  // !DFS_ALLOC_HOOK_UNUSABLE
+
+namespace dfs {
+namespace {
+
+/// Counts operator-new calls made by `body`.
+template <typename Body>
+long long CountAllocations(const Body& body) {
+  g_allocations.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  body();
+  g_counting.store(false, std::memory_order_relaxed);
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+#ifdef DFS_ALLOC_HOOK_UNUSABLE
+#define DFS_SKIP_UNDER_SANITIZERS() \
+  GTEST_SKIP() << "allocation hook disabled under sanitizers"
+#else
+#define DFS_SKIP_UNDER_SANITIZERS() (void)0
+#endif
+
+TEST(EvaluationAllocTest, WarmPredictBatchAllocatesNothing) {
+  DFS_SKIP_UNDER_SANITIZERS();
+  const data::Dataset train = testing::MakeLinearDataset(200, 2, 41);
+  const linalg::Matrix x = train.ToMatrix(train.AllFeatures());
+
+  for (const auto kind :
+       {ml::ModelKind::kLogisticRegression, ml::ModelKind::kNaiveBayes,
+        ml::ModelKind::kDecisionTree, ml::ModelKind::kLinearSvm}) {
+    auto model = ml::CreateClassifier(kind, ml::Hyperparameters());
+    ASSERT_TRUE(model->Fit(x, train.labels()).ok());
+    std::vector<int> predictions;
+    model->PredictBatch(x, &predictions);  // warm-up sizes the buffer
+    const long long allocations = CountAllocations([&] {
+      for (int repeat = 0; repeat < 20; ++repeat) {
+        model->PredictBatch(x, &predictions);
+      }
+    });
+    EXPECT_EQ(allocations, 0) << ml::ModelKindToString(kind);
+  }
+}
+
+TEST(EvaluationAllocTest, WarmForestPredictionAllocatesNothing) {
+  DFS_SKIP_UNDER_SANITIZERS();
+  const data::Dataset train = testing::MakeLinearDataset(120, 1, 42);
+  const linalg::Matrix x = train.ToMatrix(train.AllFeatures());
+  ml::RandomForestOptions options;
+  options.num_trees = 8;
+  ml::RandomForest forest(options);
+  ASSERT_TRUE(forest.Fit(x, train.labels()).ok());
+  std::vector<int> predictions;
+  forest.PredictBatch(x, &predictions);  // warms the subspace row scratch
+  const long long allocations = CountAllocations([&] {
+    for (int repeat = 0; repeat < 5; ++repeat) {
+      forest.PredictBatch(x, &predictions);
+    }
+  });
+  EXPECT_EQ(allocations, 0);
+}
+
+TEST(EvaluationAllocTest, WarmGatherIntoAllocatesNothing) {
+  DFS_SKIP_UNDER_SANITIZERS();
+  const data::Dataset dataset = testing::MakeLinearDataset(150, 3, 43);
+  // Feature lists are hoisted: a braced list inside the counted region
+  // would itself allocate a temporary vector.
+  const std::vector<int> wide = {0, 1, 2, 3, 4};
+  const std::vector<int> narrow = {4, 2};
+  const std::vector<int> mid = {1, 3, 0};
+  linalg::Matrix scratch;
+  dataset.GatherInto(wide, &scratch);  // widest mask first
+  const long long allocations = CountAllocations([&] {
+    for (int repeat = 0; repeat < 20; ++repeat) {
+      dataset.GatherInto(wide, &scratch);
+      dataset.GatherInto(narrow, &scratch);
+      dataset.GatherInto(mid, &scratch);
+    }
+  });
+  EXPECT_EQ(allocations, 0);
+}
+
+TEST(EvaluationAllocTest, WarmSpanPredictProbaAllocatesNothing) {
+  DFS_SKIP_UNDER_SANITIZERS();
+  const data::Dataset train = testing::MakeLinearDataset(100, 1, 44);
+  const linalg::Matrix x = train.ToMatrix(train.AllFeatures());
+  for (const auto kind :
+       {ml::ModelKind::kLogisticRegression, ml::ModelKind::kNaiveBayes,
+        ml::ModelKind::kDecisionTree, ml::ModelKind::kLinearSvm}) {
+    auto model = ml::CreateClassifier(kind, ml::Hyperparameters());
+    ASSERT_TRUE(model->Fit(x, train.labels()).ok());
+    double sink = 0.0;
+    const long long allocations = CountAllocations([&] {
+      for (int r = 0; r < x.rows(); ++r) {
+        sink += model->PredictProba(x.RowSpan(r));
+      }
+    });
+    EXPECT_EQ(allocations, 0) << ml::ModelKindToString(kind);
+    EXPECT_GE(sink, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace dfs

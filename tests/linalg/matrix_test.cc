@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "data/dataset.h"
+#include "testing/test_util.h"
+
 namespace dfs::linalg {
 namespace {
 
@@ -58,6 +61,84 @@ TEST(MatrixTest, MultiplyByIdentityIsNoop) {
 TEST(MatrixTest, MultiplyVector) {
   Matrix a = {{1, 2}, {3, 4}};
   EXPECT_EQ(a.MultiplyVector({1.0, 1.0}), (std::vector<double>{3.0, 7.0}));
+}
+
+TEST(MatrixTest, UncheckedAccessorsMatchChecked) {
+  Matrix m = {{1, 2, 3}, {4, 5, 6}};
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) {
+      EXPECT_EQ(m.At(r, c), m(r, c));
+    }
+  }
+  m.Set(1, 2, 9.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), 9.0);
+  // MutableData/Data expose the row-major storage directly.
+  EXPECT_EQ(m.Data()[1 * m.cols() + 2], 9.0);
+  m.MutableData()[0] = -1.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), -1.0);
+}
+
+TEST(MatrixTest, ResizeReshapesAndKeepsCapacity) {
+  Matrix m(4, 5, 1.0);
+  const double* data = m.Data();
+  // Shrinking (or keeping) the element count must not reallocate: scratch
+  // matrices stop allocating once they have seen their largest shape.
+  m.Resize(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.Data(), data);
+  m.Resize(5, 4);  // same element count as the original allocation
+  EXPECT_EQ(m.Data(), data);
+  // Growing past capacity reallocates but preserves the new shape.
+  m.Resize(100, 7);
+  EXPECT_EQ(m.rows(), 100);
+  EXPECT_EQ(m.cols(), 7);
+}
+
+TEST(GatherIntoTest, MatchesToMatrix) {
+  const data::Dataset dataset = dfs::testing::MakeLinearDataset(40, 2, 31);
+  const std::vector<int> features = {0, 2, 3};
+  const Matrix expected = dataset.ToMatrix(features);
+  Matrix gathered;
+  dataset.GatherInto(features, &gathered);
+  ASSERT_EQ(gathered.rows(), expected.rows());
+  ASSERT_EQ(gathered.cols(), expected.cols());
+  for (int r = 0; r < expected.rows(); ++r) {
+    for (int c = 0; c < expected.cols(); ++c) {
+      EXPECT_EQ(gathered(r, c), expected(r, c));
+    }
+  }
+}
+
+TEST(GatherIntoTest, ReusesScratchAcrossFeatureSets) {
+  const data::Dataset dataset = dfs::testing::MakeLinearDataset(40, 2, 32);
+  Matrix scratch;
+  // Warm the scratch with the widest gather first.
+  dataset.GatherInto({0, 1, 2, 3}, &scratch);
+  const double* warm = scratch.Data();
+  // Narrower gathers reuse the allocation and leave no stale values: every
+  // cell is overwritten, not merely the ones a previous shape shared.
+  dataset.GatherInto({3, 1}, &scratch);
+  EXPECT_EQ(scratch.Data(), warm);
+  EXPECT_EQ(scratch.cols(), 2);
+  const Matrix expected = dataset.ToMatrix({3, 1});
+  for (int r = 0; r < expected.rows(); ++r) {
+    for (int c = 0; c < expected.cols(); ++c) {
+      EXPECT_EQ(scratch(r, c), expected(r, c));
+    }
+  }
+}
+
+TEST(GatherIntoTest, ResizesScratchOnShapeMismatch) {
+  const data::Dataset dataset = dfs::testing::MakeLinearDataset(10, 0, 33);
+  Matrix scratch(3, 7, -5.0);  // wrong shape and poisoned contents
+  dataset.GatherInto({1}, &scratch);
+  EXPECT_EQ(scratch.rows(), dataset.num_rows());
+  EXPECT_EQ(scratch.cols(), 1);
+  const Matrix expected = dataset.ToMatrix({1});
+  for (int r = 0; r < expected.rows(); ++r) {
+    EXPECT_EQ(scratch(r, 0), expected(r, 0));
+  }
 }
 
 TEST(VectorOpsTest, DotNormDistance) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
 
 #include "metrics/hop_skip_jump.h"
 #include "ml/logistic_regression.h"
@@ -23,7 +24,7 @@ class ThresholdModel : public ml::Classifier {
   Status Fit(const linalg::Matrix&, const std::vector<int>&) override {
     return OkStatus();
   }
-  double PredictProba(const std::vector<double>& row) const override {
+  double PredictProba(std::span<const double> row) const override {
     return row[0] >= threshold_ ? 1.0 : 0.0;
   }
   std::unique_ptr<Classifier> Clone() const override {
@@ -73,7 +74,7 @@ TEST(HopSkipJumpTest, EmptyRowFails) {
   ThresholdModel model(0.5);
   HopSkipJumpAttack attack;
   Rng rng(84);
-  EXPECT_FALSE(attack.Attack(model, {}, rng).has_value());
+  EXPECT_FALSE(attack.Attack(model, std::vector<double>{}, rng).has_value());
 }
 
 TEST(HopSkipJumpTest, MovesTowardBoundary) {
@@ -96,7 +97,7 @@ TEST(EmpiricalRobustnessTest, PerfectWhenModelConstant) {
     Status Fit(const linalg::Matrix&, const std::vector<int>&) override {
       return OkStatus();
     }
-    double PredictProba(const std::vector<double>&) const override {
+    double PredictProba(std::span<const double>) const override {
       return 1.0;
     }
     std::unique_ptr<Classifier> Clone() const override {

@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <span>
+#include <vector>
+
 #include "metrics/classification.h"
+#include "ml/dp/dp_classifier.h"
+#include "ml/random_forest.h"
 #include "testing/test_util.h"
 
 namespace dfs::ml {
@@ -71,6 +77,57 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(ModelKind::kLogisticRegression, ModelKind::kNaiveBayes,
                       ModelKind::kDecisionTree, ModelKind::kLinearSvm),
     [](const auto& info) { return ModelKindToString(info.param); });
+
+// Every PredictProba implementation is a span kernel with a delegating
+// std::vector shim; the two entry points must agree bitwise on every row,
+// for every classifier family (4 standard + 3 DP variants + RF).
+TEST(SpanPredictTest, SpanAndVectorPredictProbaAgreeEverywhere) {
+  const data::Dataset train = testing::MakeLinearDataset(200, 2, 25);
+  const linalg::Matrix x = ToMatrix(train);
+
+  std::vector<std::unique_ptr<Classifier>> models;
+  for (const auto kind :
+       {ModelKind::kLogisticRegression, ModelKind::kNaiveBayes,
+        ModelKind::kDecisionTree, ModelKind::kLinearSvm}) {
+    models.push_back(CreateClassifier(kind, Hyperparameters()));
+    models.push_back(
+        CreateDpClassifier(kind, Hyperparameters(), /*epsilon=*/1.0, 91));
+  }
+  RandomForestOptions forest_options;
+  forest_options.num_trees = 8;
+  models.push_back(std::make_unique<RandomForest>(forest_options));
+
+  for (const auto& model : models) {
+    ASSERT_TRUE(model->Fit(x, train.labels()).ok()) << model->name();
+    for (int r = 0; r < x.rows(); ++r) {
+      const std::vector<double> row = x.Row(r);
+      const std::span<const double> row_span = x.RowSpan(r);
+      EXPECT_EQ(model->PredictProba(row), model->PredictProba(row_span))
+          << model->name() << " row " << r;
+      EXPECT_EQ(model->Predict(row), model->Predict(row_span))
+          << model->name() << " row " << r;
+    }
+  }
+}
+
+// The output-parameter PredictBatch must produce exactly the allocating
+// form's labels while reusing the caller's buffer.
+TEST(SpanPredictTest, PredictBatchOutputParamMatchesAllocatingForm) {
+  const data::Dataset train = testing::MakeLinearDataset(150, 1, 26);
+  const linalg::Matrix x = ToMatrix(train);
+  auto model = CreateClassifier(ModelKind::kLogisticRegression,
+                                Hyperparameters());
+  ASSERT_TRUE(model->Fit(x, train.labels()).ok());
+
+  const std::vector<int> allocated = model->PredictBatch(x);
+  std::vector<int> reused;
+  model->PredictBatch(x, &reused);
+  EXPECT_EQ(allocated, reused);
+  const int* warm = reused.data();
+  model->PredictBatch(x, &reused);
+  EXPECT_EQ(allocated, reused);
+  EXPECT_EQ(reused.data(), warm);  // steady state: no reallocation
+}
 
 TEST(ModelKindTest, Names) {
   EXPECT_STREQ(ModelKindToString(ModelKind::kLogisticRegression), "LR");
