@@ -16,11 +16,56 @@
 #   scripts/check.sh --bench-smoke # build bench_micro and snapshot the
 #                                  # serial-vs-parallel candidate-sweep
 #                                  # throughput to BENCH_results.json
+#   scripts/check.sh --lint        # static gate (no test run): dfs_lint
+#                                  # project-contract rules + their
+#                                  # self-test, then — when Clang tooling
+#                                  # is on PATH — a -DDFS_ANALYZE=ON
+#                                  # thread-safety build and clang-tidy
+#                                  # over src/ (skipped with a notice on
+#                                  # GCC-only hosts)
+#   scripts/check.sh --all         # tier-1 + --sanitize + --docs + --lint
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+run_lint() {
+  # Leg 1 (always): the project-contract linter and its self-test. Pure
+  # Python, no toolchain dependency.
+  python3 tools/dfs_lint.py
+  python3 tests/lint/dfs_lint_test.py
+
+  # Leg 2 (Clang only): promote the DFS_GUARDED_BY/DFS_REQUIRES
+  # annotations to hard errors. The attributes are no-ops under GCC, so
+  # on a host without clang++ this leg is skipped — loudly, never
+  # silently passed off as run.
+  if command -v clang++ >/dev/null 2>&1; then
+    cmake -B build-analyze -S . -DCMAKE_CXX_COMPILER=clang++ \
+      -DDFS_ANALYZE=ON
+    cmake --build build-analyze -j
+  else
+    echo "check.sh: NOTICE: clang++ not found; skipping the" >&2
+    echo "check.sh:   -DDFS_ANALYZE=ON thread-safety-analysis build" >&2
+  fi
+
+  # Leg 3 (Clang only): the curated .clang-tidy profile over src/. Uses
+  # the compile database from a plain configure.
+  if command -v clang-tidy >/dev/null 2>&1; then
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    find src -name '*.cc' -print0 | \
+      xargs -0 clang-tidy -p build --quiet
+  else
+    echo "check.sh: NOTICE: clang-tidy not found; skipping the" >&2
+    echo "check.sh:   .clang-tidy sweep" >&2
+  fi
+}
+
 if [[ "${1:-}" == "--docs" ]]; then
   python3 scripts/check_docs.py
+  echo "check.sh: OK"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--lint" ]]; then
+  run_lint
   echo "check.sh: OK"
   exit 0
 fi
@@ -57,7 +102,7 @@ cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
-if [[ "${1:-}" == "--sanitize" ]]; then
+if [[ "${1:-}" == "--sanitize" || "${1:-}" == "--all" ]]; then
   # ThreadSanitizer build of the concurrency-heavy binaries in a separate
   # build tree, so the regular build/ stays clean. engine_golden_test rides
   # along: its byte-identical comparisons must hold when evaluations share
@@ -77,6 +122,11 @@ if [[ "${1:-}" == "--sanitize" ]]; then
   cmake --build build-asan -j --target engine_golden_test linalg_test
   ./build-asan/tests/engine_golden_test
   ./build-asan/tests/linalg_test
+fi
+
+if [[ "${1:-}" == "--all" ]]; then
+  python3 scripts/check_docs.py
+  run_lint
 fi
 
 echo "check.sh: OK"

@@ -1,7 +1,6 @@
 #include "core/dfs.h"
 
-#include <mutex>
-
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 
 namespace dfs::core {
@@ -93,7 +92,7 @@ StatusOr<DfsResult> DeclarativeFeatureSelection::SelectParallel(
   }
   DFS_ASSIGN_OR_RETURN(MlScenario scenario, BuildScenario());
 
-  std::mutex mu;
+  util::Mutex mu;
   std::vector<std::pair<fs::StrategyId, RunResult>> runs(strategy_ids.size());
   ParallelFor(
       static_cast<int>(strategy_ids.size()), num_threads, [&](int i) {
@@ -106,7 +105,7 @@ StatusOr<DfsResult> DeclarativeFeatureSelection::SelectParallel(
         auto strategy =
             fs::CreateStrategy(strategy_ids[i], seed_ * 31 + i + 1);
         RunResult result = engine.Run(*strategy);
-        std::lock_guard<std::mutex> lock(mu);
+        util::MutexLock lock(mu);
         runs[i] = {strategy_ids[i], std::move(result)};
       });
 

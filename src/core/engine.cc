@@ -86,7 +86,7 @@ bool DfsEngine::ExternallyCancelled() const {
   // poll concurrently, so the one-time stamp is mutex-guarded behind an
   // atomic fast path.
   if (cancelled && !cancel_seen_.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> lock(cancel_mu_);
+    util::MutexLock lock(cancel_mu_);
     if (!cancel_observed_.has_value()) cancel_observed_.emplace();
     cancel_seen_.store(true, std::memory_order_release);
   }
@@ -119,7 +119,7 @@ uint64_t DfsEngine::EvalSeed(const fs::FeatureMask& mask) const {
 
 std::unique_ptr<DfsEngine::EvalScratch> DfsEngine::AcquireScratch() {
   {
-    std::lock_guard<std::mutex> lock(scratch_mu_);
+    util::MutexLock lock(scratch_mu_);
     if (!scratch_pool_.empty()) {
       auto scratch = std::move(scratch_pool_.back());
       scratch_pool_.pop_back();
@@ -132,7 +132,7 @@ std::unique_ptr<DfsEngine::EvalScratch> DfsEngine::AcquireScratch() {
 void DfsEngine::ReleaseScratch(std::unique_ptr<EvalScratch> scratch) {
   if (scratch == nullptr) return;
   scratch->validation_gathered = false;
-  std::lock_guard<std::mutex> lock(scratch_mu_);
+  util::MutexLock lock(scratch_mu_);
   scratch_pool_.push_back(std::move(scratch));
 }
 

@@ -3,7 +3,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -14,7 +13,9 @@
 #include "fs/strategy.h"
 #include "metrics/robustness.h"
 #include "obs/metrics.h"
+#include "util/mutex.h"
 #include "util/stopwatch.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace dfs::core {
@@ -241,10 +242,11 @@ class DfsEngine : public fs::EvalContext {
   int batch_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;
 
-  /// Free list of evaluation scratches (leased via ScratchLease). Guarded
-  /// by scratch_mu_; survives across Runs so repeated searches stay warm.
-  std::mutex scratch_mu_;
-  std::vector<std::unique_ptr<EvalScratch>> scratch_pool_;
+  /// Free list of evaluation scratches (leased via ScratchLease);
+  /// survives across Runs so repeated searches stay warm.
+  util::Mutex scratch_mu_;
+  std::vector<std::unique_ptr<EvalScratch>> scratch_pool_
+      DFS_GUARDED_BY(scratch_mu_);
 
   // Per-Run state.
   Deadline deadline_ = Deadline::Infinite();
@@ -264,8 +266,9 @@ class DfsEngine : public fs::EvalContext {
   obs::Counter* strategy_evaluations_ = nullptr;
   obs::Histogram* strategy_eval_seconds_ = nullptr;
   mutable std::atomic<bool> cancel_seen_{false};
-  mutable std::mutex cancel_mu_;
-  mutable std::optional<Stopwatch> cancel_observed_;
+  mutable util::Mutex cancel_mu_;
+  mutable std::optional<Stopwatch> cancel_observed_
+      DFS_GUARDED_BY(cancel_mu_);
 };
 
 }  // namespace dfs::core

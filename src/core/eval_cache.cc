@@ -12,7 +12,7 @@ ShardedEvalCache::ShardedEvalCache(int num_shards)
 ShardedEvalCache::Acquired ShardedEvalCache::Acquire(
     const fs::FeatureMask& mask, fs::EvalOutcome* outcome) {
   Shard& shard = ShardFor(mask);
-  std::unique_lock<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   auto it = shard.entries.find(mask);
   if (it == shard.entries.end()) {
     shard.entries.emplace(mask, std::make_shared<Entry>());
@@ -20,8 +20,7 @@ ShardedEvalCache::Acquired ShardedEvalCache::Acquire(
   }
   // Hold our own reference: Abandon() erases the map slot while we wait.
   std::shared_ptr<Entry> entry = it->second;
-  shard.resolved.wait(lock,
-                      [&] { return entry->ready || entry->abandoned; });
+  while (!entry->ready && !entry->abandoned) shard.resolved.Wait(lock);
   if (entry->abandoned) return Acquired::kAbandoned;
   *outcome = entry->outcome;
   return Acquired::kHit;
@@ -31,31 +30,31 @@ void ShardedEvalCache::Publish(const fs::FeatureMask& mask,
                                const fs::EvalOutcome& outcome) {
   Shard& shard = ShardFor(mask);
   {
-    std::unique_lock<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     auto it = shard.entries.find(mask);
     DFS_CHECK(it != shard.entries.end()) << "Publish without Acquire";
     DFS_CHECK(!it->second->ready) << "Publish twice";
     it->second->outcome = outcome;
     it->second->ready = true;
   }
-  shard.resolved.notify_all();
+  shard.resolved.NotifyAll();
 }
 
 void ShardedEvalCache::Abandon(const fs::FeatureMask& mask) {
   Shard& shard = ShardFor(mask);
   {
-    std::unique_lock<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     auto it = shard.entries.find(mask);
     DFS_CHECK(it != shard.entries.end()) << "Abandon without Acquire";
     it->second->abandoned = true;
     shard.entries.erase(it);
   }
-  shard.resolved.notify_all();
+  shard.resolved.NotifyAll();
 }
 
 void ShardedEvalCache::Clear() {
   for (Shard& shard : shards_) {
-    std::unique_lock<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     shard.entries.clear();
   }
 }
@@ -63,7 +62,7 @@ void ShardedEvalCache::Clear() {
 size_t ShardedEvalCache::size() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::unique_lock<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     total += shard.entries.size();
   }
   return total;

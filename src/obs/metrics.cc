@@ -156,14 +156,14 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
@@ -175,7 +175,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
   return *slot;
@@ -183,7 +183,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snapshot;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const auto& [name, counter] : counters_) {
     snapshot.counters[name] = counter->value();
   }
@@ -197,7 +197,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const auto& [name, counter] : counters_) counter->Reset();
   for (const auto& [name, gauge] : gauges_) gauge->Reset();
   for (const auto& [name, histogram] : histograms_) histogram->Reset();

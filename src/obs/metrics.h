@@ -5,9 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace dfs::obs {
 
@@ -136,10 +138,15 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // The maps (names -> slots) are guarded; the instruments behind the
+  // unique_ptrs are lock-free by design and deliberately not pt-guarded —
+  // recording through a cached reference never takes mu_.
+  mutable util::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      DFS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ DFS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      DFS_GUARDED_BY(mu_);
 };
 
 /// Maps a display name onto the metric-name space: lowercased, runs of

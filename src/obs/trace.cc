@@ -3,7 +3,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace dfs::obs {
 namespace {
@@ -13,10 +15,10 @@ using SteadyClock = std::chrono::steady_clock;
 /// Writer state behind one mutex; `enabled` is the lock-free fast-path
 /// flag so disabled spans never contend.
 struct WriterState {
-  std::mutex mu;
-  std::FILE* file = nullptr;
-  SteadyClock::time_point epoch;
-  int next_thread_ordinal = 0;
+  util::Mutex mu;
+  std::FILE* file DFS_GUARDED_BY(mu) = nullptr;
+  SteadyClock::time_point epoch DFS_GUARDED_BY(mu);
+  int next_thread_ordinal DFS_GUARDED_BY(mu) = 0;
 };
 
 std::atomic<bool> g_enabled{false};
@@ -52,7 +54,7 @@ std::string EscapeJson(const std::string& text) {
 
 Status TraceWriter::Open(const std::string& path) {
   WriterState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  util::MutexLock lock(state.mu);
   if (state.file != nullptr) {
     return FailedPreconditionError("trace writer already open");
   }
@@ -70,7 +72,7 @@ void TraceWriter::Close() {
   // Flip the fast-path flag first: spans that start after this line are
   // dropped; spans already emitting serialize behind the mutex.
   g_enabled.store(false, std::memory_order_release);
-  std::lock_guard<std::mutex> lock(state.mu);
+  util::MutexLock lock(state.mu);
   if (state.file != nullptr) {
     std::fclose(state.file);
     state.file = nullptr;
@@ -85,7 +87,7 @@ void TraceWriter::Emit(const std::string& span, const std::string& detail,
                        uint64_t start_us, uint64_t dur_us, int thread,
                        int depth) {
   WriterState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  util::MutexLock lock(state.mu);
   if (state.file == nullptr) return;  // closed between check and emit
   std::string line = "{\"span\":\"" + EscapeJson(span) + "\"";
   if (!detail.empty()) {
@@ -106,7 +108,7 @@ TraceSpan::TraceSpan(std::string name, std::string detail)
   detail_ = std::move(detail);
   WriterState& state = State();
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    util::MutexLock lock(state.mu);
     if (state.file == nullptr) {
       enabled_ = false;
       return;
@@ -126,7 +128,7 @@ TraceSpan::~TraceSpan() {
   uint64_t now_us = 0;
   {
     WriterState& state = State();
-    std::lock_guard<std::mutex> lock(state.mu);
+    util::MutexLock lock(state.mu);
     if (state.file == nullptr) return;  // closed while the span was live
     now_us = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(

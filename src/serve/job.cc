@@ -42,12 +42,12 @@ Job::Job(JobId id, JobRequest request)
       submitted_at_(Clock::now()) {}
 
 JobState Job::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return state_;
 }
 
 bool Job::TryTransition(JobState to) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (!IsValidTransition(state_, to)) return false;
   state_ = to;
   const Clock::time_point now = Clock::now();
@@ -69,34 +69,34 @@ bool Job::cancel_requested() const {
 }
 
 void Job::set_result(JobResult result) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   result_ = std::move(result);
 }
 
 JobResult Job::result() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return result_;
 }
 
 void Job::set_error(std::string error) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   error_ = std::move(error);
 }
 
 std::string Job::error() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return error_;
 }
 
 double Job::queue_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const Clock::time_point end =
       started_at_ == Clock::time_point{} ? Clock::now() : started_at_;
   return std::chrono::duration<double>(end - submitted_at_).count();
 }
 
 double Job::run_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (started_at_ == Clock::time_point{}) return 0.0;
   const Clock::time_point end =
       terminal_at_ == Clock::time_point{} ? Clock::now() : terminal_at_;
@@ -104,7 +104,7 @@ double Job::run_seconds() const {
 }
 
 double Job::seconds_since_terminal() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (terminal_at_ == Clock::time_point{}) return 0.0;
   return std::chrono::duration<double>(Clock::now() - terminal_at_).count();
 }

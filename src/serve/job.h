@@ -4,12 +4,13 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "constraints/constraint_set.h"
 #include "ml/classifier.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace dfs::serve {
 
@@ -92,7 +93,7 @@ class Job {
   /// Atomically applies `to` if the edge is valid from the current state;
   /// returns false (and leaves the state alone) otherwise. Terminal
   /// transitions stamp the terminal time used for TTL-bounded retention.
-  bool TryTransition(JobState to);
+  [[nodiscard]] bool TryTransition(JobState to);
 
   /// Flips the engine stop token. The state transition to CANCELLED is
   /// performed by the server (immediately when queued, by the worker when
@@ -125,13 +126,14 @@ class Job {
   JobRequest request_;
   std::shared_ptr<std::atomic<bool>> stop_token_;
 
-  mutable std::mutex mu_;
-  JobState state_ = JobState::kQueued;
-  JobResult result_;
-  std::string error_;
+  mutable util::Mutex mu_;
+  JobState state_ DFS_GUARDED_BY(mu_) = JobState::kQueued;
+  JobResult result_ DFS_GUARDED_BY(mu_);
+  std::string error_ DFS_GUARDED_BY(mu_);
+  /// Stamped once in the constructor, read-only afterwards — not guarded.
   Clock::time_point submitted_at_;
-  Clock::time_point started_at_{};
-  Clock::time_point terminal_at_{};
+  Clock::time_point started_at_ DFS_GUARDED_BY(mu_){};
+  Clock::time_point terminal_at_ DFS_GUARDED_BY(mu_){};
 };
 
 }  // namespace dfs::serve

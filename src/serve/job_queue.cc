@@ -20,20 +20,20 @@ JobQueue::JobQueue(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {
 
 SubmitOutcome JobQueue::TrySubmit(std::shared_ptr<Job> job) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (closed_) return SubmitOutcome::kClosed;
     if (entries_.size() >= capacity_) return SubmitOutcome::kQueueFull;
     const OrderKey key{job->request().priority, next_sequence_++};
     key_by_id_.emplace(job->id(), key);
     entries_.emplace(key, std::move(job));
   }
-  available_.notify_one();
+  available_.NotifyOne();
   return SubmitOutcome::kAccepted;
 }
 
 std::shared_ptr<Job> JobQueue::PopBlocking() {
-  std::unique_lock<std::mutex> lock(mu_);
-  available_.wait(lock, [this] { return closed_ || !entries_.empty(); });
+  util::MutexLock lock(mu_);
+  while (!closed_ && entries_.empty()) available_.Wait(lock);
   if (entries_.empty()) return nullptr;  // closed and drained
   auto it = entries_.begin();
   std::shared_ptr<Job> job = std::move(it->second);
@@ -43,7 +43,7 @@ std::shared_ptr<Job> JobQueue::PopBlocking() {
 }
 
 bool JobQueue::Remove(JobId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = key_by_id_.find(id);
   if (it == key_by_id_.end()) return false;
   entries_.erase(it->second);
@@ -53,19 +53,19 @@ bool JobQueue::Remove(JobId id) {
 
 void JobQueue::Close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     closed_ = true;
   }
-  available_.notify_all();
+  available_.NotifyAll();
 }
 
 size_t JobQueue::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return entries_.size();
 }
 
 bool JobQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return closed_;
 }
 

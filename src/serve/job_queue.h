@@ -1,13 +1,13 @@
 #ifndef DFS_SERVE_JOB_QUEUE_H_
 #define DFS_SERVE_JOB_QUEUE_H_
 
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "serve/job.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace dfs::serve {
 
@@ -35,7 +35,7 @@ class JobQueue {
   JobQueue& operator=(const JobQueue&) = delete;
 
   /// Non-blocking submit; kQueueFull when `size() == capacity()`.
-  SubmitOutcome TrySubmit(std::shared_ptr<Job> job);
+  [[nodiscard]] SubmitOutcome TrySubmit(std::shared_ptr<Job> job);
 
   /// Blocks until a job is available and returns it, or returns nullptr
   /// once the queue is closed and drained.
@@ -64,13 +64,13 @@ class JobQueue {
     }
   };
 
-  mutable std::mutex mu_;
-  std::condition_variable available_;
-  std::map<OrderKey, std::shared_ptr<Job>> entries_;
-  std::unordered_map<JobId, OrderKey> key_by_id_;
-  uint64_t next_sequence_ = 0;
+  mutable util::Mutex mu_;
+  util::CondVar available_;
+  std::map<OrderKey, std::shared_ptr<Job>> entries_ DFS_GUARDED_BY(mu_);
+  std::unordered_map<JobId, OrderKey> key_by_id_ DFS_GUARDED_BY(mu_);
+  uint64_t next_sequence_ DFS_GUARDED_BY(mu_) = 0;
   const size_t capacity_;
-  bool closed_ = false;
+  bool closed_ DFS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dfs::serve

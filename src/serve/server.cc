@@ -70,12 +70,12 @@ DfsServer::~DfsServer() { Shutdown(/*cancel_pending=*/true); }
 
 void DfsServer::RegisterDataset(const std::string& name,
                                 data::Dataset dataset) {
-  std::lock_guard<std::mutex> lock(datasets_mu_);
+  util::MutexLock lock(datasets_mu_);
   datasets_[name] = std::make_shared<const data::Dataset>(std::move(dataset));
 }
 
 void DfsServer::SetOptimizer(core::DfsOptimizer optimizer) {
-  std::lock_guard<std::mutex> lock(optimizer_mu_);
+  util::MutexLock lock(optimizer_mu_);
   optimizer_ = std::move(optimizer);
 }
 
@@ -97,7 +97,7 @@ StatusOr<JobId> DfsServer::Submit(const JobRequest& request) {
   const JobId id = next_id_.fetch_add(1);
   auto job = std::make_shared<Job>(id, request);
   {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
+    util::MutexLock lock(jobs_mu_);
     SweepLocked();
     jobs_.emplace(id, job);
   }
@@ -106,17 +106,17 @@ StatusOr<JobId> DfsServer::Submit(const JobRequest& request) {
       ServeMetrics::Get().accepted.Increment();
       ServeMetrics::Get().queue_depth.Set(
           static_cast<int64_t>(queue_.size()));
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      util::MutexLock lock(stats_mu_);
       ++stats_.accepted;
       return id;
     }
     case SubmitOutcome::kQueueFull: {
       {
-        std::lock_guard<std::mutex> lock(jobs_mu_);
+        util::MutexLock lock(jobs_mu_);
         jobs_.erase(id);
       }
       ServeMetrics::Get().rejected.Increment();
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      util::MutexLock lock(stats_mu_);
       ++stats_.rejected;
       return ResourceExhaustedError(
           "queue full (capacity " + std::to_string(queue_.capacity()) +
@@ -125,7 +125,7 @@ StatusOr<JobId> DfsServer::Submit(const JobRequest& request) {
     case SubmitOutcome::kClosed:
       break;
   }
-  std::lock_guard<std::mutex> lock(jobs_mu_);
+  util::MutexLock lock(jobs_mu_);
   jobs_.erase(id);
   return FailedPreconditionError("server is shutting down");
 }
@@ -133,7 +133,7 @@ StatusOr<JobId> DfsServer::Submit(const JobRequest& request) {
 StatusOr<JobStatusView> DfsServer::GetStatus(JobId id) const {
   std::shared_ptr<Job> job;
   {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
+    util::MutexLock lock(jobs_mu_);
     auto it = jobs_.find(id);
     if (it == jobs_.end()) {
       return NotFoundError("unknown or evicted job " + std::to_string(id));
@@ -154,7 +154,7 @@ StatusOr<JobStatusView> DfsServer::GetStatus(JobId id) const {
 StatusOr<JobResult> DfsServer::GetResult(JobId id) const {
   std::shared_ptr<Job> job;
   {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
+    util::MutexLock lock(jobs_mu_);
     auto it = jobs_.find(id);
     if (it == jobs_.end()) {
       return NotFoundError("unknown or evicted job " + std::to_string(id));
@@ -177,7 +177,7 @@ StatusOr<JobResult> DfsServer::GetResult(JobId id) const {
 Status DfsServer::Cancel(JobId id) {
   std::shared_ptr<Job> job;
   {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
+    util::MutexLock lock(jobs_mu_);
     auto it = jobs_.find(id);
     if (it == jobs_.end()) {
       return NotFoundError("unknown or evicted job " + std::to_string(id));
@@ -208,19 +208,23 @@ Status DfsServer::CancelJob(const std::shared_ptr<Job>& job) {
 }
 
 Status DfsServer::WaitForTerminal(JobId id, double timeout_seconds) const {
-  std::unique_lock<std::mutex> lock(jobs_mu_);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
+  util::MutexLock lock(jobs_mu_);
   auto it = jobs_.find(id);
   if (it == jobs_.end()) {
     return NotFoundError("unknown or evicted job " + std::to_string(id));
   }
   const std::shared_ptr<Job> job = it->second;
-  const bool terminal = terminal_cv_.wait_for(
-      lock, std::chrono::duration<double>(timeout_seconds),
-      [&] { return IsTerminalState(job->state()); });
-  if (!terminal) {
-    return DeadlineExceededError("job " + std::to_string(id) +
-                                 " not terminal after " +
-                                 std::to_string(timeout_seconds) + "s");
+  while (!IsTerminalState(job->state())) {
+    if (!terminal_cv_.WaitUntil(lock, deadline)) {
+      if (IsTerminalState(job->state())) break;  // terminal at the wire
+      return DeadlineExceededError("job " + std::to_string(id) +
+                                   " not terminal after " +
+                                   std::to_string(timeout_seconds) + "s");
+    }
   }
   return OkStatus();
 }
@@ -228,35 +232,36 @@ Status DfsServer::WaitForTerminal(JobId id, double timeout_seconds) const {
 ServerStats DfsServer::Stats() const {
   ServerStats snapshot;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    util::MutexLock lock(stats_mu_);
     snapshot = stats_;
   }
   snapshot.queue_depth = queue_.size();
   snapshot.running = running_.load();
   {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
+    util::MutexLock lock(jobs_mu_);
     snapshot.retained_jobs = jobs_.size();
   }
   return snapshot;
 }
 
 void DfsServer::Shutdown(bool cancel_pending) {
-  std::call_once(shutdown_once_, [&] {
-    accepting_.store(false);
-    if (cancel_pending) {
-      std::vector<std::shared_ptr<Job>> live;
-      {
-        std::lock_guard<std::mutex> lock(jobs_mu_);
-        for (const auto& [id, job] : jobs_) {
-          if (!IsTerminalState(job->state())) live.push_back(job);
-        }
+  util::MutexLock shutdown_lock(shutdown_mu_);
+  if (shutdown_done_) return;
+  accepting_.store(false);
+  if (cancel_pending) {
+    std::vector<std::shared_ptr<Job>> live;
+    {
+      util::MutexLock lock(jobs_mu_);
+      for (const auto& [id, job] : jobs_) {
+        if (!IsTerminalState(job->state())) live.push_back(job);
       }
-      for (const auto& job : live) (void)CancelJob(job);
     }
-    queue_.Close();
-    for (auto& worker : workers_) worker.join();
-    workers_.clear();
-  });
+    for (const auto& job : live) (void)CancelJob(job);
+  }
+  queue_.Close();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+  shutdown_done_ = true;
 }
 
 void DfsServer::WorkerLoop() {
@@ -339,7 +344,7 @@ DfsServer::JobOutcome DfsServer::ExecuteJob(Job& job) {
 void DfsServer::RecordTerminal(const Job& job, int evaluations) {
   ServeMetrics& metrics = ServeMetrics::Get();
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    util::MutexLock lock(stats_mu_);
     switch (job.state()) {
       case JobState::kDone:
         ++stats_.completed;
@@ -372,13 +377,13 @@ void DfsServer::RecordTerminal(const Job& job, int evaluations) {
   metrics.job_seconds.Record(job.queue_seconds() + job.run_seconds());
   // Pairing the notify with the waiters' mutex closes the missed-wakeup
   // window (the state transition itself happens under the job's own lock).
-  { std::lock_guard<std::mutex> lock(jobs_mu_); }
-  terminal_cv_.notify_all();
+  { util::MutexLock lock(jobs_mu_); }
+  terminal_cv_.NotifyAll();
 }
 
 StatusOr<std::shared_ptr<const data::Dataset>> DfsServer::ResolveDataset(
     const std::string& name) {
-  std::lock_guard<std::mutex> lock(datasets_mu_);
+  util::MutexLock lock(datasets_mu_);
   auto it = datasets_.find(name);
   if (it != datasets_.end()) return it->second;
   // Fall back to the benchmark suite, generating (and caching) on first
@@ -405,7 +410,7 @@ StatusOr<fs::StrategyId> DfsServer::ChooseStrategy(
   }
   bool have_optimizer;
   {
-    std::lock_guard<std::mutex> lock(optimizer_mu_);
+    util::MutexLock lock(optimizer_mu_);
     have_optimizer = optimizer_.has_value();
   }
   if (have_optimizer) {
@@ -415,7 +420,7 @@ StatusOr<fs::StrategyId> DfsServer::ChooseStrategy(
         core::FeaturizeScenario(dataset, request.model, request.constraint_set,
                                 options_.optimizer_options);
     if (features.ok()) {
-      std::lock_guard<std::mutex> lock(optimizer_mu_);
+      util::MutexLock lock(optimizer_mu_);
       if (optimizer_.has_value()) {
         auto choice = optimizer_->Choose(*features);
         if (choice.ok()) return *choice;

@@ -2,10 +2,8 @@
 #define DFS_SERVE_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -17,7 +15,9 @@
 #include "fs/registry.h"
 #include "serve/job.h"
 #include "serve/job_queue.h"
+#include "util/mutex.h"
 #include "util/statusor.h"
+#include "util/thread_annotations.h"
 
 namespace dfs::serve {
 
@@ -165,8 +165,8 @@ class DfsServer {
       const std::string& name);
   StatusOr<fs::StrategyId> ChooseStrategy(const JobRequest& request,
                                           const data::Dataset& dataset) const;
-  /// Evicts expired / over-cap terminal jobs. Caller holds jobs_mu_.
-  void SweepLocked();
+  /// Evicts expired / over-cap terminal jobs.
+  void SweepLocked() DFS_REQUIRES(jobs_mu_);
 
   ServerOptions options_;
   JobQueue queue_;
@@ -175,20 +175,26 @@ class DfsServer {
   std::atomic<uint64_t> next_id_{1};
   std::atomic<int> running_{0};
 
-  mutable std::mutex jobs_mu_;
-  mutable std::condition_variable terminal_cv_;
-  std::unordered_map<JobId, std::shared_ptr<Job>> jobs_;
+  mutable util::Mutex jobs_mu_;
+  mutable util::CondVar terminal_cv_;
+  std::unordered_map<JobId, std::shared_ptr<Job>> jobs_
+      DFS_GUARDED_BY(jobs_mu_);
 
-  mutable std::mutex datasets_mu_;
-  std::map<std::string, std::shared_ptr<const data::Dataset>> datasets_;
+  mutable util::Mutex datasets_mu_;
+  std::map<std::string, std::shared_ptr<const data::Dataset>> datasets_
+      DFS_GUARDED_BY(datasets_mu_);
 
-  mutable std::mutex optimizer_mu_;
-  std::optional<core::DfsOptimizer> optimizer_;
+  mutable util::Mutex optimizer_mu_;
+  std::optional<core::DfsOptimizer> optimizer_ DFS_GUARDED_BY(optimizer_mu_);
 
-  mutable std::mutex stats_mu_;
-  ServerStats stats_;
+  mutable util::Mutex stats_mu_;
+  ServerStats stats_ DFS_GUARDED_BY(stats_mu_);
 
-  std::once_flag shutdown_once_;
+  /// Serializes Shutdown and makes it idempotent (a second caller blocks
+  /// until the first finishes, then sees shutdown_done_). Replaces the
+  /// previous std::once_flag with the annotated idiom.
+  util::Mutex shutdown_mu_;
+  bool shutdown_done_ DFS_GUARDED_BY(shutdown_mu_) = false;
 };
 
 }  // namespace dfs::serve

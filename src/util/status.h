@@ -28,7 +28,11 @@ const char* StatusCodeToString(StatusCode code);
 
 /// Value-type error carrier used across all library boundaries instead of
 /// exceptions. A default-constructed Status is OK.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status return hides failures, so
+/// ignoring one is a compile warning (-Werror in CI). The rare deliberate
+/// discard is written `(void)DoThing()` with a comment saying why.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)

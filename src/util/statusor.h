@@ -14,7 +14,7 @@ namespace dfs {
 /// status) or a non-OK status. Accessing the value of a non-OK StatusOr
 /// aborts, matching the CHECK-failure semantics used throughout the library.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from a non-OK status. Passing an OK status is a programming
   /// error (there would be no value) and aborts.

@@ -17,34 +17,33 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     shutdown_ = true;
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (auto& worker : workers_) worker.join();
 }
 
 void ThreadPool::Schedule(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     DFS_CHECK(!shutdown_) << "ThreadPool::Schedule after shutdown";
     queue_.push_back(std::move(task));
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return queue_.empty() && active_tasks_ == 0; });
+  util::MutexLock lock(mu_);
+  while (!queue_.empty() || active_tasks_ != 0) all_done_.Wait(lock);
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_available_.wait(lock,
-                           [this] { return shutdown_ || !queue_.empty(); });
+      util::MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) task_available_.Wait(lock);
       if (queue_.empty()) {
         if (shutdown_) return;
         continue;
@@ -55,9 +54,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       --active_tasks_;
-      if (queue_.empty() && active_tasks_ == 0) all_done_.notify_all();
+      if (queue_.empty() && active_tasks_ == 0) all_done_.NotifyAll();
     }
   }
 }

@@ -1,12 +1,13 @@
 #ifndef DFS_UTIL_THREAD_POOL_H_
 #define DFS_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace dfs {
 
@@ -36,13 +37,15 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
+  util::Mutex mu_;
+  util::CondVar task_available_;
+  util::CondVar all_done_;
+  std::deque<std::function<void()>> queue_ DFS_GUARDED_BY(mu_);
+  /// Written only by the constructor, joined only by the destructor; no
+  /// concurrent access, so not guarded.
   std::vector<std::thread> workers_;
-  int active_tasks_ = 0;
-  bool shutdown_ = false;
+  int active_tasks_ DFS_GUARDED_BY(mu_) = 0;
+  bool shutdown_ DFS_GUARDED_BY(mu_) = false;
 };
 
 /// Runs `fn(i)` for i in [0, count) across `num_threads` workers and waits.

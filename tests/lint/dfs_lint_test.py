@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Self-test for tools/dfs_lint.py (wired into ctest as lint.selftest).
+
+Two halves:
+  1. Each lint rule must fire on its known-bad fixture in
+     tests/lint/fixtures/ — a rule that stops firing is a rule that
+     silently stopped guarding its contract.
+  2. The real tree (src/, tools/) must lint clean, so the fixture run
+     also proves the rules don't fire vacuously everywhere.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import unittest
+
+TESTS_LINT = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(TESTS_LINT))
+DFS_LINT = os.path.join(REPO, "tools", "dfs_lint.py")
+FIXTURES = os.path.join(TESTS_LINT, "fixtures")
+
+# rule -> fixture file it must fire on (at least once).
+EXPECTED = {
+    "banned-symbol": "banned_symbol.cc",
+    "naked-mutex": "naked_mutex.cc",
+    "header-guard": "bad_guard.h",
+    "include-order": "bad_include_order.cc",
+    "dcheck-side-effect": "bad_dcheck.cc",
+    "metric-name": "bad_metric.cc",
+    "naked-exemption": "bad_exemption.cc",
+}
+
+VIOLATION_RE = re.compile(r"^dfs_lint: (\S+?):(\d+): \[([a-z-]+)\]")
+
+
+def run_lint(*args):
+    return subprocess.run(
+        [sys.executable, DFS_LINT, *args],
+        capture_output=True, text=True, check=False)
+
+
+class DfsLintTest(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        cls.fixture_run = run_lint("--root", FIXTURES)
+        cls.fired = set()  # (fixture file, rule)
+        for line in cls.fixture_run.stderr.splitlines():
+            match = VIOLATION_RE.match(line)
+            if match:
+                cls.fired.add((match.group(1), match.group(3)))
+
+    def test_fixture_run_fails(self):
+        self.assertEqual(self.fixture_run.returncode, 1,
+                         self.fixture_run.stderr)
+
+    def test_each_rule_fires_on_its_fixture(self):
+        for rule, fixture in EXPECTED.items():
+            with self.subTest(rule=rule):
+                self.assertIn(
+                    (fixture, rule), self.fired,
+                    f"rule [{rule}] did not fire on {fixture}; "
+                    f"fired={sorted(self.fired)}")
+
+    def test_no_rule_fires_on_a_foreign_fixture(self):
+        # Each fixture exercises exactly one rule; cross-fire means a rule
+        # got too broad (the include-order fixture's sibling header is the
+        # one deliberate extra file and triggers nothing itself).
+        allowed = {(fixture, rule) for rule, fixture in EXPECTED.items()}
+        self.assertEqual(self.fired - allowed, set())
+
+    def test_real_tree_is_clean(self):
+        result = run_lint()
+        self.assertEqual(result.returncode, 0,
+                         result.stdout + result.stderr)
+        self.assertIn("dfs_lint: OK", result.stdout)
+
+    def test_protocol_flag_controls_metric_rule(self):
+        # Pointing --protocol at a file that doesn't document the tree's
+        # instruments must surface metric-name violations: proves the
+        # cross-check really reads the contract it claims to.
+        result = run_lint("--protocol", os.devnull)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("[metric-name]", result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,12 @@
+// Lint fixture: DFS_DCHECK arguments that mutate state must fire
+// [dcheck-side-effect] — under NDEBUG the whole expression compiles
+// out and Release would diverge from Debug. Never compiled.
+#include <vector>
+
+#include "util/logging.h"
+
+void DcheckSideEffects(std::vector<int>& v, int i) {
+  DFS_DCHECK(++i > 0);
+  DFS_DCHECK(v.size() > 0 && (i = 3));
+  DFS_DCHECK(v.insert(v.end(), i) != v.end());
+}

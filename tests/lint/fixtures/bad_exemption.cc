@@ -1,0 +1,7 @@
+// Lint fixture: a DFS_NO_THREAD_SAFETY_ANALYSIS with no justification
+// comment on its own or the preceding line must fire [naked-exemption].
+// The blank line before the attribute below is load-bearing: it
+// separates the exemption from this header comment. Never compiled.
+#include "util/thread_annotations.h"
+
+void UnjustifiedEscape() DFS_NO_THREAD_SAFETY_ANALYSIS;

@@ -1,0 +1,9 @@
+// Lint fixture: guard name does not match the canonical
+// DFS_BAD_GUARD_H_ and there is no #pragma once, so [header-guard]
+// must fire. Never compiled.
+#ifndef WRONG_GUARD_NAME_H
+#define WRONG_GUARD_NAME_H
+
+struct Unused {};
+
+#endif  // WRONG_GUARD_NAME_H

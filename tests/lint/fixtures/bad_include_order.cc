@@ -1,0 +1,11 @@
+// Lint fixture: own header is not first, and a <system> include follows
+// a "project" include — both halves of [include-order] must fire. Never
+// compiled.
+#include <vector>
+
+#include "bad_include_order.h"
+
+#include "some/project/header.h"
+#include <string>
+
+void IncludeOrderFixture() {}

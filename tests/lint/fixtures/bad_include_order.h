@@ -1,0 +1,5 @@
+// Lint fixture: sibling header for bad_include_order.cc (present so the
+// own-header-first part of [include-order] applies). Never compiled.
+#pragma once
+
+void IncludeOrderFixture();

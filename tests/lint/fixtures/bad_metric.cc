@@ -1,0 +1,8 @@
+// Lint fixture: instrument names absent from docs/PROTOCOL.md must
+// fire [metric-name]. Never compiled.
+#include "obs/metrics.h"
+
+void RegisterBogus(dfs::obs::MetricsRegistry& registry) {
+  registry.counter("bogus.total_frobnications").Increment();
+  registry.histogram("bogus.frobnication_seconds").Observe(0.5);
+}

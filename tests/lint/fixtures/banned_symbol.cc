@@ -1,0 +1,14 @@
+// Lint fixture: every line below must fire [banned-symbol]
+// (tests/lint/dfs_lint_test.py). Never compiled.
+#include <cstdlib>
+
+int AmbientRandom() {
+  std::srand(7);
+  int a = std::rand();
+  std::random_device rd;
+  auto wall = std::chrono::system_clock::now();
+  long t = time(nullptr);
+  long c = clock();
+  (void)wall;
+  return a + static_cast<int>(rd() + t + c);
+}

@@ -1,0 +1,10 @@
+// Lint fixture: raw std primitives must fire [naked-mutex]. Never
+// compiled.
+#include <mutex>
+
+std::mutex g_mu;
+std::once_flag g_once;
+
+void Touch() {
+  std::lock_guard<std::mutex> lock(g_mu);
+}

@@ -28,10 +28,14 @@ TEST(JobQueueTest, PopsInFifoOrderWithinOnePriority) {
 
 TEST(JobQueueTest, HigherPriorityPopsFirst) {
   JobQueue queue(8);
-  queue.TrySubmit(MakeJob(1, /*priority=*/0));
-  queue.TrySubmit(MakeJob(2, /*priority=*/5));
-  queue.TrySubmit(MakeJob(3, /*priority=*/5));
-  queue.TrySubmit(MakeJob(4, /*priority=*/1));
+  ASSERT_EQ(queue.TrySubmit(MakeJob(1, /*priority=*/0)),
+            SubmitOutcome::kAccepted);
+  ASSERT_EQ(queue.TrySubmit(MakeJob(2, /*priority=*/5)),
+            SubmitOutcome::kAccepted);
+  ASSERT_EQ(queue.TrySubmit(MakeJob(3, /*priority=*/5)),
+            SubmitOutcome::kAccepted);
+  ASSERT_EQ(queue.TrySubmit(MakeJob(4, /*priority=*/1)),
+            SubmitOutcome::kAccepted);
   EXPECT_EQ(queue.PopBlocking()->id(), 2u);  // highest priority, FIFO within
   EXPECT_EQ(queue.PopBlocking()->id(), 3u);
   EXPECT_EQ(queue.PopBlocking()->id(), 4u);
@@ -58,8 +62,8 @@ TEST(JobQueueTest, CapacityHasAFloorOfOne) {
 
 TEST(JobQueueTest, RemoveTakesAQueuedJobOut) {
   JobQueue queue(8);
-  queue.TrySubmit(MakeJob(1));
-  queue.TrySubmit(MakeJob(2));
+  ASSERT_EQ(queue.TrySubmit(MakeJob(1)), SubmitOutcome::kAccepted);
+  ASSERT_EQ(queue.TrySubmit(MakeJob(2)), SubmitOutcome::kAccepted);
   EXPECT_TRUE(queue.Remove(1));
   EXPECT_FALSE(queue.Remove(1));   // already gone
   EXPECT_FALSE(queue.Remove(99));  // never queued
@@ -69,7 +73,7 @@ TEST(JobQueueTest, RemoveTakesAQueuedJobOut) {
 
 TEST(JobQueueTest, CloseRejectsSubmitsAndDrainsConsumers) {
   JobQueue queue(8);
-  queue.TrySubmit(MakeJob(1));
+  ASSERT_EQ(queue.TrySubmit(MakeJob(1)), SubmitOutcome::kAccepted);
   queue.Close();
   EXPECT_EQ(queue.TrySubmit(MakeJob(2)), SubmitOutcome::kClosed);
   EXPECT_NE(queue.PopBlocking(), nullptr);  // drains the remaining job

@@ -1,0 +1,172 @@
+// Tests for the annotated synchronization wrappers (util/mutex.h,
+// DESIGN.md §2f). Part of util_test, which scripts/check.sh --sanitize
+// runs under TSan: the concurrent cases double as a dynamic check that
+// the wrappers add no behavior over the std primitives they hold — the
+// annotations must change nothing at runtime.
+
+#include "util/mutex.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_annotations.h"
+
+namespace dfs::util {
+namespace {
+
+TEST(MutexTest, LockUnlockRoundTrip) {
+  Mutex mu;
+  mu.Lock();
+  mu.Unlock();
+  mu.Lock();
+  mu.Unlock();
+}
+
+TEST(MutexTest, TryLockSucceedsWhenFree) {
+  Mutex mu;
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexTest, TryLockFailsWhenHeldElsewhere) {
+  Mutex mu;
+  mu.Lock();
+  bool other_acquired = true;
+  // try_lock on a mutex the same thread holds is UB; probe from another
+  // thread instead.
+  std::thread prober([&] { other_acquired = mu.TryLock(); });
+  prober.join();
+  EXPECT_FALSE(other_acquired);
+  mu.Unlock();
+}
+
+TEST(MutexTest, GuardedCounterSurvivesContendedIncrements) {
+  Mutex mu;
+  int counter DFS_GUARDED_BY(mu) = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIncrementsPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrementsPerThread; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  MutexLock lock(mu);
+  EXPECT_EQ(counter, kThreads * kIncrementsPerThread);
+}
+
+TEST(MutexLockTest, ReleasesOnScopeExit) {
+  Mutex mu;
+  {
+    MutexLock lock(mu);
+  }
+  // If the scope above leaked the lock this would deadlock; TryLock from
+  // a helper thread keeps the failure mode a test failure instead.
+  bool reacquired = false;
+  std::thread prober([&] {
+    reacquired = mu.TryLock();
+    if (reacquired) mu.Unlock();
+  });
+  prober.join();
+  EXPECT_TRUE(reacquired);
+}
+
+TEST(CondVarTest, WaitWakesOnNotifyWithGuardedFlag) {
+  Mutex mu;
+  CondVar cv;
+  bool ready DFS_GUARDED_BY(mu) = false;
+
+  std::thread producer([&] {
+    MutexLock lock(mu);
+    ready = true;
+    cv.NotifyOne();
+  });
+
+  {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(lock);
+    EXPECT_TRUE(ready);
+  }
+  producer.join();
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go DFS_GUARDED_BY(mu) = false;
+  int awake DFS_GUARDED_BY(mu) = 0;
+  constexpr int kWaiters = 4;
+
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mu);
+      while (!go) cv.Wait(lock);
+      ++awake;
+    });
+  }
+  {
+    MutexLock lock(mu);
+    go = true;
+    cv.NotifyAll();
+  }
+  for (auto& waiter : waiters) waiter.join();
+  MutexLock lock(mu);
+  EXPECT_EQ(awake, kWaiters);
+}
+
+TEST(CondVarTest, WaitUntilReportsTimeout) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(10);
+  // Nothing ever notifies: the deadline must pass and WaitUntil must say
+  // so (false), with the lock re-acquired (we still hold it to destruct).
+  EXPECT_FALSE(cv.WaitUntil(lock, deadline));
+  EXPECT_GE(std::chrono::steady_clock::now(), deadline);
+}
+
+TEST(CondVarTest, WaitForReportsTimeout) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  EXPECT_FALSE(cv.WaitFor(lock, 0.01));
+}
+
+TEST(CondVarTest, WaitUntilReportsSignalBeforeDeadline) {
+  Mutex mu;
+  CondVar cv;
+  bool ready DFS_GUARDED_BY(mu) = false;
+
+  std::thread producer([&] {
+    MutexLock lock(mu);
+    ready = true;
+    cv.NotifyOne();
+  });
+
+  bool saw_signal = false;
+  {
+    MutexLock lock(mu);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(30);
+    while (!ready) {
+      if (!cv.WaitUntil(lock, deadline)) break;  // timeout: fail below
+    }
+    saw_signal = ready;
+  }
+  producer.join();
+  EXPECT_TRUE(saw_signal);
+}
+
+}  // namespace
+}  // namespace dfs::util

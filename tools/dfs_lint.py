@@ -1,0 +1,331 @@
+#!/usr/bin/env python3
+"""dfs_lint — project-contract linter (scripts/check.sh --lint).
+
+Enforces the repo-specific rules the compiler cannot (DESIGN.md §2f).
+Each rule guards a documented contract:
+
+  banned-symbol     §2d byte-identical-masks determinism: no ambient
+                    randomness (std::rand, std::random_device) and no
+                    wall-clock reads (time(), std::chrono::system_clock)
+                    outside the sanctioned utilities util/rng.cc and
+                    util/stopwatch.h. Everything random flows from a
+                    seeded util::Rng; everything timed from Stopwatch's
+                    steady clock.
+  naked-mutex       All locking goes through the annotated wrappers in
+                    util/mutex.h so the Clang thread-safety analysis
+                    (DFS_ANALYZE=ON) sees every capability. std::mutex,
+                    the std lock RAII types, std::condition_variable and
+                    std::call_once/once_flag are banned outside that
+                    header, as is including <mutex>/<condition_variable>.
+  header-guard      Every header carries its canonical include guard
+                    (DFS_<PATH>_H_) or #pragma once.
+  include-order     A .cc file includes its own header first (proves the
+                    header is self-contained); within the rest of the
+                    file, <system> includes precede "project" includes.
+  dcheck-side-effect DFS_DCHECK compiles out under NDEBUG, so an argument
+                    that mutates state (++/--/assignment/.insert-style
+                    calls) would make Release behave differently from
+                    Debug.
+  metric-name       Every literal instrument name registered on a
+                    MetricsRegistry must be documented in
+                    docs/PROTOCOL.md (the wire contract of the serve
+                    "metrics" verb) — the metrics namespace is public
+                    API, same policy as the DFS_* env knobs in
+                    check_docs.py.
+  naked-exemption   DFS_NO_THREAD_SAFETY_ANALYSIS without a justification
+                    comment on the same or preceding line: exemptions are
+                    allowed, silent ones are not.
+
+Usage:
+  tools/dfs_lint.py                 # lint src/ and tools/ of this repo
+  tools/dfs_lint.py --root DIR ...  # lint another tree (test fixtures)
+
+Exit status: 0 when clean, 1 when any rule fires.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Files allowed to hold what the rules ban, relative to the scanned root.
+BANNED_SYMBOL_ALLOWLIST = {"util/rng.cc", "util/stopwatch.h"}
+NAKED_MUTEX_ALLOWLIST = {"util/mutex.h", "util/thread_annotations.h"}
+
+BANNED_SYMBOLS = [
+    # (human name, regex). Word boundaries keep e.g. steady_clock and
+    # Stopwatch's ElapsedSeconds out of the blast radius.
+    ("std::rand/rand()",
+     re.compile(r"(?<![\w:.])(?:std\s*::\s*)?s?rand\s*\(")),
+    ("std::random_device", re.compile(r"\brandom_device\b")),
+    ("std::chrono::system_clock", re.compile(r"\bsystem_clock\b")),
+    ("time()/std::time()",
+     re.compile(r"(?<![\w:.>])(?:std\s*::\s*)?time\s*\(")),
+    ("clock()",
+     re.compile(r"(?<![\w:.>])(?:std\s*::\s*)?clock\s*\(")),
+]
+
+NAKED_MUTEX_RE = re.compile(
+    r"std::(mutex|timed_mutex|recursive_mutex|shared_mutex|shared_lock"
+    r"|lock_guard|unique_lock|scoped_lock|condition_variable"
+    r"|condition_variable_any|call_once|once_flag)\b"
+    r"|#\s*include\s*<(mutex|condition_variable|shared_mutex)>")
+
+METRIC_CALL_RE = re.compile(
+    r"\.(counter|gauge|histogram)\(\s*\"([^\"]+)\"")
+
+DCHECK_RE = re.compile(r"\bDFS_DCHECK\s*\(")
+# Mutations inside a DCHECK argument: ++ / -- / plain assignment (not a
+# comparison) / well-known mutating member calls.
+DCHECK_MUTATION_RE = re.compile(
+    r"\+\+|--|(?<![=!<>+\-*/%&|^])=(?![=])"
+    r"|\.(push_back|emplace|emplace_back|insert|erase|pop_back|clear"
+    r"|reset|release|store|fetch_add|fetch_sub)\s*\(")
+
+EXEMPTION_RE = re.compile(r"\bDFS_NO_THREAD_SAFETY_ANALYSIS\b")
+
+LINE_COMMENT_RE = re.compile(r"//[^\n]*")
+BLOCK_COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
+STRING_RE = re.compile(r'"(?:[^"\\\n]|\\.)*"')
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*([<"])([^>"]+)[>"]')
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments(text, keep_strings=False):
+    """Blanks comments (and optionally string literals) while preserving
+    line numbers, so rule regexes never fire on prose or examples."""
+    def blank(match):
+        return re.sub(r"[^\n]", " ", match.group(0))
+
+    text = BLOCK_COMMENT_RE.sub(blank, text)
+    if not keep_strings:
+        text = STRING_RE.sub(blank, text)
+    text = LINE_COMMENT_RE.sub(blank, text)
+    return text
+
+
+def iter_lines(text):
+    for number, line in enumerate(text.splitlines(), start=1):
+        yield number, line
+
+
+def check_banned_symbols(rel, text, out):
+    if rel in BANNED_SYMBOL_ALLOWLIST:
+        return
+    code = strip_comments(text)
+    for number, line in iter_lines(code):
+        for name, pattern in BANNED_SYMBOLS:
+            if pattern.search(line):
+                out.append(Violation(
+                    rel, number, "banned-symbol",
+                    f"{name} breaks the §2d determinism contract; use "
+                    f"util::Rng (seeded) or util::Stopwatch (steady clock)"))
+
+
+def check_naked_mutex(rel, text, out):
+    if rel in NAKED_MUTEX_ALLOWLIST:
+        return
+    code = strip_comments(text)
+    for number, line in iter_lines(code):
+        match = NAKED_MUTEX_RE.search(line)
+        if match:
+            out.append(Violation(
+                rel, number, "naked-mutex",
+                f"'{match.group(0).strip()}' bypasses the annotated "
+                f"util::Mutex/MutexLock/CondVar wrappers (util/mutex.h)"))
+
+
+def guard_for(rel):
+    """Canonical include-guard name: src/core/engine.h -> DFS_CORE_ENGINE_H_
+    (rel is relative to the scanned root, which stands in for src/)."""
+    stem = re.sub(r"\.h$", "", rel)
+    return "DFS_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_H_"
+
+
+def check_header_guard(rel, text, out):
+    if not rel.endswith(".h"):
+        return
+    text = strip_comments(text)  # prose mentioning "#pragma once" is not a guard
+    if re.search(r"#\s*pragma\s+once\b", text):
+        return
+    guard = guard_for(rel)
+    if re.search(r"#\s*ifndef\s+" + re.escape(guard), text) and \
+            re.search(r"#\s*define\s+" + re.escape(guard), text):
+        return
+    out.append(Violation(
+        rel, 1, "header-guard",
+        f"missing '#pragma once' or canonical guard '{guard}'"))
+
+
+def check_include_order(rel, root, text, out):
+    if not rel.endswith(".cc"):
+        return
+    code = strip_comments(text, keep_strings=True)
+    includes = []  # (line number, kind, path)
+    for number, line in iter_lines(code):
+        match = INCLUDE_RE.match(line)
+        if match:
+            kind = "system" if match.group(1) == "<" else "project"
+            includes.append((number, kind, match.group(2)))
+    if not includes:
+        return
+    own_header = re.sub(r"\.cc$", ".h", rel)
+    has_own = os.path.exists(os.path.join(root, own_header))
+    rest = includes
+    if has_own:
+        if includes[0][1] != "project" or includes[0][2] != own_header:
+            out.append(Violation(
+                rel, includes[0][0], "include-order",
+                f"first include must be the file's own header "
+                f"\"{own_header}\" (proves it is self-contained)"))
+            return
+        rest = includes[1:]
+    seen_project = None
+    for number, kind, path in rest:
+        if kind == "project":
+            seen_project = (number, path)
+        elif seen_project is not None:
+            out.append(Violation(
+                rel, number, "include-order",
+                f"<{path}> after \"{seen_project[1]}\" — system includes "
+                f"precede project includes"))
+            return
+
+
+def dcheck_argument(code, start):
+    """Returns the balanced parenthesized argument starting at `start`
+    (the index of the opening paren), or None if unbalanced."""
+    depth = 0
+    for i in range(start, len(code)):
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return code[start + 1:i]
+    return None
+
+
+def check_dcheck_side_effects(rel, text, out):
+    code = strip_comments(text)
+    for match in DCHECK_RE.finditer(code):
+        open_paren = code.index("(", match.start())
+        arg = dcheck_argument(code, open_paren)
+        if arg is None:
+            continue
+        mutation = DCHECK_MUTATION_RE.search(arg)
+        if mutation:
+            line = code.count("\n", 0, match.start()) + 1
+            out.append(Violation(
+                rel, line, "dcheck-side-effect",
+                f"DFS_DCHECK argument contains "
+                f"'{mutation.group(0).strip()}' — DCHECK compiles out "
+                f"under NDEBUG, so side effects change Release behavior"))
+
+
+def check_metric_names(rel, text, documented, protocol_text, out):
+    code = strip_comments(text, keep_strings=True)
+    for number, line in iter_lines(code):
+        for match in METRIC_CALL_RE.finditer(line):
+            name = match.group(2)
+            if name.endswith("."):
+                # Dynamic name built by concatenation ("strategy." + label
+                # + ...): the registry documents it with a placeholder,
+                # e.g. strategy.<label>.evaluations.
+                if name + "<" in protocol_text:
+                    continue
+            elif name in documented:
+                continue
+            out.append(Violation(
+                rel, number, "metric-name",
+                f"instrument '{name}' is not documented in "
+                f"docs/PROTOCOL.md (the metrics namespace is wire "
+                f"contract, same policy as DFS_* env knobs)"))
+
+
+def check_naked_exemptions(rel, text, out):
+    if rel in NAKED_MUTEX_ALLOWLIST:
+        return  # the macro's own definition/docs
+    lines = text.splitlines()
+    for index, line in enumerate(lines):
+        if not EXEMPTION_RE.search(strip_comments(line)):
+            continue
+        here = "//" in line
+        above = index > 0 and lines[index - 1].lstrip().startswith("//")
+        if not here and not above:
+            out.append(Violation(
+                rel, index + 1, "naked-exemption",
+                "DFS_NO_THREAD_SAFETY_ANALYSIS without a justification "
+                "comment on this or the preceding line"))
+
+
+def load_protocol(protocol_path):
+    try:
+        with open(protocol_path, encoding="utf-8") as handle:
+            return handle.read()
+    except OSError:
+        return ""
+
+
+def lint_tree(roots, protocol_path):
+    protocol_text = load_protocol(protocol_path)
+    documented = set(re.findall(r"[a-z][a-z0-9_.]*\.[a-z0-9_.]+",
+                                protocol_text))
+    violations = []
+    for root in roots:
+        for dirpath, _, filenames in os.walk(root):
+            for filename in sorted(filenames):
+                if not filename.endswith((".h", ".cc")):
+                    continue
+                path = os.path.join(dirpath, filename)
+                rel = os.path.relpath(path, root).replace(os.sep, "/")
+                with open(path, encoding="utf-8") as handle:
+                    text = handle.read()
+                check_banned_symbols(rel, text, violations)
+                check_naked_mutex(rel, text, violations)
+                check_header_guard(rel, text, violations)
+                check_include_order(rel, root, text, violations)
+                check_dcheck_side_effects(rel, text, violations)
+                check_metric_names(rel, text, documented,
+                                   protocol_text, violations)
+                check_naked_exemptions(rel, text, violations)
+    return violations
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", action="append", default=None,
+                        help="tree(s) to lint (default: src/ and tools/)")
+    parser.add_argument("--protocol", default=None,
+                        help="PROTOCOL.md for the metric-name rule "
+                             "(default: docs/PROTOCOL.md)")
+    args = parser.parse_args()
+
+    roots = args.root or [os.path.join(REPO, "src"),
+                          os.path.join(REPO, "tools")]
+    protocol = args.protocol or os.path.join(REPO, "docs", "PROTOCOL.md")
+
+    violations = lint_tree(roots, protocol)
+    for violation in violations:
+        print(f"dfs_lint: {violation}", file=sys.stderr)
+    if violations:
+        print(f"dfs_lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("dfs_lint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

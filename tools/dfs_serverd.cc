@@ -15,7 +15,6 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -25,6 +24,8 @@
 #include "serve/server.h"
 #include "serve/tcp.h"
 #include "util/flags.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace dfs {
 namespace {
@@ -45,19 +46,20 @@ struct DaemonOptions {
 /// are removed as their connections finish, so a long-lived daemon does
 /// not accumulate dead channels.
 struct Connections {
-  std::mutex mu;
-  std::unordered_map<uint64_t, std::shared_ptr<serve::LineChannel>> channels;
+  util::Mutex mu;
+  std::unordered_map<uint64_t, std::shared_ptr<serve::LineChannel>> channels
+      DFS_GUARDED_BY(mu);
 
   void Add(uint64_t id, std::shared_ptr<serve::LineChannel> channel) {
-    std::lock_guard<std::mutex> lock(mu);
+    util::MutexLock lock(mu);
     channels.emplace(id, std::move(channel));
   }
   void Remove(uint64_t id) {
-    std::lock_guard<std::mutex> lock(mu);
+    util::MutexLock lock(mu);
     channels.erase(id);
   }
   void ShutdownAll() {
-    std::lock_guard<std::mutex> lock(mu);
+    util::MutexLock lock(mu);
     for (const auto& [id, channel] : channels) channel->ShutdownSocket();
   }
 };
@@ -69,11 +71,11 @@ struct Connections {
 class HandlerPool {
  public:
   void Launch(std::function<void()> body) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     const uint64_t id = next_id_++;
     threads_.emplace(id, std::thread([this, id, body = std::move(body)] {
       body();
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       finished_.push_back(id);
     }));
   }
@@ -83,7 +85,7 @@ class HandlerPool {
   void Reap() {
     std::vector<std::thread> done;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       for (const uint64_t id : finished_) {
         auto it = threads_.find(id);
         if (it == threads_.end()) continue;
@@ -98,7 +100,7 @@ class HandlerPool {
   void JoinAll() {
     std::unordered_map<uint64_t, std::thread> remaining;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       remaining.swap(threads_);
       finished_.clear();
     }
@@ -106,10 +108,10 @@ class HandlerPool {
   }
 
  private:
-  std::mutex mu_;
-  uint64_t next_id_ = 1;
-  std::unordered_map<uint64_t, std::thread> threads_;
-  std::vector<uint64_t> finished_;
+  util::Mutex mu_;
+  uint64_t next_id_ DFS_GUARDED_BY(mu_) = 1;
+  std::unordered_map<uint64_t, std::thread> threads_ DFS_GUARDED_BY(mu_);
+  std::vector<uint64_t> finished_ DFS_GUARDED_BY(mu_);
 };
 
 int RealMain(int argc, char** argv) {
