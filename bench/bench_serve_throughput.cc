@@ -1,11 +1,14 @@
 // Job-service throughput (google-benchmark): jobs/sec through a DfsServer
-// at worker counts 1/2/4/8, plus submit-path latency under backpressure.
+// at worker counts 1/2/4/8, plus submit-path latency under backpressure
+// and the router's cost on the submit path (router-off explicit jobs vs
+// router-on "auto" jobs, with and without the online learning loop).
 // Each job runs the cheapest strategy ("Original Feature Set", one wrapper
 // evaluation) on a tiny registered dataset, so the measurement is dominated
 // by queue/dispatch/bookkeeping overhead rather than model training.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -110,7 +113,104 @@ void BM_ServeBackpressureReject(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeBackpressureReject);
 
+// Routed ("auto") job mix through the strategy router, against the
+// explicit-strategy baseline above. Arg(0): router off — the job names its
+// strategy and never touches the router. Arg(1): router on, static policy,
+// no optimizer — the submit path pays fingerprint + policy + trace only.
+// Arg(2): router on with the online loop (refit_every=64) — adds one
+// landmark featurization (then cached), feedback appends, and background
+// refits. All arms run 2 workers so bench_diff.py isolates router cost.
+void BM_ServeRoutedThroughput(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  ServerOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = 256;
+  // All arms run the same one-evaluation strategy ("auto" resolves to it
+  // through the untrained router), so the delta is routing overhead, not
+  // a strategy change.
+  options.default_auto_strategy = "Original Feature Set";
+  if (mode == 2) {
+    options.router.refit_every = 64;
+    // Tiny landmark settings: the cost being measured is the routing
+    // plumbing, not the one-off CV (which the feature cache absorbs).
+    options.router.optimizer_options.landmark_sample_size = 40;
+    options.router.optimizer_options.landmark_folds = 2;
+  }
+  DfsServer server(options);
+  server.RegisterDataset(kDataset, TinyDataset());
+
+  uint64_t seed = 1;
+  int64_t jobs = 0;
+  for (auto _ : state) {
+    constexpr int kBatch = 32;
+    std::vector<JobId> ids;
+    ids.reserve(kBatch);
+    for (int i = 0; i < kBatch; ++i) {
+      JobRequest request = CheapJob(seed++);
+      if (mode != 0) request.strategy = "auto";
+      auto id = server.Submit(request);
+      DFS_CHECK(id.ok());
+      ids.push_back(*id);
+    }
+    for (const JobId id : ids) {
+      DFS_CHECK(server.WaitForTerminal(id, 120.0).ok());
+    }
+    jobs += kBatch;
+  }
+  state.SetItemsProcessed(jobs);
+  state.SetLabel(mode == 0   ? "router off"
+                 : mode == 1 ? "router on (static)"
+                             : "router on (online loop)");
+}
+BENCHMARK(BM_ServeRoutedThroughput)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 }  // namespace
 }  // namespace dfs::serve
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus the `--json` convenience flag of bench_micro:
+// `--json <path>` / `--json=<path>` writes the google-benchmark JSON
+// report to <path> (console output stays); bare `--json` switches the
+// console reporter itself. `scripts/check.sh --bench-smoke` uses it to
+// fold the routed-throughput rows into BENCH_results.json.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(argc + 1);
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc &&
+        argv[i + 1][0] != '-') {
+      args.push_back(std::string("--benchmark_out=") + argv[i + 1]);
+      args.push_back("--benchmark_out_format=json");
+      ++i;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      args.push_back("--benchmark_format=json");
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      args.push_back(std::string("--benchmark_out=") + (argv[i] + 7));
+      args.push_back("--benchmark_out_format=json");
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::vector<char*> argv_rewritten;
+  argv_rewritten.reserve(args.size());
+  for (std::string& arg : args) argv_rewritten.push_back(arg.data());
+  int argc_rewritten = static_cast<int>(argv_rewritten.size());
+
+#ifdef NDEBUG
+  benchmark::AddCustomContext("dfs_build_type", "release");
+#else
+  benchmark::AddCustomContext("dfs_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc_rewritten, argv_rewritten.data());
+  if (benchmark::ReportUnrecognizedArguments(argc_rewritten,
+                                             argv_rewritten.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,7 +3,7 @@
 #
 #   scripts/check.sh               # the tier-1 gate from ROADMAP.md
 #   scripts/check.sh --sanitize    # additionally run the concurrent tests
-#                                  # (serve_test, util_test,
+#                                  # (serve_test, util_test, router_test,
 #                                  # engine_parallel_test, engine_golden_test)
 #                                  # under TSan, and the zero-copy evaluation
 #                                  # tests (engine_golden_test, linalg_test)
@@ -11,8 +11,10 @@
 #   scripts/check.sh --docs        # docs only (no build): every relative
 #                                  # Markdown link resolves, every bench_*
 #                                  # binary named in EXPERIMENTS.md exists,
-#                                  # and every DFS_* env knob read by the
-#                                  # code is documented in EXPERIMENTS.md
+#                                  # every DFS_* env knob read by the
+#                                  # code is documented in EXPERIMENTS.md,
+#                                  # and every tools/ binary is mentioned
+#                                  # in some Markdown file
 #   scripts/check.sh --bench-smoke # build bench_micro and snapshot the
 #                                  # serial-vs-parallel candidate-sweep
 #                                  # throughput to BENCH_results.json
@@ -75,7 +77,7 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
   # debug build of this library. (The build/ tree's type is whatever the
   # developer last configured; build-bench is pinned.)
   cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
-  cmake --build build-bench -j --target bench_micro
+  cmake --build build-bench -j --target bench_micro bench_serve_throughput
   # Covers the hot-path kernels (GatherInto, span PredictBatch, one
   # uncached evaluation) and the Arg(1) serial baseline through Arg(0)
   # full-budget candidate sweep; DFS_THREADS caps the budget so the
@@ -85,6 +87,26 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
     --benchmark_filter='EngineEvaluateBatch|EvaluateUncached|GatherInto|PredictBatchSpan' \
     --benchmark_min_time=0.2 \
     --json "$out"
+  # Router cost on the serve submit path: router-off explicit jobs vs
+  # router-on "auto" jobs (static, and with the online learning loop).
+  # Folded into the same snapshot so bench_diff.py sees all rows.
+  DFS_THREADS="${DFS_THREADS:-4}" ./build-bench/bench/bench_serve_throughput \
+    --benchmark_filter='ServeRoutedThroughput' \
+    --benchmark_min_time=0.2 \
+    --json "$out.routed"
+  python3 - "$out" "$out.routed" <<'PY'
+import json, sys
+main_path, extra_path = sys.argv[1], sys.argv[2]
+with open(main_path, encoding="utf-8") as fh:
+    report = json.load(fh)
+with open(extra_path, encoding="utf-8") as fh:
+    extra = json.load(fh)
+report["benchmarks"].extend(extra.get("benchmarks", []))
+with open(main_path, "w", encoding="utf-8") as fh:
+    json.dump(report, fh, indent=2)
+    fh.write("\n")
+PY
+  rm -f "$out.routed"
   # Note: the JSON's "library_build_type" describes the *system*
   # libbenchmark (Debian ships it non-NDEBUG, i.e. "debug" forever);
   # "dfs_build_type" is this library's own build and is the one gated.
@@ -108,10 +130,11 @@ if [[ "${1:-}" == "--sanitize" || "${1:-}" == "--all" ]]; then
   # along: its byte-identical comparisons must hold when evaluations share
   # the engine's scratch pool across threads.
   cmake -B build-tsan -S . -DDFS_SANITIZE=thread
-  cmake --build build-tsan -j --target serve_test util_test \
+  cmake --build build-tsan -j --target serve_test util_test router_test \
     engine_parallel_test engine_golden_test
   ./build-tsan/tests/serve_test
   ./build-tsan/tests/util_test
+  ./build-tsan/tests/router_test
   ./build-tsan/tests/engine_parallel_test
   ./build-tsan/tests/engine_golden_test
   # ASan+UBSan sweep of the zero-copy evaluation path: the span kernels,

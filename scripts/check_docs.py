@@ -11,6 +11,9 @@
    `getenv("DFS_...")` under src/ or bench/) is documented in
    EXPERIMENTS.md — env knobs must not be discoverable only by reading
    the source.
+4. Every tool binary declared in tools/CMakeLists.txt (`dfs_*`) is
+   mentioned in at least one top-level or docs/ Markdown file — a tool
+   nobody can find from the docs is a tool nobody runs.
 """
 
 import glob
@@ -101,8 +104,27 @@ def check_env_knobs():
     ]
 
 
+def check_tool_binaries():
+    with open(os.path.join(REPO, "tools", "CMakeLists.txt"),
+              encoding="utf-8") as f:
+        declared = set(
+            re.findall(r"add_executable\(\s*(dfs_[a-z0-9_]+)", f.read()))
+    documented = set()
+    for path in markdown_files():
+        with open(path, encoding="utf-8") as handle:
+            # Unlike links, code blocks count here: usage examples are
+            # exactly how tools are documented.
+            documented |= set(re.findall(r"\b(dfs_[a-z0-9_]+)\b",
+                                         handle.read()))
+    return [
+        f"tools/CMakeLists.txt declares '{name}' but no Markdown file "
+        f"mentions it" for name in sorted(declared - documented)
+    ]
+
+
 def main():
-    errors = check_links() + check_bench_binaries() + check_env_knobs()
+    errors = (check_links() + check_bench_binaries() + check_env_knobs() +
+              check_tool_binaries())
     for error in errors:
         print(f"check_docs: {error}", file=sys.stderr)
     if errors:

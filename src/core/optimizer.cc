@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <fstream>
+#include <iomanip>
 #include <set>
 #include <sstream>
 
@@ -193,6 +195,10 @@ StatusOr<fs::StrategyId> DfsOptimizer::Choose(
 StatusOr<std::string> DfsOptimizer::Serialize() const {
   if (strategies_.empty()) return FailedPreconditionError("not trained");
   std::ostringstream out;
+  // max_digits10 so priors/constants round-trip exactly: a restored
+  // optimizer must produce bit-identical probabilities (the router's
+  // snapshot-replay contract compares them byte-for-byte).
+  out << std::setprecision(17);
   out << "dfs-optimizer v1\n";
   out << options_.landmark_sample_size << " " << options_.landmark_folds
       << " " << options_.prior_blend << " " << options_.seed << "\n";
@@ -283,11 +289,74 @@ StatusOr<DfsOptimizer> DfsOptimizer::LoadFromFile(const std::string& path) {
   return Deserialize(buffer.str());
 }
 
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001B3ULL;
+
+uint64_t FnvMixBytes(uint64_t hash, const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+uint64_t FnvMix(uint64_t hash, uint64_t value) {
+  return FnvMixBytes(hash, &value, sizeof(value));
+}
+
+uint64_t FnvMix(uint64_t hash, double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return FnvMix(hash, bits);
+}
+
+}  // namespace
+
+uint64_t ScenarioFingerprint(const std::string& dataset_name, int num_rows,
+                             int num_features, ml::ModelKind model,
+                             const constraints::ConstraintSet& constraint_set) {
+  uint64_t hash = FnvMixBytes(kFnvOffset, dataset_name.data(),
+                              dataset_name.size());
+  hash = FnvMix(hash, static_cast<uint64_t>(num_rows));
+  hash = FnvMix(hash, static_cast<uint64_t>(num_features));
+  hash = FnvMix(hash, static_cast<uint64_t>(model));
+  hash = FnvMix(hash, constraint_set.min_f1);
+  // Absent optionals hash as -1, outside every threshold's valid range,
+  // so "unset" never collides with a real 0 threshold.
+  hash = FnvMix(hash, constraint_set.max_feature_fraction.value_or(-1.0));
+  hash = FnvMix(hash, constraint_set.min_equal_opportunity.value_or(-1.0));
+  hash = FnvMix(hash, constraint_set.min_safety.value_or(-1.0));
+  hash = FnvMix(hash, constraint_set.privacy_epsilon.value_or(-1.0));
+  hash = FnvMix(hash, constraint_set.max_search_seconds);
+  return hash;
+}
+
+std::vector<DfsOptimizer::TrainingExample> ExamplesFromOutcomeRecords(
+    const std::vector<OutcomeRecord>& records) {
+  std::vector<DfsOptimizer::TrainingExample> examples;
+  std::map<uint64_t, size_t> index_by_fingerprint;
+  for (const OutcomeRecord& record : records) {
+    auto [it, inserted] =
+        index_by_fingerprint.try_emplace(record.fingerprint, examples.size());
+    if (inserted) {
+      DfsOptimizer::TrainingExample example;
+      example.features = record.features;
+      examples.push_back(std::move(example));
+    }
+    examples[it->second].outcomes[record.strategy] = record.success;
+  }
+  return examples;
+}
+
 StatusOr<std::vector<DfsOptimizer::TrainingExample>> BuildTrainingExamples(
     const ExperimentPool& pool, const OptimizerOptions& options) {
-  std::vector<DfsOptimizer::TrainingExample> examples;
+  std::vector<OutcomeRecord> flat;
   // Datasets regenerate deterministically from the pool config.
   std::vector<std::optional<data::Dataset>> datasets(data::BenchmarkSize());
+  uint64_t ordinal = 0;
   for (const auto& record : pool.records()) {
     auto& slot = datasets[record.dataset_index];
     if (!slot.has_value()) {
@@ -298,17 +367,32 @@ StatusOr<std::vector<DfsOptimizer::TrainingExample>> BuildTrainingExamples(
                                          pool.config().row_scale));
       slot = std::move(dataset);
     }
-    DfsOptimizer::TrainingExample example;
     DFS_ASSIGN_OR_RETURN(
-        example.features,
+        ScenarioFeatures features,
         FeaturizeScenario(*slot, record.model, record.constraint_set,
                           options));
-    for (const auto& outcome : record.outcomes) {
-      example.outcomes[outcome.id] = outcome.success;
+    // The pool's training unit is the record: salt the fingerprint with the
+    // record ordinal so two records describing the same scenario shape stay
+    // separate examples (LODO indexes examples parallel to records).
+    ++ordinal;
+    const uint64_t fingerprint =
+        ScenarioFingerprint(record.dataset_name, slot->num_rows(),
+                            slot->num_features(), record.model,
+                            record.constraint_set) ^
+        (ordinal * 0x9E3779B97F4A7C15ULL);
+    if (record.outcomes.empty()) {
+      // Keep the record as an (all-failure) example, exactly as before the
+      // OutcomeRecord pathway: the baseline id is outside every Train call's
+      // strategy set, so only the example's presence matters.
+      flat.push_back({fingerprint, features,
+                      fs::StrategyId::kOriginalFeatureSet, false});
+      continue;
     }
-    examples.push_back(std::move(example));
+    for (const auto& outcome : record.outcomes) {
+      flat.push_back({fingerprint, features, outcome.id, outcome.success});
+    }
   }
-  return examples;
+  return ExamplesFromOutcomeRecords(flat);
 }
 
 namespace {

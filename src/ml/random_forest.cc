@@ -144,7 +144,10 @@ double RandomForest::PredictProba(std::span<const double> row) const {
   DFS_CHECK(fitted_) << "PredictProba before Fit";
   if (members_.empty()) return prior_;
   double total = 0.0;
-  std::vector<double>& sub_row = sub_row_scratch_;
+  // Per-thread gather buffer: the router shares one trained forest across
+  // serving threads, so the scratch cannot live on the (const) instance.
+  // Still allocation-free after each thread's first warm-up call.
+  thread_local std::vector<double> sub_row;
   for (const auto& member : members_) {
     sub_row.resize(member.features.size());
     for (size_t j = 0; j < member.features.size(); ++j) {

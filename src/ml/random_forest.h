@@ -34,6 +34,9 @@ class RandomForest : public Classifier {
       : options_(options) {}
 
   Status Fit(const linalg::Matrix& x, const std::vector<int>& y) override;
+  /// Thread-safe on a fitted forest: the router shares one trained
+  /// optimizer (and its forests) across serving threads, so concurrent
+  /// const predictions must not touch instance state.
   double PredictProba(std::span<const double> row) const override;
   /// Re-expose the base-class std::vector convenience shim (the span
   /// override would otherwise hide it from unqualified lookup).
@@ -59,11 +62,6 @@ class RandomForest : public Classifier {
   std::vector<Member> members_;
   double prior_ = 0.5;
   bool fitted_ = false;
-  /// Per-member feature-subspace gather buffer, reused across predictions.
-  /// Like Fit, PredictProba is single-threaded per instance (the engine's
-  /// parallel workers each own their models); the buffer makes a forest
-  /// prediction allocation-free after the first call.
-  mutable std::vector<double> sub_row_scratch_;
 };
 
 }  // namespace dfs::ml

@@ -1,0 +1,98 @@
+#include "router/policy.h"
+
+#include <algorithm>
+
+namespace dfs::router {
+namespace {
+
+double ProbabilityOf(const RouteContext& context, fs::StrategyId id) {
+  auto it = context.probabilities.find(id);
+  return it != context.probabilities.end() ? it->second : 0.0;
+}
+
+/// The deployment argmax of DfsOptimizer::Choose, verbatim: iterate the
+/// candidates in optimizer order, strictly-greater comparison, so the
+/// router reproduces SetOptimizer-era choices bit-for-bit.
+PolicyChoice ArgmaxChoice(const RouteContext& context) {
+  PolicyChoice choice;
+  if (context.candidates.empty()) {
+    choice.chosen = context.fallback;
+    return choice;
+  }
+  fs::StrategyId best = context.candidates.front();
+  double best_probability = -1.0;
+  for (fs::StrategyId id : context.candidates) {
+    const double probability = ProbabilityOf(context, id);
+    if (probability > best_probability) {
+      best_probability = probability;
+      best = id;
+    }
+  }
+  choice.chosen = best;
+  return choice;
+}
+
+}  // namespace
+
+PolicyChoice StaticPolicy::Decide(const RouteContext& context,
+                                  Rng& rng) const {
+  (void)rng;  // deterministic: never draws
+  return ArgmaxChoice(context);
+}
+
+PolicyChoice ConfidencePolicy::Decide(const RouteContext& context,
+                                      Rng& rng) const {
+  (void)rng;  // deterministic: never draws
+  PolicyChoice choice = ArgmaxChoice(context);
+  if (context.candidates.size() < 2 || options_.portfolio_top_k < 2) {
+    return choice;
+  }
+  if (ProbabilityOf(context, choice.chosen) >= options_.confidence_threshold) {
+    return choice;
+  }
+  // Low confidence: race the top-k candidates on the one shared budget.
+  // Stable sort by probability keeps candidate order as the tie-break, so
+  // the member list is deterministic.
+  std::vector<fs::StrategyId> ranked = context.candidates;
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [&context](fs::StrategyId a, fs::StrategyId b) {
+                     return ProbabilityOf(context, a) >
+                            ProbabilityOf(context, b);
+                   });
+  const size_t k = std::min(ranked.size(),
+                            static_cast<size_t>(options_.portfolio_top_k));
+  choice.members.assign(ranked.begin(), ranked.begin() + k);
+  choice.portfolio = true;
+  choice.chosen = choice.members.front();
+  return choice;
+}
+
+PolicyChoice EpsilonGreedyPolicy::Decide(const RouteContext& context,
+                                         Rng& rng) const {
+  // Draw order is fixed (Bernoulli, then at most one UniformInt) so a
+  // replayed Rng with the same seed walks the same stream.
+  if (!context.exploration.empty() && rng.Bernoulli(options_.epsilon)) {
+    PolicyChoice choice;
+    choice.explored = true;
+    choice.chosen = context.exploration[rng.UniformInt(
+        0, static_cast<int>(context.exploration.size()) - 1)];
+    return choice;
+  }
+  return ArgmaxChoice(context);
+}
+
+StatusOr<std::unique_ptr<const RouterPolicy>> CreatePolicy(
+    const std::string& name, const PolicyOptions& options) {
+  if (name == "static") return {std::make_unique<StaticPolicy>()};
+  if (name == "confidence") {
+    return {std::make_unique<ConfidencePolicy>(options)};
+  }
+  if (name == "epsilon-greedy") {
+    return {std::make_unique<EpsilonGreedyPolicy>(options)};
+  }
+  return InvalidArgumentError(
+      "unknown router policy '" + name +
+      "' (expected static, confidence, or epsilon-greedy)");
+}
+
+}  // namespace dfs::router

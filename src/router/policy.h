@@ -1,0 +1,111 @@
+#ifndef DFS_ROUTER_POLICY_H_
+#define DFS_ROUTER_POLICY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/registry.h"
+#include "util/rng.h"
+#include "util/statusor.h"
+
+namespace dfs::router {
+
+/// Tunables shared by the routing policies. Every field is part of the
+/// router snapshot, so a restored router decides identically.
+struct PolicyOptions {
+  /// EpsilonGreedyPolicy: probability of exploring instead of exploiting.
+  double epsilon = 0.1;
+  /// ConfidencePolicy: argmax only when the top probability clears this.
+  double confidence_threshold = 0.55;
+  /// ConfidencePolicy: portfolio width of the low-confidence fallback.
+  int portfolio_top_k = 3;
+};
+
+/// Everything a policy may look at when routing one "auto" job.
+struct RouteContext {
+  /// The optimizer's strategy set in training order; empty when no trained
+  /// optimizer is installed or the scenario could not be featurized.
+  std::vector<fs::StrategyId> candidates;
+  /// P(success) per candidate (DfsOptimizer::PredictProbabilities).
+  std::map<fs::StrategyId, double> probabilities;
+  /// Strategies an exploring policy may pick from even before the
+  /// optimizer has trained (cold-start exploration support).
+  std::vector<fs::StrategyId> exploration;
+  /// Resolution of "auto" when no probabilities are available.
+  fs::StrategyId fallback = fs::StrategyId::kSffs;
+};
+
+/// What a policy decided for one job.
+struct PolicyChoice {
+  fs::StrategyId chosen = fs::StrategyId::kSffs;
+  /// EpsilonGreedyPolicy picked at random instead of by argmax.
+  bool explored = false;
+  /// ConfidencePolicy fell back to racing `members` on one shared budget
+  /// (fs::TimeSlicedPortfolio); `chosen` is then the best-ranked member.
+  bool portfolio = false;
+  std::vector<fs::StrategyId> members;  ///< portfolio members, best first
+};
+
+/// Strategy-selection policy of the router. Implementations are immutable
+/// and stateless across decisions: all randomness comes from `rng`, which
+/// the router seeds with the per-decision seed — re-running Decide with the
+/// same context and seed reproduces the choice exactly (replay contract,
+/// DESIGN.md §2g).
+class RouterPolicy {
+ public:
+  virtual ~RouterPolicy() = default;
+
+  /// Wire/snapshot name: "static", "confidence", "epsilon-greedy".
+  virtual std::string name() const = 0;
+
+  virtual PolicyChoice Decide(const RouteContext& context, Rng& rng) const = 0;
+};
+
+/// Today's serving behavior: the optimizer argmax when probabilities are
+/// available (bit-for-bit DfsOptimizer::Choose — same iteration order, same
+/// strictly-greater tie-break), else the configured fallback strategy.
+class StaticPolicy : public RouterPolicy {
+ public:
+  std::string name() const override { return "static"; }
+  PolicyChoice Decide(const RouteContext& context, Rng& rng) const override;
+};
+
+/// Argmax when the top probability clears `confidence_threshold`; otherwise
+/// races the top-k strategies as a time-sliced portfolio on the job's one
+/// search budget instead of betting everything on a shaky prediction.
+class ConfidencePolicy : public RouterPolicy {
+ public:
+  explicit ConfidencePolicy(const PolicyOptions& options)
+      : options_(options) {}
+
+  std::string name() const override { return "confidence"; }
+  PolicyChoice Decide(const RouteContext& context, Rng& rng) const override;
+
+ private:
+  PolicyOptions options_;
+};
+
+/// With probability epsilon, explores a uniform pick from the exploration
+/// set (so an untrained router gathers outcomes for every strategy);
+/// otherwise exploits the argmax like StaticPolicy.
+class EpsilonGreedyPolicy : public RouterPolicy {
+ public:
+  explicit EpsilonGreedyPolicy(const PolicyOptions& options)
+      : options_(options) {}
+
+  std::string name() const override { return "epsilon-greedy"; }
+  PolicyChoice Decide(const RouteContext& context, Rng& rng) const override;
+
+ private:
+  PolicyOptions options_;
+};
+
+/// Instantiates a policy by wire name (InvalidArgument on unknown names).
+StatusOr<std::unique_ptr<const RouterPolicy>> CreatePolicy(
+    const std::string& name, const PolicyOptions& options);
+
+}  // namespace dfs::router
+
+#endif  // DFS_ROUTER_POLICY_H_

@@ -24,6 +24,7 @@ namespace dfs::serve {
 ///   -> {"op":"cancel","id":7}        -> {"op":"stats"}
 ///   -> {"op":"ping"}                 -> {"op":"shutdown"}
 ///   -> {"op":"metrics"}   // dfs::obs registry snapshot, flattened
+///   -> {"op":"router"}    // routing policy, refits, per-strategy counts
 ///
 /// Errors: {"ok":false,"error":"<machine tag>","message":"<detail>"}.
 /// The "queue_full" error tag is the backpressure signal; clients should
@@ -66,7 +67,7 @@ std::optional<double> GetOptionalNumber(const JsonObject& object,
 /// A parsed client request.
 struct Request {
   enum class Op { kSubmit, kStatus, kResult, kCancel, kStats, kMetrics,
-                  kPing, kShutdown };
+                  kRouter, kPing, kShutdown };
   Op op = Op::kPing;
   /// Valid when op == kSubmit.
   JobRequest submit;

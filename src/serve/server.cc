@@ -8,6 +8,7 @@
 #include "data/benchmark_suite.h"
 #include "data/synthetic.h"
 #include "fs/feature_subset.h"
+#include "fs/portfolio.h"
 #include "fs/registry.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -60,6 +61,8 @@ DfsServer::DfsServer(ServerOptions options)
     : options_(std::move(options)),
       queue_(options_.queue_capacity) {
   options_.num_workers = std::max(1, options_.num_workers);
+  options_.router.default_strategy = options_.default_auto_strategy;
+  router_ = std::make_unique<router::StrategyRouter>(options_.router);
   workers_.reserve(options_.num_workers);
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -75,8 +78,7 @@ void DfsServer::RegisterDataset(const std::string& name,
 }
 
 void DfsServer::SetOptimizer(core::DfsOptimizer optimizer) {
-  util::MutexLock lock(optimizer_mu_);
-  optimizer_ = std::move(optimizer);
+  router_->InstallOptimizer(std::move(optimizer));
 }
 
 StatusOr<JobId> DfsServer::Submit(const JobRequest& request) {
@@ -96,6 +98,18 @@ StatusOr<JobId> DfsServer::Submit(const JobRequest& request) {
 
   const JobId id = next_id_.fetch_add(1);
   auto job = std::make_shared<Job>(id, request);
+  if (request.strategy == "auto") {
+    // Route before enqueueing so the worker runs exactly what was decided
+    // and the submit response can explain the decision. Dataset-resolution
+    // failures leave the job unrouted; the worker fails it with the same
+    // error. A subsequent queue-full rejection still counts the decision
+    // (no outcome ever arrives for it).
+    auto dataset = ResolveDataset(request.dataset);
+    if (dataset.ok()) {
+      job->set_route(router_->Route(**dataset, request.dataset, request.model,
+                                    request.constraint_set));
+    }
+  }
   {
     util::MutexLock lock(jobs_mu_);
     SweepLocked();
@@ -284,6 +298,7 @@ void DfsServer::WorkerLoop() {
     metrics.running.Add(-1);
     if (job->TryTransition(outcome.state)) {
       RecordTerminal(*job, outcome.evaluations);
+      ReportRouteOutcome(*job);
     }
   }
 }
@@ -300,8 +315,27 @@ DfsServer::JobOutcome DfsServer::ExecuteJob(Job& job) {
 
   auto dataset = ResolveDataset(request.dataset);
   if (!dataset.ok()) return fail(dataset.status().ToString());
-  auto strategy_id = ChooseStrategy(request, **dataset);
-  if (!strategy_id.ok()) return fail(strategy_id.status().ToString());
+
+  // Resolve what to run: an explicit strategy name, the router's decision
+  // (stamped at submission), or the configured default for "auto" jobs that
+  // could not be routed.
+  std::unique_ptr<fs::FeatureSelectionStrategy> strategy;
+  if (request.strategy != "auto") {
+    auto strategy_id = fs::StrategyIdFromString(request.strategy);
+    if (!strategy_id.ok()) return fail(strategy_id.status().ToString());
+    strategy = fs::CreateStrategy(*strategy_id, request.seed);
+  } else if (auto route = job.route(); route.has_value()) {
+    if (route->portfolio) {
+      strategy = std::make_unique<fs::TimeSlicedPortfolio>(route->members,
+                                                           request.seed);
+    } else {
+      strategy = fs::CreateStrategy(route->chosen, request.seed);
+    }
+  } else {
+    auto fallback = fs::StrategyIdFromString(options_.default_auto_strategy);
+    if (!fallback.ok()) return fail(fallback.status().ToString());
+    strategy = fs::CreateStrategy(*fallback, request.seed);
+  }
 
   Rng rng(request.seed);
   auto scenario = core::MakeScenario(**dataset, request.model,
@@ -318,12 +352,11 @@ DfsServer::JobOutcome DfsServer::ExecuteJob(Job& job) {
   engine_options.num_threads =
       std::max(1, HardwareThreadBudget() / std::max(1, options_.num_workers));
   core::DfsEngine engine(*std::move(scenario), engine_options);
-  auto strategy = fs::CreateStrategy(*strategy_id, request.seed);
   const core::RunResult run = engine.Run(*strategy);
 
   JobResult result;
   result.success = run.success;
-  result.strategy = fs::StrategyIdToString(*strategy_id);
+  result.strategy = strategy->name();
   result.features = fs::MaskToIndices(run.selected);
   const auto& names = (*dataset)->feature_names();
   for (int feature : result.features) {
@@ -403,36 +436,32 @@ StatusOr<std::shared_ptr<const data::Dataset>> DfsServer::ResolveDataset(
   return shared;
 }
 
-StatusOr<fs::StrategyId> DfsServer::ChooseStrategy(
-    const JobRequest& request, const data::Dataset& dataset) const {
-  if (request.strategy != "auto") {
-    return fs::StrategyIdFromString(request.strategy);
+void DfsServer::ReportRouteOutcome(const Job& job) {
+  const std::optional<router::RouteDecision> route = job.route();
+  if (!route.has_value()) return;
+  bool success;
+  switch (job.state()) {
+    case JobState::kDone:
+      success = job.result().success;
+      break;
+    case JobState::kTimedOut:
+      success = false;  // the budget expired: the strategy did not satisfy
+      break;
+    default:
+      return;  // cancelled / failed say nothing about the strategy
   }
-  bool have_optimizer;
+  router_->ReportOutcome(*route, route->chosen, success);
+}
+
+std::optional<router::RouteDecision> DfsServer::GetRoute(JobId id) const {
+  std::shared_ptr<Job> job;
   {
-    util::MutexLock lock(optimizer_mu_);
-    have_optimizer = optimizer_.has_value();
+    util::MutexLock lock(jobs_mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) return std::nullopt;
+    job = it->second;
   }
-  if (have_optimizer) {
-    // Algorithm 1 deployment phase: featurize outside the lock (the
-    // landmarking CV is the expensive part), query under it.
-    auto features =
-        core::FeaturizeScenario(dataset, request.model, request.constraint_set,
-                                options_.optimizer_options);
-    if (features.ok()) {
-      util::MutexLock lock(optimizer_mu_);
-      if (optimizer_.has_value()) {
-        auto choice = optimizer_->Choose(*features);
-        if (choice.ok()) return *choice;
-        DFS_LOG(WARNING) << "optimizer choice failed: "
-                         << choice.status().ToString();
-      }
-    } else {
-      DFS_LOG(WARNING) << "featurization failed: "
-                       << features.status().ToString();
-    }
-  }
-  return fs::StrategyIdFromString(options_.default_auto_strategy);
+  return job->route();
 }
 
 void DfsServer::SweepLocked() {

@@ -13,6 +13,7 @@
 #include "core/optimizer.h"
 #include "data/dataset.h"
 #include "fs/registry.h"
+#include "router/router.h"
 #include "serve/job.h"
 #include "serve/job_queue.h"
 #include "util/mutex.h"
@@ -39,10 +40,12 @@ struct ServerOptions {
   /// Seed for dataset generation and scenario splitting.
   uint64_t seed = 7;
   /// Strategy used for "auto" requests when no meta-optimizer is loaded
-  /// (SFFS(NR) is the paper's best all-round single strategy).
+  /// (SFFS(NR) is the paper's best all-round single strategy). Overrides
+  /// router.default_strategy at construction.
   std::string default_auto_strategy = "SFFS(NR)";
-  /// Featurization settings for the meta-optimizer path.
-  core::OptimizerOptions optimizer_options;
+  /// Strategy-routing configuration ("auto" resolution lives in
+  /// dfs::router; see router/router.h for policies and the online loop).
+  router::RouterOptions router;
 };
 
 /// Monotonic service counters plus instantaneous gauges. Once the system
@@ -111,9 +114,18 @@ class DfsServer {
   /// previous dataset of the same name (future jobs only).
   void RegisterDataset(const std::string& name, data::Dataset dataset);
 
-  /// Installs a trained meta-optimizer; "auto" jobs then use Algorithm 1's
-  /// deployment phase (featurize the scenario, pick the argmax strategy).
+  /// Installs a trained meta-optimizer into the router; "auto" jobs then
+  /// use Algorithm 1's deployment phase through the configured policy.
   void SetOptimizer(core::DfsOptimizer optimizer);
+
+  /// The strategy router owning "auto" resolution (policy, online feedback
+  /// loop, snapshot/restore; see router/router.h).
+  router::StrategyRouter& router() { return *router_; }
+  const router::StrategyRouter& router() const { return *router_; }
+
+  /// The routing decision stamped on an "auto" job at submission; nullopt
+  /// for explicit-strategy jobs, unrouted jobs, and unknown ids.
+  std::optional<router::RouteDecision> GetRoute(JobId id) const;
 
   /// Submits a job. Errors: ResourceExhausted (queue full — retry later),
   /// FailedPrecondition (server shutting down).
@@ -161,10 +173,12 @@ class DfsServer {
   JobOutcome ExecuteJob(Job& job);
   Status CancelJob(const std::shared_ptr<Job>& job);
   void RecordTerminal(const Job& job, int evaluations);
+  /// Feeds a terminal routed job's outcome back to the router (DONE uses
+  /// the result's success flag, TIMED_OUT counts as failure; other terminal
+  /// states say nothing about the strategy and are skipped).
+  void ReportRouteOutcome(const Job& job);
   StatusOr<std::shared_ptr<const data::Dataset>> ResolveDataset(
       const std::string& name);
-  StatusOr<fs::StrategyId> ChooseStrategy(const JobRequest& request,
-                                          const data::Dataset& dataset) const;
   /// Evicts expired / over-cap terminal jobs.
   void SweepLocked() DFS_REQUIRES(jobs_mu_);
 
@@ -184,8 +198,9 @@ class DfsServer {
   std::map<std::string, std::shared_ptr<const data::Dataset>> datasets_
       DFS_GUARDED_BY(datasets_mu_);
 
-  mutable util::Mutex optimizer_mu_;
-  std::optional<core::DfsOptimizer> optimizer_ DFS_GUARDED_BY(optimizer_mu_);
+  /// Owns "auto" resolution; constructed before the workers start and
+  /// destroyed after they join, so worker threads use it lock-free.
+  std::unique_ptr<router::StrategyRouter> router_;
 
   mutable util::Mutex stats_mu_;
   ServerStats stats_ DFS_GUARDED_BY(stats_mu_);

@@ -1,0 +1,488 @@
+#include "router/router.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "router/policy.h"
+#include "router/replay.h"
+#include "testing/test_util.h"
+#include "util/rng.h"
+
+namespace dfs::router {
+namespace {
+
+constexpr char kDataset[] = "router-lin";
+
+/// Small landmark settings so featurization costs milliseconds; the tests
+/// exercise routing plumbing, not meta-model quality.
+core::OptimizerOptions FastOptimizerOptions() {
+  core::OptimizerOptions options;
+  options.landmark_sample_size = 40;
+  options.landmark_folds = 2;
+  return options;
+}
+
+/// Trains forests (non-degenerate labels per strategy) over random
+/// `dims`-dimensional features, so the argmax runs the real predict path.
+core::DfsOptimizer TrainedOptimizer(
+    const std::vector<fs::StrategyId>& strategies, int dims, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<core::DfsOptimizer::TrainingExample> examples;
+  for (int i = 0; i < 24; ++i) {
+    core::DfsOptimizer::TrainingExample example;
+    for (int d = 0; d < dims; ++d) {
+      example.features.values.push_back(rng.Uniform());
+    }
+    for (size_t s = 0; s < strategies.size(); ++s) {
+      // Mixed labels with different per-strategy rates, never constant.
+      example.outcomes[strategies[s]] =
+          rng.Bernoulli(0.2 + 0.6 * static_cast<double>(s) /
+                                  static_cast<double>(strategies.size()));
+    }
+    // Pin one success and one failure per strategy so no label degenerates.
+    if (i == 0) {
+      for (fs::StrategyId id : strategies) example.outcomes[id] = true;
+    }
+    if (i == 1) {
+      for (fs::StrategyId id : strategies) example.outcomes[id] = false;
+    }
+    examples.push_back(std::move(example));
+  }
+  core::DfsOptimizer optimizer;
+  EXPECT_TRUE(optimizer.Train(examples, strategies).ok());
+  return optimizer;
+}
+
+core::ScenarioFeatures RandomFeatures(int dims, uint64_t seed) {
+  Rng rng(seed);
+  core::ScenarioFeatures features;
+  for (int d = 0; d < dims; ++d) features.values.push_back(rng.Uniform());
+  return features;
+}
+
+// ---- Policies -------------------------------------------------------
+
+// The ISSUE contract: StaticPolicy reproduces the pre-router serving
+// behavior bit-for-bit — DfsOptimizer::Choose when probabilities exist.
+TEST(StaticPolicyTest, MatchesOptimizerChooseBitForBit) {
+  const std::vector<fs::StrategyId> strategies = {
+      fs::StrategyId::kSfs, fs::StrategyId::kSbs, fs::StrategyId::kTpeChi2,
+      fs::StrategyId::kSffs};
+  core::DfsOptimizer optimizer = TrainedOptimizer(strategies, 16, 5);
+  StaticPolicy policy;
+  for (uint64_t seed = 0; seed < 32; ++seed) {
+    const core::ScenarioFeatures features = RandomFeatures(16, 100 + seed);
+    auto probabilities = optimizer.PredictProbabilities(features);
+    ASSERT_TRUE(probabilities.ok());
+    auto expected = optimizer.Choose(features);
+    ASSERT_TRUE(expected.ok());
+
+    RouteContext context;
+    context.candidates = optimizer.strategies();
+    context.probabilities = *probabilities;
+    Rng rng(seed);
+    const PolicyChoice choice = policy.Decide(context, rng);
+    EXPECT_EQ(choice.chosen, *expected) << "seed " << seed;
+    EXPECT_FALSE(choice.explored);
+    EXPECT_FALSE(choice.portfolio);
+  }
+}
+
+// And the other half of today's behavior: no optimizer → the configured
+// fallback (the server's default_auto_strategy), nothing random.
+TEST(StaticPolicyTest, FallsBackWithoutProbabilities) {
+  StaticPolicy policy;
+  RouteContext context;
+  context.fallback = fs::StrategyId::kSffs;
+  Rng rng(3);
+  const PolicyChoice choice = policy.Decide(context, rng);
+  EXPECT_EQ(choice.chosen, fs::StrategyId::kSffs);
+  EXPECT_FALSE(choice.explored);
+  EXPECT_FALSE(choice.portfolio);
+}
+
+TEST(ConfidencePolicyTest, ArgmaxWhenConfident) {
+  PolicyOptions options;
+  options.confidence_threshold = 0.55;
+  options.portfolio_top_k = 3;
+  ConfidencePolicy policy(options);
+  RouteContext context;
+  context.candidates = {fs::StrategyId::kSfs, fs::StrategyId::kSbs,
+                        fs::StrategyId::kTpeChi2};
+  context.probabilities = {{fs::StrategyId::kSfs, 0.9},
+                           {fs::StrategyId::kSbs, 0.4},
+                           {fs::StrategyId::kTpeChi2, 0.1}};
+  Rng rng(1);
+  const PolicyChoice choice = policy.Decide(context, rng);
+  EXPECT_EQ(choice.chosen, fs::StrategyId::kSfs);
+  EXPECT_FALSE(choice.portfolio);
+  EXPECT_TRUE(choice.members.empty());
+}
+
+TEST(ConfidencePolicyTest, LowConfidenceRacesTopK) {
+  PolicyOptions options;
+  options.confidence_threshold = 0.55;
+  options.portfolio_top_k = 2;
+  ConfidencePolicy policy(options);
+  RouteContext context;
+  context.candidates = {fs::StrategyId::kSfs, fs::StrategyId::kSbs,
+                        fs::StrategyId::kTpeChi2};
+  context.probabilities = {{fs::StrategyId::kSfs, 0.30},
+                           {fs::StrategyId::kSbs, 0.51},
+                           {fs::StrategyId::kTpeChi2, 0.45}};
+  Rng rng(1);
+  const PolicyChoice choice = policy.Decide(context, rng);
+  EXPECT_TRUE(choice.portfolio);
+  ASSERT_EQ(choice.members.size(), 2u);
+  EXPECT_EQ(choice.members[0], fs::StrategyId::kSbs);
+  EXPECT_EQ(choice.members[1], fs::StrategyId::kTpeChi2);
+  EXPECT_EQ(choice.chosen, fs::StrategyId::kSbs);
+}
+
+TEST(ConfidencePolicyTest, NeverRacesASingleCandidate) {
+  PolicyOptions options;
+  options.confidence_threshold = 0.99;
+  ConfidencePolicy policy(options);
+  RouteContext context;
+  context.candidates = {fs::StrategyId::kSfs};
+  context.probabilities = {{fs::StrategyId::kSfs, 0.1}};
+  Rng rng(1);
+  const PolicyChoice choice = policy.Decide(context, rng);
+  EXPECT_FALSE(choice.portfolio);
+  EXPECT_EQ(choice.chosen, fs::StrategyId::kSfs);
+}
+
+TEST(EpsilonGreedyPolicyTest, EpsilonZeroIsStatic) {
+  PolicyOptions options;
+  options.epsilon = 0.0;
+  EpsilonGreedyPolicy greedy(options);
+  StaticPolicy static_policy;
+  RouteContext context;
+  context.candidates = {fs::StrategyId::kSfs, fs::StrategyId::kSbs};
+  context.probabilities = {{fs::StrategyId::kSfs, 0.2},
+                           {fs::StrategyId::kSbs, 0.7}};
+  context.exploration = {fs::StrategyId::kSfs, fs::StrategyId::kSbs,
+                         fs::StrategyId::kTpeChi2};
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    Rng rng_a(seed);
+    Rng rng_b(seed);
+    EXPECT_EQ(greedy.Decide(context, rng_a).chosen,
+              static_policy.Decide(context, rng_b).chosen);
+  }
+}
+
+TEST(EpsilonGreedyPolicyTest, EpsilonOneAlwaysExploresDeterministically) {
+  PolicyOptions options;
+  options.epsilon = 1.0;
+  EpsilonGreedyPolicy policy(options);
+  RouteContext context;
+  context.exploration = {fs::StrategyId::kSfs, fs::StrategyId::kSbs,
+                         fs::StrategyId::kTpeChi2};
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    Rng rng_a(seed);
+    const PolicyChoice first = policy.Decide(context, rng_a);
+    EXPECT_TRUE(first.explored);
+    // Same seed → same pick: the replay contract at the policy level.
+    Rng rng_b(seed);
+    EXPECT_EQ(policy.Decide(context, rng_b).chosen, first.chosen);
+  }
+}
+
+TEST(PolicyRegistryTest, CreatePolicyByWireName) {
+  for (const char* name : {"static", "confidence", "epsilon-greedy"}) {
+    auto policy = CreatePolicy(name, {});
+    ASSERT_TRUE(policy.ok()) << name;
+    EXPECT_EQ((*policy)->name(), name);
+  }
+  EXPECT_FALSE(CreatePolicy("bandit", {}).ok());
+}
+
+// ---- ReplayBuffer / FeatureCache ------------------------------------
+
+TEST(ReplayBufferTest, BoundedFifo) {
+  ReplayBuffer buffer(3);
+  for (uint64_t i = 0; i < 5; ++i) {
+    buffer.Append({/*fingerprint=*/i, {}, fs::StrategyId::kSfs, true});
+  }
+  EXPECT_EQ(buffer.depth(), 3u);
+  EXPECT_EQ(buffer.total_appended(), 5u);
+  const auto records = buffer.Records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records.front().fingerprint, 2u);
+  EXPECT_EQ(records.back().fingerprint, 4u);
+}
+
+TEST(FeatureCacheTest, FifoEvictionAndCounters) {
+  FeatureCache cache(2);
+  core::ScenarioFeatures features;
+  features.values = {1.0, 2.0};
+  core::ScenarioFeatures out;
+  EXPECT_FALSE(cache.Lookup(7, &out));  // miss 1
+  cache.Insert(7, features);
+  cache.Insert(8, features);
+  cache.Insert(9, features);  // evicts 7
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.Lookup(7, &out));  // miss 2
+  EXPECT_TRUE(cache.Lookup(9, &out));   // hit 1
+  EXPECT_EQ(out.values, features.values);
+  // Peek is invisible to the counters (replay must not perturb them).
+  EXPECT_TRUE(cache.Peek(8, &out));
+  EXPECT_FALSE(cache.Peek(7, &out));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+// ---- StrategyRouter -------------------------------------------------
+
+TEST(StrategyRouterTest, UnroutedDefaultMatchesServingFallback) {
+  // No optimizer, online loop off: every decision is the configured
+  // default, unfeaturized (no landmark CV on the submit path).
+  StrategyRouter router;
+  const data::Dataset dataset = testing::MakeLinearDataset(80, 3, 99);
+  constraints::ConstraintSet set;
+  set.min_f1 = 0.5;
+  const RouteDecision decision = router.Route(
+      dataset, kDataset, ml::ModelKind::kLogisticRegression, set);
+  EXPECT_FALSE(decision.featurized);
+  EXPECT_EQ(decision.chosen, fs::StrategyId::kSffs);  // "SFFS(NR)"
+  EXPECT_TRUE(decision.probabilities.empty());
+  const RouterStats stats = router.Stats();
+  EXPECT_EQ(stats.decisions, 1u);
+  EXPECT_EQ(stats.feature_cache_size, 0u);
+}
+
+TEST(StrategyRouterTest, InstalledOptimizerDrivesArgmaxBitForBit) {
+  const std::vector<fs::StrategyId> strategies = {
+      fs::StrategyId::kSfs, fs::StrategyId::kSbs, fs::StrategyId::kTpeChi2};
+  core::DfsOptimizer optimizer = TrainedOptimizer(strategies, 16, 21);
+  auto serialized = optimizer.Serialize();
+  ASSERT_TRUE(serialized.ok());
+  auto reference = core::DfsOptimizer::Deserialize(*serialized);
+  ASSERT_TRUE(reference.ok());
+
+  RouterOptions options;
+  options.optimizer_options = FastOptimizerOptions();
+  StrategyRouter router(options);
+  router.InstallOptimizer(std::move(optimizer));
+
+  const data::Dataset dataset = testing::MakeLinearDataset(80, 3, 99);
+  constraints::ConstraintSet set;
+  set.min_f1 = 0.5;
+  const RouteDecision decision = router.Route(
+      dataset, kDataset, ml::ModelKind::kLogisticRegression, set);
+  ASSERT_TRUE(decision.featurized);
+  ASSERT_EQ(decision.probabilities.size(), strategies.size());
+  auto expected = reference->Choose(decision.features);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(decision.chosen, *expected);
+
+  // Same scenario again: the feature cache absorbs the landmark CV.
+  (void)router.Route(dataset, kDataset, ml::ModelKind::kLogisticRegression,
+                     set);
+  const RouterStats stats = router.Stats();
+  EXPECT_EQ(stats.feature_cache_misses, 1u);
+  EXPECT_EQ(stats.feature_cache_hits, 1u);
+  EXPECT_TRUE(stats.optimizer_loaded);
+}
+
+// The online loop demonstrably learns: before any feedback the router
+// falls back to SFFS; after feeding outcomes where SFS always succeeds
+// and the others always fail, a background refit retrains the optimizer
+// and the router starts choosing SFS.
+TEST(StrategyRouterTest, OnlineLoopLearnsFromOutcomes) {
+  RouterOptions options;
+  options.refit_every = 6;
+  options.replay_capacity = 64;
+  options.optimizer_options = FastOptimizerOptions();
+  StrategyRouter router(options);
+
+  const data::Dataset dataset = testing::MakeLinearDataset(80, 3, 99);
+  constraints::ConstraintSet relaxed;
+  relaxed.min_f1 = 0.0;
+  constraints::ConstraintSet strict;
+  strict.min_f1 = 0.3;
+
+  const fs::StrategyId cycle[] = {fs::StrategyId::kSfs, fs::StrategyId::kSbs,
+                                  fs::StrategyId::kTpeChi2};
+  for (int i = 0; i < 12; ++i) {
+    const RouteDecision decision =
+        router.Route(dataset, kDataset, ml::ModelKind::kLogisticRegression,
+                     i % 2 == 0 ? relaxed : strict);
+    ASSERT_TRUE(decision.featurized);  // the online loop featurizes
+    if (i < options.refit_every) {
+      // No refit can have triggered yet: every decision is the
+      // untrained serving default.
+      EXPECT_EQ(decision.chosen, fs::StrategyId::kSffs);
+    } else {
+      // The first refit (triggered by outcome refit_every) races the
+      // tail of this loop; once it lands the learned optimizer picks
+      // SFS. Either answer is legal here.
+      EXPECT_TRUE(decision.chosen == fs::StrategyId::kSffs ||
+                  decision.chosen == fs::StrategyId::kSfs)
+          << "chosen=" << static_cast<int>(decision.chosen);
+    }
+    router.ReportOutcome(decision, cycle[i % 3],
+                         cycle[i % 3] == fs::StrategyId::kSfs);
+  }
+  ASSERT_TRUE(router.WaitForRefits(1, 60.0));
+  ASSERT_TRUE(router.DrainRefits(60.0));
+
+  const RouteDecision learned = router.Route(
+      dataset, kDataset, ml::ModelKind::kLogisticRegression, relaxed);
+  ASSERT_TRUE(learned.featurized);
+  ASSERT_FALSE(learned.probabilities.empty());
+  EXPECT_EQ(learned.chosen, fs::StrategyId::kSfs);
+  EXPECT_GE(learned.generation, 1u);
+
+  const RouterStats stats = router.Stats();
+  EXPECT_GE(stats.refits, 1u);
+  EXPECT_GE(stats.generation, 1u);
+  EXPECT_TRUE(stats.optimizer_loaded);
+  EXPECT_EQ(stats.outcomes, 12u);
+  // The counters reconcile: every decision lands in exactly one route
+  // bucket.
+  uint64_t routed = 0;
+  for (const auto& [name, count] : stats.routes) routed += count;
+  EXPECT_EQ(routed, stats.decisions);
+}
+
+TEST(StrategyRouterTest, SnapshotRoundTripIsByteIdentical) {
+  RouterOptions options;
+  options.policy = "epsilon-greedy";
+  options.policy_options.epsilon = 0.4;
+  options.refit_every = 4;
+  options.optimizer_options = FastOptimizerOptions();
+  options.exploration = {fs::StrategyId::kSfs, fs::StrategyId::kSbs};
+  StrategyRouter router(options);
+
+  const data::Dataset dataset = testing::MakeLinearDataset(80, 3, 99);
+  constraints::ConstraintSet set;
+  set.min_f1 = 0.5;
+  for (int i = 0; i < 8; ++i) {
+    const RouteDecision decision = router.Route(
+        dataset, kDataset, ml::ModelKind::kLogisticRegression, set);
+    router.ReportOutcome(decision, decision.chosen, i % 2 == 0);
+  }
+  ASSERT_TRUE(router.DrainRefits(60.0));
+
+  auto snapshot = router.Serialize();
+  ASSERT_TRUE(snapshot.ok());
+  StrategyRouter restored;
+  ASSERT_TRUE(restored.RestoreState(*snapshot).ok());
+  auto again = restored.Serialize();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*snapshot, *again);
+
+  const RouterStats stats = restored.Stats();
+  EXPECT_EQ(stats.policy, "epsilon-greedy");
+  EXPECT_EQ(stats.buffer_depth, router.Stats().buffer_depth);
+  EXPECT_EQ(stats.generation, router.Stats().generation);
+}
+
+TEST(StrategyRouterTest, ReplayDecisionMatchesLiveTrace) {
+  RouterOptions options;
+  options.policy = "epsilon-greedy";
+  options.policy_options.epsilon = 0.5;
+  options.refit_every = 4;
+  options.optimizer_options = FastOptimizerOptions();
+  StrategyRouter router(options);
+
+  const data::Dataset dataset = testing::MakeLinearDataset(80, 3, 99);
+  constraints::ConstraintSet set;
+  set.min_f1 = 0.5;
+  for (int i = 0; i < 8; ++i) {
+    const RouteDecision decision = router.Route(
+        dataset, kDataset, ml::ModelKind::kLogisticRegression, set);
+    router.ReportOutcome(decision, decision.chosen, true);
+  }
+  ASSERT_TRUE(router.DrainRefits(60.0));
+
+  // Decisions made at the final generation must replay byte-identically
+  // from a restored snapshot.
+  std::vector<RouteDecision> live;
+  for (int i = 0; i < 6; ++i) {
+    live.push_back(router.Route(dataset, kDataset,
+                                ml::ModelKind::kLogisticRegression, set));
+  }
+  auto snapshot = router.Serialize();
+  ASSERT_TRUE(snapshot.ok());
+  StrategyRouter restored;
+  ASSERT_TRUE(restored.RestoreState(*snapshot).ok());
+  for (const RouteDecision& decision : live) {
+    auto replayed = restored.ReplayDecision(
+        decision.fingerprint, decision.decision_seed, decision.featurized);
+    ASSERT_TRUE(replayed.ok());
+    replayed->sequence = decision.sequence;  // history, not state
+    EXPECT_EQ(DecisionDetail(*replayed), DecisionDetail(decision));
+  }
+}
+
+// ---- Concurrency churn (runs under TSan via check.sh --sanitize) ----
+
+TEST(StrategyRouterChurnTest, ConcurrentRouteFeedbackRefitSnapshot) {
+  RouterOptions options;
+  options.policy = "epsilon-greedy";
+  options.policy_options.epsilon = 0.5;
+  options.refit_every = 3;
+  options.replay_capacity = 32;
+  options.optimizer_options = FastOptimizerOptions();
+  StrategyRouter router(options);
+
+  const data::Dataset dataset = testing::MakeLinearDataset(80, 3, 99);
+  // Two scenario shapes: one cached fingerprint per constraint set, so
+  // concurrent routes mix cache hits with (duplicate) featurizations.
+  constraints::ConstraintSet sets[2];
+  sets[0].min_f1 = 0.0;
+  sets[1].min_f1 = 0.3;
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&router, &dataset, &sets, t] {
+      for (int i = 0; i < 25; ++i) {
+        const RouteDecision decision =
+            router.Route(dataset, kDataset,
+                         ml::ModelKind::kLogisticRegression, sets[i % 2]);
+        router.ReportOutcome(decision, decision.chosen, (i + t) % 2 == 0);
+      }
+    });
+  }
+  // Snapshot/stats churn against the routing threads.
+  threads.emplace_back([&router, &stop] {
+    while (!stop.load()) {
+      (void)router.Stats();
+      auto snapshot = router.Serialize();
+      ASSERT_TRUE(snapshot.ok());
+      StrategyRouter scratch;
+      ASSERT_TRUE(scratch.RestoreState(*snapshot).ok());
+    }
+  });
+  // Concurrent warm-restart installs.
+  threads.emplace_back([&router, &stop] {
+    const std::vector<fs::StrategyId> strategies = {fs::StrategyId::kSfs,
+                                                    fs::StrategyId::kSbs};
+    while (!stop.load()) {
+      router.InstallOptimizer(TrainedOptimizer(strategies, 16, 77));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (int t = 0; t < 4; ++t) threads[t].join();
+  stop.store(true);
+  for (size_t t = 4; t < threads.size(); ++t) threads[t].join();
+
+  ASSERT_TRUE(router.DrainRefits(60.0));
+  const RouterStats stats = router.Stats();
+  EXPECT_EQ(stats.decisions, 100u);
+  uint64_t routed = 0;
+  for (const auto& [name, count] : stats.routes) routed += count;
+  EXPECT_EQ(routed, stats.decisions);
+}
+
+}  // namespace
+}  // namespace dfs::router

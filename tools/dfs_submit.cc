@@ -5,7 +5,10 @@
 //   dfs_submit --status 7        dfs_submit --result 7
 //   dfs_submit --cancel 7        dfs_submit --stats
 //   dfs_submit --metrics         dfs_submit --ping
-//   dfs_submit --shutdown
+//   dfs_submit --router          dfs_submit --shutdown
+//
+// --explain-route pretty-prints the router's decision (policy, probability
+// map, portfolio members) from an "auto" submit response.
 //
 // Speaks the newline-delimited JSON line protocol (one request, one
 // response per line). Responses are printed verbatim; --wait polls a
@@ -14,6 +17,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <sstream>
 #include <thread>
 
 #include "serve/line_protocol.h"
@@ -42,6 +46,7 @@ struct ClientOptions {
   int priority = 0;
   int seed = 42;
   bool wait = false;
+  bool explain_route = false;
 
   // Other ops.
   int status_id = 0;
@@ -49,6 +54,7 @@ struct ClientOptions {
   int cancel_id = 0;
   bool stats = false;
   bool metrics = false;
+  bool router = false;
   bool ping = false;
   bool shutdown = false;
   bool help = false;
@@ -83,6 +89,10 @@ void RegisterFlags(FlagParser& parser, ClientOptions& options) {
   parser.AddInt("seed", "random seed", &options.seed);
   parser.AddBool("wait", "poll the submitted job until terminal",
                  &options.wait);
+  parser.AddBool("explain-route",
+                 "after an \"auto\" submit, pretty-print the router's "
+                 "decision (policy, probabilities, portfolio members)",
+                 &options.explain_route);
   parser.AddInt("status", "fetch the status of a job id", &options.status_id);
   parser.AddInt("result", "fetch the result of a job id", &options.result_id);
   parser.AddInt("cancel", "cancel a job id", &options.cancel_id);
@@ -90,6 +100,10 @@ void RegisterFlags(FlagParser& parser, ClientOptions& options) {
   parser.AddBool("metrics",
                  "fetch the flattened dfs::obs metrics snapshot",
                  &options.metrics);
+  parser.AddBool("router",
+                 "fetch the strategy router's policy, learning progress and "
+                 "per-strategy route counts",
+                 &options.router);
   parser.AddBool("ping", "health-check the service", &options.ping);
   parser.AddBool("shutdown", "ask the daemon to shut down",
                  &options.shutdown);
@@ -113,6 +127,43 @@ std::string OpRequest(const char* op) {
   serve::JsonObject object;
   object["op"] = serve::JsonValue::String(op);
   return serve::WriteJsonLine(object);
+}
+
+/// Pretty-prints the route_* fields of an "auto" submit response (see
+/// docs/PROTOCOL.md "submit"): the policy that decided, the per-strategy
+/// probability map, and the portfolio members when the policy raced.
+void ExplainRoute(const serve::JsonObject& object) {
+  auto policy = serve::GetString(object, "route_policy");
+  if (!policy.ok()) {
+    std::printf("route: (none — explicit strategy or unrouted job)\n");
+    return;
+  }
+  auto strategy = serve::GetString(object, "strategy");
+  std::printf("route: policy=%s strategy=%s\n", policy->c_str(),
+              strategy.ok() ? strategy->c_str() : "?");
+  const bool explored =
+      serve::GetBool(object, "route_explored").value_or(false);
+  const bool portfolio =
+      serve::GetBool(object, "route_portfolio").value_or(false);
+  if (explored) std::printf("route: explored (epsilon draw)\n");
+  auto members = serve::GetString(object, "route_members");
+  if (portfolio && members.ok()) {
+    std::printf("route: portfolio over [%s]\n", members->c_str());
+  }
+  auto probs = serve::GetString(object, "route_probs");
+  if (probs.ok() && !probs->empty()) {
+    std::printf("route: probabilities:\n");
+    std::istringstream in(*probs);
+    std::string entry;
+    while (in >> entry) {
+      const size_t colon = entry.rfind(':');
+      if (colon == std::string::npos) continue;
+      std::printf("  %-24s %s\n", entry.substr(0, colon).c_str(),
+                  entry.substr(colon + 1).c_str());
+    }
+  } else {
+    std::printf("route: no probabilities (optimizer not trained yet)\n");
+  }
 }
 
 /// Polls `id` until terminal, then prints its result line. Returns the
@@ -179,6 +230,8 @@ int RealMain(int argc, char** argv) {
     request = OpRequest("stats");
   } else if (options.metrics) {
     request = OpRequest("metrics");
+  } else if (options.router) {
+    request = OpRequest("router");
   } else if (options.ping) {
     request = OpRequest("ping");
   } else if (options.shutdown) {
@@ -239,6 +292,9 @@ int RealMain(int argc, char** argv) {
   auto object = serve::ParseJsonLine(*response);
   if (!object.ok()) return 1;
   const bool accepted = serve::GetBool(*object, "ok").value_or(false);
+  if (options.explain_route && !options.dataset.empty() && accepted) {
+    ExplainRoute(*object);
+  }
   if (options.wait && !options.dataset.empty()) {
     if (!accepted) return 1;
     auto id = serve::GetNumber(*object, "id");
