@@ -4,9 +4,10 @@
 #   scripts/check.sh               # the tier-1 gate from ROADMAP.md
 #   scripts/check.sh --sanitize    # additionally run the concurrent tests
 #                                  # (serve_test, util_test, router_test,
-#                                  # engine_parallel_test, engine_golden_test)
-#                                  # under TSan, and the zero-copy evaluation
-#                                  # tests (engine_golden_test, linalg_test)
+#                                  # engine_parallel_test, eval_cache_test,
+#                                  # engine_golden_test) under TSan, and the
+#                                  # zero-copy evaluation tests
+#                                  # (engine_golden_test, linalg_test)
 #                                  # under ASan+UBSan
 #   scripts/check.sh --docs        # docs only (no build): every relative
 #                                  # Markdown link resolves, every bench_*
@@ -79,12 +80,14 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
   cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build-bench -j --target bench_micro bench_serve_throughput
   # Covers the hot-path kernels (GatherInto, span PredictBatch, one
-  # uncached evaluation) and the Arg(1) serial baseline through Arg(0)
-  # full-budget candidate sweep; DFS_THREADS caps the budget so the
+  # uncached evaluation), the Arg(1) serial baseline through Arg(0)
+  # full-budget candidate sweep, the eval-cache miss probe with the
+  # membership filter off/on (the filter-on row must be cheaper), and the
+  # warm-restart spill decode; DFS_THREADS caps the budget so the
   # snapshot is reproducible on wide machines.
   out="${2:-BENCH_results.json}"
   DFS_THREADS="${DFS_THREADS:-4}" ./build-bench/bench/bench_micro \
-    --benchmark_filter='EngineEvaluateBatch|EvaluateUncached|GatherInto|PredictBatchSpan' \
+    --benchmark_filter='EngineEvaluateBatch|EvaluateUncached|GatherInto|PredictBatchSpan|EvalCache' \
     --benchmark_min_time=0.2 \
     --json "$out"
   # Router cost on the serve submit path: router-off explicit jobs vs
@@ -131,11 +134,12 @@ if [[ "${1:-}" == "--sanitize" || "${1:-}" == "--all" ]]; then
   # the engine's scratch pool across threads.
   cmake -B build-tsan -S . -DDFS_SANITIZE=thread
   cmake --build build-tsan -j --target serve_test util_test router_test \
-    engine_parallel_test engine_golden_test
+    engine_parallel_test eval_cache_test engine_golden_test
   ./build-tsan/tests/serve_test
   ./build-tsan/tests/util_test
   ./build-tsan/tests/router_test
   ./build-tsan/tests/engine_parallel_test
+  ./build-tsan/tests/eval_cache_test
   ./build-tsan/tests/engine_golden_test
   # ASan+UBSan sweep of the zero-copy evaluation path: the span kernels,
   # unchecked Matrix accessors, and in-place gathers must be clean under

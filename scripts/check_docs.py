@@ -14,6 +14,12 @@
 4. Every tool binary declared in tools/CMakeLists.txt (`dfs_*`) is
    mentioned in at least one top-level or docs/ Markdown file — a tool
    nobody can find from the docs is a tool nobody runs.
+5. Every `cache.*` instrument the code registers (counter/gauge/histogram
+   under src/) appears in docs/PROTOCOL.md's instrument registry — the
+   cache surface is documented by name, not by archaeology.
+6. The on-disk format version documented in docs/CACHE.md matches
+   `kEvalCacheFormatVersion` in src/core/eval_cache.h, so the byte-level
+   spec can never drift silently from the decoder.
 """
 
 import glob
@@ -122,9 +128,50 @@ def check_tool_binaries():
     ]
 
 
+def check_cache_instruments():
+    instrument_re = re.compile(
+        r"\b(?:counter|gauge|histogram)\(\s*\"(cache\.[a-z0-9_.]+)\"")
+    registered = {}
+    pattern = os.path.join(REPO, "src", "**", "*.cc")
+    for path in sorted(glob.glob(pattern, recursive=True)):
+        with open(path, encoding="utf-8") as handle:
+            for name in instrument_re.findall(handle.read()):
+                registered.setdefault(name, os.path.relpath(path, REPO))
+    with open(os.path.join(REPO, "docs", "PROTOCOL.md"),
+              encoding="utf-8") as f:
+        documented = set(re.findall(r"\b(cache\.[a-z0-9_.]+)\b", f.read()))
+    return [
+        f"{path} registers instrument '{name}' but docs/PROTOCOL.md does "
+        f"not list it" for name, path in sorted(registered.items())
+        if name not in documented
+    ]
+
+
+def check_cache_format_version():
+    with open(os.path.join(REPO, "src", "core", "eval_cache.h"),
+              encoding="utf-8") as f:
+        code = re.search(r"kEvalCacheFormatVersion\s*=\s*(\d+)", f.read())
+    if code is None:
+        return ["src/core/eval_cache.h no longer defines "
+                "kEvalCacheFormatVersion (update check_docs.py)"]
+    with open(os.path.join(REPO, "docs", "CACHE.md"), encoding="utf-8") as f:
+        doc = re.search(r"\*\*Format version:\*\*\s*`?(\d+)`?", f.read())
+    if doc is None:
+        return ["docs/CACHE.md is missing its '**Format version:** `N`' "
+                "line"]
+    if code.group(1) != doc.group(1):
+        return [
+            f"docs/CACHE.md documents format version {doc.group(1)} but "
+            f"src/core/eval_cache.h defines kEvalCacheFormatVersion = "
+            f"{code.group(1)}"
+        ]
+    return []
+
+
 def main():
     errors = (check_links() + check_bench_binaries() + check_env_knobs() +
-              check_tool_binaries())
+              check_tool_binaries() + check_cache_instruments() +
+              check_cache_format_version())
     for error in errors:
         print(f"check_docs: {error}", file=sys.stderr)
     if errors:

@@ -265,12 +265,14 @@ DfsEngine::EvaluatedMask DfsEngine::EvaluateUncached(
 }
 
 void DfsEngine::RecordOutcome(const fs::FeatureMask& mask,
-                              const EvaluatedMask& result) {
-  EngineMetrics& metrics = EngineMetrics::Get();
+                              const EvaluatedMask& result,
+                              bool charge_evaluation) {
   const fs::EvalOutcome& outcome = result.outcome;
-  ++result_.evaluations;
-  metrics.evaluations.Increment();
-  if (strategy_evaluations_ != nullptr) strategy_evaluations_->Increment();
+  if (charge_evaluation) {
+    ++result_.evaluations;
+    EngineMetrics::Get().evaluations.Increment();
+    if (strategy_evaluations_ != nullptr) strategy_evaluations_->Increment();
+  }
 
   // Track the best subset for result reporting / failure analysis.
   const bool improves = outcome.objective < best_objective_;
@@ -300,7 +302,7 @@ void DfsEngine::RecordOutcome(const fs::FeatureMask& mask,
     result_.search_seconds = stopwatch_.ElapsedSeconds();
   }
 
-  if (options_.record_trace) {
+  if (options_.record_trace && charge_evaluation) {
     TracePoint point;
     point.seconds = stopwatch_.ElapsedSeconds();
     point.selected_features = fs::CountSelected(mask);
@@ -341,16 +343,33 @@ void DfsEngine::EvaluateSlot(const fs::FeatureMask& mask, BatchSlot& slot) {
       case ShardedEvalCache::Acquired::kOwner:
         break;
     }
+    // We own the in-flight L1 slot from here: the guard abandons it if we
+    // unwind without resolving, so waiters never block behind a dead owner.
+    ShardedEvalCache::OwnerGuard owner(&cache_, mask);
+
+    // L2: the shared cross-run cache, keyed to this evaluation context by
+    // the serve layer. Lookup never blocks (a pending entry reads as a
+    // miss), so holding L1 ownership across this probe cannot deadlock.
+    ShardedEvalCache* shared = options_.shared_cache.get();
+    if (shared != nullptr && shared->Lookup(mask, &slot.result.outcome)) {
+      owner.Publish(slot.result.outcome);
+      slot.kind = SlotKind::kSharedHit;
+      return;
+    }
+
+    slot.result = EvaluateUncached(mask, features);
+    if (slot.result.outcome.evaluated) {
+      owner.Publish(slot.result.outcome);
+      if (shared != nullptr) shared->InsertPublished(mask, slot.result.outcome);
+    } else {
+      owner.Abandon();  // failed trainings are not cached
+    }
+    slot.kind = slot.result.outcome.evaluated ? SlotKind::kEvaluated
+                                              : SlotKind::kSkipped;
+    return;
   }
 
   slot.result = EvaluateUncached(mask, features);
-  if (options_.enable_eval_cache) {
-    if (slot.result.outcome.evaluated) {
-      cache_.Publish(mask, slot.result.outcome);
-    } else {
-      cache_.Abandon(mask);  // failed trainings are not cached
-    }
-  }
   slot.kind = slot.result.outcome.evaluated ? SlotKind::kEvaluated
                                             : SlotKind::kSkipped;
 }
@@ -363,9 +382,17 @@ void DfsEngine::ReduceSlot(const fs::FeatureMask& mask, const BatchSlot& slot,
       ++result_.cache_hits;
       metrics.cache_hits.Increment();
       break;
+    case SlotKind::kSharedHit:
+      // A hit for the counters, but the mask is new to this run, so the
+      // outcome still drives best-subset tracking and success recording —
+      // without charging an evaluation (no training happened).
+      ++result_.cache_hits;
+      metrics.cache_hits.Increment();
+      RecordOutcome(mask, slot.result, /*charge_evaluation=*/false);
+      break;
     case SlotKind::kEvaluated:
       if (parallel) metrics.parallel_evaluations.Increment();
-      RecordOutcome(mask, slot.result);
+      RecordOutcome(mask, slot.result, /*charge_evaluation=*/true);
       break;
     case SlotKind::kSkipped:
     case SlotKind::kAbandoned:
@@ -492,30 +519,32 @@ RunResult DfsEngine::Run(fs::FeatureSelectionStrategy& strategy) {
     result_.search_seconds = stopwatch_.ElapsedSeconds();
     result_.timed_out = !result_.cancelled && deadline_.Expired();
     result_.search_exhausted = !result_.timed_out && !result_.cancelled;
-    // Failure analysis: measure the best subset on test once (Table 4). A
-    // cancelled run skips it — cancellation promises a prompt return, and
-    // the extra training would delay it by another evaluation.
-    if (!result_.cancelled && !result_.selected.empty() &&
-        fs::CountSelected(result_.selected) > 0 &&
-        result_.best_distance_test >= 1e17) {
-      const std::vector<int> features = fs::MaskToIndices(result_.selected);
-      ScratchLease scratch(*this);
-      auto model = TrainModel(features, *scratch);
-      if (model.ok()) {
-        Rng final_rng(EvalSeed(result_.selected));
-        scenario_.split.test.GatherInto(features, &scratch->test_x);
-        result_.test_values =
-            Measure(**model, features, scenario_.split.test, scratch->test_x,
-                    final_rng, *scratch);
-        result_.best_distance_test =
-            scenario_.constraint_set.Distance(result_.test_values);
-        result_.test_f1 = result_.test_values.f1;
-      }
-    }
   } else if (options_.maximize_f1_utility) {
     // Utility mode runs to the deadline; the reported time is the full
     // search time.
     result_.search_seconds = stopwatch_.ElapsedSeconds();
+  }
+  // Measure the best subset on test once when the search never did: the
+  // Table-4 failure analysis, and successes served from a shared L2 cache
+  // (only the validation-side outcome is spilled — docs/CACHE.md). A
+  // cancelled run skips it — cancellation promises a prompt return, and
+  // the extra training would delay it by another evaluation.
+  if (!result_.cancelled && !result_.selected.empty() &&
+      fs::CountSelected(result_.selected) > 0 &&
+      result_.best_distance_test >= 1e17) {
+    const std::vector<int> features = fs::MaskToIndices(result_.selected);
+    ScratchLease scratch(*this);
+    auto model = TrainModel(features, *scratch);
+    if (model.ok()) {
+      Rng final_rng(EvalSeed(result_.selected));
+      scenario_.split.test.GatherInto(features, &scratch->test_x);
+      result_.test_values =
+          Measure(**model, features, scenario_.split.test, scratch->test_x,
+                  final_rng, *scratch);
+      result_.best_distance_test =
+          scenario_.constraint_set.Distance(result_.test_values);
+      result_.test_f1 = result_.test_values.f1;
+    }
   }
   if (result_.success) metrics.successes.Increment();
   return result_;

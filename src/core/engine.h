@@ -49,6 +49,15 @@ struct EngineOptions {
   /// returns within one wrapper evaluation. Used by the serve subsystem to
   /// cancel RUNNING jobs.
   std::shared_ptr<std::atomic<bool>> stop_token;
+  /// Optional shared L2 cache consulted behind the engine's private
+  /// per-run cache: on an L1 miss the owner probes it (non-blocking
+  /// Lookup) before training, and publishes fresh outcomes back into it.
+  /// The caller owns keying — attach only a cache whose fingerprint
+  /// matches this engine's evaluation context (dataset, model, constraint
+  /// set, seed; see EvalCacheOptions::fingerprint), because outcomes are
+  /// reused verbatim. Ignored when enable_eval_cache is false. Used by
+  /// dfs::serve to share evaluations across jobs and daemon restarts.
+  std::shared_ptr<ShardedEvalCache> shared_cache;
 };
 
 /// One evaluation in a recorded search trace: when it happened, what was
@@ -139,8 +148,17 @@ class DfsEngine : public fs::EvalContext {
   };
 
   /// How one slot of a parallel batch resolved; consumed by the in-order
-  /// reduction.
-  enum class SlotKind { kSkipped, kEvaluated, kCacheHit, kAbandoned };
+  /// reduction. kSharedHit is a first-in-run mask served from the shared
+  /// L2 cache: a cache hit for the counters, but — unlike an L1 kCacheHit,
+  /// whose mask was already reduced this run — it still flows through
+  /// RecordOutcome for best-subset tracking and success recording.
+  enum class SlotKind {
+    kSkipped,
+    kEvaluated,
+    kCacheHit,
+    kSharedHit,
+    kAbandoned,
+  };
 
   struct BatchSlot {
     EvaluatedMask result;
@@ -215,8 +233,11 @@ class DfsEngine : public fs::EvalContext {
 
   /// The stateful reduction for one evaluated mask: evaluation counters,
   /// best-subset tracking, success recording, trace. Caller-thread only,
-  /// in submission order.
-  void RecordOutcome(const fs::FeatureMask& mask, const EvaluatedMask& result);
+  /// in submission order. `charge_evaluation` is false for shared-cache
+  /// hits: the outcome still drives best-subset/success bookkeeping, but no
+  /// training happened, so evaluation counters and the trace stay untouched.
+  void RecordOutcome(const fs::FeatureMask& mask, const EvaluatedMask& result,
+                     bool charge_evaluation);
 
   /// Worker body of one parallel batch slot (deadline/cancel check, cache
   /// acquire, evaluate, publish).

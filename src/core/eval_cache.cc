@@ -1,21 +1,310 @@
 #include "core/eval_cache.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 
+#include "core/suite_version.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace dfs::core {
+namespace {
 
-ShardedEvalCache::ShardedEvalCache(int num_shards)
-    : shards_(std::max(1, num_shards)) {}
+/// Shared-cache-surface instruments (docs/PROTOCOL.md instrument registry,
+/// "cache.*"). Resolved once; the lookup hot path then touches atomics only.
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& filter_negatives;
+  obs::Counter& filter_false_positives;
+  obs::Counter& inserts;
+  obs::Counter& spills;
+  obs::Counter& restores;
+  obs::Counter& restored_entries;
+
+  static CacheMetrics& Get() {
+    auto& registry = obs::MetricsRegistry::Global();
+    static CacheMetrics* metrics = new CacheMetrics{
+        registry.counter("cache.hits"),
+        registry.counter("cache.misses"),
+        registry.counter("cache.filter_negatives"),
+        registry.counter("cache.filter_false_positives"),
+        registry.counter("cache.inserts"),
+        registry.counter("cache.spills"),
+        registry.counter("cache.restores"),
+        registry.counter("cache.restored_entries"),
+    };
+    return *metrics;
+  }
+};
+
+/// Default filter bit budget per resident entry; DFS_EVAL_CACHE_FILTER_BITS
+/// overrides (documented in EXPERIMENTS.md). Read once per process.
+int DefaultFilterBitsPerEntry() {
+  static const int bits = [] {
+    if (const char* env = std::getenv("DFS_EVAL_CACHE_FILTER_BITS")) {
+      const int parsed = std::atoi(env);
+      if (parsed > 0) return std::min(parsed, 1024);
+    }
+    return 16;
+  }();
+  return bits;
+}
+
+/// First filter generation per shard: 64 words = 4096 bits, enough for the
+/// first ~256 entries at the default budget before the first doubling.
+constexpr size_t kInitialFilterWords = 64;
+
+/// Remix fs::MaskHash for filter probing. Shard selection consumes the
+/// hash's low bits (hash % num_shards), so within one shard they are
+/// nearly constant; the finalizer (Murmur3's) spreads the surviving
+/// entropy back across all 64 bits before word/bit selection.
+uint64_t FilterHash(uint64_t hash) {
+  uint64_t h = hash;
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+/// The blocked-Bloom probe pattern: one word, three bits inside it. The
+/// word index comes from the high bits, the bit positions from disjoint
+/// low-bit fields, so one cheap remix feeds the whole probe.
+struct FilterProbe {
+  size_t word;
+  uint64_t bits;
+};
+
+FilterProbe ProbeFor(uint64_t hash, size_t word_count) {
+  const uint64_t h = FilterHash(hash);
+  FilterProbe probe;
+  probe.word = static_cast<size_t>(h >> 40) & (word_count - 1);
+  probe.bits = (1ULL << (h & 63)) | (1ULL << ((h >> 6) & 63)) |
+               (1ULL << ((h >> 12) & 63));
+  return probe;
+}
+
+// ---------------------------------------------------------------------------
+// Binary spill encoding (docs/CACHE.md). Little-endian on every supported
+// target; the fixed-width append/read helpers keep the layout explicit.
+
+constexpr char kCacheMagic[8] = {'D', 'F', 'S', 'C', 'A', 'C', 'H', 'E'};
+constexpr char kRegistryMagic[8] = {'D', 'F', 'S', 'C', 'R', 'E', 'G', '1'};
+constexpr uint64_t kChecksumSeed = 0xCBF29CE484222325ULL;  // FNV-1a offset
+
+void AppendU32(std::string* out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendF64(std::string* out, double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+/// Bounds-checked little-endian reader over a blob.
+class Reader {
+ public:
+  explicit Reader(const std::string& blob) : blob_(blob) {}
+
+  bool ReadBytes(void* out, size_t n) {
+    if (offset_ + n > blob_.size()) return false;
+    std::memcpy(out, blob_.data() + offset_, n);
+    offset_ += n;
+    return true;
+  }
+  bool ReadU32(uint32_t* out) {
+    unsigned char bytes[4];
+    if (!ReadBytes(bytes, 4)) return false;
+    *out = 0;
+    for (int i = 0; i < 4; ++i) *out |= static_cast<uint32_t>(bytes[i]) << (8 * i);
+    return true;
+  }
+  bool ReadU64(uint64_t* out) {
+    unsigned char bytes[8];
+    if (!ReadBytes(bytes, 8)) return false;
+    *out = 0;
+    for (int i = 0; i < 8; ++i) *out |= static_cast<uint64_t>(bytes[i]) << (8 * i);
+    return true;
+  }
+  bool ReadF64(double* out) {
+    uint64_t bits;
+    if (!ReadU64(&bits)) return false;
+    std::memcpy(out, &bits, sizeof(bits));
+    return true;
+  }
+  size_t offset() const { return offset_; }
+  size_t remaining() const { return blob_.size() - offset_; }
+
+ private:
+  const std::string& blob_;
+  size_t offset_ = 0;
+};
+
+uint64_t Fnv1a(const char* data, size_t size) {
+  uint64_t hash = kChecksumSeed;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+/// One entry: bit-packed mask (LSB-first within each byte) + the
+/// fs::EvalOutcome fields in declaration order.
+void AppendEntry(std::string* out, const fs::FeatureMask& mask,
+                 const fs::EvalOutcome& outcome) {
+  AppendU32(out, static_cast<uint32_t>(mask.size()));
+  const size_t bytes = (mask.size() + 7) / 8;
+  for (size_t b = 0; b < bytes; ++b) {
+    unsigned char packed = 0;
+    for (size_t bit = 0; bit < 8; ++bit) {
+      const size_t index = b * 8 + bit;
+      if (index < mask.size() && mask[index]) packed |= (1u << bit);
+    }
+    out->push_back(static_cast<char>(packed));
+  }
+  unsigned char flags = 0;
+  if (outcome.evaluated) flags |= 1u;
+  if (outcome.satisfied_validation) flags |= 2u;
+  if (outcome.success) flags |= 4u;
+  out->push_back(static_cast<char>(flags));
+  AppendF64(out, outcome.seconds);
+  AppendF64(out, outcome.distance);
+  AppendF64(out, outcome.objective);
+  AppendF64(out, outcome.validation.f1);
+  AppendF64(out, outcome.validation.equal_opportunity);
+  AppendF64(out, outcome.validation.safety);
+  AppendF64(out, outcome.validation.feature_fraction);
+  AppendU32(out, static_cast<uint32_t>(outcome.validation.selected_features));
+  AppendU32(out, static_cast<uint32_t>(outcome.validation.total_features));
+}
+
+bool ReadEntry(Reader* reader, fs::FeatureMask* mask,
+               fs::EvalOutcome* outcome) {
+  uint32_t mask_bits;
+  if (!reader->ReadU32(&mask_bits)) return false;
+  // A mask wider than the blob is left to hold cannot be legitimate; the
+  // cap turns a corrupt width into a clean "truncated" rejection instead
+  // of a giant allocation.
+  if (mask_bits > 8 * reader->remaining()) return false;
+  mask->assign(mask_bits, 0);
+  const size_t bytes = (mask_bits + 7) / 8;
+  for (size_t b = 0; b < bytes; ++b) {
+    unsigned char packed;
+    if (!reader->ReadBytes(&packed, 1)) return false;
+    for (size_t bit = 0; bit < 8; ++bit) {
+      const size_t index = b * 8 + bit;
+      if (index < mask_bits) (*mask)[index] = (packed >> bit) & 1u;
+    }
+  }
+  unsigned char flags;
+  if (!reader->ReadBytes(&flags, 1)) return false;
+  outcome->evaluated = (flags & 1u) != 0;
+  outcome->satisfied_validation = (flags & 2u) != 0;
+  outcome->success = (flags & 4u) != 0;
+  uint32_t selected, total;
+  if (!reader->ReadF64(&outcome->seconds) ||
+      !reader->ReadF64(&outcome->distance) ||
+      !reader->ReadF64(&outcome->objective) ||
+      !reader->ReadF64(&outcome->validation.f1) ||
+      !reader->ReadF64(&outcome->validation.equal_opportunity) ||
+      !reader->ReadF64(&outcome->validation.safety) ||
+      !reader->ReadF64(&outcome->validation.feature_fraction) ||
+      !reader->ReadU32(&selected) || !reader->ReadU32(&total)) {
+    return false;
+  }
+  outcome->validation.selected_features = static_cast<int>(selected);
+  outcome->validation.total_features = static_cast<int>(total);
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ShardedEvalCache
+
+ShardedEvalCache::ShardedEvalCache(EvalCacheOptions options)
+    : options_(options),
+      shards_(std::max(1, options.num_shards)) {
+  options_.num_shards = static_cast<int>(shards_.size());
+  if (options_.filter_bits_per_entry <= 0) {
+    options_.filter_bits_per_entry = DefaultFilterBitsPerEntry();
+  }
+  if (options_.enable_filter) {
+    for (Shard& shard : shards_) {
+      util::MutexLock lock(shard.mu);
+      FilterInstallLocked(shard, kInitialFilterWords);
+    }
+  }
+}
+
+bool ShardedEvalCache::FilterMightContain(const Shard& shard,
+                                          uint64_t hash) const {
+  const Filter* filter = shard.filter.load(std::memory_order_acquire);
+  if (filter == nullptr) return true;  // filtering disabled: always probe
+  const FilterProbe probe = ProbeFor(hash, filter->words.size());
+  const uint64_t word =
+      filter->words[probe.word].load(std::memory_order_relaxed);
+  return (word & probe.bits) == probe.bits;
+}
+
+ShardedEvalCache::Filter* ShardedEvalCache::FilterInstallLocked(
+    Shard& shard, size_t word_count) {
+  shard.filters.push_back(std::make_unique<Filter>(word_count));
+  Filter* fresh = shard.filters.back().get();
+  // Publish after the words are zero-initialized; readers acquire-load the
+  // pointer, so they never see a half-built array.
+  shard.filter.store(fresh, std::memory_order_release);
+  return fresh;
+}
+
+void ShardedEvalCache::FilterInsertLocked(Shard& shard, uint64_t hash) {
+  Filter* filter = shard.filter.load(std::memory_order_relaxed);
+  if (filter == nullptr) return;
+  // Grow when the resident set outruns the bit budget: double and rebuild
+  // from the map (the only exact membership source — old generations also
+  // hold bits for abandoned masks). The retired generation stays alive for
+  // concurrent readers; doubling keeps total retired memory below the live
+  // array's.
+  const size_t budget_bits =
+      shard.entries.size() * static_cast<size_t>(options_.filter_bits_per_entry);
+  if (budget_bits > filter->words.size() * 64) {
+    filter = FilterInstallLocked(shard, filter->words.size() * 2);
+    for (const auto& [mask, entry] : shard.entries) {
+      const FilterProbe probe =
+          ProbeFor(fs::MaskHash(mask), filter->words.size());
+      filter->words[probe.word].fetch_or(probe.bits,
+                                         std::memory_order_relaxed);
+    }
+  }
+  const FilterProbe probe = ProbeFor(hash, filter->words.size());
+  filter->words[probe.word].fetch_or(probe.bits, std::memory_order_relaxed);
+}
 
 ShardedEvalCache::Acquired ShardedEvalCache::Acquire(
     const fs::FeatureMask& mask, fs::EvalOutcome* outcome) {
-  Shard& shard = ShardFor(mask);
+  const uint64_t hash = fs::MaskHash(mask);
+  Shard& shard = shards_[hash % shards_.size()];
   util::MutexLock lock(shard.mu);
   auto it = shard.entries.find(mask);
   if (it == shard.entries.end()) {
     shard.entries.emplace(mask, std::make_shared<Entry>());
+    FilterInsertLocked(shard, hash);
     return Acquired::kOwner;
   }
   // Hold our own reference: Abandon() erases the map slot while we wait.
@@ -52,10 +341,80 @@ void ShardedEvalCache::Abandon(const fs::FeatureMask& mask) {
   shard.resolved.NotifyAll();
 }
 
+bool ShardedEvalCache::Lookup(const fs::FeatureMask& mask,
+                              fs::EvalOutcome* outcome) {
+  CacheMetrics& metrics = CacheMetrics::Get();
+  const uint64_t hash = fs::MaskHash(mask);
+  const Shard& shard = shards_[hash % shards_.size()];
+  if (!FilterMightContain(shard, hash)) {
+    filter_negatives_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    metrics.filter_negatives.Increment();
+    metrics.misses.Increment();
+    return false;
+  }
+  bool resident = false;
+  bool hit = false;
+  {
+    util::MutexLock lock(shard.mu);
+    auto it = shard.entries.find(mask);
+    if (it != shard.entries.end()) {
+      resident = true;
+      if (it->second->ready) {
+        *outcome = it->second->outcome;
+        hit = true;
+      }
+      // Pending entries read as a miss: Lookup never blocks.
+    }
+  }
+  if (hit) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    metrics.hits.Increment();
+    return true;
+  }
+  if (!resident) {
+    // Filter said maybe, the map said no: the documented false-positive
+    // fallthrough (docs/CACHE.md) — also the steady state for abandoned
+    // masks, whose bits can never be cleared.
+    filter_false_positives_.fetch_add(1, std::memory_order_relaxed);
+    metrics.filter_false_positives.Increment();
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  metrics.misses.Increment();
+  return false;
+}
+
+bool ShardedEvalCache::InsertPublished(const fs::FeatureMask& mask,
+                                       const fs::EvalOutcome& outcome) {
+  const uint64_t hash = fs::MaskHash(mask);
+  Shard& shard = shards_[hash % shards_.size()];
+  bool inserted = false;
+  {
+    util::MutexLock lock(shard.mu);
+    auto [it, fresh] = shard.entries.try_emplace(mask);
+    if (fresh) {
+      auto entry = std::make_shared<Entry>();
+      entry->ready = true;
+      entry->outcome = outcome;
+      it->second = std::move(entry);
+      FilterInsertLocked(shard, hash);
+      inserted = true;
+    }
+  }
+  if (inserted) {
+    inserts_.fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::Get().inserts.Increment();
+  }
+  return inserted;
+}
+
 void ShardedEvalCache::Clear() {
   for (Shard& shard : shards_) {
     util::MutexLock lock(shard.mu);
     shard.entries.clear();
+    if (options_.enable_filter) {
+      FilterInstallLocked(shard, kInitialFilterWords);
+    }
   }
 }
 
@@ -66,6 +425,295 @@ size_t ShardedEvalCache::size() const {
     total += shard.entries.size();
   }
   return total;
+}
+
+EvalCacheStats ShardedEvalCache::Stats() const {
+  EvalCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.filter_negatives = filter_negatives_.load(std::memory_order_relaxed);
+  stats.filter_false_positives =
+      filter_false_positives_.load(std::memory_order_relaxed);
+  stats.inserts = inserts_.load(std::memory_order_relaxed);
+  stats.caches = 1;
+  stats.shard_entries.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    util::MutexLock lock(shard.mu);
+    stats.shard_entries.push_back(shard.entries.size());
+    stats.entries += shard.entries.size();
+  }
+  return stats;
+}
+
+std::string ShardedEvalCache::Serialize() const {
+  // Payload first (the checksum covers exactly these bytes), header after.
+  std::string payload;
+  uint64_t entry_count = 0;
+  for (const Shard& shard : shards_) {
+    util::MutexLock lock(shard.mu);
+    for (const auto& [mask, entry] : shard.entries) {
+      if (!entry->ready) continue;  // pending: no outcome to spill yet
+      AppendEntry(&payload, mask, entry->outcome);
+      ++entry_count;
+    }
+  }
+  std::string blob;
+  blob.reserve(48 + payload.size());
+  blob.append(kCacheMagic, sizeof(kCacheMagic));
+  AppendU32(&blob, kEvalCacheFormatVersion);
+  AppendU32(&blob, 0);  // reserved
+  AppendU64(&blob, kSuiteVersion);
+  AppendU64(&blob, options_.fingerprint);
+  AppendU64(&blob, entry_count);
+  AppendU64(&blob, Fnv1a(payload.data(), payload.size()));
+  blob += payload;
+  return blob;
+}
+
+Status ShardedEvalCache::RestoreState(const std::string& blob) {
+  Reader reader(blob);
+  char magic[8];
+  if (!reader.ReadBytes(magic, sizeof(magic)) ||
+      std::memcmp(magic, kCacheMagic, sizeof(magic)) != 0) {
+    return InvalidArgumentError("not an eval-cache spill (bad magic)");
+  }
+  uint32_t version, reserved;
+  uint64_t suite, fingerprint, entry_count, checksum;
+  if (!reader.ReadU32(&version) || !reader.ReadU32(&reserved) ||
+      !reader.ReadU64(&suite) || !reader.ReadU64(&fingerprint) ||
+      !reader.ReadU64(&entry_count) || !reader.ReadU64(&checksum)) {
+    return InvalidArgumentError("truncated eval-cache spill header");
+  }
+  if (version != kEvalCacheFormatVersion) {
+    return InvalidArgumentError(
+        "unsupported eval-cache format version " + std::to_string(version) +
+        " (this build reads version " +
+        std::to_string(kEvalCacheFormatVersion) + ")");
+  }
+  if (suite != kSuiteVersion) {
+    return FailedPreconditionError(
+        "stale eval-cache spill: suite version " + std::to_string(suite) +
+        " != current " + std::to_string(kSuiteVersion) +
+        " (evaluation semantics changed; delete the spill)");
+  }
+  if (fingerprint != options_.fingerprint) {
+    return FailedPreconditionError(
+        "stale eval-cache spill: context fingerprint mismatch (spill " +
+        std::to_string(fingerprint) + ", cache " +
+        std::to_string(options_.fingerprint) +
+        "); outcomes from a different dataset/model/constraint context "
+        "must not be merged");
+  }
+  const size_t payload_offset = reader.offset();
+  if (Fnv1a(blob.data() + payload_offset, blob.size() - payload_offset) !=
+      checksum) {
+    return InvalidArgumentError(
+        "corrupt eval-cache spill: payload checksum mismatch");
+  }
+  // Decode everything before merging anything, so a truncated payload
+  // cannot leave the cache half-restored.
+  std::vector<std::pair<fs::FeatureMask, fs::EvalOutcome>> decoded;
+  decoded.reserve(entry_count);
+  for (uint64_t i = 0; i < entry_count; ++i) {
+    fs::FeatureMask mask;
+    fs::EvalOutcome outcome;
+    if (!ReadEntry(&reader, &mask, &outcome)) {
+      return InvalidArgumentError(
+          "truncated eval-cache spill: entry " + std::to_string(i) + " of " +
+          std::to_string(entry_count) + " is cut short");
+    }
+    decoded.emplace_back(std::move(mask), outcome);
+  }
+  if (reader.remaining() != 0) {
+    return InvalidArgumentError(
+        "corrupt eval-cache spill: " + std::to_string(reader.remaining()) +
+        " trailing bytes after the last entry");
+  }
+  uint64_t restored = 0;
+  for (const auto& [mask, outcome] : decoded) {
+    if (InsertPublished(mask, outcome)) ++restored;
+  }
+  CacheMetrics& metrics = CacheMetrics::Get();
+  metrics.restores.Increment();
+  metrics.restored_entries.Increment(restored);
+  return OkStatus();
+}
+
+Status ShardedEvalCache::SaveToFile(const std::string& path) const {
+  const std::string blob = Serialize();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return InternalError("cannot write file: " + path);
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  if (!out) return InternalError("short write: " + path);
+  CacheMetrics::Get().spills.Increment();
+  return OkStatus();
+}
+
+Status ShardedEvalCache::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return RestoreState(buffer.str());
+}
+
+// ---------------------------------------------------------------------------
+// EvalCacheRegistry
+
+EvalCacheRegistry::EvalCacheRegistry(EvalCacheOptions defaults)
+    : defaults_(defaults) {}
+
+std::shared_ptr<ShardedEvalCache> EvalCacheRegistry::GetOrCreate(
+    uint64_t fingerprint) {
+  util::MutexLock lock(mu_);
+  auto it = caches_.find(fingerprint);
+  if (it != caches_.end()) return it->second;
+  EvalCacheOptions options = defaults_;
+  options.fingerprint = fingerprint;
+  auto cache = std::make_shared<ShardedEvalCache>(options);
+  caches_.emplace(fingerprint, cache);
+  return cache;
+}
+
+Status EvalCacheRegistry::SaveToFile(const std::string& path) const {
+  std::vector<std::shared_ptr<ShardedEvalCache>> caches;
+  {
+    util::MutexLock lock(mu_);
+    caches.reserve(caches_.size());
+    for (const auto& [fingerprint, cache] : caches_) caches.push_back(cache);
+  }
+  std::string container;
+  container.append(kRegistryMagic, sizeof(kRegistryMagic));
+  AppendU32(&container, kEvalCacheFormatVersion);
+  AppendU32(&container, static_cast<uint32_t>(caches.size()));
+  for (const auto& cache : caches) {
+    const std::string blob = cache->Serialize();
+    AppendU64(&container, blob.size());
+    container += blob;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return InternalError("cannot write file: " + path);
+  out.write(container.data(),
+            static_cast<std::streamsize>(container.size()));
+  if (!out) return InternalError("short write: " + path);
+  spills_.fetch_add(1, std::memory_order_relaxed);
+  CacheMetrics::Get().spills.Increment();
+  return OkStatus();
+}
+
+StatusOr<size_t> EvalCacheRegistry::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string container = buffer.str();
+
+  Reader reader(container);
+  char magic[8];
+  if (!reader.ReadBytes(magic, sizeof(magic)) ||
+      std::memcmp(magic, kRegistryMagic, sizeof(magic)) != 0) {
+    return InvalidArgumentError(
+        "not an eval-cache registry container (bad magic): " + path);
+  }
+  uint32_t version, cache_count;
+  if (!reader.ReadU32(&version) || !reader.ReadU32(&cache_count)) {
+    return InvalidArgumentError("truncated registry container header: " +
+                                path);
+  }
+  if (version != kEvalCacheFormatVersion) {
+    return InvalidArgumentError(
+        "unsupported eval-cache format version " + std::to_string(version) +
+        " in " + path);
+  }
+  // Slice out every member blob before restoring any, so one stale or
+  // corrupt member rejects the whole file instead of leaving it
+  // half-merged.
+  std::vector<std::string> blobs;
+  blobs.reserve(cache_count);
+  for (uint32_t i = 0; i < cache_count; ++i) {
+    uint64_t length;
+    if (!reader.ReadU64(&length) || length > reader.remaining()) {
+      return InvalidArgumentError("truncated registry container: " + path);
+    }
+    blobs.emplace_back(container, reader.offset(),
+                       static_cast<size_t>(length));
+    char skipped;
+    for (uint64_t b = 0; b < length; ++b) reader.ReadBytes(&skipped, 1);
+  }
+  if (reader.remaining() != 0) {
+    return InvalidArgumentError(
+        "corrupt registry container: trailing bytes in " + path);
+  }
+  // Validate all blobs against throwaway caches first (RestoreState
+  // itself is all-or-nothing per blob, but the registry promises it for
+  // the whole file).
+  for (const std::string& blob : blobs) {
+    Reader header(blob);
+    char member_magic[8];
+    uint32_t member_version = 0, reserved = 0;
+    uint64_t suite = 0, fingerprint = 0;
+    if (!header.ReadBytes(member_magic, sizeof(member_magic)) ||
+        !header.ReadU32(&member_version) || !header.ReadU32(&reserved) ||
+        !header.ReadU64(&suite) || !header.ReadU64(&fingerprint)) {
+      return InvalidArgumentError("truncated member spill in " + path);
+    }
+    EvalCacheOptions probe_options = defaults_;
+    probe_options.fingerprint = fingerprint;
+    ShardedEvalCache probe(probe_options);
+    DFS_RETURN_IF_ERROR(probe.RestoreState(blob));
+  }
+  size_t restored = 0;
+  for (const std::string& blob : blobs) {
+    Reader header(blob);
+    char member_magic[8];
+    uint32_t member_version = 0, reserved = 0;
+    uint64_t suite = 0, fingerprint = 0;
+    header.ReadBytes(member_magic, sizeof(member_magic));
+    header.ReadU32(&member_version);
+    header.ReadU32(&reserved);
+    header.ReadU64(&suite);
+    header.ReadU64(&fingerprint);
+    auto cache = GetOrCreate(fingerprint);
+    const size_t before = cache->size();
+    DFS_RETURN_IF_ERROR(cache->RestoreState(blob));
+    restored += cache->size() - before;
+  }
+  restores_.fetch_add(1, std::memory_order_relaxed);
+  return restored;
+}
+
+EvalCacheStats EvalCacheRegistry::Stats() const {
+  std::vector<std::shared_ptr<ShardedEvalCache>> caches;
+  {
+    util::MutexLock lock(mu_);
+    caches.reserve(caches_.size());
+    for (const auto& [fingerprint, cache] : caches_) caches.push_back(cache);
+  }
+  EvalCacheStats total;
+  total.caches = caches.size();
+  total.spills = spills_.load(std::memory_order_relaxed);
+  total.restores = restores_.load(std::memory_order_relaxed);
+  for (const auto& cache : caches) {
+    const EvalCacheStats stats = cache->Stats();
+    total.hits += stats.hits;
+    total.misses += stats.misses;
+    total.filter_negatives += stats.filter_negatives;
+    total.filter_false_positives += stats.filter_false_positives;
+    total.inserts += stats.inserts;
+    total.entries += stats.entries;
+    if (total.shard_entries.size() < stats.shard_entries.size()) {
+      total.shard_entries.resize(stats.shard_entries.size(), 0);
+    }
+    for (size_t i = 0; i < stats.shard_entries.size(); ++i) {
+      total.shard_entries[i] += stats.shard_entries[i];
+    }
+  }
+  return total;
+}
+
+size_t EvalCacheRegistry::size() const {
+  util::MutexLock lock(mu_);
+  return caches_.size();
 }
 
 }  // namespace dfs::core

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <filesystem>
 
+#include "core/suite_version.h"
 #include "data/benchmark_suite.h"
 #include "util/csv.h"
 #include "util/string_util.h"
@@ -52,10 +53,6 @@ ExperimentConfig::ExperimentConfig() {
 }
 
 uint64_t ExperimentConfig::Hash() const {
-  // Version of the synthetic benchmark suite / engine semantics: bump when
-  // generated data or evaluation behavior changes so stale caches are
-  // rejected even though the config fields look identical.
-  constexpr uint64_t kSuiteVersion = 3;
   uint64_t hash = 0xDF5DF5DF5ULL + kSuiteVersion;
   hash = HashMix(hash, static_cast<uint64_t>(num_scenarios));
   hash = HashMix(hash, use_hpo ? 1 : 0);

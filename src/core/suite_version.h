@@ -1,0 +1,18 @@
+#ifndef DFS_CORE_SUITE_VERSION_H_
+#define DFS_CORE_SUITE_VERSION_H_
+
+#include <cstdint>
+
+namespace dfs::core {
+
+/// Version of the synthetic benchmark suite / engine evaluation semantics:
+/// bump when generated data or evaluation behavior changes so stale caches
+/// are rejected even though the configuration fields look identical. Keyed
+/// into ExperimentConfig::Hash() (the bench result cache) and into the
+/// eval-cache spill header (docs/CACHE.md), so both artifact families are
+/// invalidated together.
+inline constexpr uint64_t kSuiteVersion = 3;
+
+}  // namespace dfs::core
+
+#endif  // DFS_CORE_SUITE_VERSION_H_

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/eval_cache.h"
 #include "fs/registry.h"
 #include "obs/metrics.h"
 #include "serve/line_protocol.h"
@@ -196,6 +197,37 @@ std::string HandleRouter(DfsServer& server) {
   return WriteJsonLine(object);
 }
 
+/// The "cache" verb: the shared eval-cache registry's aggregated counters
+/// and occupancy (docs/PROTOCOL.md "cache"). Counters cover the shared
+/// surface only — Lookup/InsertPublished and spill/restore; the engine's
+/// private in-flight dedup keeps its accounting in "engine.cache_hits".
+std::string HandleCache(DfsServer& server) {
+  const core::EvalCacheStats stats = server.eval_caches().Stats();
+  obs::MetricsRegistry::Global().gauge("cache.entries").Set(
+      static_cast<int64_t>(stats.entries));
+  JsonObject object;
+  object["ok"] = JsonValue::Bool(true);
+  object["caches"] = JsonValue::Number(static_cast<double>(stats.caches));
+  object["entries"] = JsonValue::Number(static_cast<double>(stats.entries));
+  object["hits"] = JsonValue::Number(static_cast<double>(stats.hits));
+  object["misses"] = JsonValue::Number(static_cast<double>(stats.misses));
+  object["filter_negatives"] =
+      JsonValue::Number(static_cast<double>(stats.filter_negatives));
+  object["filter_false_positives"] =
+      JsonValue::Number(static_cast<double>(stats.filter_false_positives));
+  object["inserts"] = JsonValue::Number(static_cast<double>(stats.inserts));
+  object["spills"] = JsonValue::Number(static_cast<double>(stats.spills));
+  object["restores"] =
+      JsonValue::Number(static_cast<double>(stats.restores));
+  std::vector<std::string> occupancy;
+  occupancy.reserve(stats.shard_entries.size());
+  for (const size_t entries : stats.shard_entries) {
+    occupancy.push_back(std::to_string(entries));
+  }
+  object["shard_entries"] = JsonValue::String(Join(occupancy, " "));
+  return WriteJsonLine(object);
+}
+
 /// The "metrics" verb: the dfs::obs registry snapshot flattened onto the
 /// wire's flat-JSON shape. Counters and gauges keep their registry names;
 /// a histogram <h> becomes "<h>.count", "<h>.sum", "<h>.mean", "<h>.max",
@@ -267,6 +299,8 @@ DispatchResult Dispatch(DfsServer& server, const std::string& line) {
       return {HandleMetrics(server), false};
     case Request::Op::kRouter:
       return {HandleRouter(server), false};
+    case Request::Op::kCache:
+      return {HandleCache(server), false};
     case Request::Op::kPing: {
       JsonObject object;
       object["ok"] = JsonValue::Bool(true);

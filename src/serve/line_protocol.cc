@@ -277,6 +277,10 @@ StatusOr<Request> ParseRequestLine(const std::string& line) {
     request.op = Request::Op::kMetrics;
     return request;
   }
+  if (op == "cache") {
+    request.op = Request::Op::kCache;
+    return request;
+  }
   if (op == "router") {
     request.op = Request::Op::kRouter;
     return request;

@@ -25,6 +25,7 @@ namespace dfs::serve {
 ///   -> {"op":"ping"}                 -> {"op":"shutdown"}
 ///   -> {"op":"metrics"}   // dfs::obs registry snapshot, flattened
 ///   -> {"op":"router"}    // routing policy, refits, per-strategy counts
+///   -> {"op":"cache"}     // shared eval-cache counters + occupancy
 ///
 /// Errors: {"ok":false,"error":"<machine tag>","message":"<detail>"}.
 /// The "queue_full" error tag is the backpressure signal; clients should
@@ -67,7 +68,7 @@ std::optional<double> GetOptionalNumber(const JsonObject& object,
 /// A parsed client request.
 struct Request {
   enum class Op { kSubmit, kStatus, kResult, kCancel, kStats, kMetrics,
-                  kRouter, kPing, kShutdown };
+                  kRouter, kCache, kPing, kShutdown };
   Op op = Op::kPing;
   /// Valid when op == kSubmit.
   JobRequest submit;

@@ -55,6 +55,29 @@ struct ServeMetrics {
   }
 };
 
+/// Fingerprint of everything that determines a wrapper evaluation's
+/// outcome for a job: the scenario identity (dataset name/shape, model,
+/// constraint set) plus the engine options ExecuteJob derives from the
+/// request (seed drives both the split and evaluation-side randomness).
+/// Jobs with equal fingerprints compute byte-identical outcomes per mask
+/// (DESIGN.md §2d), which is what makes sharing an L2 cache across them
+/// sound. kSuiteVersion is deliberately NOT mixed in — the spill header
+/// carries it separately so stale spills are rejected with the right
+/// message (docs/CACHE.md).
+uint64_t JobContextFingerprint(const JobRequest& request,
+                               const data::Dataset& dataset) {
+  uint64_t fp = core::ScenarioFingerprint(
+      request.dataset, dataset.num_rows(), dataset.num_features(),
+      request.model, request.constraint_set);
+  const auto mix = [&fp](uint64_t value) {
+    fp ^= value + 0x9E3779B97F4A7C15ULL + (fp << 6) + (fp >> 2);
+  };
+  mix(request.seed);
+  mix(request.use_hpo ? 1 : 0);
+  mix(request.maximize_utility ? 1 : 0);
+  return fp;
+}
+
 }  // namespace
 
 DfsServer::DfsServer(ServerOptions options)
@@ -351,6 +374,10 @@ DfsServer::JobOutcome DfsServer::ExecuteJob(Job& job) {
   // num_workers concurrently-running jobs do not oversubscribe the host.
   engine_options.num_threads =
       std::max(1, HardwareThreadBudget() / std::max(1, options_.num_workers));
+  if (options_.share_eval_cache) {
+    engine_options.shared_cache = eval_caches_.GetOrCreate(
+        JobContextFingerprint(request, **dataset));
+  }
   core::DfsEngine engine(*std::move(scenario), engine_options);
   const core::RunResult run = engine.Run(*strategy);
 

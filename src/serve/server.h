@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/eval_cache.h"
 #include "core/optimizer.h"
 #include "data/dataset.h"
 #include "fs/registry.h"
@@ -46,6 +47,13 @@ struct ServerOptions {
   /// Strategy-routing configuration ("auto" resolution lives in
   /// dfs::router; see router/router.h for policies and the online loop).
   router::RouterOptions router;
+  /// Share wrapper evaluations across jobs: each job's engine gets the
+  /// eval-cache registry's shared L2 cache for its evaluation-context
+  /// fingerprint (dataset + model + constraint set + seed + engine
+  /// options), so a resubmitted or similar job reuses prior trainings.
+  /// The registry is also what dfs_serverd spills to --eval-cache-state
+  /// across restarts (docs/CACHE.md).
+  bool share_eval_cache = true;
 };
 
 /// Monotonic service counters plus instantaneous gauges. Once the system
@@ -127,6 +135,13 @@ class DfsServer {
   /// for explicit-strategy jobs, unrouted jobs, and unknown ids.
   std::optional<router::RouteDecision> GetRoute(JobId id) const;
 
+  /// The shared eval-cache registry (one cache per evaluation-context
+  /// fingerprint; see ServerOptions::share_eval_cache). The daemon spills
+  /// and restores it through --eval-cache-state; the `cache` verb reports
+  /// its Stats().
+  core::EvalCacheRegistry& eval_caches() { return eval_caches_; }
+  const core::EvalCacheRegistry& eval_caches() const { return eval_caches_; }
+
   /// Submits a job. Errors: ResourceExhausted (queue full — retry later),
   /// FailedPrecondition (server shutting down).
   StatusOr<JobId> Submit(const JobRequest& request);
@@ -201,6 +216,10 @@ class DfsServer {
   /// Owns "auto" resolution; constructed before the workers start and
   /// destroyed after they join, so worker threads use it lock-free.
   std::unique_ptr<router::StrategyRouter> router_;
+
+  /// Shared L2 eval caches keyed by evaluation-context fingerprint
+  /// (internally synchronized; workers attach per-job caches from it).
+  core::EvalCacheRegistry eval_caches_;
 
   mutable util::Mutex stats_mu_;
   ServerStats stats_ DFS_GUARDED_BY(stats_mu_);

@@ -150,7 +150,7 @@ TEST(ShardedEvalCacheTest, ConcurrentAcquirePublish) {
   constexpr int kThreads = 8;
   constexpr int kMasks = 32;
   constexpr int kRounds = 40;
-  ShardedEvalCache cache(/*num_shards=*/4);
+  ShardedEvalCache cache(core::EvalCacheOptions{.num_shards = 4});
 
   std::vector<fs::FeatureMask> masks;
   for (int m = 0; m < kMasks; ++m) {
@@ -240,7 +240,7 @@ TEST(ShardedEvalCacheTest, AbandonReleasesWaitersAndMask) {
 }
 
 TEST(ShardedEvalCacheTest, ClearResetsAllShards) {
-  ShardedEvalCache cache(/*num_shards=*/3);
+  ShardedEvalCache cache(core::EvalCacheOptions{.num_shards = 3});
   fs::EvalOutcome scratch;
   for (int m = 0; m < 10; ++m) {
     const fs::FeatureMask mask = fs::IndicesToMask(16, {m});

@@ -1,0 +1,614 @@
+// Shared-eval-cache tests (ISSUE 7): spill/restore round-trip
+// byte-identity, rejection of corrupt/truncated/stale spills, the
+// membership filter's false-positive fallthrough contract, the OwnerGuard
+// dead-owner regression, registry persistence, engine L2 integration, and
+// a concurrent lookup/insert/spill churn test for the TSan fleet.
+
+#include "core/eval_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/scenario.h"
+#include "core/suite_version.h"
+#include "fs/registry.h"
+#include "testing/test_util.h"
+
+namespace dfs::core {
+namespace {
+
+// Unique mask per id over 64 features: the id's bits select among
+// features 1..32; feature 0 tags the resident population so absent-mask
+// probes are guaranteed disjoint from it.
+fs::FeatureMask MaskFor(uint32_t id, bool resident = true) {
+  fs::FeatureMask mask(64, 0);
+  if (resident) mask[0] = 1;
+  for (int b = 0; b < 32; ++b) {
+    if ((id >> b) & 1u) mask[b + 1] = 1;
+  }
+  return mask;
+}
+
+// Varied, exactly-representable-and-not field values so round-trip
+// comparisons are meaningful bit-for-bit.
+fs::EvalOutcome OutcomeFor(uint32_t id) {
+  fs::EvalOutcome outcome;
+  outcome.evaluated = true;
+  outcome.seconds = 0.1 + id / 3.0;
+  outcome.distance = id == 0 ? 0.0 : 1.0 / id;
+  outcome.objective = -static_cast<double>(id) / 7.0;
+  outcome.satisfied_validation = (id % 2) == 0;
+  outcome.success = (id % 3) == 0;
+  outcome.validation.f1 = id / 1000.0;
+  outcome.validation.equal_opportunity = 1.0 - id / 2000.0;
+  outcome.validation.safety = 0.5 + id / 4000.0;
+  outcome.validation.feature_fraction = id / 64.0;
+  outcome.validation.selected_features = static_cast<int>(id % 64);
+  outcome.validation.total_features = 64;
+  return outcome;
+}
+
+void ExpectOutcomeEq(const fs::EvalOutcome& want, const fs::EvalOutcome& got,
+                     uint32_t id) {
+  EXPECT_EQ(want.evaluated, got.evaluated) << "entry " << id;
+  EXPECT_EQ(want.seconds, got.seconds) << "entry " << id;
+  EXPECT_EQ(want.distance, got.distance) << "entry " << id;
+  EXPECT_EQ(want.objective, got.objective) << "entry " << id;
+  EXPECT_EQ(want.satisfied_validation, got.satisfied_validation)
+      << "entry " << id;
+  EXPECT_EQ(want.success, got.success) << "entry " << id;
+  EXPECT_EQ(want.validation.f1, got.validation.f1) << "entry " << id;
+  EXPECT_EQ(want.validation.equal_opportunity,
+            got.validation.equal_opportunity)
+      << "entry " << id;
+  EXPECT_EQ(want.validation.safety, got.validation.safety) << "entry " << id;
+  EXPECT_EQ(want.validation.feature_fraction, got.validation.feature_fraction)
+      << "entry " << id;
+  EXPECT_EQ(want.validation.selected_features,
+            got.validation.selected_features)
+      << "entry " << id;
+  EXPECT_EQ(want.validation.total_features, got.validation.total_features)
+      << "entry " << id;
+}
+
+// Byte offsets of the spill header fields (docs/CACHE.md).
+constexpr size_t kVersionOffset = 8;
+constexpr size_t kSuiteOffset = 16;
+constexpr size_t kEntryCountOffset = 32;
+
+void PatchU64(std::string* blob, size_t offset, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    (*blob)[offset + i] = static_cast<char>((value >> (8 * i)) & 0xFF);
+  }
+}
+
+void PatchU32(std::string* blob, size_t offset, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    (*blob)[offset + i] = static_cast<char>((value >> (8 * i)) & 0xFF);
+  }
+}
+
+TEST(EvalCacheSpillTest, RoundTripIsByteIdentical) {
+  ShardedEvalCache source(EvalCacheOptions{.fingerprint = 0xFEEDULL});
+  constexpr uint32_t kEntries = 257;
+  for (uint32_t id = 0; id < kEntries; ++id) {
+    EXPECT_TRUE(source.InsertPublished(MaskFor(id), OutcomeFor(id)));
+  }
+  const std::string blob = source.Serialize();
+
+  ShardedEvalCache restored(EvalCacheOptions{.fingerprint = 0xFEEDULL});
+  ASSERT_TRUE(restored.RestoreState(blob).ok());
+  EXPECT_EQ(restored.size(), kEntries);
+  for (uint32_t id = 0; id < kEntries; ++id) {
+    fs::EvalOutcome got;
+    ASSERT_TRUE(restored.Lookup(MaskFor(id), &got)) << "entry " << id;
+    ExpectOutcomeEq(OutcomeFor(id), got, id);
+  }
+}
+
+TEST(EvalCacheSpillTest, PendingEntriesAreNotSpilled) {
+  ShardedEvalCache cache;
+  EXPECT_TRUE(cache.InsertPublished(MaskFor(1), OutcomeFor(1)));
+  fs::EvalOutcome scratch;
+  ASSERT_EQ(cache.Acquire(MaskFor(2), &scratch),
+            ShardedEvalCache::Acquired::kOwner);  // left pending
+
+  ShardedEvalCache restored;
+  ASSERT_TRUE(restored.RestoreState(cache.Serialize()).ok());
+  EXPECT_EQ(restored.size(), 1u);
+  cache.Abandon(MaskFor(2));
+}
+
+TEST(EvalCacheSpillTest, RejectsBadMagic) {
+  ShardedEvalCache cache;
+  std::string blob = cache.Serialize();
+  blob[0] = 'X';
+  const Status status = cache.RestoreState(blob);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("magic"), std::string::npos);
+}
+
+TEST(EvalCacheSpillTest, RejectsUnsupportedFormatVersion) {
+  ShardedEvalCache cache;
+  std::string blob = cache.Serialize();
+  PatchU32(&blob, kVersionOffset, kEvalCacheFormatVersion + 1);
+  const Status status = cache.RestoreState(blob);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("version"), std::string::npos);
+}
+
+TEST(EvalCacheSpillTest, RejectsStaleSuiteVersion) {
+  ShardedEvalCache cache;
+  std::string blob = cache.Serialize();
+  PatchU64(&blob, kSuiteOffset, kSuiteVersion + 1);
+  const Status status = cache.RestoreState(blob);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("suite version"), std::string::npos);
+}
+
+TEST(EvalCacheSpillTest, RejectsFingerprintMismatch) {
+  ShardedEvalCache source(EvalCacheOptions{.fingerprint = 1});
+  EXPECT_TRUE(source.InsertPublished(MaskFor(0), OutcomeFor(0)));
+  ShardedEvalCache other(EvalCacheOptions{.fingerprint = 2});
+  const Status status = other.RestoreState(source.Serialize());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("fingerprint"), std::string::npos);
+  EXPECT_EQ(other.size(), 0u);
+}
+
+TEST(EvalCacheSpillTest, RejectsTruncatedBlob) {
+  ShardedEvalCache cache;
+  for (uint32_t id = 0; id < 5; ++id) {
+    EXPECT_TRUE(cache.InsertPublished(MaskFor(id), OutcomeFor(id)));
+  }
+  const std::string blob = cache.Serialize();
+  ShardedEvalCache restored;
+  // Header-level truncation and payload-level truncation both reject.
+  EXPECT_EQ(restored.RestoreState(blob.substr(0, 20)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(restored.RestoreState(blob.substr(0, blob.size() - 3)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(restored.size(), 0u);  // nothing half-merged
+}
+
+TEST(EvalCacheSpillTest, RejectsChecksumCorruption) {
+  ShardedEvalCache cache;
+  EXPECT_TRUE(cache.InsertPublished(MaskFor(3), OutcomeFor(3)));
+  std::string blob = cache.Serialize();
+  blob[blob.size() - 1] ^= 0x5A;  // flip payload bits, header intact
+  ShardedEvalCache restored;
+  const Status status = restored.RestoreState(blob);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("checksum"), std::string::npos);
+}
+
+TEST(EvalCacheSpillTest, RejectsTrailingBytes) {
+  ShardedEvalCache cache;
+  EXPECT_TRUE(cache.InsertPublished(MaskFor(1), OutcomeFor(1)));
+  EXPECT_TRUE(cache.InsertPublished(MaskFor(2), OutcomeFor(2)));
+  std::string blob = cache.Serialize();
+  // Claim one entry while the (checksummed) payload holds two: the decoder
+  // must notice the leftover bytes instead of silently dropping an entry.
+  PatchU64(&blob, kEntryCountOffset, 1);
+  ShardedEvalCache restored;
+  const Status status = restored.RestoreState(blob);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("trailing"), std::string::npos);
+  EXPECT_EQ(restored.size(), 0u);
+}
+
+TEST(EvalCacheSpillTest, LoadFromMissingFileIsNotFound) {
+  ShardedEvalCache cache;
+  EXPECT_EQ(cache.LoadFromFile("/nonexistent/dfs-eval-cache.spill").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(EvalCacheSpillTest, SaveAndLoadFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/eval_cache.spill";
+  ShardedEvalCache source;
+  for (uint32_t id = 0; id < 32; ++id) {
+    EXPECT_TRUE(source.InsertPublished(MaskFor(id), OutcomeFor(id)));
+  }
+  ASSERT_TRUE(source.SaveToFile(path).ok());
+  ShardedEvalCache restored;
+  ASSERT_TRUE(restored.LoadFromFile(path).ok());
+  EXPECT_EQ(restored.size(), 32u);
+  std::remove(path.c_str());
+}
+
+// ---- Membership filter ------------------------------------------------
+
+// A starved bit budget makes the filter dense, so absent-mask probes
+// frequently pass the filter: every one of them must still come back as a
+// correct miss through the locked map probe (false positives fall
+// through; the filter only decides *when* a lock is taken).
+TEST(EvalCacheFilterTest, FalsePositivesFallThroughToMissing) {
+  ShardedEvalCache cache(
+      EvalCacheOptions{.enable_filter = true, .filter_bits_per_entry = 1});
+  constexpr uint32_t kResident = 512;
+  for (uint32_t id = 0; id < kResident; ++id) {
+    EXPECT_TRUE(cache.InsertPublished(MaskFor(id, true), OutcomeFor(id)));
+  }
+  fs::EvalOutcome got;
+  uint32_t misses = 0;
+  for (uint32_t id = 0; id < kResident; ++id) {
+    if (!cache.Lookup(MaskFor(id, /*resident=*/false), &got)) ++misses;
+  }
+  EXPECT_EQ(misses, kResident);  // no phantom hits, ever
+
+  const EvalCacheStats stats = cache.Stats();
+  // Every miss was answered one way or the other; both paths are counted.
+  EXPECT_EQ(stats.filter_negatives + stats.filter_false_positives, kResident);
+  EXPECT_EQ(stats.misses, kResident);
+}
+
+// No false negatives: every published mask must pass the filter and hit.
+TEST(EvalCacheFilterTest, PublishedMasksAlwaysHit) {
+  ShardedEvalCache cache(
+      EvalCacheOptions{.enable_filter = true, .filter_bits_per_entry = 4});
+  constexpr uint32_t kResident = 2048;  // forces filter growth + rebuild
+  for (uint32_t id = 0; id < kResident; ++id) {
+    EXPECT_TRUE(cache.InsertPublished(MaskFor(id), OutcomeFor(id)));
+  }
+  fs::EvalOutcome got;
+  for (uint32_t id = 0; id < kResident; ++id) {
+    ASSERT_TRUE(cache.Lookup(MaskFor(id), &got)) << "entry " << id;
+    EXPECT_EQ(got.objective, OutcomeFor(id).objective);
+  }
+  const EvalCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, kResident);
+  EXPECT_EQ(stats.inserts, kResident);
+}
+
+// With the filter on, a cold cache answers misses without ever reporting
+// a false positive against an empty shard map.
+TEST(EvalCacheFilterTest, ColdCacheMissesAreFilterNegatives) {
+  ShardedEvalCache cache;
+  fs::EvalOutcome got;
+  for (uint32_t id = 0; id < 64; ++id) {
+    EXPECT_FALSE(cache.Lookup(MaskFor(id), &got));
+  }
+  const EvalCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.filter_negatives, 64u);
+  EXPECT_EQ(stats.filter_false_positives, 0u);
+}
+
+TEST(EvalCacheFilterTest, DisabledFilterStillAnswersCorrectly) {
+  ShardedEvalCache cache(EvalCacheOptions{.enable_filter = false});
+  EXPECT_TRUE(cache.InsertPublished(MaskFor(7), OutcomeFor(7)));
+  fs::EvalOutcome got;
+  EXPECT_TRUE(cache.Lookup(MaskFor(7), &got));
+  EXPECT_FALSE(cache.Lookup(MaskFor(8), &got));
+  const EvalCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.filter_negatives, 0u);  // no filter to answer anything
+}
+
+// A pending (in-flight) entry reads as a miss through Lookup — the
+// non-blocking contract — and as a blocking hit through Acquire.
+TEST(EvalCacheFilterTest, PendingEntryReadsAsLookupMiss) {
+  ShardedEvalCache cache;
+  fs::EvalOutcome scratch;
+  ASSERT_EQ(cache.Acquire(MaskFor(1), &scratch),
+            ShardedEvalCache::Acquired::kOwner);
+  fs::EvalOutcome got;
+  EXPECT_FALSE(cache.Lookup(MaskFor(1), &got));
+  cache.Publish(MaskFor(1), OutcomeFor(1));
+  EXPECT_TRUE(cache.Lookup(MaskFor(1), &got));
+}
+
+// ---- OwnerGuard (dead-owner regression) -------------------------------
+
+// An owner that unwinds without resolving must abandon its in-flight slot
+// eagerly: the next Acquire of the same mask becomes a fresh owner
+// instead of serializing behind (or deadlocking on) a dead one.
+TEST(EvalCacheOwnerGuardTest, UnresolvedGuardAbandonsEagerly) {
+  ShardedEvalCache cache;
+  const fs::FeatureMask mask = MaskFor(5);
+  fs::EvalOutcome scratch;
+  ASSERT_EQ(cache.Acquire(mask, &scratch),
+            ShardedEvalCache::Acquired::kOwner);
+  { ShardedEvalCache::OwnerGuard guard(&cache, mask); }  // owner "dies"
+  // Retry is a fresh owner, and the entry can be published normally.
+  ASSERT_EQ(cache.Acquire(mask, &scratch),
+            ShardedEvalCache::Acquired::kOwner);
+  ShardedEvalCache::OwnerGuard guard(&cache, mask);
+  guard.Publish(OutcomeFor(5));
+  EXPECT_EQ(cache.Acquire(mask, &scratch),
+            ShardedEvalCache::Acquired::kHit);
+  EXPECT_EQ(scratch.objective, OutcomeFor(5).objective);
+}
+
+TEST(EvalCacheOwnerGuardTest, DeadOwnerReleasesBlockedWaiter) {
+  ShardedEvalCache cache;
+  const fs::FeatureMask mask = MaskFor(9);
+  fs::EvalOutcome scratch;
+  ASSERT_EQ(cache.Acquire(mask, &scratch),
+            ShardedEvalCache::Acquired::kOwner);
+  auto guard =
+      std::make_unique<ShardedEvalCache::OwnerGuard>(&cache, mask);
+
+  std::atomic<int> observed{-1};
+  std::thread waiter([&] {
+    fs::EvalOutcome out;
+    observed.store(static_cast<int>(cache.Acquire(mask, &out)));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  guard.reset();  // dead owner: destructor abandons
+  waiter.join();
+  EXPECT_EQ(observed.load(),
+            static_cast<int>(ShardedEvalCache::Acquired::kAbandoned));
+  // The slot is free again.
+  EXPECT_EQ(cache.Acquire(mask, &scratch),
+            ShardedEvalCache::Acquired::kOwner);
+  cache.Abandon(mask);
+}
+
+TEST(EvalCacheOwnerGuardTest, ExplicitResolveDisarmsDestructor) {
+  ShardedEvalCache cache;
+  const fs::FeatureMask mask = MaskFor(11);
+  fs::EvalOutcome scratch;
+  ASSERT_EQ(cache.Acquire(mask, &scratch),
+            ShardedEvalCache::Acquired::kOwner);
+  {
+    ShardedEvalCache::OwnerGuard guard(&cache, mask);
+    guard.Publish(OutcomeFor(11));
+  }  // destructor must NOT abandon the published entry
+  EXPECT_EQ(cache.Acquire(mask, &scratch), ShardedEvalCache::Acquired::kHit);
+}
+
+// ---- Registry ---------------------------------------------------------
+
+TEST(EvalCacheRegistryTest, GetOrCreateIsKeyedByFingerprint) {
+  EvalCacheRegistry registry;
+  auto a = registry.GetOrCreate(1);
+  auto b = registry.GetOrCreate(2);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(registry.GetOrCreate(1).get(), a.get());
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(a->fingerprint(), 1u);
+}
+
+TEST(EvalCacheRegistryTest, ContainerRoundTripAcrossCaches) {
+  const std::string path = ::testing::TempDir() + "/eval_caches.spill";
+  EvalCacheRegistry registry;
+  auto a = registry.GetOrCreate(10);
+  auto b = registry.GetOrCreate(20);
+  for (uint32_t id = 0; id < 8; ++id) {
+    EXPECT_TRUE(a->InsertPublished(MaskFor(id), OutcomeFor(id)));
+  }
+  EXPECT_TRUE(b->InsertPublished(MaskFor(100), OutcomeFor(100)));
+  ASSERT_TRUE(registry.SaveToFile(path).ok());
+
+  EvalCacheRegistry restored;
+  auto count = restored.LoadFromFile(path);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, 9u);
+  EXPECT_EQ(restored.size(), 2u);
+  fs::EvalOutcome got;
+  EXPECT_TRUE(restored.GetOrCreate(10)->Lookup(MaskFor(3), &got));
+  ExpectOutcomeEq(OutcomeFor(3), got, 3);
+  EXPECT_TRUE(restored.GetOrCreate(20)->Lookup(MaskFor(100), &got));
+  const EvalCacheStats stats = restored.Stats();
+  EXPECT_EQ(stats.entries, 9u);
+  EXPECT_EQ(stats.restores, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(EvalCacheRegistryTest, StaleMemberRejectsWholeContainer) {
+  const std::string path = ::testing::TempDir() + "/eval_caches_stale.spill";
+  EvalCacheRegistry registry;
+  EXPECT_TRUE(
+      registry.GetOrCreate(7)->InsertPublished(MaskFor(0), OutcomeFor(0)));
+  ASSERT_TRUE(registry.SaveToFile(path).ok());
+
+  // Corrupt the member blob's suite-version field in place: container
+  // header (16) + member length prefix (8) + member magic/version/reserved
+  // (16) = offset 40.
+  std::string container;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buffer[4096];
+    size_t n;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+      container.append(buffer, n);
+    }
+    std::fclose(f);
+  }
+  PatchU64(&container, 40, kSuiteVersion + 1);
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(container.data(), 1, container.size(), f);
+    std::fclose(f);
+  }
+
+  EvalCacheRegistry restored;
+  const auto count = restored.LoadFromFile(path);
+  EXPECT_EQ(count.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(restored.size(), 0u);  // nothing half-merged
+  std::remove(path.c_str());
+}
+
+TEST(EvalCacheRegistryTest, MissingContainerIsNotFound) {
+  EvalCacheRegistry registry;
+  EXPECT_EQ(registry.LoadFromFile("/nonexistent/registry.spill")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+// ---- Engine L2 integration --------------------------------------------
+
+MlScenario CacheTestScenario() {
+  constraints::ConstraintSet set;
+  set.min_f1 = 0.999;  // unreachable: full search sweep, many evaluations
+  set.max_search_seconds = 60.0;
+  Rng rng(301);
+  auto scenario =
+      MakeScenario(testing::MakeLinearDataset(200, 3, 300),
+                   ml::ModelKind::kLogisticRegression, set, rng);
+  DFS_CHECK(scenario.ok());
+  return std::move(scenario).value();
+}
+
+// A second engine sharing the L2 cache must select the byte-identical
+// subset while recomputing nothing: shared hits replay the same outcomes
+// through the same reduction (DESIGN.md §2h preserves §2d).
+TEST(EngineSharedCacheTest, WarmRunSelectsIdenticallyWithoutEvaluating) {
+  const MlScenario scenario = CacheTestScenario();
+  auto shared = std::make_shared<ShardedEvalCache>();
+  EngineOptions options;
+  options.seed = 77;
+  options.num_threads = 1;
+  options.shared_cache = shared;
+
+  auto strategy = fs::CreateStrategy(fs::StrategyId::kSfs, /*seed=*/5);
+  DfsEngine cold_engine(scenario, options);
+  const RunResult cold = cold_engine.Run(*strategy);
+  ASSERT_GT(cold.evaluations, 0);
+  EXPECT_EQ(shared->size(), static_cast<size_t>(cold.evaluations));
+
+  auto strategy2 = fs::CreateStrategy(fs::StrategyId::kSfs, /*seed=*/5);
+  DfsEngine warm_engine(scenario, options);
+  const RunResult warm = warm_engine.Run(*strategy2);
+
+  EXPECT_EQ(warm.selected, cold.selected);
+  EXPECT_EQ(warm.success, cold.success);
+  EXPECT_EQ(warm.best_distance_validation, cold.best_distance_validation);
+  EXPECT_EQ(warm.validation_values.f1, cold.validation_values.f1);
+  // Every wrapper evaluation was served from the shared cache.
+  EXPECT_EQ(warm.evaluations, 0);
+  EXPECT_EQ(warm.cache_hits, cold.evaluations + cold.cache_hits);
+}
+
+// The shared cache must not change what a run selects — only what it
+// recomputes. A run with the L2 attached and a run without must agree.
+TEST(EngineSharedCacheTest, SharedCacheDoesNotChangeSelection) {
+  const MlScenario scenario = CacheTestScenario();
+  EngineOptions options;
+  options.seed = 77;
+  options.num_threads = 1;
+
+  auto strategy = fs::CreateStrategy(fs::StrategyId::kSfs, /*seed=*/5);
+  DfsEngine plain_engine(scenario, options);
+  const RunResult plain = plain_engine.Run(*strategy);
+
+  options.shared_cache = std::make_shared<ShardedEvalCache>();
+  auto strategy2 = fs::CreateStrategy(fs::StrategyId::kSfs, /*seed=*/5);
+  DfsEngine shared_engine(scenario, options);
+  const RunResult with_shared = shared_engine.Run(*strategy2);
+
+  EXPECT_EQ(with_shared.selected, plain.selected);
+  EXPECT_EQ(with_shared.success, plain.success);
+  EXPECT_EQ(with_shared.evaluations, plain.evaluations);
+  EXPECT_EQ(with_shared.best_distance_validation,
+            plain.best_distance_validation);
+}
+
+// Spill the shared cache, restore it into a fresh one (the daemon restart
+// path), and verify a run against the restored cache is still fully warm.
+TEST(EngineSharedCacheTest, WarmRestartServesFromRestoredSpill) {
+  const MlScenario scenario = CacheTestScenario();
+  auto shared = std::make_shared<ShardedEvalCache>();
+  EngineOptions options;
+  options.seed = 77;
+  options.num_threads = 1;
+  options.shared_cache = shared;
+
+  auto strategy = fs::CreateStrategy(fs::StrategyId::kSfs, /*seed=*/5);
+  DfsEngine cold_engine(scenario, options);
+  const RunResult cold = cold_engine.Run(*strategy);
+  ASSERT_GT(cold.evaluations, 0);
+
+  auto restored = std::make_shared<ShardedEvalCache>();
+  ASSERT_TRUE(restored->RestoreState(shared->Serialize()).ok());
+  options.shared_cache = restored;
+
+  auto strategy2 = fs::CreateStrategy(fs::StrategyId::kSfs, /*seed=*/5);
+  DfsEngine warm_engine(scenario, options);
+  const RunResult warm = warm_engine.Run(*strategy2);
+  EXPECT_EQ(warm.selected, cold.selected);
+  EXPECT_EQ(warm.evaluations, 0);
+}
+
+// ---- Concurrent churn (TSan fleet) ------------------------------------
+
+// Lookups, inserts, acquire/publish/abandon, spills, restores and stats
+// reads all race on one cache. A starved filter budget forces concurrent
+// filter growth/rebuild under the readers. Run under TSan by
+// scripts/check.sh --sanitize.
+TEST(EvalCacheChurnTest, ConcurrentLookupInsertSpillChurn) {
+  ShardedEvalCache cache(EvalCacheOptions{.num_shards = 4,
+                                          .enable_filter = true,
+                                          .filter_bits_per_entry = 8});
+  constexpr int kThreads = 8;
+  constexpr uint32_t kMasks = 1024;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> wrong{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      fs::EvalOutcome got;
+      for (uint32_t round = 0; round < 400 && !stop.load(); ++round) {
+        const uint32_t id = (round * 17 + t * 131) % kMasks;
+        switch (t % 4) {
+          case 0:  // insert-publish
+            cache.InsertPublished(MaskFor(id), OutcomeFor(id));
+            break;
+          case 1:  // non-blocking lookups: a hit must carry the right value
+            if (cache.Lookup(MaskFor(id), &got) &&
+                got.objective != OutcomeFor(id).objective) {
+              wrong.fetch_add(1);
+            }
+            break;
+          case 2:  // in-flight dedup traffic, including abandons
+            switch (cache.Acquire(MaskFor(id), &got)) {
+              case ShardedEvalCache::Acquired::kOwner:
+                if (id % 5 == 0) {
+                  cache.Abandon(MaskFor(id));
+                } else {
+                  cache.Publish(MaskFor(id), OutcomeFor(id));
+                }
+                break;
+              case ShardedEvalCache::Acquired::kHit:
+                if (got.objective != OutcomeFor(id).objective) {
+                  wrong.fetch_add(1);
+                }
+                break;
+              case ShardedEvalCache::Acquired::kAbandoned:
+                break;
+            }
+            break;
+          case 3:  // spill/restore + stats under load
+            if (round % 16 == 0) {
+              ShardedEvalCache scratch_cache;
+              if (!scratch_cache.RestoreState(cache.Serialize()).ok()) {
+                wrong.fetch_add(1);
+              }
+            } else {
+              const EvalCacheStats stats = cache.Stats();
+              if (stats.shard_entries.size() != 4) wrong.fetch_add(1);
+            }
+            break;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(wrong.load(), 0u);
+  EXPECT_GT(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace dfs::core

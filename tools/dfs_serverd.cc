@@ -13,6 +13,7 @@
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <thread>
@@ -41,10 +42,24 @@ struct DaemonOptions {
   std::string trace_out;  // JSONL trace-span output (empty = disabled)
   std::string router_policy = "static";  // static | confidence | epsilon-greedy
   std::string router_state;  // router snapshot path (warm restart)
+  std::string eval_cache_state;  // eval-cache spill path (warm restart)
   int router_refit_every = 0;  // online refit cadence (0 = learning off)
   bool expose = false;    // bind all interfaces instead of loopback
   bool help = false;
 };
+
+/// The listening socket, published for the signal handlers once Listen()
+/// succeeds. TcpListener::InterruptAccept is ::shutdown(fd, SHUT_RDWR) —
+/// async-signal-safe — so SIGTERM/SIGINT can wake the accept loop and let
+/// the normal exit path run (state spills, stats line) instead of dying
+/// with the cache and router snapshots unsaved.
+std::atomic<serve::TcpListener*> g_listener{nullptr};
+
+extern "C" void HandleTerminationSignal(int) {
+  if (serve::TcpListener* listener = g_listener.load()) {
+    listener->InterruptAccept();
+  }
+}
 
 /// Per-connection bookkeeping so shutdown can unblock readers. Entries
 /// are removed as their connections finish, so a long-lived daemon does
@@ -155,6 +170,13 @@ int RealMain(int argc, char** argv) {
                    "the full router configuration, so it takes precedence "
                    "over --router-policy and --router-refit-every",
                    &options.router_state);
+  parser.AddString("eval-cache-state",
+                   "shared eval-cache spill path (docs/CACHE.md): restored "
+                   "at boot if present, saved at shutdown so evaluations "
+                   "survive restarts. Stale or corrupt spills are rejected "
+                   "loudly (the daemon refuses to start). Defaults to the "
+                   "DFS_EVAL_CACHE_STATE env var",
+                   &options.eval_cache_state);
   parser.AddInt("router-refit-every",
                 "refit the meta-optimizer in the background after this many "
                 "routed-job outcomes (0 disables the online loop)",
@@ -170,6 +192,11 @@ int RealMain(int argc, char** argv) {
   if (options.help) {
     std::fputs(parser.Help().c_str(), stdout);
     return 0;
+  }
+  if (options.eval_cache_state.empty()) {
+    if (const char* env = std::getenv("DFS_EVAL_CACHE_STATE")) {
+      options.eval_cache_state = env;
+    }
   }
 
   if (!options.trace_out.empty()) {
@@ -213,6 +240,23 @@ int RealMain(int argc, char** argv) {
     }
   }
 
+  if (!options.eval_cache_state.empty()) {
+    auto restored = server.eval_caches().LoadFromFile(options.eval_cache_state);
+    if (restored.ok()) {
+      std::printf("eval cache restored from %s (%zu entries)\n",
+                  options.eval_cache_state.c_str(), *restored);
+    } else if (restored.status().code() == StatusCode::kNotFound) {
+      std::printf("eval cache %s not found; starting cold\n",
+                  options.eval_cache_state.c_str());
+    } else {
+      // Stale (suite bump) or corrupt spills are rejected loudly: silently
+      // starting cold would hide that the warm-restart contract broke.
+      std::fprintf(stderr, "eval-cache-state: %s\n",
+                   restored.status().ToString().c_str());
+      return 1;
+    }
+  }
+
   if (!options.optimizer.empty()) {
     auto optimizer = core::DfsOptimizer::LoadFromFile(options.optimizer);
     if (!optimizer.ok()) {
@@ -235,6 +279,12 @@ int RealMain(int argc, char** argv) {
               listener.port(), server_options.num_workers,
               server_options.queue_capacity);
   std::fflush(stdout);
+
+  // From here, SIGTERM/SIGINT interrupt the accept loop for a graceful
+  // exit: state spills (router + eval cache) still run.
+  g_listener.store(&listener);
+  std::signal(SIGTERM, HandleTerminationSignal);
+  std::signal(SIGINT, HandleTerminationSignal);
 
   std::atomic<bool> shutting_down{false};
   Connections connections;
@@ -260,6 +310,11 @@ int RealMain(int argc, char** argv) {
       }
     });
   }
+  g_listener.store(nullptr);
+  // A signal-interrupted exit never ran the client-shutdown path above, so
+  // in-flight connections may still be blocked in ReadLine; shut their
+  // sockets down (idempotent) or JoinAll would wait on them forever.
+  connections.ShutdownAll();
   handlers.JoinAll();
   server.Shutdown(/*cancel_pending=*/true);
   if (!options.router_state.empty()) {
@@ -270,6 +325,19 @@ int RealMain(int argc, char** argv) {
       std::printf("router state saved to %s\n", options.router_state.c_str());
     } else {
       std::fprintf(stderr, "router-state save: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+  if (!options.eval_cache_state.empty()) {
+    // Workers are joined, so the registry is quiescent: the spill is a
+    // consistent cut (docs/CACHE.md).
+    if (Status status =
+            server.eval_caches().SaveToFile(options.eval_cache_state);
+        status.ok()) {
+      std::printf("eval cache saved to %s\n",
+                  options.eval_cache_state.c_str());
+    } else {
+      std::fprintf(stderr, "eval-cache-state save: %s\n",
                    status.ToString().c_str());
     }
   }

@@ -6,6 +6,7 @@
 //   dfs_submit --cancel 7        dfs_submit --stats
 //   dfs_submit --metrics         dfs_submit --ping
 //   dfs_submit --router          dfs_submit --shutdown
+//   dfs_submit --cache
 //
 // --explain-route pretty-prints the router's decision (policy, probability
 // map, portfolio members) from an "auto" submit response.
@@ -55,6 +56,7 @@ struct ClientOptions {
   bool stats = false;
   bool metrics = false;
   bool router = false;
+  bool cache = false;
   bool ping = false;
   bool shutdown = false;
   bool help = false;
@@ -104,6 +106,10 @@ void RegisterFlags(FlagParser& parser, ClientOptions& options) {
                  "fetch the strategy router's policy, learning progress and "
                  "per-strategy route counts",
                  &options.router);
+  parser.AddBool("cache",
+                 "fetch the shared eval-cache counters (hits, misses, "
+                 "filter negatives, spills/restores, shard occupancy)",
+                 &options.cache);
   parser.AddBool("ping", "health-check the service", &options.ping);
   parser.AddBool("shutdown", "ask the daemon to shut down",
                  &options.shutdown);
@@ -232,6 +238,8 @@ int RealMain(int argc, char** argv) {
     request = OpRequest("metrics");
   } else if (options.router) {
     request = OpRequest("router");
+  } else if (options.cache) {
+    request = OpRequest("cache");
   } else if (options.ping) {
     request = OpRequest("ping");
   } else if (options.shutdown) {
@@ -269,7 +277,8 @@ int RealMain(int argc, char** argv) {
   } else {
     std::fprintf(stderr,
                  "nothing to do: pass --dataset (submit) or one of "
-                 "--status/--result/--cancel/--stats/--metrics/--ping/"
+                 "--status/--result/--cancel/--stats/--metrics/--router/--cache/"
+                 "--ping/"
                  "--shutdown\n\n%s",
                  parser.Help().c_str());
     return 1;
