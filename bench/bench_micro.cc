@@ -16,6 +16,7 @@
 #include "fs/rankings/ranking.h"
 #include "fs/registry.h"
 #include "fs/search/tpe.h"
+#include "linalg/kernels.h"
 #include "ml/classifier.h"
 
 namespace dfs {
@@ -332,6 +333,118 @@ BENCHMARK(BM_EngineEvaluateBatch)
     ->Arg(0)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// ---- Blocked kernels at S/L/XL shapes (DESIGN.md §2i) ----------------
+
+// XL-tier dataset for kernel/gather benches: Traffic Violations XL at a
+// reduced row_scale — full 1261-column encoded width (the property the
+// kernels are judged on), rows trimmed so bench-smoke stays in budget.
+const data::Dataset& XlDataset() {
+  static const data::Dataset& dataset = *new data::Dataset([] {
+    auto d = data::GenerateXlBenchmarkDataset(/*Traffic XL=*/0, 3, 0.08);
+    DFS_CHECK(d.ok());
+    return std::move(d).value();
+  }());
+  return dataset;
+}
+
+std::vector<double> BenchVector(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.Uniform(-1.0, 1.0);
+  return v;
+}
+
+// The GEMV-style decision-function kernel: one batched margin pass, the
+// inner loop of every LR/SVM PredictBatch. Shapes: S (a narrow mask on a
+// small split), L (a wide mask on a large split), XL (paper-scale width).
+void BM_MatVec(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const int cols = static_cast<int>(state.range(1));
+  const auto x = BenchVector(static_cast<size_t>(rows) * cols, 3);
+  const auto w = BenchVector(cols, 4);
+  std::vector<double> out(rows);
+  for (auto _ : state) {
+    linalg::kernels::MatVec(x.data(), rows, cols, w.data(), 0.1, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(rows) * cols *
+                          static_cast<int64_t>(sizeof(double)));
+}
+BENCHMARK(BM_MatVec)
+    ->Args({512, 32})      // S
+    ->Args({2048, 256})    // L
+    ->Args({12000, 1261})  // XL (Traffic XL width at bench row count)
+    ->Unit(benchmark::kMicrosecond);
+
+// The kNN / robustness-attack distance kernel at S/L/XL vector widths.
+void BM_SquaredDistanceSpan(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto a = BenchVector(n, 5);
+  const auto b = BenchVector(n, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        linalg::kernels::SquaredDistance(a.data(), b.data(), n));
+  }
+}
+BENCHMARK(BM_SquaredDistanceSpan)->Arg(32)->Arg(256)->Arg(1261);
+
+// Chunked gather on the XL dataset: Arg 0 is the gathered mask width,
+// Arg 1 selects the tiling (0 = auto 1 MiB window, 1 = monolithic single
+// block). Both produce identical bytes (kernels_test proves it); the
+// bench shows what the bounded scratch window costs or saves at scale.
+void BM_GatherIntoChunked(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const bool monolithic = state.range(1) != 0;
+  state.SetLabel(monolithic ? "monolithic" : "auto window");
+  const auto& dataset = XlDataset();
+  const int n = dataset.num_features();
+  DFS_CHECK(k <= n);
+  std::vector<std::vector<int>> feature_sets;
+  for (int s = 0; s < 8; ++s) {
+    std::vector<int> features(k);
+    for (int j = 0; j < k; ++j) features[j] = (s * 97 + j) % n;
+    feature_sets.push_back(std::move(features));
+  }
+  linalg::Matrix scratch;
+  const int block = monolithic ? dataset.num_rows() : 0;
+  int i = 0;
+  for (auto _ : state) {
+    dataset.GatherInto(feature_sets[i++ % feature_sets.size()], &scratch,
+                       block);
+    benchmark::DoNotOptimize(scratch.MutableData());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(dataset.num_rows()) * k *
+                          static_cast<int64_t>(sizeof(double)));
+}
+BENCHMARK(BM_GatherIntoChunked)
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+// Batched LR prediction at XL width through the MatVec kernel — the
+// measurement half of an XL evaluation (name matches the PredictBatchSpan
+// bench-smoke filter).
+void BM_PredictBatchSpanXl(benchmark::State& state) {
+  const auto& dataset = XlDataset();
+  const auto x = dataset.ToMatrix(dataset.AllFeatures());
+  auto model = ml::CreateClassifier(ml::ModelKind::kLogisticRegression,
+                                    ml::Hyperparameters());
+  DFS_CHECK(model->Fit(x, dataset.labels()).ok());
+  std::vector<int> predictions;
+  for (auto _ : state) {
+    model->PredictBatch(x, &predictions);
+    benchmark::DoNotOptimize(predictions.data());
+  }
+  state.SetItemsProcessed(state.iterations() * dataset.num_rows());
+}
+BENCHMARK(BM_PredictBatchSpanXl)->Unit(benchmark::kMillisecond);
 
 // ---- Ablation: TPE gamma quantile (DESIGN.md) ------------------------
 

@@ -5,9 +5,10 @@
 #   scripts/check.sh --sanitize    # additionally run the concurrent tests
 #                                  # (serve_test, util_test, router_test,
 #                                  # engine_parallel_test, eval_cache_test,
-#                                  # engine_golden_test) under TSan, and the
-#                                  # zero-copy evaluation tests
-#                                  # (engine_golden_test, linalg_test)
+#                                  # engine_golden_test, kernels_test)
+#                                  # under TSan, and the zero-copy
+#                                  # evaluation tests (engine_golden_test,
+#                                  # linalg_test, kernels_test)
 #                                  # under ASan+UBSan
 #   scripts/check.sh --docs        # docs only (no build): every relative
 #                                  # Markdown link resolves, every bench_*
@@ -87,7 +88,7 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
   # snapshot is reproducible on wide machines.
   out="${2:-BENCH_results.json}"
   DFS_THREADS="${DFS_THREADS:-4}" ./build-bench/bench/bench_micro \
-    --benchmark_filter='EngineEvaluateBatch|EvaluateUncached|GatherInto|PredictBatchSpan|EvalCache' \
+    --benchmark_filter='EngineEvaluateBatch|EvaluateUncached|GatherInto|PredictBatchSpan|EvalCache|MatVec|SquaredDistanceSpan' \
     --benchmark_min_time=0.2 \
     --json "$out"
   # Router cost on the serve submit path: router-off explicit jobs vs
@@ -134,21 +135,24 @@ if [[ "${1:-}" == "--sanitize" || "${1:-}" == "--all" ]]; then
   # the engine's scratch pool across threads.
   cmake -B build-tsan -S . -DDFS_SANITIZE=thread
   cmake --build build-tsan -j --target serve_test util_test router_test \
-    engine_parallel_test eval_cache_test engine_golden_test
+    engine_parallel_test eval_cache_test engine_golden_test kernels_test
   ./build-tsan/tests/serve_test
   ./build-tsan/tests/util_test
   ./build-tsan/tests/router_test
   ./build-tsan/tests/engine_parallel_test
   ./build-tsan/tests/eval_cache_test
   ./build-tsan/tests/engine_golden_test
+  ./build-tsan/tests/kernels_test
   # ASan+UBSan sweep of the zero-copy evaluation path: the span kernels,
   # unchecked Matrix accessors, and in-place gathers must be clean under
   # memory and UB checking (DFS_DCHECK bounds checks compile out in
   # Release; the sanitizers are the backstop).
   cmake -B build-asan -S . -DDFS_SANITIZE=address,undefined
-  cmake --build build-asan -j --target engine_golden_test linalg_test
+  cmake --build build-asan -j --target engine_golden_test linalg_test \
+    kernels_test
   ./build-asan/tests/engine_golden_test
   ./build-asan/tests/linalg_test
+  ./build-asan/tests/kernels_test
 fi
 
 if [[ "${1:-}" == "--all" ]]; then

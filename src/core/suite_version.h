@@ -11,7 +11,7 @@ namespace dfs::core {
 /// into ExperimentConfig::Hash() (the bench result cache) and into the
 /// eval-cache spill header (docs/CACHE.md), so both artifact families are
 /// invalidated together.
-inline constexpr uint64_t kSuiteVersion = 3;
+inline constexpr uint64_t kSuiteVersion = 4;
 
 }  // namespace dfs::core
 

@@ -1,5 +1,6 @@
 #include "data/dataset.h"
 
+#include <algorithm>
 #include <numeric>
 
 namespace dfs::data {
@@ -46,20 +47,95 @@ linalg::Matrix Dataset::ToMatrix(
   return matrix;
 }
 
+namespace {
+
+// Row-block size for the tiled gather: bound the destination window each
+// column pass touches to ~1 MiB so it stays cache-resident at XL widths
+// (DESIGN.md §2i). Any positive block size yields bit-identical output —
+// tiling only reorders stores — so this is purely a bandwidth knob.
+constexpr size_t kGatherWindowBytes = 1 << 20;
+
+template <typename Src, typename T>
+void GatherTiled(const std::vector<const Src*>& sources, int n, size_t k,
+                 int block_rows, T* dst) {
+  int block = block_rows;
+  if (block <= 0) {
+    const size_t by_window =
+        kGatherWindowBytes / (std::max<size_t>(k, 1) * sizeof(T));
+    block = static_cast<int>(
+        std::clamp<size_t>(by_window, 64, static_cast<size_t>(
+                                              std::max(n, 1))));
+  }
+  for (int r0 = 0; r0 < n; r0 += block) {
+    const int r1 = std::min(n, r0 + block);
+    T* block_base = dst + static_cast<size_t>(r0) * k;
+    for (size_t j = 0; j < k; ++j) {
+      // Contiguous read of the source column slice; stride-k writes land
+      // inside the bounded destination window.
+      const Src* src = sources[j] + r0;
+      T* cell = block_base + j;
+      for (int r = r0; r < r1; ++r, cell += k) {
+        *cell = static_cast<T>(*src++);
+      }
+    }
+  }
+}
+
+}  // namespace
+
 void Dataset::GatherInto(const std::vector<int>& feature_indices,
-                         linalg::Matrix* out) const {
+                         linalg::Matrix* out, int block_rows) const {
   DFS_CHECK(out != nullptr);
   const int n = num_rows();
   const size_t k = feature_indices.size();
   out->Resize(n, static_cast<int>(k));
-  double* dst = out->MutableData();
+  // Column-pointer table in thread-local scratch: one bounds check per
+  // column (inside Column), and — like the destination matrix — no heap
+  // allocation once a thread has seen its widest mask (the §2e warm-path
+  // contract; gathers run concurrently on shared datasets, so the scratch
+  // cannot live on the const instance).
+  thread_local std::vector<const double*> sources;
+  sources.resize(k);
   for (size_t j = 0; j < k; ++j) {
-    // One bounds check per column; the element loop is a contiguous read
-    // of the source column with a stride-k write.
-    const std::vector<double>& column = Column(feature_indices[j]);
-    const double* src = column.data();
-    double* cell = dst + j;
-    for (int r = 0; r < n; ++r, cell += k) *cell = src[r];
+    sources[j] = Column(feature_indices[j]).data();
+  }
+  GatherTiled(sources, n, k, block_rows, out->MutableData());
+}
+
+void Dataset::GatherInto(const std::vector<int>& feature_indices,
+                         linalg::Matrix32* out, int block_rows) const {
+  DFS_CHECK(out != nullptr);
+  const int n = num_rows();
+  const size_t k = feature_indices.size();
+  out->Resize(n, static_cast<int>(k));
+  if (has_f32_mirror()) {
+    thread_local std::vector<const float*> sources_f32;
+    sources_f32.resize(k);
+    for (size_t j = 0; j < k; ++j) {
+      const int f = feature_indices[j];
+      DFS_CHECK(f >= 0 && f < num_features());
+      sources_f32[j] = columns_f32_[f].data();
+    }
+    GatherTiled(sources_f32, n, k, block_rows, out->MutableData());
+    return;
+  }
+  thread_local std::vector<const double*> sources;
+  sources.resize(k);
+  for (size_t j = 0; j < k; ++j) {
+    sources[j] = Column(feature_indices[j]).data();
+  }
+  GatherTiled(sources, n, k, block_rows, out->MutableData());
+}
+
+void Dataset::BuildF32Mirror() {
+  if (has_f32_mirror()) return;
+  columns_f32_.resize(columns_.size());
+  for (size_t f = 0; f < columns_.size(); ++f) {
+    const std::vector<double>& column = columns_[f];
+    columns_f32_[f].resize(column.size());
+    for (size_t r = 0; r < column.size(); ++r) {
+      columns_f32_[f][r] = static_cast<float>(column[r]);
+    }
   }
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "linalg/kernels.h"
+
 namespace dfs::linalg {
 
 std::vector<int> KNearestRows(const Matrix& points,
@@ -15,12 +17,8 @@ std::vector<int> KNearestRows(const Matrix& points,
   distances.reserve(n);
   for (int i = 0; i < n; ++i) {
     if (i == exclude_row) continue;
-    const double* row = points.RowPtr(i);
-    double d = 0.0;
-    for (int c = 0; c < cols; ++c) {
-      double diff = row[c] - query[c];
-      d += diff * diff;
-    }
+    const double d = kernels::SquaredDistance(
+        points.RowPtr(i), query.data(), static_cast<size_t>(cols));
     distances.emplace_back(d, i);
   }
   k = std::min<int>(k, static_cast<int>(distances.size()));

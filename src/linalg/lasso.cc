@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "linalg/kernels.h"
+
 namespace dfs::linalg {
 namespace {
 
@@ -14,7 +16,7 @@ double SoftThreshold(double value, double threshold) {
 }  // namespace
 
 std::vector<double> LassoCoordinateDescent(const Matrix& x,
-                                           const std::vector<double>& y,
+                                           std::span<const double> y,
                                            const LassoOptions& options) {
   const int n = x.rows();
   const int p = x.cols();
@@ -35,7 +37,7 @@ std::vector<double> LassoCoordinateDescent(const Matrix& x,
   }
 
   // Residual r = y - Xw; starts at y because w = 0.
-  std::vector<double> residual = y;
+  std::vector<double> residual(y.begin(), y.end());
   const double n_double = static_cast<double>(n);
 
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
@@ -44,16 +46,17 @@ std::vector<double> LassoCoordinateDescent(const Matrix& x,
       if (col_sq[j] <= 1e-12) continue;  // constant-zero column
       // rho = (1/n) x_j . (r + w_j x_j)
       const double* col = base + j;
-      double rho = 0.0;
-      for (int i = 0; i < n; ++i) rho += col[static_cast<size_t>(i) * p] * residual[i];
+      double rho = kernels::StridedDot(col, static_cast<size_t>(p),
+                                       residual.data(),
+                                       static_cast<size_t>(n));
       rho = rho / n_double + w[j] * col_sq[j] / n_double;
       double new_w = SoftThreshold(rho, options.l1_penalty) /
                      (col_sq[j] / n_double);
       double delta = new_w - w[j];
       if (delta != 0.0) {
-        for (int i = 0; i < n; ++i) {
-          residual[i] -= delta * col[static_cast<size_t>(i) * p];
-        }
+        kernels::StridedAxpyInPlace(residual.data(), -delta, col,
+                                    static_cast<size_t>(p),
+                                    static_cast<size_t>(n));
         w[j] = new_w;
         max_change = std::max(max_change, std::fabs(delta));
       }

@@ -1,6 +1,7 @@
 #ifndef DFS_LINALG_LASSO_H_
 #define DFS_LINALG_LASSO_H_
 
+#include <span>
 #include <vector>
 
 #include "linalg/matrix.h"
@@ -20,7 +21,7 @@ struct LassoOptions {
 /// ranking (Cai et al. 2010) to regress spectral-embedding dimensions onto
 /// features.
 std::vector<double> LassoCoordinateDescent(const Matrix& x,
-                                           const std::vector<double>& y,
+                                           std::span<const double> y,
                                            const LassoOptions& options = {});
 
 }  // namespace dfs::linalg

@@ -2,110 +2,32 @@
 
 #include <cmath>
 
+#include "linalg/kernels.h"
+
 namespace dfs::linalg {
 
-Matrix::Matrix(std::initializer_list<std::initializer_list<double>> values) {
-  rows_ = static_cast<int>(values.size());
-  cols_ = rows_ > 0 ? static_cast<int>(values.begin()->size()) : 0;
-  data_.reserve(static_cast<size_t>(rows_) * cols_);
-  for (const auto& row : values) {
-    DFS_CHECK_EQ(static_cast<int>(row.size()), cols_);
-    for (double v : row) data_.push_back(v);
-  }
-}
-
-Matrix Matrix::Identity(int n) {
-  Matrix m(n, n);
-  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
-  return m;
-}
-
-std::vector<double> Matrix::Row(int r) const {
-  std::vector<double> row(cols_);
-  for (int c = 0; c < cols_; ++c) row[c] = (*this)(r, c);
-  return row;
-}
-
-std::vector<double> Matrix::Column(int c) const {
-  std::vector<double> col(rows_);
-  for (int r = 0; r < rows_; ++r) col[r] = (*this)(r, c);
-  return col;
-}
-
-Matrix Matrix::Transpose() const {
-  Matrix t(cols_, rows_);
-  for (int r = 0; r < rows_; ++r) {
-    for (int c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
-  }
-  return t;
-}
-
-Matrix Matrix::Multiply(const Matrix& other) const {
-  DFS_CHECK_EQ(cols_, other.rows_);
-  Matrix result(rows_, other.cols_);
-  for (int r = 0; r < rows_; ++r) {
-    for (int k = 0; k < cols_; ++k) {
-      double v = (*this)(r, k);
-      if (v == 0.0) continue;
-      for (int c = 0; c < other.cols_; ++c) {
-        result(r, c) += v * other(k, c);
-      }
-    }
-  }
-  return result;
-}
-
-std::vector<double> Matrix::MultiplyVector(const std::vector<double>& v) const {
-  DFS_CHECK_EQ(static_cast<int>(v.size()), cols_);
-  std::vector<double> result(rows_, 0.0);
-  for (int r = 0; r < rows_; ++r) {
-    double sum = 0.0;
-    for (int c = 0; c < cols_; ++c) sum += (*this)(r, c) * v[c];
-    result[r] = sum;
-  }
-  return result;
-}
-
-double Matrix::FrobeniusDistance(const Matrix& other) const {
-  DFS_CHECK_EQ(rows_, other.rows_);
-  DFS_CHECK_EQ(cols_, other.cols_);
-  double sum = 0.0;
-  for (size_t i = 0; i < data_.size(); ++i) {
-    double d = data_[i] - other.data_[i];
-    sum += d * d;
-  }
-  return std::sqrt(sum);
-}
-
-double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+double Dot(std::span<const double> a, std::span<const double> b) {
   DFS_CHECK_EQ(a.size(), b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
-  return sum;
+  return kernels::Dot(a.data(), b.data(), a.size());
 }
 
-double Norm2(const std::vector<double>& a) { return std::sqrt(Dot(a, a)); }
+double Norm2(std::span<const double> a) { return std::sqrt(Dot(a, a)); }
 
 double SquaredDistance(std::span<const double> a, std::span<const double> b) {
   DFS_CHECK_EQ(a.size(), b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    double d = a[i] - b[i];
-    sum += d * d;
-  }
-  return sum;
+  return kernels::SquaredDistance(a.data(), b.data(), a.size());
 }
 
-std::vector<double> Axpy(const std::vector<double>& a, double s,
-                         const std::vector<double>& b) {
+std::vector<double> Axpy(std::span<const double> a, double s,
+                         std::span<const double> b) {
   DFS_CHECK_EQ(a.size(), b.size());
-  std::vector<double> result(a.size());
-  for (size_t i = 0; i < a.size(); ++i) result[i] = a[i] + s * b[i];
+  std::vector<double> result(a.begin(), a.end());
+  kernels::AxpyInPlace(result.data(), s, b.data(), b.size());
   return result;
 }
 
-void ScaleInPlace(std::vector<double>& v, double s) {
-  for (double& x : v) x *= s;
+void ScaleInPlace(std::span<double> v, double s) {
+  kernels::Scale(v.data(), s, v.size());
 }
 
 }  // namespace dfs::linalg

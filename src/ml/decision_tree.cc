@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "linalg/kernels.h"
 #include "util/string_util.h"
 
 namespace dfs::ml {
@@ -64,6 +65,12 @@ int DecisionTree::BuildNode(const linalg::Matrix& x, const std::vector<int>& y,
   double best_threshold = 0.0;
   double best_gain = 1e-12;
   std::vector<double> values(rows.size());
+  // Node-local labels gathered once so the split scan below runs over two
+  // dense arrays (the SplitCounts kernel).
+  std::vector<double> node_labels(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    node_labels[i] = static_cast<double>(y[rows[i]]);
+  }
   for (int feature = 0; feature < x.cols(); ++feature) {
     for (size_t i = 0; i < rows.size(); ++i) values[i] = x.At(rows[i], feature);
     std::vector<double> sorted_values = values;
@@ -86,13 +93,12 @@ int DecisionTree::BuildNode(const linalg::Matrix& x, const std::vector<int>& y,
       }
     }
     for (double threshold : candidates) {
+      // Exact small-integer sums, so any vectorization of the kernel is
+      // order-independent (see kernels.h).
       double left_total = 0.0, left_positives = 0.0;
-      for (size_t i = 0; i < rows.size(); ++i) {
-        if (values[i] <= threshold) {
-          left_total += 1.0;
-          left_positives += y[rows[i]];
-        }
-      }
+      linalg::kernels::SplitCounts(values.data(), node_labels.data(),
+                                   rows.size(), threshold, &left_total,
+                                   &left_positives);
       const double right_total = total - left_total;
       if (left_total < 1.0 || right_total < 1.0) continue;
       const double right_positives = positives - left_positives;

@@ -64,6 +64,9 @@ Status DpGaussianNaiveBayes::Fit(const linalg::Matrix& x,
   for (int k = 0; k < 2; ++k) {
     for (int c = 0; c < d; ++c) variance_[k][c] += smoothing;
   }
+  // The base predict path reads the derived constants, not the raw
+  // statistics perturbed above.
+  FinalizeDerivedStats();
   fitted_ = true;
   return OkStatus();
 }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "linalg/kernels.h"
 #include "util/math_util.h"
 #include "util/rng.h"
 
@@ -33,16 +34,15 @@ Status LinearSvm::Fit(const linalg::Matrix& x, const std::vector<int>& y) {
       const double step = 1.0 / (lambda * static_cast<double>(t));
       const double label = y[i] == 1 ? 1.0 : -1.0;
       const double* xi = x.RowPtr(i);
-      double margin = intercept_;
-      for (int c = 0; c < d; ++c) margin += w[c] * xi[c];
+      const double margin =
+          intercept_ + linalg::kernels::Dot(w, xi, static_cast<size_t>(d));
       // Pegasos update: always shrink, add the hinge subgradient on margin
       // violations.
       const double shrink = 1.0 - step * lambda;
-      for (int c = 0; c < d; ++c) w[c] *= shrink;
+      linalg::kernels::Scale(w, shrink, static_cast<size_t>(d));
       if (label * margin < 1.0) {
-        for (int c = 0; c < d; ++c) {
-          w[c] += step * label * xi[c];
-        }
+        linalg::kernels::AxpyInPlace(w, step * label, xi,
+                                     static_cast<size_t>(d));
         intercept_ += step * label * 0.1;  // lightly-learned bias
       }
     }
@@ -54,12 +54,53 @@ Status LinearSvm::Fit(const linalg::Matrix& x, const std::vector<int>& y) {
 double LinearSvm::PredictProba(std::span<const double> row) const {
   DFS_DCHECK(fitted_) << "PredictProba before Fit";
   DFS_DCHECK(row.size() == weights_.size());
-  const double* v = row.data();
-  const double* w = weights_.data();
-  const size_t d = row.size();
-  double margin = intercept_;
-  for (size_t c = 0; c < d; ++c) margin += w[c] * v[c];
+  const double margin =
+      intercept_ +
+      linalg::kernels::Dot(row.data(), weights_.data(), row.size());
   return Sigmoid(4.0 * margin);  // squash; scale keeps mid-margins soft
+}
+
+double LinearSvm::PredictProba32(std::span<const float> row) const {
+  DFS_DCHECK(fitted_) << "PredictProba32 before Fit";
+  DFS_DCHECK(row.size() == weights_.size());
+  const double margin =
+      intercept_ +
+      linalg::kernels::DotF32(row.data(), weights_.data(), row.size());
+  return Sigmoid(4.0 * margin);
+}
+
+void LinearSvm::PredictBatch(const linalg::Matrix& x,
+                             std::vector<int>* out) const {
+  DFS_CHECK(out != nullptr);
+  DFS_DCHECK(fitted_) << "PredictBatch before Fit";
+  const int n = x.rows();
+  out->resize(n);
+  thread_local std::vector<double> margins;
+  margins.resize(n);
+  linalg::kernels::MatVec(x.Data(), n, x.cols(), weights_.data(), intercept_,
+                          margins.data());
+  int* dst = out->data();
+  // Same Sigmoid-then-threshold contract as LogisticRegression::
+  // PredictBatch (margin-sign tests are not FP-equivalent).
+  for (int r = 0; r < n; ++r) {
+    dst[r] = Sigmoid(4.0 * margins[r]) >= 0.5 ? 1 : 0;
+  }
+}
+
+void LinearSvm::PredictBatch32(const linalg::Matrix32& x,
+                               std::vector<int>* out) const {
+  DFS_CHECK(out != nullptr);
+  DFS_DCHECK(fitted_) << "PredictBatch32 before Fit";
+  const int n = x.rows();
+  out->resize(n);
+  thread_local std::vector<double> margins;
+  margins.resize(n);
+  linalg::kernels::MatVecF32(x.Data(), n, x.cols(), weights_.data(),
+                             intercept_, margins.data());
+  int* dst = out->data();
+  for (int r = 0; r < n; ++r) {
+    dst[r] = Sigmoid(4.0 * margins[r]) >= 0.5 ? 1 : 0;
+  }
 }
 
 std::optional<std::vector<double>> LinearSvm::FeatureImportances() const {

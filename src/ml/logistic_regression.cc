@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "linalg/kernels.h"
 #include "util/math_util.h"
 
 namespace dfs::ml {
@@ -35,10 +36,10 @@ Status LogisticRegression::Fit(const linalg::Matrix& x,
     double intercept_gradient = 0.0;
     for (int r = 0; r < n; ++r) {
       const double* xr = x.RowPtr(r);
-      double margin = intercept_;
-      for (int c = 0; c < d; ++c) margin += w[c] * xr[c];
+      const double margin =
+          intercept_ + linalg::kernels::Dot(w, xr, static_cast<size_t>(d));
       double error = Sigmoid(margin) - y[r];
-      for (int c = 0; c < d; ++c) g[c] += error * xr[c];
+      linalg::kernels::AxpyInPlace(g, error, xr, static_cast<size_t>(d));
       intercept_gradient += error;
     }
     double gradient_norm_sq = intercept_gradient * intercept_gradient;
@@ -59,12 +60,50 @@ Status LogisticRegression::Fit(const linalg::Matrix& x,
 double LogisticRegression::PredictProba(std::span<const double> row) const {
   DFS_DCHECK(fitted_) << "PredictProba before Fit";
   DFS_DCHECK(row.size() == weights_.size());
-  const double* v = row.data();
-  const double* w = weights_.data();
-  const size_t d = row.size();
-  double margin = intercept_;
-  for (size_t c = 0; c < d; ++c) margin += w[c] * v[c];
+  const double margin =
+      intercept_ +
+      linalg::kernels::Dot(row.data(), weights_.data(), row.size());
   return Sigmoid(margin);
+}
+
+double LogisticRegression::PredictProba32(std::span<const float> row) const {
+  DFS_DCHECK(fitted_) << "PredictProba32 before Fit";
+  DFS_DCHECK(row.size() == weights_.size());
+  const double margin =
+      intercept_ +
+      linalg::kernels::DotF32(row.data(), weights_.data(), row.size());
+  return Sigmoid(margin);
+}
+
+void LogisticRegression::PredictBatch(const linalg::Matrix& x,
+                                      std::vector<int>* out) const {
+  DFS_CHECK(out != nullptr);
+  DFS_DCHECK(fitted_) << "PredictBatch before Fit";
+  const int n = x.rows();
+  out->resize(n);
+  thread_local std::vector<double> margins;
+  margins.resize(n);
+  linalg::kernels::MatVec(x.Data(), n, x.cols(), weights_.data(), intercept_,
+                          margins.data());
+  int* dst = out->data();
+  // Threshold through Sigmoid, not on the margin sign: Sigmoid(m) can
+  // round to exactly 0.5 for tiny negative m, so the two tests are not
+  // FP-equivalent and the per-row PredictProba path is the contract.
+  for (int r = 0; r < n; ++r) dst[r] = Sigmoid(margins[r]) >= 0.5 ? 1 : 0;
+}
+
+void LogisticRegression::PredictBatch32(const linalg::Matrix32& x,
+                                        std::vector<int>* out) const {
+  DFS_CHECK(out != nullptr);
+  DFS_DCHECK(fitted_) << "PredictBatch32 before Fit";
+  const int n = x.rows();
+  out->resize(n);
+  thread_local std::vector<double> margins;
+  margins.resize(n);
+  linalg::kernels::MatVecF32(x.Data(), n, x.cols(), weights_.data(),
+                             intercept_, margins.data());
+  int* dst = out->data();
+  for (int r = 0; r < n; ++r) dst[r] = Sigmoid(margins[r]) >= 0.5 ? 1 : 0;
 }
 
 std::optional<std::vector<double>> LogisticRegression::FeatureImportances()

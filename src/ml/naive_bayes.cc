@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "linalg/kernels.h"
 #include "util/math_util.h"
 
 namespace dfs::ml {
@@ -72,8 +73,23 @@ Status GaussianNaiveBayes::Fit(const linalg::Matrix& x,
   for (int k = 0; k < 2; ++k) {
     for (int c = 0; c < d; ++c) variance_[k][c] += smoothing;
   }
+  FinalizeDerivedStats();
   fitted_ = true;
   return OkStatus();
+}
+
+void GaussianNaiveBayes::FinalizeDerivedStats() {
+  for (int k = 0; k < 2; ++k) {
+    const size_t d = variance_[k].size();
+    inv2var_[k].resize(d);
+    double norm = log_prior_[k];
+    for (size_t c = 0; c < d; ++c) {
+      const double variance = variance_[k][c];
+      norm += -0.5 * std::log(2.0 * M_PI * variance);
+      inv2var_[k][c] = 1.0 / (2.0 * variance);
+    }
+    log_norm_[k] = norm;
+  }
 }
 
 double GaussianNaiveBayes::PredictProba(std::span<const double> row) const {
@@ -81,20 +97,33 @@ double GaussianNaiveBayes::PredictProba(std::span<const double> row) const {
   DFS_DCHECK(row.size() == mean_[0].size());
   const double* v = row.data();
   const size_t d = row.size();
+  // log P(x | k) + log P(k) = log_norm_[k] - sum_c delta^2 / (2 var_c);
+  // the quadratic term is one blocked WeightedSquaredDiff kernel, the log
+  // terms were folded into log_norm_ at Fit time.
   double log_likelihood[2];
   for (int k = 0; k < 2; ++k) {
-    const double* mean = mean_[k].data();
-    const double* var = variance_[k].data();
-    double total = log_prior_[k];
-    for (size_t c = 0; c < d; ++c) {
-      const double variance = var[c];
-      const double delta = v[c] - mean[c];
-      total += -0.5 * std::log(2.0 * M_PI * variance) -
-               delta * delta / (2.0 * variance);
-    }
-    log_likelihood[k] = total;
+    log_likelihood[k] =
+        log_norm_[k] - linalg::kernels::WeightedSquaredDiff(
+                           v, mean_[k].data(), inv2var_[k].data(), d);
   }
   // P(1 | row) via the log-sum-exp trick.
+  const double max_ll = std::max(log_likelihood[0], log_likelihood[1]);
+  const double e0 = std::exp(log_likelihood[0] - max_ll);
+  const double e1 = std::exp(log_likelihood[1] - max_ll);
+  return e1 / (e0 + e1);
+}
+
+double GaussianNaiveBayes::PredictProba32(std::span<const float> row) const {
+  DFS_DCHECK(fitted_) << "PredictProba32 before Fit";
+  DFS_DCHECK(row.size() == mean_[0].size());
+  const float* v = row.data();
+  const size_t d = row.size();
+  double log_likelihood[2];
+  for (int k = 0; k < 2; ++k) {
+    log_likelihood[k] =
+        log_norm_[k] - linalg::kernels::WeightedSquaredDiffF32(
+                           v, mean_[k].data(), inv2var_[k].data(), d);
+  }
   const double max_ll = std::max(log_likelihood[0], log_likelihood[1]);
   const double e0 = std::exp(log_likelihood[0] - max_ll);
   const double e1 = std::exp(log_likelihood[1] - max_ll);

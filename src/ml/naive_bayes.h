@@ -22,17 +22,31 @@ class GaussianNaiveBayes : public Classifier {
   /// override would otherwise hide it from unqualified lookup).
   using Classifier::PredictProba;
 
+  /// Native mixed-precision path (f32 row, f64 statistics/accumulation).
+  double PredictProba32(std::span<const float> row) const override;
+
   std::unique_ptr<Classifier> Clone() const override {
     return std::make_unique<GaussianNaiveBayes>(params_);
   }
   std::string name() const override { return "NB"; }
 
  protected:
+  /// Precomputes the per-class likelihood constants consumed by
+  /// PredictProba: log_norm_[k] = log_prior + sum_c -0.5*log(2*pi*var_c)
+  /// and inv2var_[k][c] = 1 / (2*var_c). Pulls every std::log out of the
+  /// predict hot loop, leaving one WeightedSquaredDiff kernel per class
+  /// (DESIGN.md §2i). Every Fit (including the DP subclass, which writes
+  /// the statistics itself) must call this last.
+  void FinalizeDerivedStats();
+
   Hyperparameters params_;
   // Index 0 = class 0, index 1 = class 1.
   double log_prior_[2] = {0.0, 0.0};
   std::vector<double> mean_[2];
   std::vector<double> variance_[2];
+  // Derived by FinalizeDerivedStats from the statistics above.
+  double log_norm_[2] = {0.0, 0.0};
+  std::vector<double> inv2var_[2];
   bool fitted_ = false;
 };
 

@@ -56,9 +56,12 @@ Status RandomForest::Fit(const linalg::Matrix& x, const std::vector<int>& y) {
                        static_cast<int>(member.features.size()));
     std::vector<int> sub_y(rows.size());
     for (size_t i = 0; i < rows.size(); ++i) {
+      // Row/feature indices were validated when sampled; use the
+      // unchecked accessors in this O(rows * features * trees) gather.
+      const double* src = x.RowPtr(rows[i]);
       for (size_t j = 0; j < member.features.size(); ++j) {
-        sub(static_cast<int>(i), static_cast<int>(j)) =
-            x(rows[i], member.features[j]);
+        sub.Set(static_cast<int>(i), static_cast<int>(j),
+                src[member.features[j]]);
       }
       sub_y[i] = y[rows[i]];
     }

@@ -91,6 +91,68 @@ TEST_P(BenchmarkDatasetTest, SensitiveAttributeIsFirstFeature) {
   }
 }
 
+// --- XL tier (DESIGN.md §2i) ------------------------------------------
+//
+// The XL registry is validated structurally at full width but generated at
+// a tiny row_scale: spec width (encoded feature count) is row-count
+// independent, so these tests prove the paper-scale shapes without paying
+// paper-scale generation time.
+
+TEST(XlBenchmarkSuiteTest, SpecsReachPaperScaleShapes) {
+  ASSERT_EQ(XlBenchmarkSize(), 3);
+  const auto& specs = XlBenchmarkSpecs();
+  // Full post-encoding width: EncodedFeatureCount() plus one <missing>
+  // one-hot bucket per categorical attribute (missing_fraction > 0).
+  auto full_width = [](const SyntheticSpec& spec) {
+    return spec.EncodedFeatureCount() + spec.categorical_attributes;
+  };
+  EXPECT_EQ(full_width(specs[0]), 1261);
+  EXPECT_EQ(full_width(specs[1]), 1013);
+  EXPECT_EQ(full_width(specs[2]), 525);
+  for (const auto& spec : specs) {
+    EXPECT_GE(spec.rows, 100000) << spec.name;
+    EXPECT_GE(full_width(spec), 500) << spec.name;
+  }
+}
+
+TEST(XlBenchmarkSuiteTest, NamesAreDistinctFromBaseSuite) {
+  for (const auto& spec : XlBenchmarkSpecs()) {
+    EXPECT_FALSE(BenchmarkSpecByName(spec.name).ok()) << spec.name;
+  }
+}
+
+TEST(XlBenchmarkSuiteTest, GeneratesSoundDataAtSmallRowScale) {
+  // ~300 rows of the 150k-row spec: full encoded width, test-sized height.
+  auto generated = GenerateXlBenchmarkDataset(0, /*seed=*/5,
+                                              /*row_scale=*/0.002);
+  ASSERT_TRUE(generated.ok());
+  const Dataset dataset = std::move(generated).value();
+  const auto& spec = XlBenchmarkSpecs()[0];
+  // Width cap: encoded columns + one <missing> bucket per categorical.
+  // Preprocessing may drop constant columns below that, never add more.
+  const int full_width =
+      spec.EncodedFeatureCount() + spec.categorical_attributes;
+  EXPECT_LE(dataset.num_features(), full_width);
+  EXPECT_GT(dataset.num_features(), full_width / 2);
+  EXPECT_GE(dataset.num_rows(), 60);
+  std::set<int> labels(dataset.labels().begin(), dataset.labels().end());
+  std::set<int> groups(dataset.groups().begin(), dataset.groups().end());
+  EXPECT_EQ(labels.size(), 2u);
+  EXPECT_EQ(groups.size(), 2u);
+  for (int f = 0; f < dataset.num_features(); ++f) {
+    for (double v : dataset.Column(f)) {
+      ASSERT_TRUE(std::isfinite(v));
+      ASSERT_GE(v, 0.0);
+      ASSERT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(XlBenchmarkSuiteTest, IndexOutOfRangeIsError) {
+  EXPECT_FALSE(GenerateXlBenchmarkDataset(-1).ok());
+  EXPECT_FALSE(GenerateXlBenchmarkDataset(XlBenchmarkSize()).ok());
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllNineteen, BenchmarkDatasetTest, ::testing::Range(0, 19),
     [](const auto& info) {

@@ -60,7 +60,10 @@ TEST(MatrixTest, MultiplyByIdentityIsNoop) {
 
 TEST(MatrixTest, MultiplyVector) {
   Matrix a = {{1, 2}, {3, 4}};
-  EXPECT_EQ(a.MultiplyVector({1.0, 1.0}), (std::vector<double>{3.0, 7.0}));
+  // Named vector: MultiplyVector takes std::span, which has no
+  // initializer-list conversion.
+  const std::vector<double> ones = {1.0, 1.0};
+  EXPECT_EQ(a.MultiplyVector(ones), (std::vector<double>{3.0, 7.0}));
 }
 
 TEST(MatrixTest, UncheckedAccessorsMatchChecked) {

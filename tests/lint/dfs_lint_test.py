@@ -29,6 +29,7 @@ EXPECTED = {
     "dcheck-side-effect": "bad_dcheck.cc",
     "metric-name": "bad_metric.cc",
     "naked-exemption": "bad_exemption.cc",
+    "linalg-span": "linalg/bad_span.h",
 }
 
 VIOLATION_RE = re.compile(r"^dfs_lint: (\S+?):(\d+): \[([a-z-]+)\]")

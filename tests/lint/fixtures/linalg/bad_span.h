@@ -1,0 +1,15 @@
+#ifndef DFS_LINALG_BAD_SPAN_H_
+#define DFS_LINALG_BAD_SPAN_H_
+
+#include <vector>
+
+namespace dfs::linalg {
+
+// Known-bad for [linalg-span]: a const-ref vector parameter in a linalg
+// header forces hot-path callers to materialize copies; must be
+// std::span<const double> or pointer + length.
+double Sum(const std::vector<double>& values);
+
+}  // namespace dfs::linalg
+
+#endif  // DFS_LINALG_BAD_SPAN_H_

@@ -35,6 +35,12 @@ Each rule guards a documented contract:
   naked-exemption   DFS_NO_THREAD_SAFETY_ANALYSIS without a justification
                     comment on the same or preceding line: exemptions are
                     allowed, silent ones are not.
+  linalg-span       Kernel-layer API hygiene (DESIGN.md §2i): linalg
+                    headers must take std::span<const double> (or raw
+                    pointer + length), never const std::vector<double>&.
+                    A const-ref vector parameter forces callers holding a
+                    span, a Matrix row, or a scratch slice to materialize
+                    a copy on the evaluation hot path.
 
 Usage:
   tools/dfs_lint.py                 # lint src/ and tools/ of this repo
@@ -85,6 +91,12 @@ DCHECK_MUTATION_RE = re.compile(
     r"|reset|release|store|fetch_add|fetch_sub)\s*\(")
 
 EXEMPTION_RE = re.compile(r"\bDFS_NO_THREAD_SAFETY_ANALYSIS\b")
+
+# const-ref vector-of-scalar in a linalg header: should be std::span (or
+# pointer + length). Return types and members are by value / owning, so
+# the const-ref spelling only ever appears in parameter lists.
+LINALG_SPAN_RE = re.compile(
+    r"const\s+std::vector<\s*(?:double|float)\s*>\s*&")
 
 LINE_COMMENT_RE = re.compile(r"//[^\n]*")
 BLOCK_COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
@@ -271,6 +283,19 @@ def check_naked_exemptions(rel, text, out):
                 "comment on this or the preceding line"))
 
 
+def check_linalg_span(rel, text, out):
+    if not rel.startswith("linalg/") or not rel.endswith(".h"):
+        return
+    code = strip_comments(text)
+    for number, line in iter_lines(code):
+        if LINALG_SPAN_RE.search(line):
+            out.append(Violation(
+                rel, number, "linalg-span",
+                "const std::vector<double>& parameter in a linalg "
+                "header — take std::span<const double> (or pointer + "
+                "length) so hot-path callers never copy (DESIGN.md §2i)"))
+
+
 def load_protocol(protocol_path):
     try:
         with open(protocol_path, encoding="utf-8") as handle:
@@ -301,6 +326,7 @@ def lint_tree(roots, protocol_path):
                 check_metric_names(rel, text, documented,
                                    protocol_text, violations)
                 check_naked_exemptions(rel, text, violations)
+                check_linalg_span(rel, text, violations)
     return violations
 
 
