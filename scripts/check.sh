@@ -19,7 +19,10 @@
 #                                  # in some Markdown file
 #   scripts/check.sh --bench-smoke # build bench_micro and snapshot the
 #                                  # serial-vs-parallel candidate-sweep
-#                                  # throughput to BENCH_results.json
+#                                  # throughput to BENCH_results.json,
+#                                  # plus dfs_loadgen serve-load rows
+#                                  # (epoll vs thread-per-connection,
+#                                  # 1k-channel, and past-saturation shed)
 #   scripts/check.sh --lint        # static gate (no test run): dfs_lint
 #                                  # project-contract rules + their
 #                                  # self-test, then — when Clang tooling
@@ -79,7 +82,8 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
   # debug build of this library. (The build/ tree's type is whatever the
   # developer last configured; build-bench is pinned.)
   cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
-  cmake --build build-bench -j --target bench_micro bench_serve_throughput
+  cmake --build build-bench -j --target bench_micro bench_serve_throughput \
+    dfs_loadgen
   # Covers the hot-path kernels (GatherInto, span PredictBatch, one
   # uncached evaluation), the Arg(1) serial baseline through Arg(0)
   # full-budget candidate sweep, the eval-cache miss probe with the
@@ -98,19 +102,42 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
     --benchmark_filter='ServeRoutedThroughput' \
     --benchmark_min_time=0.2 \
     --json "$out.routed"
-  python3 - "$out" "$out.routed" <<'PY'
+  # Serve front-end under open-loop load (tools/dfs_loadgen, real TCP):
+  #   * epoll vs the thread-per-connection baseline at moderate load —
+  #     bench_diff.py gates the front-end p50/p95/p99 rows against the
+  #     committed snapshot (ISSUE 9's "p99 no worse than baseline").
+  #   * 1k+ concurrent channels sustained through the event loop.
+  #   * submit workload pushed past saturation with the admission
+  #     watermark on: throughput plateaus and sheds rise (the shed/error
+  #     counts ride in the row labels; only latencies/ns_per_op are
+  #     gateable rows).
+  ./build-bench/tools/dfs_loadgen --workload ping --mode open \
+    --connections 64 --rate 500 --requests 1500 --json "$out.lg_epoll"
+  ./build-bench/tools/dfs_loadgen --frontend threads --workload ping \
+    --mode open --connections 64 --rate 500 --requests 1500 \
+    --json "$out.lg_threads"
+  ./build-bench/tools/dfs_loadgen --workload ping --mode open \
+    --connections 1024 --rate 2000 --requests 10000 \
+    --json "$out.lg_1k"
+  ./build-bench/tools/dfs_loadgen --workload submit --mode open \
+    --connections 64 --rate 4000 --requests 8000 --workers 1 \
+    --queue-capacity 16 --shed-watermark 16 --json "$out.lg_shed"
+  python3 - "$out" "$out.routed" "$out.lg_epoll" "$out.lg_threads" \
+    "$out.lg_1k" "$out.lg_shed" <<'PY'
 import json, sys
-main_path, extra_path = sys.argv[1], sys.argv[2]
+main_path, extra_paths = sys.argv[1], sys.argv[2:]
 with open(main_path, encoding="utf-8") as fh:
     report = json.load(fh)
-with open(extra_path, encoding="utf-8") as fh:
-    extra = json.load(fh)
-report["benchmarks"].extend(extra.get("benchmarks", []))
+for extra_path in extra_paths:
+    with open(extra_path, encoding="utf-8") as fh:
+        extra = json.load(fh)
+    report["benchmarks"].extend(extra.get("benchmarks", []))
 with open(main_path, "w", encoding="utf-8") as fh:
     json.dump(report, fh, indent=2)
     fh.write("\n")
 PY
-  rm -f "$out.routed"
+  rm -f "$out.routed" "$out.lg_epoll" "$out.lg_threads" "$out.lg_1k" \
+    "$out.lg_shed"
   # Note: the JSON's "library_build_type" describes the *system*
   # libbenchmark (Debian ships it non-NDEBUG, i.e. "debug" forever);
   # "dfs_build_type" is this library's own build and is the one gated.

@@ -1,0 +1,533 @@
+#include "serve/event_loop.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/frontend.h"
+#include "serve/line_protocol.h"
+#include "util/logging.h"
+#include "util/mutex.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/thread_annotations.h"
+
+namespace dfs::serve {
+namespace {
+
+/// dfs::obs instruments of the network front-end (documented in
+/// docs/PROTOCOL.md's instrument registry). `open_connections` mirrors the
+/// acceptor/loop bookkeeping; `request_seconds` times one line from parse
+/// to response-queued (dispatch inclusive), which is the front-end's own
+/// latency contribution — job time lives in serve.run_seconds.
+struct NetMetrics {
+  obs::Counter& accepted;
+  obs::Counter& shed_requests;
+  obs::Counter& shed_accepts;
+  obs::Counter& closed;
+  obs::Gauge& open_connections;
+  obs::Histogram& request_seconds;
+
+  static NetMetrics& Get() {
+    auto& registry = obs::MetricsRegistry::Global();
+    static NetMetrics* metrics = new NetMetrics{
+        registry.counter("serve.net.accepted"),
+        registry.counter("serve.net.shed_requests"),
+        registry.counter("serve.net.shed_accepts"),
+        registry.counter("serve.net.closed"),
+        registry.gauge("serve.net.open_connections"),
+        registry.histogram("serve.net.request_seconds"),
+    };
+    return *metrics;
+  }
+};
+
+/// Canonical-encoding submit detector for admission control. Both first-
+/// party encoders (FormatSubmitLine, and WriteJsonLine in general) emit
+/// `"op":"submit"` with no interior whitespace, so a substring test is
+/// enough to recognize every request our own clients can produce. A
+/// non-canonical submit (hand-written JSON with spaces) falls through to
+/// the bounded queue, whose TrySubmit rejects with the same "queue_full"
+/// tag — shedding is an optimization, never the only backstop.
+bool IsCanonicalSubmit(const std::string& line) {
+  return line.find("\"op\":\"submit\"") != std::string::npos;
+}
+
+Status ErrnoError(const std::string& what) {
+  return InternalError(what + ": " + std::strerror(errno));
+}
+
+/// Non-blocking + Nagle off: responses are one small line each and the
+/// event loop never blocks on a channel.
+bool PrepareClientFd(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return false;
+  }
+  const int enable = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  return true;
+}
+
+}  // namespace
+
+std::string ShedResponse() {
+  JsonObject object;
+  object["error"] = JsonValue::String("queue_full");
+  object["message"] =
+      JsonValue::String("shed: job queue at admission watermark");
+  object["ok"] = JsonValue::Bool(false);
+  return WriteJsonLine(object);
+}
+
+std::string AcceptShedResponse() {
+  JsonObject object;
+  object["error"] = JsonValue::String("queue_full");
+  object["message"] =
+      JsonValue::String("shed: connection limit reached");
+  object["ok"] = JsonValue::Bool(false);
+  return WriteJsonLine(object);
+}
+
+/// One epoll instance + its thread. A connection is owned by exactly one
+/// IoLoop for its whole life, so channel state needs no locking; the only
+/// cross-thread surface is the pending-accept queue (acceptor -> loop) and
+/// the eventfd wakeup.
+class EventLoopFrontEnd::IoLoop {
+ public:
+  explicit IoLoop(EventLoopFrontEnd& owner) : owner_(owner) {}
+
+  ~IoLoop() {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (event_fd_ >= 0) ::close(event_fd_);
+  }
+
+  Status Init() {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) return ErrnoError("epoll_create1");
+    event_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (event_fd_ < 0) return ErrnoError("eventfd");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = event_fd_;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev) != 0) {
+      return ErrnoError("epoll_ctl(eventfd)");
+    }
+    return OkStatus();
+  }
+
+  void StartThread() { thread_ = std::thread(&IoLoop::Run, this); }
+
+  void Join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  /// Acceptor-side handoff of a freshly accepted (already non-blocking)
+  /// fd. If the loop has already exited (stop racing an accept), the fd
+  /// stays in pending_ until the destructor-adjacent CloseAll — the
+  /// process is exiting anyway.
+  void Enqueue(int fd) {
+    {
+      util::MutexLock lock(mu_);
+      pending_.push_back(fd);
+    }
+    Wake();
+  }
+
+  /// Async-signal-safe wakeup (write(2) on an eventfd).
+  void Wake() {
+    const uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(event_fd_, &one, sizeof(one));
+  }
+
+ private:
+  /// Per-connection state machine. Owned by this loop's thread; the
+  /// buffers live here (not in a LineChannel) so reads and writes survive
+  /// any number of epoll wakeups mid-line.
+  struct Channel {
+    int fd = -1;
+    std::string inbuf;
+    std::string outbuf;
+    size_t out_offset = 0;     ///< bytes of outbuf already sent
+    uint32_t armed = EPOLLIN;  ///< epoll interest currently registered
+    bool read_closed = false;  ///< peer EOF seen; drain then close
+  };
+
+  bool HasPendingOut(const Channel& ch) const {
+    return ch.out_offset < ch.outbuf.size();
+  }
+
+  void Run() {
+    std::array<epoll_event, 128> events;
+    while (true) {
+      const int n =
+          ::epoll_wait(epoll_fd_, events.data(),
+                       static_cast<int>(events.size()), /*timeout=*/-1);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        DFS_LOG(ERROR) << "epoll_wait: " << std::strerror(errno);
+        break;
+      }
+      bool woken = false;
+      for (int i = 0; i < n; ++i) {
+        if (events[i].data.fd == event_fd_) {
+          woken = true;
+          continue;
+        }
+        HandleEvent(events[i].data.fd, events[i].events);
+      }
+      if (woken) {
+        DrainEventFd();
+        if (owner_.stopping_.load(std::memory_order_acquire)) break;
+        // Register after the event batch, never during it: a closed fd's
+        // number can then never be reused by a new channel while stale
+        // events for the old one are still in this batch.
+        RegisterPending();
+      }
+    }
+    CloseAll();
+  }
+
+  void DrainEventFd() {
+    uint64_t value = 0;
+    while (::read(event_fd_, &value, sizeof(value)) > 0) {
+    }
+  }
+
+  void RegisterPending() {
+    std::vector<int> fds;
+    {
+      util::MutexLock lock(mu_);
+      fds.swap(pending_);
+    }
+    for (const int fd : fds) {
+      auto channel = std::make_unique<Channel>();
+      channel->fd = fd;
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = fd;
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        DFS_LOG(WARNING) << "epoll_ctl(add): " << std::strerror(errno);
+        ::close(fd);
+        AccountClose();
+        continue;
+      }
+      channels_.emplace(fd, std::move(channel));
+    }
+  }
+
+  void HandleEvent(int fd, uint32_t revents) {
+    auto it = channels_.find(fd);
+    // Stale event for a channel closed earlier in this same batch.
+    if (it == channels_.end()) return;
+    Channel& ch = *it->second;
+    if ((revents & EPOLLIN) != 0 && !ReadChannel(ch)) {
+      Close(ch);
+      return;
+    }
+    if (!FlushChannel(ch)) {
+      Close(ch);
+      return;
+    }
+    if ((revents & (EPOLLERR | EPOLLHUP)) != 0) {
+      // Peer fully closed or the socket errored; any unsent response
+      // would only earn an RST.
+      Close(ch);
+      return;
+    }
+    if (ch.read_closed && !HasPendingOut(ch)) {
+      Close(ch);
+      return;
+    }
+    UpdateInterest(ch);
+  }
+
+  /// Reads until EAGAIN/EOF, extracting and dispatching every complete
+  /// line. Returns false when the connection must be closed (I/O error,
+  /// RST, or the 1 MiB line cap exceeded).
+  bool ReadChannel(Channel& ch) {
+    if (ch.read_closed) return true;
+    char chunk[16384];
+    while (true) {
+      const ssize_t n = ::recv(ch.fd, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        ch.inbuf.append(chunk, static_cast<size_t>(n));
+        if (!ExtractAndDispatch(ch)) return false;
+        if (static_cast<size_t>(n) < sizeof(chunk)) return true;
+        continue;
+      }
+      if (n == 0) {
+        ch.read_closed = true;
+        // LineChannel semantics: a final unterminated line is served.
+        if (!ch.inbuf.empty()) {
+          std::string line = std::move(ch.inbuf);
+          ch.inbuf.clear();
+          if (!line.empty() && line.back() == '\r') line.pop_back();
+          HandleLine(ch, line);
+        }
+        return true;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      return false;  // ECONNRESET and friends
+    }
+  }
+
+  /// Splits inbuf on '\n' (stripping a trailing '\r' per line) and
+  /// dispatches each complete line in arrival order — pipelined requests
+  /// produce pipelined responses. False once the unterminated residue
+  /// exceeds kMaxLineBytes (same cap as LineChannel::ReadLine).
+  bool ExtractAndDispatch(Channel& ch) {
+    size_t start = 0;
+    while (true) {
+      const size_t newline = ch.inbuf.find('\n', start);
+      if (newline == std::string::npos) break;
+      std::string line = ch.inbuf.substr(start, newline - start);
+      start = newline + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      HandleLine(ch, line);
+    }
+    if (start > 0) ch.inbuf.erase(0, start);
+    return ch.inbuf.size() <= kMaxLineBytes;
+  }
+
+  void HandleLine(Channel& ch, const std::string& line) {
+    if (Strip(line).empty()) return;
+    NetMetrics& metrics = NetMetrics::Get();
+    obs::ScopedTimer timer(metrics.request_seconds);
+    bool shutdown_requested = false;
+    const EventLoopOptions& options = owner_.options_;
+    if (options.shed_watermark > 0 && IsCanonicalSubmit(line) &&
+        owner_.server_.QueueDepth() >= options.shed_watermark) {
+      metrics.shed_requests.Increment();
+      ch.outbuf += ShedResponse();
+    } else {
+      DispatchResult result = Dispatch(owner_.server_, line);
+      ch.outbuf += result.response;
+      shutdown_requested = result.shutdown_requested;
+    }
+    ch.outbuf += '\n';
+    if (shutdown_requested) {
+      // Acknowledge on the wire before the fleet goes down, then stop
+      // everything (the other loops flush best-effort on their way out).
+      BlockingFlush(ch);
+      owner_.client_shutdown_.store(true, std::memory_order_release);
+      owner_.RequestStop();
+    }
+  }
+
+  /// Writes as much buffered output as the socket accepts. Returns false
+  /// when the connection must be closed (write error, or a peer that
+  /// stopped reading past max_write_buffer_bytes).
+  bool FlushChannel(Channel& ch) {
+    while (HasPendingOut(ch)) {
+      const ssize_t n =
+          ::send(ch.fd, ch.outbuf.data() + ch.out_offset,
+                 ch.outbuf.size() - ch.out_offset, MSG_NOSIGNAL);
+      if (n >= 0) {
+        ch.out_offset += static_cast<size_t>(n);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return false;  // EPIPE/ECONNRESET
+    }
+    if (!HasPendingOut(ch)) {
+      ch.outbuf.clear();
+      ch.out_offset = 0;
+    } else if (ch.out_offset > (64u << 10)) {
+      ch.outbuf.erase(0, ch.out_offset);
+      ch.out_offset = 0;
+    }
+    return ch.outbuf.size() - ch.out_offset <=
+           owner_.options_.max_write_buffer_bytes;
+  }
+
+  /// Bounded blocking drain for the shutdown acknowledgment: poll(2) the
+  /// non-blocking fd for up to ~1 s. Best-effort — a dead peer just ends
+  /// the drain early.
+  void BlockingFlush(Channel& ch) {
+    Stopwatch watch;
+    while (HasPendingOut(ch) && watch.ElapsedSeconds() < 1.0) {
+      pollfd poller{ch.fd, POLLOUT, 0};
+      ::poll(&poller, 1, /*timeout_ms=*/50);
+      if (!FlushChannel(ch)) return;
+    }
+  }
+
+  void UpdateInterest(Channel& ch) {
+    uint32_t wanted = 0;
+    if (!ch.read_closed) wanted |= EPOLLIN;
+    if (HasPendingOut(ch)) wanted |= EPOLLOUT;
+    if (wanted == ch.armed) return;
+    epoll_event ev{};
+    ev.events = wanted;
+    ev.data.fd = ch.fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, ch.fd, &ev) == 0) {
+      ch.armed = wanted;
+    }
+  }
+
+  void AccountClose() {
+    NetMetrics& metrics = NetMetrics::Get();
+    metrics.closed.Increment();
+    metrics.open_connections.Add(-1);
+    owner_.open_connections_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  void Close(Channel& ch) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, ch.fd, nullptr);
+    ::close(ch.fd);
+    const int fd = ch.fd;
+    channels_.erase(fd);
+    AccountClose();
+  }
+
+  /// Loop exit: one best-effort flush per channel (so responses queued
+  /// just before shutdown usually reach their peers), then close
+  /// everything including never-registered pending accepts.
+  void CloseAll() {
+    {
+      util::MutexLock lock(mu_);
+      for (const int fd : pending_) {
+        ::close(fd);
+        AccountClose();
+      }
+      pending_.clear();
+    }
+    while (!channels_.empty()) {
+      Channel& ch = *channels_.begin()->second;
+      FlushChannel(ch);
+      Close(ch);
+    }
+  }
+
+  EventLoopFrontEnd& owner_;
+  int epoll_fd_ = -1;
+  int event_fd_ = -1;
+  std::thread thread_;
+
+  util::Mutex mu_;
+  std::vector<int> pending_ DFS_GUARDED_BY(mu_);
+
+  /// Loop-thread only: fd -> connection state. Keyed by fd (not pointer)
+  /// so stale events in the current batch resolve to "already closed".
+  std::unordered_map<int, std::unique_ptr<Channel>> channels_;
+};
+
+EventLoopFrontEnd::EventLoopFrontEnd(DfsServer& server,
+                                     EventLoopOptions options)
+    : server_(server), options_(options) {
+  if (options_.io_threads < 1) options_.io_threads = 1;
+  if (options_.io_threads > 64) options_.io_threads = 64;
+  if (options_.max_connections == 0) options_.max_connections = 1;
+}
+
+EventLoopFrontEnd::~EventLoopFrontEnd() {
+  RequestStop();
+  Wait();
+}
+
+Status EventLoopFrontEnd::Start() {
+  if (started_.exchange(true)) {
+    return FailedPreconditionError("front-end already started");
+  }
+  DFS_RETURN_IF_ERROR(
+      listener_.Listen(options_.port, options_.loopback_only));
+  loops_.reserve(static_cast<size_t>(options_.io_threads));
+  for (int i = 0; i < options_.io_threads; ++i) {
+    auto loop = std::make_unique<IoLoop>(*this);
+    if (Status status = loop->Init(); !status.ok()) {
+      listener_.Close();
+      loops_.clear();
+      return status;
+    }
+    loops_.push_back(std::move(loop));
+  }
+  for (auto& loop : loops_) loop->StartThread();
+  acceptor_ = std::thread(&EventLoopFrontEnd::AcceptLoop, this);
+  return OkStatus();
+}
+
+void EventLoopFrontEnd::RequestStop() {
+  // Async-signal-safe by construction: an atomic store, shutdown(2) on
+  // the listener, and one write(2) per I/O thread. loops_ is immutable
+  // after Start().
+  stopping_.store(true, std::memory_order_release);
+  listener_.InterruptAccept();
+  for (auto& loop : loops_) loop->Wake();
+}
+
+bool EventLoopFrontEnd::Wait() {
+  if (acceptor_.joinable()) acceptor_.join();
+  // The acceptor also exits on a fatal listener error; make sure the I/O
+  // threads stop in that case too.
+  RequestStop();
+  for (auto& loop : loops_) loop->Join();
+  listener_.Close();
+  return client_shutdown_.load(std::memory_order_acquire);
+}
+
+void EventLoopFrontEnd::AcceptLoop() {
+  NetMetrics& metrics = NetMetrics::Get();
+  int consecutive_errors = 0;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    auto client = listener_.Accept();
+    if (!client.ok()) {
+      if (stopping_.load(std::memory_order_acquire) ||
+          client.status().code() == StatusCode::kCancelled) {
+        break;
+      }
+      // Transient accept failures (ECONNABORTED, EMFILE under a burst)
+      // must not kill the daemon; a persistently failing listener does.
+      if (++consecutive_errors >= 100) {
+        DFS_LOG(ERROR) << "accept loop giving up: "
+                       << client.status().ToString();
+        break;
+      }
+      continue;
+    }
+    consecutive_errors = 0;
+    const int fd = *client;
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    if (open_connections_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      // Accept-time shed under fd pressure: one best-effort line (the fd
+      // is still blocking; the line is far below any socket buffer), then
+      // close. The kernel backlog drains instead of timing clients out.
+      const std::string line = AcceptShedResponse() + "\n";
+      (void)::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      metrics.shed_accepts.Increment();
+      continue;
+    }
+    if (!PrepareClientFd(fd)) {
+      ::close(fd);
+      continue;
+    }
+    metrics.accepted.Increment();
+    metrics.open_connections.Add(1);
+    open_connections_.fetch_add(1, std::memory_order_relaxed);
+    loops_[next_loop_]->Enqueue(fd);
+    next_loop_ = (next_loop_ + 1) % loops_.size();
+  }
+}
+
+}  // namespace dfs::serve

@@ -281,6 +281,8 @@ ServerStats DfsServer::Stats() const {
   return snapshot;
 }
 
+size_t DfsServer::QueueDepth() const { return queue_.size(); }
+
 void DfsServer::Shutdown(bool cancel_pending) {
   util::MutexLock shutdown_lock(shutdown_mu_);
   if (shutdown_done_) return;

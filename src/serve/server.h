@@ -165,6 +165,10 @@ class DfsServer {
 
   ServerStats Stats() const;
 
+  /// Instantaneous bounded-queue depth (one lock acquisition). The event
+  /// loop's admission control polls this per submit line (DESIGN.md §2j).
+  size_t QueueDepth() const;
+
   /// Stops the fleet. With `cancel_pending` (default) queued jobs are
   /// cancelled and running jobs get their stop token flipped, so shutdown
   /// completes within about one wrapper evaluation; otherwise the fleet

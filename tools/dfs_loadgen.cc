@@ -1,0 +1,553 @@
+// dfs_loadgen — open/closed-loop load generator for the serve front-end.
+//
+//   dfs_loadgen --workload ping --mode open --connections 1024
+//               --rate 2000 --requests 20000 --json out.json
+//
+// Boots an in-process DfsServer behind either the epoll event-loop
+// front-end (--frontend epoll, the production path) or a
+// thread-per-connection baseline (--frontend threads), then drives it over
+// real TCP with a registered named workload. Two load modes:
+//
+//   * open   — requests fire on a fixed arrival schedule (--rate per
+//     second, spread round-robin over --connections keep-alive channels).
+//     Latency is measured from the *intended* arrival time, so queueing
+//     delay that a slow server inflicts on the schedule is charged to the
+//     server (no coordinated omission: a closed loop would politely stop
+//     sending while the server struggles and hide the collapse).
+//   * closed — every channel sends back-to-back round trips; latency is
+//     the plain round-trip time. Good for peak-throughput numbers, blind
+//     to queueing collapse.
+//
+// Output: completed/shed/error counts, throughput, and p50/p95/p99/p999
+// latency. --json writes a google-benchmark-compatible report (rows named
+// LoadGen/<frontend>/<workload>/<mode>/c<N>/r<rate>/<stat>) so
+// scripts/bench_diff.py can gate front-end latency against the committed
+// BENCH snapshot. Shed responses count as completions (a fast queue_full
+// line IS the backpressure contract working); served vs shed counts are
+// reported separately.
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "serve/event_loop.h"
+#include "serve/frontend.h"
+#include "serve/line_protocol.h"
+#include "serve/server.h"
+#include "serve/tcp.h"
+#include "util/flags.h"
+#include "util/mutex.h"
+#include "util/statusor.h"
+#include "util/stopwatch.h"
+#include "util/thread_annotations.h"
+
+namespace dfs {
+namespace {
+
+constexpr char kDataset[] = "loadgen-tiny";
+
+data::Dataset TinyDataset() {
+  data::SyntheticSpec spec;
+  spec.name = kDataset;
+  spec.sensitive_attribute = "Group";
+  spec.rows = 120;
+  spec.informative_numeric = 3;
+  spec.redundant_numeric = 1;
+  spec.noise_numeric = 2;
+  spec.proxy_features = 1;
+  spec.categorical_attributes = 0;
+  auto dataset = data::GenerateDataset(spec, /*seed=*/11);
+  DFS_CHECK(dataset.ok());
+  return std::move(dataset).value();
+}
+
+/// A named workload: one request line per sequence number.
+struct Workload {
+  const char* name;
+  const char* description;
+  std::string (*line)(uint64_t seq);
+};
+
+std::string PingLine(uint64_t) {
+  serve::JsonObject object;
+  object["op"] = serve::JsonValue::String("ping");
+  return serve::WriteJsonLine(object);
+}
+
+std::string StatsLine(uint64_t) {
+  serve::JsonObject object;
+  object["op"] = serve::JsonValue::String("stats");
+  return serve::WriteJsonLine(object);
+}
+
+/// One-evaluation submit (cheapest strategy, always-satisfiable
+/// constraint) so the measurement is front-end + queue/dispatch overhead,
+/// not model training. Past saturation these are exactly the requests the
+/// admission watermark sheds.
+std::string SubmitLine(uint64_t seq) {
+  serve::JobRequest request;
+  request.dataset = kDataset;
+  request.strategy = "Original Feature Set";
+  constraints::ConstraintSet set;
+  set.min_f1 = 0.0;
+  set.max_search_seconds = 10.0;
+  request.constraint_set = set;
+  request.seed = seq + 1;
+  return serve::FormatSubmitLine(request);
+}
+
+constexpr Workload kWorkloads[] = {
+    {"ping", "pure front-end round trip ({\"op\":\"ping\"})", PingLine},
+    {"stats", "service counters (takes server-side stats locks)",
+     StatsLine},
+    {"submit",
+     "one-evaluation job submit (full dispatch + queue path; sheds past "
+     "saturation)",
+     SubmitLine},
+};
+
+const Workload* FindWorkload(const std::string& name) {
+  for (const Workload& workload : kWorkloads) {
+    if (name == workload.name) return &workload;
+  }
+  return nullptr;
+}
+
+/// Thread-per-connection baseline front-end (the architecture dfs_serverd
+/// had before the event loop) so one binary measures both and the
+/// regression criterion "p99 no worse than the baseline" is testable.
+class ThreadedFrontEnd {
+ public:
+  explicit ThreadedFrontEnd(serve::DfsServer& server) : server_(server) {}
+
+  ~ThreadedFrontEnd() { Stop(); }
+
+  Status Start() {
+    DFS_RETURN_IF_ERROR(listener_.Listen(/*port=*/0,
+                                         /*loopback_only=*/true));
+    acceptor_ = std::thread([this] {
+      while (true) {
+        auto client = listener_.Accept();
+        if (!client.ok()) break;
+        auto channel = std::make_shared<serve::LineChannel>(*client);
+        util::MutexLock lock(mu_);
+        handlers_.emplace_back([this, channel] {
+          serve::ServeConnection(server_, *channel);
+        });
+      }
+    });
+    return OkStatus();
+  }
+
+  int port() const { return listener_.port(); }
+
+  /// Callers close their client channels first, so every handler sees EOF
+  /// and returns; this only has to unblock the acceptor and join.
+  void Stop() {
+    listener_.InterruptAccept();
+    if (acceptor_.joinable()) acceptor_.join();
+    std::vector<std::thread> handlers;
+    {
+      util::MutexLock lock(mu_);
+      handlers.swap(handlers_);
+    }
+    for (std::thread& handler : handlers) handler.join();
+    listener_.Close();
+  }
+
+ private:
+  serve::DfsServer& server_;
+  serve::TcpListener listener_;
+  std::thread acceptor_;
+  util::Mutex mu_;
+  std::vector<std::thread> handlers_ DFS_GUARDED_BY(mu_);
+};
+
+struct LoadOptions {
+  std::string frontend = "epoll";  // epoll | threads
+  std::string mode = "open";       // open | closed
+  std::string workload = "ping";
+  int connections = 64;
+  double rate = 1000.0;  // aggregate target arrival rate (open mode)
+  int requests = 5000;   // total requests across all channels
+  int workers = 2;
+  int queue_capacity = 64;
+  int io_threads = 2;
+  int shed_watermark = 0;
+  int max_connections = 4096;
+  std::string json;  // google-benchmark JSON output path
+  bool list_workloads = false;
+  bool help = false;
+};
+
+/// Per-channel results, merged after the run.
+struct ChannelResult {
+  std::vector<double> latencies;  // seconds, completed responses only
+  uint64_t completed = 0;
+  uint64_t shed = 0;    // completed with a queue_full error line
+  uint64_t errors = 0;  // transport failures (dead channel, bad line)
+  uint64_t unsent = 0;  // schedule slots abandoned after a dead channel
+};
+
+bool IsShedLine(const std::string& line) {
+  return line.find("\"error\":\"queue_full\"") != std::string::npos;
+}
+
+/// One channel's schedule: sequence numbers `index, index+C, index+2C...`
+/// below `total`. In open mode each request waits for its intended
+/// arrival time (base + seq/rate) and latency runs from that intended
+/// time; in closed mode requests are back-to-back round trips.
+void RunChannel(const LoadOptions& options, const Workload& workload,
+                int port, int index, const Stopwatch& base,
+                ChannelResult& result) {
+  auto fd = serve::TcpConnect("127.0.0.1", port);
+  if (!fd.ok()) {
+    result.errors += 1;
+    return;
+  }
+  serve::LineChannel channel(*fd);
+  const bool open_loop = options.mode == "open";
+  const uint64_t total = static_cast<uint64_t>(options.requests);
+  const uint64_t stride = static_cast<uint64_t>(options.connections);
+  for (uint64_t seq = static_cast<uint64_t>(index); seq < total;
+       seq += stride) {
+    double intended = base.ElapsedSeconds();
+    if (open_loop) {
+      intended = static_cast<double>(seq) / options.rate;
+      const double ahead = intended - base.ElapsedSeconds();
+      if (ahead > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(ahead));
+      }
+    }
+    if (Status status = channel.WriteLine(workload.line(seq));
+        !status.ok()) {
+      result.errors += 1;
+      result.unsent += (total - seq + stride - 1) / stride - 1;
+      return;
+    }
+    auto response = channel.ReadLine();
+    if (!response.ok()) {
+      result.errors += 1;
+      result.unsent += (total - seq + stride - 1) / stride - 1;
+      return;
+    }
+    result.latencies.push_back(base.ElapsedSeconds() - intended);
+    result.completed += 1;
+    if (IsShedLine(*response)) result.shed += 1;
+  }
+}
+
+double Percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t n = sorted.size();
+  size_t index = static_cast<size_t>(q * static_cast<double>(n));
+  if (index >= n) index = n - 1;
+  return sorted[index];
+}
+
+struct Summary {
+  uint64_t completed = 0;
+  uint64_t shed = 0;
+  uint64_t errors = 0;
+  uint64_t unsent = 0;
+  double wall_seconds = 0;
+  double throughput = 0;  // completed responses per second
+  double mean = 0, p50 = 0, p95 = 0, p99 = 0, p999 = 0;  // seconds
+};
+
+Summary Summarize(std::vector<ChannelResult>& results,
+                  double wall_seconds) {
+  Summary summary;
+  summary.wall_seconds = wall_seconds;
+  std::vector<double> latencies;
+  for (ChannelResult& result : results) {
+    summary.completed += result.completed;
+    summary.shed += result.shed;
+    summary.errors += result.errors;
+    summary.unsent += result.unsent;
+    latencies.insert(latencies.end(), result.latencies.begin(),
+                     result.latencies.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  double sum = 0;
+  for (const double latency : latencies) sum += latency;
+  if (!latencies.empty()) {
+    summary.mean = sum / static_cast<double>(latencies.size());
+  }
+  summary.p50 = Percentile(latencies, 0.50);
+  summary.p95 = Percentile(latencies, 0.95);
+  summary.p99 = Percentile(latencies, 0.99);
+  summary.p999 = Percentile(latencies, 0.999);
+  if (wall_seconds > 0) {
+    summary.throughput =
+        static_cast<double>(summary.completed) / wall_seconds;
+  }
+  return summary;
+}
+
+/// google-benchmark-compatible JSON (the subset bench_diff.py reads:
+/// name/run_type/real_time/time_unit), one row per latency stat plus a
+/// gateable ns_per_op throughput row. Counts ride in the label field so
+/// run-to-run shed jitter never trips the latency gate.
+Status WriteJson(const LoadOptions& options, const Summary& summary,
+                 const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return InternalError("cannot write " + path);
+  const std::string prefix =
+      "LoadGen/" + options.frontend + "/" + options.workload + "/" +
+      options.mode + "/c" + std::to_string(options.connections) + "/r" +
+      std::to_string(options.mode == "open"
+                         ? static_cast<int>(options.rate)
+                         : 0);
+  const std::pair<const char*, double> rows[] = {
+      {"p50", summary.p50 * 1e9},
+      {"p95", summary.p95 * 1e9},
+      {"p99", summary.p99 * 1e9},
+      {"p999", summary.p999 * 1e9},
+      {"mean", summary.mean * 1e9},
+      {"ns_per_op",
+       summary.completed > 0
+           ? summary.wall_seconds * 1e9 /
+                 static_cast<double>(summary.completed)
+           : 0.0},
+  };
+  std::fprintf(out, "{\n  \"context\": {\n");
+#ifdef NDEBUG
+  std::fprintf(out, "    \"dfs_build_type\": \"release\"\n");
+#else
+  std::fprintf(out, "    \"dfs_build_type\": \"debug\"\n");
+#endif
+  std::fprintf(out, "  },\n  \"benchmarks\": [\n");
+  const size_t count = sizeof(rows) / sizeof(rows[0]);
+  for (size_t i = 0; i < count; ++i) {
+    std::fprintf(out,
+                 "    {\n"
+                 "      \"name\": \"%s/%s\",\n"
+                 "      \"run_name\": \"%s/%s\",\n"
+                 "      \"run_type\": \"iteration\",\n"
+                 "      \"iterations\": 1,\n"
+                 "      \"real_time\": %.1f,\n"
+                 "      \"cpu_time\": 0.0,\n"
+                 "      \"time_unit\": \"ns\",\n"
+                 "      \"label\": \"completed=%llu shed=%llu errors=%llu "
+                 "unsent=%llu qps=%.1f\"\n"
+                 "    }%s\n",
+                 prefix.c_str(), rows[i].first, prefix.c_str(),
+                 rows[i].first, rows[i].second,
+                 static_cast<unsigned long long>(summary.completed),
+                 static_cast<unsigned long long>(summary.shed),
+                 static_cast<unsigned long long>(summary.errors),
+                 static_cast<unsigned long long>(summary.unsent),
+                 summary.throughput, i + 1 < count ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  return OkStatus();
+}
+
+int RealMain(int argc, char** argv) {
+  std::signal(SIGPIPE, SIG_IGN);
+
+  LoadOptions options;
+  FlagParser parser(
+      "dfs_loadgen — open/closed-loop load generator for the serve "
+      "front-end (in-process server over real TCP)");
+  parser.AddString("frontend",
+                   "serve front-end under test: epoll (event loop) or "
+                   "threads (thread-per-connection baseline)",
+                   &options.frontend);
+  parser.AddString("mode",
+                   "open (fixed arrival schedule, latency from intended "
+                   "arrival) or closed (back-to-back round trips)",
+                   &options.mode);
+  parser.AddString("workload", "registered workload (see --list-workloads)",
+                   &options.workload);
+  parser.AddInt("connections", "concurrent keep-alive channels",
+                &options.connections);
+  parser.AddDouble("rate",
+                   "aggregate target arrival rate, requests/second "
+                   "(open mode)",
+                   &options.rate);
+  parser.AddInt("requests", "total requests across all channels",
+                &options.requests);
+  parser.AddInt("workers", "server worker threads", &options.workers);
+  parser.AddInt("queue-capacity", "server job-queue capacity",
+                &options.queue_capacity);
+  parser.AddInt("io-threads", "event-loop I/O threads (epoll front-end)",
+                &options.io_threads);
+  parser.AddInt("shed-watermark",
+                "admission-control watermark passed to the event loop "
+                "(0 = request shedding off)",
+                &options.shed_watermark);
+  parser.AddInt("max-connections",
+                "accept-shed limit passed to the event loop",
+                &options.max_connections);
+  parser.AddString("json",
+                   "write a google-benchmark-compatible JSON report here",
+                   &options.json);
+  parser.AddBool("list-workloads", "list registered workloads and exit",
+                 &options.list_workloads);
+  parser.AddBool("help", "print usage", &options.help);
+  if (Status status = parser.Parse(argc, argv); !status.ok()) {
+    std::fprintf(stderr, "%s\n\n%s", status.ToString().c_str(),
+                 parser.Help().c_str());
+    return 1;
+  }
+  if (options.help) {
+    std::fputs(parser.Help().c_str(), stdout);
+    return 0;
+  }
+  if (options.list_workloads) {
+    for (const Workload& workload : kWorkloads) {
+      std::printf("%-8s %s\n", workload.name, workload.description);
+    }
+    return 0;
+  }
+  const Workload* workload = FindWorkload(options.workload);
+  if (workload == nullptr) {
+    std::fprintf(stderr, "unknown workload \"%s\" (see --list-workloads)\n",
+                 options.workload.c_str());
+    return 1;
+  }
+  if (options.frontend != "epoll" && options.frontend != "threads") {
+    std::fprintf(stderr, "--frontend must be epoll or threads\n");
+    return 1;
+  }
+  if (options.mode != "open" && options.mode != "closed") {
+    std::fprintf(stderr, "--mode must be open or closed\n");
+    return 1;
+  }
+  if (options.connections < 1 || options.requests < 1 ||
+      options.rate <= 0) {
+    std::fprintf(stderr,
+                 "--connections/--requests must be >= 1, --rate > 0\n");
+    return 1;
+  }
+
+  serve::ServerOptions server_options;
+  server_options.num_workers = std::max(1, options.workers);
+  server_options.queue_capacity =
+      static_cast<size_t>(std::max(1, options.queue_capacity));
+  serve::DfsServer server(server_options);
+  server.RegisterDataset(kDataset, TinyDataset());
+
+  int port = 0;
+  std::unique_ptr<serve::EventLoopFrontEnd> epoll_frontend;
+  std::unique_ptr<ThreadedFrontEnd> threaded_frontend;
+  if (options.frontend == "epoll") {
+    serve::EventLoopOptions frontend_options;
+    frontend_options.io_threads = options.io_threads;
+    frontend_options.max_connections =
+        static_cast<size_t>(std::max(1, options.max_connections));
+    frontend_options.shed_watermark =
+        static_cast<size_t>(std::max(0, options.shed_watermark));
+    epoll_frontend = std::make_unique<serve::EventLoopFrontEnd>(
+        server, frontend_options);
+    if (Status status = epoll_frontend->Start(); !status.ok()) {
+      std::fprintf(stderr, "frontend: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    port = epoll_frontend->port();
+  } else {
+    threaded_frontend = std::make_unique<ThreadedFrontEnd>(server);
+    if (Status status = threaded_frontend->Start(); !status.ok()) {
+      std::fprintf(stderr, "frontend: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    port = threaded_frontend->port();
+  }
+
+  std::printf(
+      "dfs_loadgen: %s front-end on port %d · workload=%s mode=%s "
+      "connections=%d requests=%d%s\n",
+      options.frontend.c_str(), port, workload->name,
+      options.mode.c_str(), options.connections, options.requests,
+      options.mode == "open"
+          ? (" rate=" + std::to_string(static_cast<int>(options.rate)))
+                .c_str()
+          : "");
+  std::fflush(stdout);
+
+  std::vector<ChannelResult> results(
+      static_cast<size_t>(options.connections));
+  {
+    // Connect-then-fire: all channels are open before the schedule
+    // starts, so `--connections` is the true concurrent-channel count
+    // for the whole run.
+    std::vector<std::thread> clients;
+    clients.reserve(results.size());
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    Stopwatch base;
+    for (int i = 0; i < options.connections; ++i) {
+      clients.emplace_back([&, i] {
+        ready.fetch_add(1);
+        while (!go.load(std::memory_order_acquire)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        RunChannel(options, *workload, port, i, base,
+                   results[static_cast<size_t>(i)]);
+      });
+    }
+    while (ready.load() < options.connections) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    base.Restart();
+    go.store(true, std::memory_order_release);
+    for (std::thread& client : clients) client.join();
+    const double wall = base.ElapsedSeconds();
+    Summary summary = Summarize(results, wall);
+
+    if (epoll_frontend != nullptr) {
+      epoll_frontend->RequestStop();
+      epoll_frontend->Wait();
+    }
+    if (threaded_frontend != nullptr) threaded_frontend->Stop();
+    server.Shutdown(/*cancel_pending=*/true);
+
+    std::printf(
+        "completed=%llu shed=%llu errors=%llu unsent=%llu wall=%.2fs "
+        "throughput=%.1f req/s\n",
+        static_cast<unsigned long long>(summary.completed),
+        static_cast<unsigned long long>(summary.shed),
+        static_cast<unsigned long long>(summary.errors),
+        static_cast<unsigned long long>(summary.unsent),
+        summary.wall_seconds, summary.throughput);
+    std::printf(
+        "latency  mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms "
+        "p999=%.3fms\n",
+        summary.mean * 1e3, summary.p50 * 1e3, summary.p95 * 1e3,
+        summary.p99 * 1e3, summary.p999 * 1e3);
+    if (!options.json.empty()) {
+      if (Status status = WriteJson(options, summary, options.json);
+          !status.ok()) {
+        std::fprintf(stderr, "json: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::printf("json report written to %s\n", options.json.c_str());
+    }
+    if (summary.completed == 0) {
+      std::fprintf(stderr, "no requests completed\n");
+      return 1;
+    }
+    // Transport failures (dead channels, unexpected EOF) are a soak
+    // failure; request sheds are not — a shed line is the backpressure
+    // contract working.
+    if (summary.errors > 0) return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dfs
+
+int main(int argc, char** argv) { return dfs::RealMain(argc, argv); }

@@ -1,33 +1,28 @@
 // dfs_serverd — the DFS job-service daemon.
 //
-//   dfs_serverd --port 7070 --workers 4 --queue-capacity 64
+//   dfs_serverd --port 7070 --workers 4 --queue-capacity 64 --io-threads 2
 //
 // Accepts newline-delimited JSON requests (see src/serve/line_protocol.h)
 // over TCP and runs declarative feature-selection jobs on a worker fleet.
-// Datasets are addressed by benchmark-suite name and generated on first
-// use; --optimizer loads a serialized meta-optimizer so "auto" jobs use
-// the Algorithm-1 deployment phase. A client-issued {"op":"shutdown"}
-// stops the daemon; running jobs are cancelled cooperatively.
+// The network front-end is an epoll event loop (src/serve/event_loop.h):
+// one acceptor plus --io-threads epoll threads multiplexing every
+// connection, with admission control past --shed-watermark queued jobs and
+// accept-time shedding past --max-connections channels. Datasets are
+// addressed by benchmark-suite name and generated on first use;
+// --optimizer loads a serialized meta-optimizer so "auto" jobs use the
+// Algorithm-1 deployment phase. A client-issued {"op":"shutdown"} stops
+// the daemon; running jobs are cancelled cooperatively.
 
 #include <atomic>
 #include <csignal>
-#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <functional>
-#include <memory>
-#include <thread>
-#include <unordered_map>
-#include <vector>
 
 #include "obs/trace.h"
 #include "router/policy.h"
-#include "serve/frontend.h"
+#include "serve/event_loop.h"
 #include "serve/server.h"
-#include "serve/tcp.h"
 #include "util/flags.h"
-#include "util/mutex.h"
-#include "util/thread_annotations.h"
 
 namespace dfs {
 namespace {
@@ -36,6 +31,9 @@ struct DaemonOptions {
   int port = 7070;
   int workers = 4;
   int queue_capacity = 64;
+  int io_threads = 2;
+  int max_connections = 4096;
+  int shed_watermark = 0;  // 0 = request shedding off (queue still rejects)
   double ttl = 300.0;
   double row_scale = 1.0;
   std::string optimizer;  // path to a serialized DfsOptimizer
@@ -48,95 +46,24 @@ struct DaemonOptions {
   bool help = false;
 };
 
-/// The listening socket, published for the signal handlers once Listen()
-/// succeeds. TcpListener::InterruptAccept is ::shutdown(fd, SHUT_RDWR) —
-/// async-signal-safe — so SIGTERM/SIGINT can wake the accept loop and let
-/// the normal exit path run (state spills, stats line) instead of dying
-/// with the cache and router snapshots unsaved.
-std::atomic<serve::TcpListener*> g_listener{nullptr};
+/// The front-end, published for the signal handlers once Start() succeeds.
+/// EventLoopFrontEnd::RequestStop is async-signal-safe (an atomic store,
+/// shutdown(2) on the listener, one eventfd write(2) per I/O thread), so
+/// SIGTERM/SIGINT wake the whole front-end and let the normal exit path
+/// run (state spills, stats line) instead of dying with the cache and
+/// router snapshots unsaved.
+std::atomic<serve::EventLoopFrontEnd*> g_frontend{nullptr};
 
 extern "C" void HandleTerminationSignal(int) {
-  if (serve::TcpListener* listener = g_listener.load()) {
-    listener->InterruptAccept();
+  if (serve::EventLoopFrontEnd* frontend = g_frontend.load()) {
+    frontend->RequestStop();
   }
 }
 
-/// Per-connection bookkeeping so shutdown can unblock readers. Entries
-/// are removed as their connections finish, so a long-lived daemon does
-/// not accumulate dead channels.
-struct Connections {
-  util::Mutex mu;
-  std::unordered_map<uint64_t, std::shared_ptr<serve::LineChannel>> channels
-      DFS_GUARDED_BY(mu);
-
-  void Add(uint64_t id, std::shared_ptr<serve::LineChannel> channel) {
-    util::MutexLock lock(mu);
-    channels.emplace(id, std::move(channel));
-  }
-  void Remove(uint64_t id) {
-    util::MutexLock lock(mu);
-    channels.erase(id);
-  }
-  void ShutdownAll() {
-    util::MutexLock lock(mu);
-    for (const auto& [id, channel] : channels) channel->ShutdownSocket();
-  }
-};
-
-/// One thread per connection, joined incrementally: each body registers
-/// itself as finished, and the accept loop reaps (joins and discards)
-/// finished threads before every accept instead of growing an unjoined
-/// std::thread per connection for the life of the daemon.
-class HandlerPool {
- public:
-  void Launch(std::function<void()> body) {
-    util::MutexLock lock(mu_);
-    const uint64_t id = next_id_++;
-    threads_.emplace(id, std::thread([this, id, body = std::move(body)] {
-      body();
-      util::MutexLock lock(mu_);
-      finished_.push_back(id);
-    }));
-  }
-
-  /// Joins every thread whose body has finished (join then only waits for
-  /// its final bookkeeping, never for connection I/O).
-  void Reap() {
-    std::vector<std::thread> done;
-    {
-      util::MutexLock lock(mu_);
-      for (const uint64_t id : finished_) {
-        auto it = threads_.find(id);
-        if (it == threads_.end()) continue;
-        done.push_back(std::move(it->second));
-        threads_.erase(it);
-      }
-      finished_.clear();
-    }
-    for (auto& thread : done) thread.join();
-  }
-
-  void JoinAll() {
-    std::unordered_map<uint64_t, std::thread> remaining;
-    {
-      util::MutexLock lock(mu_);
-      remaining.swap(threads_);
-      finished_.clear();
-    }
-    for (auto& [id, thread] : remaining) thread.join();
-  }
-
- private:
-  util::Mutex mu_;
-  uint64_t next_id_ DFS_GUARDED_BY(mu_) = 1;
-  std::unordered_map<uint64_t, std::thread> threads_ DFS_GUARDED_BY(mu_);
-  std::vector<uint64_t> finished_ DFS_GUARDED_BY(mu_);
-};
-
 int RealMain(int argc, char** argv) {
   // A client that disconnects while we write its response must surface as
-  // EPIPE (WriteLine already sends with MSG_NOSIGNAL; this covers any
-  // other socket write), not kill the daemon.
+  // EPIPE (the event loop sends with MSG_NOSIGNAL; this covers any other
+  // socket write), not kill the daemon.
   std::signal(SIGPIPE, SIG_IGN);
 
   DaemonOptions options;
@@ -147,6 +74,18 @@ int RealMain(int argc, char** argv) {
   parser.AddInt("queue-capacity",
                 "bounded job-queue capacity (full queue rejects submits)",
                 &options.queue_capacity);
+  parser.AddInt("io-threads",
+                "epoll I/O threads multiplexing the connections",
+                &options.io_threads);
+  parser.AddInt("max-connections",
+                "open-channel limit; accepts past it are answered with a "
+                "queue_full shed line and closed",
+                &options.max_connections);
+  parser.AddInt("shed-watermark",
+                "admission-control high-water mark: submits are shed with "
+                "queue_full once this many jobs are queued (0 disables; "
+                "the bounded queue still rejects at capacity)",
+                &options.shed_watermark);
   parser.AddDouble("ttl", "seconds to retain terminal job results",
                    &options.ttl);
   parser.AddDouble("row-scale",
@@ -268,54 +207,39 @@ int RealMain(int argc, char** argv) {
     std::printf("meta-optimizer loaded from %s\n", options.optimizer.c_str());
   }
 
-  serve::TcpListener listener;
-  if (Status status =
-          listener.Listen(options.port, /*loopback_only=*/!options.expose);
-      !status.ok()) {
+  serve::EventLoopOptions frontend_options;
+  frontend_options.port = options.port;
+  frontend_options.loopback_only = !options.expose;
+  frontend_options.io_threads = options.io_threads;
+  frontend_options.max_connections =
+      static_cast<size_t>(std::max(1, options.max_connections));
+  frontend_options.shed_watermark =
+      static_cast<size_t>(std::max(0, options.shed_watermark));
+  serve::EventLoopFrontEnd frontend(server, frontend_options);
+  if (Status status = frontend.Start(); !status.ok()) {
     std::fprintf(stderr, "listen: %s\n", status.ToString().c_str());
     return 1;
   }
-  std::printf("dfs_serverd listening on port %d (%d workers, queue %zu)\n",
-              listener.port(), server_options.num_workers,
-              server_options.queue_capacity);
+  std::printf(
+      "dfs_serverd listening on port %d (%d workers, queue %zu, "
+      "%d io-threads, max %zu connections)\n",
+      frontend.port(), server_options.num_workers,
+      server_options.queue_capacity, frontend.options().io_threads,
+      frontend.options().max_connections);
   std::fflush(stdout);
 
-  // From here, SIGTERM/SIGINT interrupt the accept loop for a graceful
-  // exit: state spills (router + eval cache) still run.
-  g_listener.store(&listener);
+  // From here, SIGTERM/SIGINT stop the front-end for a graceful exit:
+  // state spills (router + eval cache) still run.
+  g_frontend.store(&frontend);
   std::signal(SIGTERM, HandleTerminationSignal);
   std::signal(SIGINT, HandleTerminationSignal);
 
-  std::atomic<bool> shutting_down{false};
-  Connections connections;
-  HandlerPool handlers;
-  uint64_t next_connection_id = 1;
-  while (true) {
-    auto client = listener.Accept();
-    if (!client.ok()) break;  // accept interrupted (shutdown) or fatal error
-    handlers.Reap();
-    const uint64_t connection_id = next_connection_id++;
-    auto channel = std::make_shared<serve::LineChannel>(*client);
-    connections.Add(connection_id, channel);
-    handlers.Launch([&server, &listener, &shutting_down, &connections,
-                     connection_id, channel] {
-      const bool shutdown_requested =
-          serve::ServeConnection(server, *channel);
-      connections.Remove(connection_id);
-      if (shutdown_requested && !shutting_down.exchange(true)) {
-        // Only wake the accept loop here; this thread must not Close()
-        // an fd the main thread may be accept()ing on.
-        listener.InterruptAccept();
-        connections.ShutdownAll();  // unblock other connections
-      }
-    });
-  }
-  g_listener.store(nullptr);
-  // A signal-interrupted exit never ran the client-shutdown path above, so
-  // in-flight connections may still be blocked in ReadLine; shut their
-  // sockets down (idempotent) or JoinAll would wait on them forever.
-  connections.ShutdownAll();
-  handlers.JoinAll();
+  // Blocks until a client "shutdown" verb or a termination signal. The
+  // event loop owns every channel, so there is no handler-thread reaper
+  // and no per-connection bookkeeping to prune here.
+  frontend.Wait();
+  g_frontend.store(nullptr);
+
   server.Shutdown(/*cancel_pending=*/true);
   if (!options.router_state.empty()) {
     // After Shutdown the workers have joined, so the router is quiescent —

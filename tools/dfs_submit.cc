@@ -7,6 +7,7 @@
 //   dfs_submit --metrics         dfs_submit --ping
 //   dfs_submit --router          dfs_submit --shutdown
 //   dfs_submit --cache
+//   dfs_submit --ping --connections 4 --repeat 8 --pipeline
 //
 // --explain-route pretty-prints the router's decision (policy, probability
 // map, portfolio members) from an "auto" submit response.
@@ -16,6 +17,7 @@
 // submitted job until it reaches a terminal state and then fetches its
 // result. A "queue_full" error means backpressure: retry later.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <sstream>
@@ -48,6 +50,12 @@ struct ClientOptions {
   int seed = 42;
   bool wait = false;
   bool explain_route = false;
+
+  // Multi-channel / pipelining (exercises the event-loop front-end's
+  // multiplexed path; see docs/PROTOCOL.md "Keep-alive and pipelining").
+  int connections = 1;
+  int repeat = 1;
+  bool pipeline = false;
 
   // Other ops.
   int status_id = 0;
@@ -95,6 +103,16 @@ void RegisterFlags(FlagParser& parser, ClientOptions& options) {
                  "after an \"auto\" submit, pretty-print the router's "
                  "decision (policy, probabilities, portfolio members)",
                  &options.explain_route);
+  parser.AddInt("connections",
+                "open this many keep-alive channels and send the request "
+                "on each (disables --wait/--explain-route)",
+                &options.connections);
+  parser.AddInt("repeat", "send the request this many times per channel",
+                &options.repeat);
+  parser.AddBool("pipeline",
+                 "write every --repeat request before reading any "
+                 "response (responses still arrive in request order)",
+                 &options.pipeline);
   parser.AddInt("status", "fetch the status of a job id", &options.status_id);
   parser.AddInt("result", "fetch the result of a job id", &options.result_id);
   parser.AddInt("cancel", "cancel a job id", &options.cancel_id);
@@ -211,6 +229,48 @@ int WaitAndFetch(serve::LineChannel& channel, double id) {
   return 1;
 }
 
+/// Sends `request` --repeat times over each of --connections keep-alive
+/// channels. With --pipeline, all repeats on a channel are written before
+/// any response is read (the front-end answers pipelined lines in request
+/// order); without it, each repeat is a serial round-trip on the same
+/// channel. Every response line is printed; exit 0 iff all carried
+/// "ok":true.
+int MultiChannel(const ClientOptions& options, const std::string& request) {
+  const int repeats = std::max(1, options.repeat);
+  bool all_ok = true;
+  for (int c = 0; c < std::max(1, options.connections); ++c) {
+    auto fd = serve::TcpConnect(options.host, options.port);
+    if (!fd.ok()) {
+      std::fprintf(stderr, "connect: %s\n", fd.status().ToString().c_str());
+      return 1;
+    }
+    serve::LineChannel channel(*fd);
+    if (options.pipeline) {
+      for (int r = 0; r < repeats; ++r) {
+        if (Status status = channel.WriteLine(request); !status.ok()) {
+          std::fprintf(stderr, "request: %s\n", status.ToString().c_str());
+          return 1;
+        }
+      }
+    }
+    for (int r = 0; r < repeats; ++r) {
+      auto response = options.pipeline ? channel.ReadLine()
+                                       : RoundTrip(channel, request);
+      if (!response.ok()) {
+        std::fprintf(stderr, "request: %s\n",
+                     response.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%s\n", response->c_str());
+      auto object = serve::ParseJsonLine(*response);
+      if (!object.ok() || !serve::GetBool(*object, "ok").value_or(false)) {
+        all_ok = false;
+      }
+    }
+  }
+  return all_ok ? 0 : 1;
+}
+
 int RealMain(int argc, char** argv) {
   ClientOptions options;
   FlagParser parser("dfs_submit — client for the dfs_serverd job service");
@@ -282,6 +342,10 @@ int RealMain(int argc, char** argv) {
                  "--shutdown\n\n%s",
                  parser.Help().c_str());
     return 1;
+  }
+
+  if (options.connections > 1 || options.repeat > 1 || options.pipeline) {
+    return MultiChannel(options, request);
   }
 
   auto fd = serve::TcpConnect(options.host, options.port);
