@@ -30,7 +30,22 @@
 #                                  # thread-safety build and clang-tidy
 #                                  # over src/ (skipped with a notice on
 #                                  # GCC-only hosts)
+#   scripts/check.sh --analyze     # static contract analyses (no test
+#                                  # run): tools/dfs_analyze.py lock-order
+#                                  # / hot-alloc / determinism passes over
+#                                  # src/ + the committed docs/lock_order.dot
+#                                  # drift check + the analyzer self-test;
+#                                  # when the libclang Python bindings are
+#                                  # importable, the clang front-end runs
+#                                  # as a second leg (skipped with a
+#                                  # notice otherwise)
+#   scripts/check.sh --fuzz        # 60s libFuzzer smoke over the binary
+#                                  # decoders (tests/fuzz/): Clang-only,
+#                                  # skipped with a notice on GCC hosts
+#                                  # (the fuzz.corpus_replay ctest entry
+#                                  # still covers the corpus everywhere)
 #   scripts/check.sh --all         # tier-1 + --sanitize + --docs + --lint
+#                                  # + --analyze
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -65,6 +80,48 @@ run_lint() {
   fi
 }
 
+run_analyze() {
+  # Leg 1 (always): the textual front-end — the canonical one; it
+  # generated the committed artifact, so the drift check is exact. Runs
+  # all three passes over src/ and the analyzer's own self-test.
+  python3 tools/dfs_analyze.py --check-dot docs/lock_order.dot
+  python3 tests/analyze/dfs_analyze_test.py
+
+  # Leg 2 (libclang only): the AST front-end cross-checks the textual
+  # extraction. The Python bindings rarely exist on GCC-only hosts —
+  # skipped loudly, never silently passed off as run.
+  if python3 -c "import clang.cindex" >/dev/null 2>&1; then
+    python3 tools/dfs_analyze.py --frontend clang \
+      --check-dot docs/lock_order.dot
+  else
+    echo "check.sh: NOTICE: python3 clang bindings not importable;" >&2
+    echo "check.sh:   skipping the dfs_analyze clang front-end leg" >&2
+  fi
+}
+
+run_fuzz_smoke() {
+  # libFuzzer needs Clang; on a GCC-only host the corpus-replay ctest
+  # entry (always built, every tree) is the standing coverage and this
+  # smoke is skipped — loudly.
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "check.sh: NOTICE: clang++ not found; skipping the libFuzzer" >&2
+    echo "check.sh:   smoke (fuzz.corpus_replay still covers the corpus)" >&2
+    return 0
+  fi
+  cmake -B build-fuzz -S . -DCMAKE_CXX_COMPILER=clang++ -DDFS_FUZZ=ON
+  cmake --build build-fuzz -j --target \
+    fuzz_line_protocol fuzz_spill_decoder fuzz_arff
+  corpus="$(mktemp -d)"
+  trap 'rm -rf "$corpus"' RETURN
+  python3 tests/fuzz/make_corpus.py "$corpus"
+  # ~60s total: 20s per target, seeded from the committed generator so
+  # the fuzzers start past the header checks.
+  for target in line_protocol spill_decoder arff; do
+    "./build-fuzz/tests/fuzz/fuzz_${target}" \
+      -max_total_time=20 -print_final_stats=1 "$corpus/${target}"
+  done
+}
+
 if [[ "${1:-}" == "--docs" ]]; then
   python3 scripts/check_docs.py
   echo "check.sh: OK"
@@ -73,6 +130,18 @@ fi
 
 if [[ "${1:-}" == "--lint" ]]; then
   run_lint
+  echo "check.sh: OK"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--analyze" ]]; then
+  run_analyze
+  echo "check.sh: OK"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--fuzz" ]]; then
+  run_fuzz_smoke
   echo "check.sh: OK"
   exit 0
 fi
@@ -176,15 +245,23 @@ if [[ "${1:-}" == "--sanitize" || "${1:-}" == "--all" ]]; then
   # Release; the sanitizers are the backstop).
   cmake -B build-asan -S . -DDFS_SANITIZE=address,undefined
   cmake --build build-asan -j --target engine_golden_test linalg_test \
-    kernels_test
+    kernels_test fuzz_line_protocol_replay fuzz_spill_decoder_replay \
+    fuzz_arff_replay
   ./build-asan/tests/engine_golden_test
   ./build-asan/tests/linalg_test
   ./build-asan/tests/kernels_test
+  # Replay the generated fuzz corpus — including every historical crash
+  # seed — through the decoders under ASan+UBSan (tests/fuzz/).
+  python3 tests/fuzz/corpus_replay_test.py \
+    ./build-asan/tests/fuzz/fuzz_line_protocol_replay \
+    ./build-asan/tests/fuzz/fuzz_spill_decoder_replay \
+    ./build-asan/tests/fuzz/fuzz_arff_replay
 fi
 
 if [[ "${1:-}" == "--all" ]]; then
   python3 scripts/check_docs.py
   run_lint
+  run_analyze
 fi
 
 echo "check.sh: OK"

@@ -20,6 +20,12 @@
 6. The on-disk format version documented in docs/CACHE.md matches
    `kEvalCacheFormatVersion` in src/core/eval_cache.h, so the byte-level
    spec can never drift silently from the decoder.
+7. The committed lock-order artifact (docs/lock_order.dot) is linked
+   from at least one Markdown file, and every acquisition site its edge
+   labels cite (`label="<file>:<line>"`) points at a file that still
+   exists under src/. Exact line-level sync is `check.sh --analyze`'s
+   job (it re-derives the graph); this keeps the artifact findable and
+   its citations non-dangling even on docs-only runs.
 """
 
 import glob
@@ -168,10 +174,34 @@ def check_cache_format_version():
     return []
 
 
+def check_lock_order_artifact():
+    dot_path = os.path.join(REPO, "docs", "lock_order.dot")
+    if not os.path.exists(dot_path):
+        return ["docs/lock_order.dot is missing; regenerate it with "
+                "`python3 tools/dfs_analyze.py --write-dot "
+                "docs/lock_order.dot`"]
+    referenced = any(
+        "lock_order.dot" in open(path, encoding="utf-8").read()
+        for path in markdown_files())
+    errors = []
+    if not referenced:
+        errors.append("no Markdown file references docs/lock_order.dot — "
+                      "the lock-order artifact is unfindable from the docs")
+    with open(dot_path, encoding="utf-8") as handle:
+        labels = re.findall(r'label="([^":]+):\d+"', handle.read())
+    for cited in sorted(set(labels)):
+        if not os.path.exists(os.path.join(REPO, "src", cited)):
+            errors.append(
+                f"docs/lock_order.dot cites acquisition site '{cited}' but "
+                f"src/{cited} does not exist (stale artifact; regenerate "
+                f"with --write-dot)")
+    return errors
+
+
 def main():
     errors = (check_links() + check_bench_binaries() + check_env_knobs() +
               check_tool_binaries() + check_cache_instruments() +
-              check_cache_format_version())
+              check_cache_format_version() + check_lock_order_artifact())
     for error in errors:
         print(f"check_docs: {error}", file=sys.stderr)
     if errors:

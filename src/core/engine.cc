@@ -28,7 +28,9 @@ struct EngineMetrics {
   obs::Histogram& cancel_latency_seconds;
   obs::Histogram& batch_size;
 
-  static EngineMetrics& Get() {
+  // DFS_ALLOC_BOUNDARY: one-time static initialization of the
+  // instrument references; every later call returns the same object.
+  static EngineMetrics& Get() DFS_ALLOC_BOUNDARY {
     auto& registry = obs::MetricsRegistry::Global();
     static EngineMetrics* metrics = new EngineMetrics{
         registry.counter("engine.runs"),

@@ -221,26 +221,29 @@ class DfsEngine : public fs::EvalContext {
   /// `scratch` for the gathered train (and, under HPO, validation)
   /// matrices. The returned classifier owns all its state — it never
   /// borrows from `scratch`.
+  // DFS_ALLOC_BOUNDARY: model construction allocates by design; §2e
+  // covers gathers and predictions, not training (DESIGN.md §2k).
   StatusOr<std::unique_ptr<ml::Classifier>> TrainModel(
-      const std::vector<int>& features, EvalScratch& scratch);
+      const std::vector<int>& features,
+      EvalScratch& scratch) DFS_ALLOC_BOUNDARY;
 
   /// Measures the constraint metrics of `model` on one split whose selected
   /// columns are already gathered in `x`, drawing any evaluation-side
   /// randomness (the robustness attack) from `rng`. Predictions go through
   /// scratch.predictions — no allocation on the steady-state path.
-  constraints::MetricValues Measure(const ml::Classifier& model,
-                                    const std::vector<int>& features,
-                                    const data::Dataset& split,
-                                    const linalg::Matrix& x, Rng& rng,
-                                    EvalScratch& scratch);
+  DFS_HOT constraints::MetricValues Measure(const ml::Classifier& model,
+                                            const std::vector<int>& features,
+                                            const data::Dataset& split,
+                                            const linalg::Matrix& x, Rng& rng,
+                                            EvalScratch& scratch);
 
   /// f32-mode Measure: predictions run PredictBatch32 over the f32 gather.
   /// Never called with the safety constraint active (F32Active guards).
-  constraints::MetricValues Measure32(const ml::Classifier& model,
-                                      const std::vector<int>& features,
-                                      const data::Dataset& split,
-                                      const linalg::Matrix32& x,
-                                      EvalScratch& scratch);
+  DFS_HOT constraints::MetricValues Measure32(const ml::Classifier& model,
+                                              const std::vector<int>& features,
+                                              const data::Dataset& split,
+                                              const linalg::Matrix32& x,
+                                              EvalScratch& scratch);
 
   /// True when this engine measures through f32 storage (the option is on
   /// and no safety constraint forces the f64 fallback).
@@ -254,8 +257,8 @@ class DfsEngine : public fs::EvalContext {
   /// The pure per-mask work (train + measure + confirm-on-test). Touches
   /// only immutable run state and atomic obs instruments — safe to call
   /// from batch workers concurrently.
-  EvaluatedMask EvaluateUncached(const fs::FeatureMask& mask,
-                                 const std::vector<int>& features);
+  DFS_HOT EvaluatedMask EvaluateUncached(const fs::FeatureMask& mask,
+                                         const std::vector<int>& features);
 
   /// The stateful reduction for one evaluated mask: evaluation counters,
   /// best-subset tracking, success recording, trace. Caller-thread only,

@@ -147,6 +147,11 @@ class Reader {
     std::memcpy(out, &bits, sizeof(bits));
     return true;
   }
+  bool Skip(size_t n) {
+    if (offset_ + n > blob_.size()) return false;
+    offset_ += n;
+    return true;
+  }
   size_t offset() const { return offset_; }
   size_t remaining() const { return blob_.size() - offset_; }
 
@@ -511,7 +516,19 @@ Status ShardedEvalCache::RestoreState(const std::string& blob) {
         "corrupt eval-cache spill: payload checksum mismatch");
   }
   // Decode everything before merging anything, so a truncated payload
-  // cannot leave the cache half-restored.
+  // cannot leave the cache half-restored. The entry count lives in the
+  // header, OUTSIDE the checksum (which covers the payload only), so it
+  // must be sanity-checked before it sizes an allocation: every entry is
+  // at least kMinEntryBytes, so a count the remaining bytes cannot hold
+  // is corrupt no matter what the payload says.
+  constexpr uint64_t kMinEntryBytes = 69;  // u32 mask width + flags +
+                                           // 7 f64 + 2 u32, empty mask
+  if (entry_count > reader.remaining() / kMinEntryBytes) {
+    return InvalidArgumentError(
+        "corrupt eval-cache spill: header claims " +
+        std::to_string(entry_count) + " entries but only " +
+        std::to_string(reader.remaining()) + " payload bytes follow");
+  }
   std::vector<std::pair<fs::FeatureMask, fs::EvalOutcome>> decoded;
   decoded.reserve(entry_count);
   for (uint64_t i = 0; i < entry_count; ++i) {
@@ -606,24 +623,36 @@ StatusOr<size_t> EvalCacheRegistry::LoadFromFile(const std::string& path) {
   if (!in) return NotFoundError("cannot open file: " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  const std::string container = buffer.str();
+  return RestoreFromString(buffer.str(), path);
+}
 
+StatusOr<size_t> EvalCacheRegistry::RestoreFromString(
+    const std::string& container, const std::string& source) {
   Reader reader(container);
   char magic[8];
   if (!reader.ReadBytes(magic, sizeof(magic)) ||
       std::memcmp(magic, kRegistryMagic, sizeof(magic)) != 0) {
     return InvalidArgumentError(
-        "not an eval-cache registry container (bad magic): " + path);
+        "not an eval-cache registry container (bad magic): " + source);
   }
   uint32_t version, cache_count;
   if (!reader.ReadU32(&version) || !reader.ReadU32(&cache_count)) {
     return InvalidArgumentError("truncated registry container header: " +
-                                path);
+                                source);
   }
   if (version != kEvalCacheFormatVersion) {
     return InvalidArgumentError(
         "unsupported eval-cache format version " + std::to_string(version) +
-        " in " + path);
+        " in " + source);
+  }
+  // The member count is not covered by any checksum; cap it by what the
+  // remaining bytes could possibly hold (each member costs at least its
+  // u64 length prefix) before it sizes an allocation.
+  if (cache_count > reader.remaining() / sizeof(uint64_t)) {
+    return InvalidArgumentError(
+        "corrupt registry container: header claims " +
+        std::to_string(cache_count) + " member blobs but only " +
+        std::to_string(reader.remaining()) + " bytes follow in " + source);
   }
   // Slice out every member blob before restoring any, so one stale or
   // corrupt member rejects the whole file instead of leaving it
@@ -633,16 +662,15 @@ StatusOr<size_t> EvalCacheRegistry::LoadFromFile(const std::string& path) {
   for (uint32_t i = 0; i < cache_count; ++i) {
     uint64_t length;
     if (!reader.ReadU64(&length) || length > reader.remaining()) {
-      return InvalidArgumentError("truncated registry container: " + path);
+      return InvalidArgumentError("truncated registry container: " + source);
     }
     blobs.emplace_back(container, reader.offset(),
                        static_cast<size_t>(length));
-    char skipped;
-    for (uint64_t b = 0; b < length; ++b) reader.ReadBytes(&skipped, 1);
+    reader.Skip(static_cast<size_t>(length));  // bounds-checked above
   }
   if (reader.remaining() != 0) {
     return InvalidArgumentError(
-        "corrupt registry container: trailing bytes in " + path);
+        "corrupt registry container: trailing bytes in " + source);
   }
   // Validate all blobs against throwaway caches first (RestoreState
   // itself is all-or-nothing per blob, but the registry promises it for
@@ -655,7 +683,7 @@ StatusOr<size_t> EvalCacheRegistry::LoadFromFile(const std::string& path) {
     if (!header.ReadBytes(member_magic, sizeof(member_magic)) ||
         !header.ReadU32(&member_version) || !header.ReadU32(&reserved) ||
         !header.ReadU64(&suite) || !header.ReadU64(&fingerprint)) {
-      return InvalidArgumentError("truncated member spill in " + path);
+      return InvalidArgumentError("truncated member spill in " + source);
     }
     EvalCacheOptions probe_options = defaults_;
     probe_options.fingerprint = fingerprint;

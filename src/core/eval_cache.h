@@ -281,6 +281,12 @@ class EvalCacheRegistry {
   /// blobs are validated before any merge happens).
   StatusOr<size_t> LoadFromFile(const std::string& path);
 
+  /// LoadFromFile's decode/validate/merge core over an in-memory
+  /// container (`source` labels error messages). Exposed so tests and
+  /// the fuzz harnesses can drive the decoder without touching disk.
+  StatusOr<size_t> RestoreFromString(const std::string& container,
+                                     const std::string& source = "<memory>");
+
   /// Aggregated stats: counters summed over caches, shard occupancy summed
   /// elementwise, plus the registry-level cache count and spill/restore
   /// operation counters.

@@ -11,7 +11,10 @@ namespace dfs::core {
 /// into ExperimentConfig::Hash() (the bench result cache) and into the
 /// eval-cache spill header (docs/CACHE.md), so both artifact families are
 /// invalidated together.
-inline constexpr uint64_t kSuiteVersion = 4;
+/// v5: DiscreteMutualInformation / DiscreteEntropy accumulate in sorted
+/// key order (previously unordered_map iteration order), so MI-based
+/// rankings may differ by an ULP across the bump.
+inline constexpr uint64_t kSuiteVersion = 5;
 
 }  // namespace dfs::core
 

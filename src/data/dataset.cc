@@ -94,8 +94,9 @@ void Dataset::GatherInto(const std::vector<int>& feature_indices,
   // allocation once a thread has seen its widest mask (the §2e warm-path
   // contract; gathers run concurrently on shared datasets, so the scratch
   // cannot live on the const instance).
+  // DFS_THREAD_LOCAL_OK: per-thread gather scratch; the dataset is shared.
   thread_local std::vector<const double*> sources;
-  sources.resize(k);
+  sources.resize(k);  // DFS_ALLOC_OK: reusable thread-local scratch
   for (size_t j = 0; j < k; ++j) {
     sources[j] = Column(feature_indices[j]).data();
   }
@@ -109,8 +110,9 @@ void Dataset::GatherInto(const std::vector<int>& feature_indices,
   const size_t k = feature_indices.size();
   out->Resize(n, static_cast<int>(k));
   if (has_f32_mirror()) {
+    // DFS_THREAD_LOCAL_OK: per-thread gather scratch; the dataset is shared.
     thread_local std::vector<const float*> sources_f32;
-    sources_f32.resize(k);
+    sources_f32.resize(k);  // DFS_ALLOC_OK: reusable thread-local scratch
     for (size_t j = 0; j < k; ++j) {
       const int f = feature_indices[j];
       DFS_CHECK(f >= 0 && f < num_features());
@@ -119,8 +121,9 @@ void Dataset::GatherInto(const std::vector<int>& feature_indices,
     GatherTiled(sources_f32, n, k, block_rows, out->MutableData());
     return;
   }
+  // DFS_THREAD_LOCAL_OK: per-thread gather scratch; the dataset is shared.
   thread_local std::vector<const double*> sources;
-  sources.resize(k);
+  sources.resize(k);  // DFS_ALLOC_OK: reusable thread-local scratch
   for (size_t j = 0; j < k; ++j) {
     sources[j] = Column(feature_indices[j]).data();
   }

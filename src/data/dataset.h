@@ -6,6 +6,7 @@
 
 #include "linalg/matrix.h"
 #include "util/statusor.h"
+#include "util/thread_annotations.h"
 
 namespace dfs::data {
 
@@ -63,14 +64,14 @@ class Dataset {
   /// from a fixed scratch-window budget; any explicit positive value
   /// produces bit-identical output (the tiling only reorders stores),
   /// which kernels_test.cc proves.
-  void GatherInto(const std::vector<int>& feature_indices,
-                  linalg::Matrix* out, int block_rows = 0) const;
+  DFS_HOT void GatherInto(const std::vector<int>& feature_indices,
+                          linalg::Matrix* out, int block_rows = 0) const;
 
   /// Float32 gather for the opt-in f32 evaluation mode (DESIGN.md §2i).
   /// Elements are static_cast<float>(v) of the f64 values — identical
   /// whether or not the f32 mirror below has been built.
-  void GatherInto(const std::vector<int>& feature_indices,
-                  linalg::Matrix32* out, int block_rows = 0) const;
+  DFS_HOT void GatherInto(const std::vector<int>& feature_indices,
+                          linalg::Matrix32* out, int block_rows = 0) const;
 
   /// Precomputes an f32 copy of every column so f32 gathers read
   /// half-width contiguous storage instead of converting on the fly.

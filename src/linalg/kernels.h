@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <span>
 
+#include "util/thread_annotations.h"
+
 namespace dfs::linalg::kernels {
 
 // Blocked evaluation kernels for the masked-evaluation hot path (DESIGN.md
@@ -67,7 +69,7 @@ inline constexpr std::size_t kInlineWidth = 8;
 // --- Reductions (runtime-dispatched; inline fast path below 8) --------
 
 /// Dot product over n elements.
-inline double Dot(const double* a, const double* b, std::size_t n) {
+DFS_HOT inline double Dot(const double* a, const double* b, std::size_t n) {
   if (n < detail::kInlineWidth) {
     double sum = 0.0;
     for (std::size_t i = 0; i < n; ++i) sum += a[i] * b[i];
@@ -78,7 +80,7 @@ inline double Dot(const double* a, const double* b, std::size_t n) {
 
 /// Mixed-precision dot: f32 storage row against f64 model weights,
 /// accumulated in f64 (each float is widened exactly).
-inline double DotF32(const float* x, const double* w, std::size_t n) {
+DFS_HOT inline double DotF32(const float* x, const double* w, std::size_t n) {
   if (n < detail::kInlineWidth) {
     double sum = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
@@ -90,7 +92,7 @@ inline double DotF32(const float* x, const double* w, std::size_t n) {
 }
 
 /// Squared Euclidean distance over n elements.
-inline double SquaredDistance(const double* a, const double* b,
+DFS_HOT inline double SquaredDistance(const double* a, const double* b,
                               std::size_t n) {
   if (n < detail::kInlineWidth) {
     double sum = 0.0;
@@ -105,7 +107,7 @@ inline double SquaredDistance(const double* a, const double* b,
 
 /// Sum over c of (x[c] - mean[c])^2 * inv2var[c]; the Gaussian
 /// naive-Bayes negative log-likelihood accumulation.
-inline double WeightedSquaredDiff(const double* x, const double* mean,
+DFS_HOT inline double WeightedSquaredDiff(const double* x, const double* mean,
                                   const double* inv2var, std::size_t n) {
   if (n < detail::kInlineWidth) {
     double sum = 0.0;
@@ -119,7 +121,7 @@ inline double WeightedSquaredDiff(const double* x, const double* mean,
 }
 
 /// Mixed-precision WeightedSquaredDiff (f32 observation row).
-inline double WeightedSquaredDiffF32(const float* x, const double* mean,
+DFS_HOT inline double WeightedSquaredDiffF32(const float* x, const double* mean,
                                      const double* inv2var, std::size_t n) {
   if (n < detail::kInlineWidth) {
     double sum = 0.0;
@@ -135,37 +137,37 @@ inline double WeightedSquaredDiffF32(const float* x, const double* mean,
 // --- GEMV-style batched forms ----------------------------------------
 
 /// out[r] = bias + dot(row r of x, w) for a row-major rows x cols matrix.
-void MatVec(const double* x, int rows, int cols, const double* w,
+DFS_HOT void MatVec(const double* x, int rows, int cols, const double* w,
             double bias, double* out);
 
 /// MatVec over an f32 row-major matrix with f64 weights/bias.
-void MatVecF32(const float* x, int rows, int cols, const double* w,
+DFS_HOT void MatVecF32(const float* x, int rows, int cols, const double* w,
                double bias, double* out);
 
 /// out(r, c) = dot(row r of a, row c of bt): the product A * B with B
 /// supplied pre-transposed so both operands stream row-contiguously.
 /// a is a_rows x inner, bt is bt_rows x inner, out is a_rows x bt_rows.
-void MatMatT(const double* a, int a_rows, const double* bt, int bt_rows,
+DFS_HOT void MatMatT(const double* a, int a_rows, const double* bt, int bt_rows,
              int inner, double* out);
 
 // --- Elementwise / strided (portable; order-preserving by nature) ----
 
 /// a[i] += s * b[i]. Elementwise, so any vectorization is bitwise-safe;
 /// inline because the LR/SVM gradient loops call it once per row.
-inline void AxpyInPlace(double* a, double s, const double* b,
+DFS_HOT inline void AxpyInPlace(double* a, double s, const double* b,
                         std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) a[i] += s * b[i];
 }
 
 /// v[i] *= s.
-inline void Scale(double* v, double s, std::size_t n) {
+DFS_HOT inline void Scale(double* v, double s, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) v[i] *= s;
 }
 
 /// Dot of a strided column a[i * stride] against contiguous b[i]; the
 /// lasso coordinate-descent rho accumulation. Same canonical lane order
 /// as Dot.
-inline double StridedDot(const double* a, std::size_t stride,
+DFS_HOT inline double StridedDot(const double* a, std::size_t stride,
                          const double* b, std::size_t n) {
   if (n < detail::kInlineWidth) {
     double sum = 0.0;
@@ -176,7 +178,7 @@ inline double StridedDot(const double* a, std::size_t stride,
 }
 
 /// a[i] += s * b[i * stride]; the lasso residual update.
-inline void StridedAxpyInPlace(double* a, double s, const double* b,
+DFS_HOT inline void StridedAxpyInPlace(double* a, double s, const double* b,
                                std::size_t stride, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) a[i] += s * b[i * stride];
 }
@@ -186,16 +188,16 @@ inline void StridedAxpyInPlace(double* a, double s, const double* b,
 /// Both sums are over exact small integers (1.0 and 0/1 labels), which
 /// f64 adds associatively without rounding, so this kernel is
 /// order-independent and safe under any vectorization.
-void SplitCounts(const double* values, const double* labels, std::size_t n,
+DFS_HOT void SplitCounts(const double* values, const double* labels, std::size_t n,
                  double threshold, double* left_total,
                  double* left_positives);
 
 // --- Span conveniences ------------------------------------------------
 
-inline double Dot(std::span<const double> a, std::span<const double> b) {
+DFS_HOT inline double Dot(std::span<const double> a, std::span<const double> b) {
   return Dot(a.data(), b.data(), a.size());
 }
-inline double SquaredDistance(std::span<const double> a,
+DFS_HOT inline double SquaredDistance(std::span<const double> a,
                               std::span<const double> b) {
   return SquaredDistance(a.data(), b.data(), a.size());
 }

@@ -7,6 +7,7 @@
 #include "metrics/hop_skip_jump.h"
 #include "ml/classifier.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace dfs::metrics {
 
@@ -26,10 +27,14 @@ struct RobustnessOptions {
 /// clamped into [0, 1]. 1 means the attack changed nothing. (The paper's
 /// formula omits the parentheses; the cited ART implementation computes the
 /// accuracy *drop*, which is what we reproduce.)
+// DFS_ALLOC_BOUNDARY: the attack builds perturbed row copies by design;
+// it runs only when the safety constraint is active, outside the §2e
+// zero-alloc warm path (DESIGN.md §2k).
 double EmpiricalRobustness(const ml::Classifier& model,
                            const linalg::Matrix& test_x,
                            const std::vector<int>& test_y, Rng& rng,
-                           const RobustnessOptions& options = {});
+                           const RobustnessOptions& options = {})
+    DFS_ALLOC_BOUNDARY;
 
 }  // namespace dfs::metrics
 

@@ -9,6 +9,7 @@
 
 #include "linalg/matrix.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace dfs::ml {
 
@@ -50,7 +51,7 @@ class Classifier {
   /// the span past the call (rows are typically borrowed views into a
   /// caller's scratch matrix — the RowSpan lifetime rules apply, see
   /// DESIGN.md §2e).
-  virtual double PredictProba(std::span<const double> row) const = 0;
+  DFS_HOT virtual double PredictProba(std::span<const double> row) const = 0;
 
   /// Convenience shim for std::vector callers (delegates to the span
   /// kernel; kept so existing call sites and tests stay source-compatible).
@@ -63,10 +64,10 @@ class Classifier {
   /// default widens the row to f64 in thread-local scratch and calls the
   /// f64 kernel, which is correct for every model; LR/SVM/NB override
   /// with native mixed-precision kernels that widen lanes inline.
-  virtual double PredictProba32(std::span<const float> row) const;
+  DFS_HOT virtual double PredictProba32(std::span<const float> row) const;
 
   /// Hard prediction at threshold 0.5.
-  virtual int Predict(std::span<const double> row) const {
+  DFS_HOT virtual int Predict(std::span<const double> row) const {
     return PredictProba(row) >= 0.5 ? 1 : 0;
   }
   int Predict(const std::vector<double>& row) const {
@@ -82,13 +83,13 @@ class Classifier {
   /// batch the margins through the blocked MatVec kernel; overrides must
   /// stay bitwise-equal to this per-row loop (engine_golden_test relies
   /// on it).
-  virtual void PredictBatch(const linalg::Matrix& x,
-                            std::vector<int>* out) const;
+  DFS_HOT virtual void PredictBatch(const linalg::Matrix& x,
+                                    std::vector<int>* out) const;
 
   /// f32-storage batch predict (same contract as PredictBatch; the
   /// default loops Predict32 row-by-row).
-  virtual void PredictBatch32(const linalg::Matrix32& x,
-                              std::vector<int>* out) const;
+  DFS_HOT virtual void PredictBatch32(const linalg::Matrix32& x,
+                                      std::vector<int>* out) const;
 
   /// Allocating convenience form of the above.
   std::vector<int> PredictBatch(const linalg::Matrix& x) const;

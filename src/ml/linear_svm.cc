@@ -74,9 +74,10 @@ void LinearSvm::PredictBatch(const linalg::Matrix& x,
   DFS_CHECK(out != nullptr);
   DFS_DCHECK(fitted_) << "PredictBatch before Fit";
   const int n = x.rows();
-  out->resize(n);
+  out->resize(n);  // DFS_ALLOC_OK: caller-owned capacity, warm after first use
+  // DFS_THREAD_LOCAL_OK: per-thread scratch; one model serves many threads.
   thread_local std::vector<double> margins;
-  margins.resize(n);
+  margins.resize(n);  // DFS_ALLOC_OK: reusable thread-local scratch
   linalg::kernels::MatVec(x.Data(), n, x.cols(), weights_.data(), intercept_,
                           margins.data());
   int* dst = out->data();
@@ -92,9 +93,10 @@ void LinearSvm::PredictBatch32(const linalg::Matrix32& x,
   DFS_CHECK(out != nullptr);
   DFS_DCHECK(fitted_) << "PredictBatch32 before Fit";
   const int n = x.rows();
-  out->resize(n);
+  out->resize(n);  // DFS_ALLOC_OK: caller-owned capacity, warm after first use
+  // DFS_THREAD_LOCAL_OK: per-thread scratch; one model serves many threads.
   thread_local std::vector<double> margins;
-  margins.resize(n);
+  margins.resize(n);  // DFS_ALLOC_OK: reusable thread-local scratch
   linalg::kernels::MatVecF32(x.Data(), n, x.cols(), weights_.data(),
                              intercept_, margins.data());
   int* dst = out->data();

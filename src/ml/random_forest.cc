@@ -150,9 +150,10 @@ double RandomForest::PredictProba(std::span<const double> row) const {
   // Per-thread gather buffer: the router shares one trained forest across
   // serving threads, so the scratch cannot live on the (const) instance.
   // Still allocation-free after each thread's first warm-up call.
+  // DFS_THREAD_LOCAL_OK: per-thread scratch; one model serves many threads.
   thread_local std::vector<double> sub_row;
   for (const auto& member : members_) {
-    sub_row.resize(member.features.size());
+    sub_row.resize(member.features.size());  // DFS_ALLOC_OK: reusable thread-local scratch
     for (size_t j = 0; j < member.features.size(); ++j) {
       sub_row[j] = row[member.features[j]];
     }

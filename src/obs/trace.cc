@@ -31,7 +31,9 @@ WriterState& State() {
 /// Per-thread nesting depth and small stable ordinal. The ordinal is
 /// assigned on first emission after the current Open (monotone across
 /// Opens; readers only need it to distinguish threads).
+// DFS_THREAD_LOCAL_OK: span nesting depth is inherently per-thread.
 thread_local int t_depth = 0;
+// DFS_THREAD_LOCAL_OK: stable per-thread ordinal for trace attribution.
 thread_local int t_thread_ordinal = -1;
 
 std::string EscapeJson(const std::string& text) {

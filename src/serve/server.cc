@@ -291,6 +291,7 @@ void DfsServer::Shutdown(bool cancel_pending) {
     std::vector<std::shared_ptr<Job>> live;
     {
       util::MutexLock lock(jobs_mu_);
+      // DFS_UNORDERED_OK: cancellation order is not results-affecting.
       for (const auto& [id, job] : jobs_) {
         if (!IsTerminalState(job->state())) live.push_back(job);
       }
@@ -505,13 +506,19 @@ void DfsServer::SweepLocked() {
   }
   if (jobs_.size() <= options_.max_retained_jobs) return;
   std::vector<std::pair<double, JobId>> terminal;  // (age, id)
+  // DFS_UNORDERED_OK: the (age desc, id) sort below imposes a total order.
   for (const auto& [id, job] : jobs_) {
     if (IsTerminalState(job->state())) {
       terminal.emplace_back(job->seconds_since_terminal(), id);
     }
   }
+  // Tie-break on id: with age alone, equal-aged jobs would be evicted in
+  // unordered_map iteration order (std::sort is unstable).
   std::sort(terminal.begin(), terminal.end(),
-            [](const auto& a, const auto& b) { return a.first > b.first; });
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
   for (const auto& [age, id] : terminal) {
     if (jobs_.size() <= options_.max_retained_jobs) break;
     jobs_.erase(id);

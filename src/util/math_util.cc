@@ -21,8 +21,12 @@ double SafeLog(double x) { return std::log(std::max(x, 1e-300)); }
 
 double Mean(const std::vector<double>& values) {
   if (values.empty()) return 0.0;
-  return std::accumulate(values.begin(), values.end(), 0.0) /
-         static_cast<double>(values.size());
+  // Explicit left-to-right fold: the §2i accumulation-order contract
+  // (dfs_analyze fp-accumulate) keeps std::accumulate/std::reduce over
+  // floating-point out of everything but linalg::kernels.
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
 }
 
 double Variance(const std::vector<double>& values) {
@@ -76,7 +80,8 @@ double Clamp(double v, double lo, double hi) {
 }
 
 double EntropyFromCounts(const std::vector<double>& counts) {
-  double total = std::accumulate(counts.begin(), counts.end(), 0.0);
+  double total = 0.0;  // explicit left fold, same bits as the old
+  for (double c : counts) total += c;  // std::accumulate call
   if (total <= 0.0) return 0.0;
   double entropy = 0.0;
   for (double c : counts) {
@@ -134,11 +139,19 @@ double DiscreteMutualInformation(const std::vector<int>& x,
   DFS_CHECK_EQ(x.size(), y.size());
   if (x.empty()) return 0.0;
   JointCounts c = CountJoint(x, y);
+  // Accumulate in sorted key order: unordered_map iteration order is an
+  // implementation detail, and the §2d contract wants the same bits from
+  // every STL / platform (dfs_analyze unordered-fp-order).
+  std::vector<long long> keys;
+  keys.reserve(c.joint.size());
+  // DFS_UNORDERED_OK: keys are fully sorted below, before any FP work.
+  for (const auto& [key, unused] : c.joint) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
   double mi = 0.0;
-  for (const auto& [key, count] : c.joint) {
+  for (long long key : keys) {
     int xv = static_cast<int>(key >> 32);
     int yv = static_cast<int>(key & 0xFFFFFFFFLL);
-    double pxy = count / c.n;
+    double pxy = c.joint.at(key) / c.n;
     double px = c.mx[xv] / c.n;
     double py = c.my[yv] / c.n;
     mi += pxy * std::log(pxy / (px * py));
@@ -151,7 +164,9 @@ double DiscreteEntropy(const std::vector<int>& x) {
   for (int v : x) counts[v] += 1.0;
   std::vector<double> values;
   values.reserve(counts.size());
+  // DFS_UNORDERED_OK: values are fully sorted below, before the FP fold.
   for (const auto& [unused, c] : counts) values.push_back(c);
+  std::sort(values.begin(), values.end());
   return EntropyFromCounts(values);
 }
 

@@ -78,4 +78,25 @@
 #define DFS_NO_THREAD_SAFETY_ANALYSIS \
   DFS_THREAD_ANNOTATION_(no_thread_safety_analysis)
 
+// ---------------------------------------------------------------------------
+// Hot-path allocation contract (DESIGN.md §2e/§2k, tools/dfs_analyze.py)
+
+/// Marks a function as a §2e warm-path root: once the per-engine scratch
+/// is warm, no allocating construct (operator new, make_unique/shared,
+/// container growth, string building) may be reachable from it through
+/// any transitive callee. `tools/dfs_analyze.py` (hot-alloc pass) walks
+/// the call graph from every DFS_HOT function and reports reachable
+/// allocation sites; the runtime counting-operator-new test in
+/// engine_golden_test is the dynamic backstop for what the static walk
+/// cannot see (indirect calls, std internals).
+#define DFS_HOT DFS_THREAD_ANNOTATION_(annotate("dfs_hot"))
+
+/// Marks a callee that allocates BY DESIGN and terminates the DFS_HOT
+/// walk (e.g. TrainModel constructs the model; §2e covers gathers and
+/// predictions, not model construction). Every use must carry an inline
+/// justification comment. Line-level exemptions inside hot code use
+/// `// DFS_ALLOC_OK: <reason>` instead (amortized growth of reusable
+/// capacity that is warm after the first evaluation).
+#define DFS_ALLOC_BOUNDARY DFS_THREAD_ANNOTATION_(annotate("dfs_alloc_boundary"))
+
 #endif  // DFS_UTIL_THREAD_ANNOTATIONS_H_

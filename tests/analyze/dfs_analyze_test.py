@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Self-test for tools/dfs_analyze.py (wired into ctest as analyze.selftest).
+
+Mirrors tests/lint/dfs_lint_test.py:
+  1. Each analysis rule must fire on its known-bad fixture in
+     tests/analyze/fixtures/ — a rule that stops firing is a rule that
+     silently stopped guarding its contract. The deliberate two-mutex
+     cycle (lock_cycle_a.cc / lock_cycle_b.cc) must be reported with
+     BOTH acquisition sites named.
+  2. The real tree (src/) must analyze clean, the committed lock-order
+     DOT (docs/lock_order.dot) must match a fresh regeneration, and the
+     real graph must contain the serve-layer nodes and stay acyclic.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import unittest
+
+TESTS_ANALYZE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(TESTS_ANALYZE))
+DFS_ANALYZE = os.path.join(REPO, "tools", "dfs_analyze.py")
+FIXTURES = os.path.join(TESTS_ANALYZE, "fixtures")
+LOCK_ORDER_DOT = os.path.join(REPO, "docs", "lock_order.dot")
+
+# rule -> fixture file it must fire on (at least once). The lock-order
+# rule reports against the synthetic "(lock graph)" location, so it is
+# checked separately (test_lock_cycle_names_both_sites).
+EXPECTED = {
+    "hot-alloc": "hot_alloc.cc",
+    "unordered-fp-order": "unordered_fp.cc",
+    "fp-accumulate": "fp_accumulate.cc",
+}
+
+VIOLATION_RE = re.compile(r"^dfs_analyze: (.+?):(\d+): \[([a-z-]+)\]")
+DOT_EDGE_RE = re.compile(r'^\s*"([^"]+)"\s*->\s*"([^"]+)"')
+
+
+def run_analyze(*args):
+    return subprocess.run(
+        [sys.executable, DFS_ANALYZE, *args],
+        capture_output=True, text=True, check=False, cwd=REPO)
+
+
+class DfsAnalyzeTest(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        cls.fixture_run = run_analyze("--root", FIXTURES)
+        cls.fired = set()  # (reported file, rule)
+        for line in cls.fixture_run.stderr.splitlines():
+            match = VIOLATION_RE.match(line)
+            if match:
+                cls.fired.add((match.group(1), match.group(3)))
+
+    def test_fixture_run_fails(self):
+        self.assertEqual(self.fixture_run.returncode, 1,
+                         self.fixture_run.stderr)
+
+    def test_each_rule_fires_on_its_fixture(self):
+        for rule, fixture in EXPECTED.items():
+            with self.subTest(rule=rule):
+                self.assertIn(
+                    (fixture, rule), self.fired,
+                    f"rule [{rule}] did not fire on {fixture}; "
+                    f"fired={sorted(self.fired)}")
+
+    def test_lock_cycle_names_both_sites(self):
+        # The deliberate Alpha::mu_ <-> Beta::mu_ cycle must be reported
+        # as a deadlock with the acquisition site of each hop named, so
+        # the report is actionable without re-running the analysis.
+        cycle_lines = [line for line in self.fixture_run.stderr.splitlines()
+                       if "[lock-order]" in line]
+        self.assertEqual(len(cycle_lines), 1, self.fixture_run.stderr)
+        report = cycle_lines[0]
+        self.assertIn("Alpha::mu_", report)
+        self.assertIn("Beta::mu_", report)
+        self.assertRegex(report, r"lock_cycle_a\.cc:\d+")
+        self.assertRegex(report, r"lock_cycle_b\.cc:\d+")
+
+    def test_no_rule_fires_on_a_foreign_fixture(self):
+        # Each fixture exercises exactly one rule; cross-fire means a
+        # rule got too broad. "(lock graph)" is the cycle report's
+        # synthetic location; hot_alloc.cc also carries the deliberate
+        # naked DFS_ALLOC_OK marker (same rule).
+        allowed = {(fixture, rule) for rule, fixture in EXPECTED.items()}
+        allowed.add(("(lock graph)", "lock-order"))
+        self.assertEqual(self.fired - allowed, set())
+
+    def test_real_tree_is_clean_and_dot_in_sync(self):
+        result = run_analyze("--check-dot", LOCK_ORDER_DOT)
+        self.assertEqual(result.returncode, 0,
+                         result.stdout + result.stderr)
+        self.assertIn("dfs_analyze: OK", result.stdout)
+
+    def test_real_lock_graph_covers_serve_and_stays_acyclic(self):
+        # Regression net for the cross-component path that motivated the
+        # pass: the event-loop front end and the server core both feed
+        # MetricsRegistry::mu_, and the committed graph must stay acyclic.
+        with open(LOCK_ORDER_DOT, encoding="utf-8") as handle:
+            dot = handle.read()
+        edges = [DOT_EDGE_RE.match(line).groups()
+                 for line in dot.splitlines() if DOT_EDGE_RE.match(line)]
+        nodes = {n for edge in edges for n in edge}
+        self.assertIn("EventLoopFrontEnd::mu_", nodes)
+        self.assertIn("MetricsRegistry::mu_", nodes)
+        self.assertTrue(any(n.startswith("DfsServer::") for n in nodes))
+
+        graph = {}
+        for a, b in edges:
+            graph.setdefault(a, set()).add(b)
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = {}
+
+        def has_cycle(node):
+            color[node] = GREY
+            for succ in graph.get(node, ()):
+                state = color.get(succ, WHITE)
+                if state == GREY or (state == WHITE and has_cycle(succ)):
+                    return True
+            color[node] = BLACK
+            return False
+
+        for node in sorted(nodes):
+            if color.get(node, WHITE) == WHITE:
+                self.assertFalse(has_cycle(node),
+                                 f"cycle through {node} in {LOCK_ORDER_DOT}")
+
+    def test_forced_clang_frontend_is_loud_when_missing(self):
+        # --frontend clang must either really run (libclang present) or
+        # fail loudly with exit 2 and a NOTICE — never silently pass.
+        result = run_analyze("--frontend", "clang")
+        self.assertIn(result.returncode, (0, 2), result.stderr)
+        if result.returncode == 2:
+            self.assertIn("NOTICE", result.stderr)
+            self.assertIn("nothing was analyzed", result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,15 @@
+// Known-bad fixture for tools/dfs_analyze.py (determinism pass,
+// fp-accumulate rule): std::accumulate over floating-point values
+// outside src/linalg/kernels*. Never compiled.
+#include <numeric>
+#include <vector>
+
+namespace fixture {
+
+double MeanOf(const std::vector<double>& values) {
+  const double total =
+      std::accumulate(values.begin(), values.end(), 0.0);
+  return total / static_cast<double>(values.size());
+}
+
+}  // namespace fixture

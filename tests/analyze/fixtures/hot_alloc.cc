@@ -1,0 +1,32 @@
+// Known-bad fixture for tools/dfs_analyze.py (hot-alloc pass): a
+// DFS_HOT root whose transitive callee grows a container, plus a naked
+// DFS_ALLOC_OK marker with no justification. Never compiled.
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace fixture {
+
+class HotPath {
+ public:
+  DFS_HOT double Evaluate(const std::vector<double>& row);
+
+ private:
+  double Tally(const std::vector<double>& row);
+
+  std::vector<double> scratch_;
+};
+
+double HotPath::Evaluate(const std::vector<double>& row) {
+  return Tally(row);
+}
+
+double HotPath::Tally(const std::vector<double>& row) {
+  // The allocating construct the walk must reach through Evaluate:
+  scratch_.push_back(row.empty() ? 0.0 : row[0]);
+  // DFS_ALLOC_OK:
+  scratch_.clear();
+  return static_cast<double>(scratch_.size());
+}
+
+}  // namespace fixture

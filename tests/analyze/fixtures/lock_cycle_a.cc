@@ -1,0 +1,35 @@
+// Known-bad fixture for tools/dfs_analyze.py (lock-order pass): the
+// Alpha half of a deliberate two-mutex cycle. Alpha::Update acquires
+// Beta::mu_ (via Beta::Absorb in lock_cycle_b.cc) while holding
+// Alpha::mu_; lock_cycle_b.cc closes the cycle in the other direction.
+// The analyzer must report the cycle with BOTH acquisition sites named.
+// Never compiled — tests/analyze/dfs_analyze_test.py points the
+// analyzer at this directory and asserts the report.
+#include "util/mutex.h"
+
+namespace fixture {
+
+class Beta;
+
+class Alpha {
+ public:
+  void Update(Beta& peer);
+  void Refresh();
+
+ private:
+  util::Mutex mu_;
+  int value_ = 0;
+};
+
+void Alpha::Update(Beta& peer) {
+  util::MutexLock lock(mu_);
+  value_ += 1;
+  peer.Absorb(value_);  // acquires Beta::mu_ while Alpha::mu_ is held
+}
+
+void Alpha::Refresh() {
+  util::MutexLock lock(mu_);
+  value_ = 0;
+}
+
+}  // namespace fixture

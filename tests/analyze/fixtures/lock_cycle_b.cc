@@ -1,0 +1,32 @@
+// Known-bad fixture for tools/dfs_analyze.py (lock-order pass): the
+// Beta half of the deliberate two-mutex cycle started in
+// lock_cycle_a.cc. Beta::Drain acquires Alpha::mu_ (via Alpha::Refresh)
+// while holding Beta::mu_ — the reverse of Alpha::Update's order.
+#include "util/mutex.h"
+
+namespace fixture {
+
+class Alpha;
+
+class Beta {
+ public:
+  void Absorb(int v);
+  void Drain(Alpha& peer);
+
+ private:
+  util::Mutex mu_;
+  int total_ = 0;
+};
+
+void Beta::Absorb(int v) {
+  util::MutexLock lock(mu_);
+  total_ += v;
+}
+
+void Beta::Drain(Alpha& peer) {
+  util::MutexLock lock(mu_);
+  total_ = 0;
+  peer.Refresh();  // acquires Alpha::mu_ while Beta::mu_ is held
+}
+
+}  // namespace fixture

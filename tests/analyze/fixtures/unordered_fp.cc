@@ -1,0 +1,24 @@
+// Known-bad fixture for tools/dfs_analyze.py (determinism pass,
+// unordered-fp-order rule): a floating-point fold in unordered_map
+// iteration order — results depend on the hash seed. Never compiled.
+#include <unordered_map>
+
+namespace fixture {
+
+class Tally {
+ public:
+  double Sum() const;
+
+ private:
+  std::unordered_map<int, double> weights_;
+};
+
+double Tally::Sum() const {
+  double total = 0.0;
+  for (const auto& [key, w] : weights_) {
+    total += w;  // FP accumulation in hash-iteration order
+  }
+  return total;
+}
+
+}  // namespace fixture

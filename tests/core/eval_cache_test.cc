@@ -206,6 +206,36 @@ TEST(EvalCacheSpillTest, RejectsTrailingBytes) {
   EXPECT_EQ(restored.size(), 0u);
 }
 
+TEST(EvalCacheSpillTest, RejectsOverclaimedEntryCount) {
+  ShardedEvalCache cache;
+  EXPECT_TRUE(cache.InsertPublished(MaskFor(1), OutcomeFor(1)));
+  std::string blob = cache.Serialize();
+  // The entry count lives in the header, outside the payload checksum, so
+  // a hostile value passes the checksum test unchanged. A count the
+  // remaining bytes cannot possibly hold must be rejected BEFORE it sizes
+  // the decode buffer (a naive reserve of 2^60 entries is an OOM bomb).
+  PatchU64(&blob, kEntryCountOffset, uint64_t{1} << 60);
+  ShardedEvalCache restored;
+  const Status status = restored.RestoreState(blob);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("header claims"), std::string::npos);
+  EXPECT_EQ(restored.size(), 0u);
+}
+
+TEST(EvalCacheSpillTest, RejectsEntryCountJustPastPayload) {
+  ShardedEvalCache cache;
+  EXPECT_TRUE(cache.InsertPublished(MaskFor(1), OutcomeFor(1)));
+  std::string blob = cache.Serialize();
+  // One real entry in the payload, header claiming two: the smallest
+  // possible over-claim must reject at the count cap or the decode loop,
+  // never half-merge.
+  PatchU64(&blob, kEntryCountOffset, 2);
+  ShardedEvalCache restored;
+  EXPECT_EQ(restored.RestoreState(blob).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(restored.size(), 0u);
+}
+
 TEST(EvalCacheSpillTest, LoadFromMissingFileIsNotFound) {
   ShardedEvalCache cache;
   EXPECT_EQ(cache.LoadFromFile("/nonexistent/dfs-eval-cache.spill").code(),
@@ -445,6 +475,95 @@ TEST(EvalCacheRegistryTest, MissingContainerIsNotFound) {
                 .status()
                 .code(),
             StatusCode::kNotFound);
+}
+
+TEST(EvalCacheRegistryTest, RestoreFromStringRoundTrip) {
+  EvalCacheRegistry registry;
+  EXPECT_TRUE(
+      registry.GetOrCreate(5)->InsertPublished(MaskFor(0), OutcomeFor(0)));
+  EXPECT_TRUE(
+      registry.GetOrCreate(6)->InsertPublished(MaskFor(1), OutcomeFor(1)));
+  const std::string path = ::testing::TempDir() + "/eval_caches_mem.spill";
+  ASSERT_TRUE(registry.SaveToFile(path).ok());
+  std::string container;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buffer[4096];
+    size_t n;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+      container.append(buffer, n);
+    }
+    std::fclose(f);
+  }
+  std::remove(path.c_str());
+
+  EvalCacheRegistry restored;
+  const auto count = restored.RestoreFromString(container);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, 2u);
+  EXPECT_EQ(restored.size(), 2u);
+}
+
+TEST(EvalCacheRegistryTest, RejectsOverclaimedCacheCount) {
+  EvalCacheRegistry registry;
+  EXPECT_TRUE(
+      registry.GetOrCreate(7)->InsertPublished(MaskFor(0), OutcomeFor(0)));
+  const std::string path = ::testing::TempDir() + "/eval_caches_claim.spill";
+  ASSERT_TRUE(registry.SaveToFile(path).ok());
+  std::string container;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buffer[4096];
+    size_t n;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+      container.append(buffer, n);
+    }
+    std::fclose(f);
+  }
+  std::remove(path.c_str());
+
+  // The container header carries no checksum at all: a hostile member
+  // count (offset 12: magic 8 + version 4) must be capped by what the
+  // remaining bytes could hold before it sizes the blob vector.
+  PatchU32(&container, 12, 0xFFFFFFFFu);
+  EvalCacheRegistry restored;
+  const auto count = restored.RestoreFromString(container, "test-blob");
+  EXPECT_EQ(count.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(count.status().message().find("header claims"),
+            std::string::npos);
+  EXPECT_NE(count.status().message().find("test-blob"), std::string::npos);
+  EXPECT_EQ(restored.size(), 0u);
+}
+
+TEST(EvalCacheRegistryTest, RejectsTruncatedMemberLength) {
+  EvalCacheRegistry registry;
+  EXPECT_TRUE(
+      registry.GetOrCreate(8)->InsertPublished(MaskFor(0), OutcomeFor(0)));
+  const std::string path = ::testing::TempDir() + "/eval_caches_trunc.spill";
+  ASSERT_TRUE(registry.SaveToFile(path).ok());
+  std::string container;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buffer[4096];
+    size_t n;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+      container.append(buffer, n);
+    }
+    std::fclose(f);
+  }
+  std::remove(path.c_str());
+
+  // A member length prefix pointing past the end of the container
+  // (offset 16 is the first member's u64 length) must reject cleanly.
+  PatchU64(&container, 16, container.size());
+  EvalCacheRegistry restored;
+  const auto count = restored.RestoreFromString(container);
+  EXPECT_EQ(count.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(count.status().message().find("truncated"), std::string::npos);
+  EXPECT_EQ(restored.size(), 0u);
 }
 
 // ---- Engine L2 integration --------------------------------------------

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Corpus-replay driver (wired into ctest as fuzz.corpus_replay).
+
+Regenerates the seed corpus with make_corpus.py, then runs every replay
+binary passed on the command line over its target's corpus directory.
+Each binary is a fuzz harness linked against replay_main.cc, so this
+runs the exact LLVMFuzzerTestOneInput code under whatever sanitizers the
+build enables — the decoders must accept or reject every seed without
+crashing. Binary names map to corpus subdirectories by stripping the
+fuzz_ prefix and _replay suffix (fuzz_arff_replay -> arff/).
+
+Usage: corpus_replay_test.py <replay-binary>...
+"""
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+FUZZ_DIR = os.path.dirname(os.path.abspath(__file__))
+MAKE_CORPUS = os.path.join(FUZZ_DIR, "make_corpus.py")
+
+
+def main():
+    binaries = sys.argv[1:]
+    if not binaries:
+        raise SystemExit(__doc__)
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="dfs-fuzz-corpus-") as corpus:
+        subprocess.run([sys.executable, MAKE_CORPUS, corpus], check=True)
+        for binary in binaries:
+            target = re.sub(r"^fuzz_|_replay$", "",
+                            os.path.basename(binary))
+            directory = os.path.join(corpus, target)
+            if not os.path.isdir(directory):
+                print(f"corpus_replay: FAIL {binary}: no corpus "
+                      f"directory {directory}", flush=True)
+                failures += 1
+                continue
+            result = subprocess.run([binary, directory],
+                                    capture_output=True, text=True)
+            if result.returncode != 0:
+                print(f"corpus_replay: FAIL {target} "
+                      f"(exit {result.returncode})\n"
+                      f"{result.stdout}{result.stderr}", flush=True)
+                failures += 1
+            else:
+                print(f"corpus_replay: {target}: "
+                      f"{result.stdout.strip()}", flush=True)
+    if failures:
+        raise SystemExit(f"corpus_replay: {failures} target(s) failed")
+    print(f"corpus_replay: OK ({len(binaries)} targets)")
+
+
+if __name__ == "__main__":
+    main()

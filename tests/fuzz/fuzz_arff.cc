@@ -1,0 +1,16 @@
+// Fuzz harness for the ARFF reader (src/data/arff.h), the parser that
+// ingests the paper's OpenML datasets. The attribute names match the
+// make_corpus.py seeds so coverage reaches the target/sensitive
+// resolution and row-decoding paths, not just header rejection.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "data/arff.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  (void)dfs::data::ParseArff(text, "class", "sensitive");
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Fuzz harness for the serve-layer line protocol (docs/PROTOCOL.md):
+// ParseJsonLine (the one-line JSON reader every request goes through)
+// and ParseRequestLine (field validation on top of it). Both must
+// reject arbitrary bytes with a Status — never crash, hang, or trip
+// ASan/UBSan. Built with libFuzzer under -DDFS_FUZZ=ON (Clang); the
+// same entry point links against replay_main.cc as the always-built
+// corpus-replay binary (ctest: fuzz.corpus_replay).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "serve/line_protocol.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string line(reinterpret_cast<const char*>(data), size);
+  // Values are intentionally discarded: the property under test is
+  // "parsers are total over arbitrary bytes".
+  (void)dfs::serve::ParseJsonLine(line);
+  (void)dfs::serve::ParseRequestLine(line);
+  return 0;
+}

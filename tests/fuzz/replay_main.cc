@@ -1,0 +1,66 @@
+// Standalone corpus-replay driver: gives every fuzz harness a main()
+// that runs each corpus file through LLVMFuzzerTestOneInput exactly
+// once, with no libFuzzer (and therefore no Clang) required. This is
+// what ctest's fuzz.corpus_replay runs on every build — including the
+// -DDFS_SANITIZE=address,undefined tree, where it doubles as a
+// sanitized regression net over the committed seed corpus.
+//
+// Usage: <binary> <file-or-directory>...   (directories are walked
+// recursively; non-regular files are skipped).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool ReplayFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "replay: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file-or-directory>...\n", argv[0]);
+    return 2;
+  }
+  size_t replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path root(argv[i]);
+    std::error_code ec;
+    if (std::filesystem::is_directory(root, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(root)) {
+        if (!entry.is_regular_file()) continue;
+        if (!ReplayFile(entry.path())) return 1;
+        ++replayed;
+      }
+    } else if (std::filesystem::is_regular_file(root, ec)) {
+      if (!ReplayFile(root)) return 1;
+      ++replayed;
+    } else {
+      std::fprintf(stderr, "replay: no such file or directory: %s\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+  std::printf("replay: OK (%zu input%s)\n", replayed,
+              replayed == 1 ? "" : "s");
+  return 0;
+}

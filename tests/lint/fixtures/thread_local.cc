@@ -1,0 +1,15 @@
+// Known-bad fixture: raw thread_local without a justification, plus a
+// naked DFS_THREAD_LOCAL_OK marker. The justified declaration at the
+// end must NOT fire. Never compiled.
+
+namespace fixture {
+
+thread_local int t_unjustified_counter = 0;
+
+// DFS_THREAD_LOCAL_OK:
+thread_local int t_naked_marker = 0;
+
+// DFS_THREAD_LOCAL_OK: per-thread scratch, reset on every entry.
+thread_local int t_justified = 0;
+
+}  // namespace fixture

@@ -10,7 +10,14 @@ Each rule guards a documented contract:
                     outside the sanctioned utilities util/rng.cc and
                     util/stopwatch.h. Everything random flows from a
                     seeded util::Rng; everything timed from Stopwatch's
-                    steady clock.
+                    steady clock. Also bans `volatile` (it is not a
+                    synchronization mechanism — use util::Mutex or
+                    std::atomic) and raw `thread_local` (per-thread
+                    state is invisible to the §2f lock discipline and
+                    the §2e scratch accounting; every use needs a
+                    '// DFS_THREAD_LOCAL_OK: <reason>' on the same or
+                    preceding line). src/linalg is exempt from both —
+                    kernel scaffolding may legitimately need them.
   naked-mutex       All locking goes through the annotated wrappers in
                     util/mutex.h so the Clang thread-safety analysis
                     (DFS_ANALYZE=ON) sees every capability. std::mutex,
@@ -72,6 +79,12 @@ BANNED_SYMBOLS = [
     ("clock()",
      re.compile(r"(?<![\w:.>])(?:std\s*::\s*)?clock\s*\(")),
 ]
+
+VOLATILE_RE = re.compile(r"\bvolatile\b")
+THREAD_LOCAL_RE = re.compile(r"\bthread_local\b")
+# Marker with no justification text = itself a violation (same policy as
+# naked-exemption).
+THREAD_LOCAL_OK_RE = re.compile(r"//\s*DFS_THREAD_LOCAL_OK:\s*(\S.*)?$")
 
 NAKED_MUTEX_RE = re.compile(
     r"std::(mutex|timed_mutex|recursive_mutex|shared_mutex|shared_lock"
@@ -144,6 +157,41 @@ def check_banned_symbols(rel, text, out):
                     rel, number, "banned-symbol",
                     f"{name} breaks the §2d determinism contract; use "
                     f"util::Rng (seeded) or util::Stopwatch (steady clock)"))
+
+
+def check_storage_qualifiers(rel, text, out):
+    """volatile and raw thread_local (see the banned-symbol docstring
+    entry). src/linalg kernel scaffolding is exempt from both."""
+    if rel.startswith("linalg/"):
+        return
+    justified = set()
+    for number, line in enumerate(text.splitlines(), start=1):
+        match = THREAD_LOCAL_OK_RE.search(line)
+        if not match:
+            continue
+        if match.group(1):
+            justified.add(number)
+        else:
+            out.append(Violation(
+                rel, number, "banned-symbol",
+                "DFS_THREAD_LOCAL_OK without a justification — "
+                "exemptions are allowed, silent ones are not"))
+    code = strip_comments(text)
+    for number, line in iter_lines(code):
+        if VOLATILE_RE.search(line):
+            out.append(Violation(
+                rel, number, "banned-symbol",
+                "'volatile' is not a synchronization mechanism and has "
+                "no place outside src/linalg; use util::Mutex or "
+                "std::atomic (§2f)"))
+        if THREAD_LOCAL_RE.search(line) and \
+                number not in justified and (number - 1) not in justified:
+            out.append(Violation(
+                rel, number, "banned-symbol",
+                "raw thread_local — per-thread state bypasses the §2f "
+                "lock discipline and the §2e scratch accounting; justify "
+                "with '// DFS_THREAD_LOCAL_OK: <reason>' on this or the "
+                "preceding line"))
 
 
 def check_naked_mutex(rel, text, out):
@@ -319,6 +367,7 @@ def lint_tree(roots, protocol_path):
                 with open(path, encoding="utf-8") as handle:
                     text = handle.read()
                 check_banned_symbols(rel, text, violations)
+                check_storage_qualifiers(rel, text, violations)
                 check_naked_mutex(rel, text, violations)
                 check_header_guard(rel, text, violations)
                 check_include_order(rel, root, text, violations)
